@@ -1,0 +1,156 @@
+package uvmsim
+
+// One benchmark per paper table/figure plus the ablations: each runs the
+// corresponding experiment generator at a reduced "quick" scale so that
+// `go test -bench=.` regenerates every artifact's shape in minutes. Full
+// sweeps are available via cmd/uvmbench. The reported metrics expose the
+// headline quantity of each artifact alongside ns/op.
+
+import (
+	"strconv"
+	"testing"
+
+	"uvmsim/internal/exp"
+)
+
+func benchScale() exp.Scale {
+	return exp.Scale{GPUMemoryBytes: 48 << 20, Seed: 1, Quick: true}
+}
+
+// benchExperiment runs one experiment generator per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tables, err := exp.Run(id, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no data", id)
+		}
+	}
+}
+
+// BenchmarkFig1AccessLatency regenerates Fig. 1: explicit vs UVM vs
+// UVM+prefetch page-touch latency across the memory limit.
+func BenchmarkFig1AccessLatency(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig3CostBreakdown regenerates Fig. 3: fault cost scaling and
+// driver-phase breakdown under the default batch-flush policy.
+func BenchmarkFig3CostBreakdown(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4ServiceBreakdown regenerates Fig. 4: the service split
+// (PMA alloc / migrate / map) at small sizes.
+func BenchmarkFig4ServiceBreakdown(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5BatchPolicy regenerates Fig. 5: the Batch replay policy's
+// replay-vs-preprocessing trade-off.
+func BenchmarkFig5BatchPolicy(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig7AccessPatterns regenerates Fig. 7: driver-observed fault
+// patterns per workload.
+func BenchmarkFig7AccessPatterns(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkTable1FaultReduction regenerates Table I: fault reduction
+// from prefetching across the suite.
+func BenchmarkTable1FaultReduction(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkFig8EvictRefault regenerates Fig. 8: sgemm at 120% with
+// evict-then-refault accounting.
+func BenchmarkFig8EvictRefault(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9OversubBreakdown regenerates Fig. 9: oversubscribed
+// breakdowns with prefetching for both access patterns.
+func BenchmarkFig9OversubBreakdown(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10ComputeRate regenerates Fig. 10: the sgemm compute-rate
+// cliff across the memory limit.
+func BenchmarkFig10ComputeRate(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkTable2SGEMMScaling regenerates Table II: sgemm fault/eviction
+// scaling with problem size.
+func BenchmarkTable2SGEMMScaling(b *testing.B) { benchExperiment(b, "tab2") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationReplayPolicy sweeps the four replay policies.
+func BenchmarkAblationReplayPolicy(b *testing.B) { benchExperiment(b, "abl-policy") }
+
+// BenchmarkAblationThreshold sweeps the density threshold.
+func BenchmarkAblationThreshold(b *testing.B) { benchExperiment(b, "abl-thresh") }
+
+// BenchmarkAblationBatchSize sweeps the fault batch size.
+func BenchmarkAblationBatchSize(b *testing.B) { benchExperiment(b, "abl-batch") }
+
+// BenchmarkAblationEviction compares eviction policies oversubscribed.
+func BenchmarkAblationEviction(b *testing.B) { benchExperiment(b, "abl-evict") }
+
+// BenchmarkAblationGranularity sweeps the VABlock size.
+func BenchmarkAblationGranularity(b *testing.B) { benchExperiment(b, "abl-gran") }
+
+// BenchmarkAblationAdaptive compares adaptive vs static prefetching.
+func BenchmarkAblationAdaptive(b *testing.B) { benchExperiment(b, "abl-adapt") }
+
+// Micro-benchmarks of the simulation substrate itself: these measure the
+// simulator's own throughput (host-side cost of simulated work), which
+// bounds how large a scaled experiment can run.
+
+// BenchmarkSimulatorPageTouch measures end-to-end simulated-fault
+// throughput: one UVM page-touch run per iteration.
+func BenchmarkSimulatorPageTouch(b *testing.B) {
+	for _, size := range []int64{1 << 20, 8 << 20} {
+		b.Run("data="+strconv.FormatInt(size>>20, 10)+"MiB", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := NewSystem(DefaultConfig(48 << 20))
+				if err != nil {
+					b.Fatal(err)
+				}
+				k, err := BuildWorkload(sys, "regular", size, DefaultWorkloadParams())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sys.RunUVM(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Faults), "faults/op")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorSGEMM measures simulator throughput on the reuse-heavy
+// sgemm kernel.
+func BenchmarkSimulatorSGEMM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(DefaultConfig(48 << 20))
+		if err != nil {
+			b.Fatal(err)
+		}
+		k, err := BuildSGEMM(sys, 512, DefaultWorkloadParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.RunUVM(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAccessMode compares UVM's three access behaviors.
+func BenchmarkAblationAccessMode(b *testing.B) { benchExperiment(b, "abl-mode") }
+
+// BenchmarkAblationFaultOrigin evaluates origin-informed stream
+// prefetching against source-erased density prefetching.
+func BenchmarkAblationFaultOrigin(b *testing.B) { benchExperiment(b, "abl-origin") }
+
+// BenchmarkFullScaleValidation spot-checks absolute magnitudes on the
+// unscaled 80-SM / 12 GB machine.
+func BenchmarkFullScaleValidation(b *testing.B) { benchExperiment(b, "val-full") }
+
+// BenchmarkSeedStability measures the multi-seed stability harness.
+func BenchmarkSeedStability(b *testing.B) { benchExperiment(b, "val-seeds") }
+
+// BenchmarkCalibrationAnchors re-measures the cost-model anchors.
+func BenchmarkCalibrationAnchors(b *testing.B) { benchExperiment(b, "val-calib") }

@@ -1,0 +1,149 @@
+// Command prefetchviz renders the density-prefetcher decision for one
+// VABlock as ASCII art, reproducing the concept of the paper's Fig. 6:
+// given a set of resident pages and a batch of faulted pages, it shows
+// the per-level subtree occupancy, which subtree each fault selects as
+// its prefetch region, and the final fetch set.
+//
+// Usage:
+//
+//	prefetchviz -pages 16 -resident 0-7 -fault 8
+//	prefetchviz -pages 512 -fault 5 -threshold 51
+//	prefetchviz -pages 512 -resident 0-255 -fault 300 -no-bigpages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/tree"
+)
+
+func main() {
+	var (
+		pages     = flag.Int("pages", 16, "pages per VABlock (power of two >= 16; paper uses 512)")
+		resident  = flag.String("resident", "", "resident page list, e.g. 0-7,12")
+		fault     = flag.String("fault", "0", "faulted page list, e.g. 8,9")
+		threshold = flag.Int("threshold", tree.DefaultThreshold, "density threshold percent")
+		noBig     = flag.Bool("no-bigpages", false, "disable the 64KB big-page upgrade stage")
+	)
+	flag.Parse()
+
+	geom, err := mem.NewGeometry(int64(*pages) * mem.PageSize)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := parseSet(*resident, *pages)
+	if err != nil {
+		fatal(fmt.Errorf("bad -resident: %w", err))
+	}
+	flt, err := parseSet(*fault, *pages)
+	if err != nil {
+		fatal(fmt.Errorf("bad -fault: %w", err))
+	}
+
+	pl := &tree.Planner{Threshold: *threshold, BigPages: !*noBig}
+	out := pl.Plan(geom, res, flt, *pages)
+
+	fmt.Printf("VABlock of %d pages, density threshold %d%%, big pages %v\n\n",
+		*pages, *threshold, !*noBig)
+	printRow("resident", res, *pages, 'R')
+	printRow("faulted ", flt, *pages, 'F')
+
+	// Occupancy tree over resident+faulted+upgraded pages.
+	mask := res.Clone()
+	mask.Or(out.Fetch)
+	levels := tree.Snapshot(geom, mask, *pages)
+	fmt.Println("\noccupancy tree (count/size per node, * = node exceeds threshold):")
+	for l := len(levels) - 1; l >= 0; l-- {
+		span := 1 << uint(l)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "  L%-2d ", l)
+		for n, c := range levels[l] {
+			mark := " "
+			if c*100 > *threshold*span {
+				mark = "*"
+			}
+			fmt.Fprintf(&sb, "[%d/%d%s]", c, span, mark)
+			if (n+1)*span >= *pages {
+				break
+			}
+		}
+		fmt.Println(sb.String())
+		if *pages>>uint(l) > 64 {
+			// Skip leaf-adjacent levels that would not fit on screen.
+			if l <= 4 {
+				fmt.Println("  ... (lower levels elided)")
+				break
+			}
+		}
+	}
+
+	fmt.Println()
+	printRow("fetch   ", out.Fetch, *pages, '#')
+	fmt.Printf("\ndemanded pages needing migration: %d\n", out.Faulted)
+	fmt.Printf("prefetched pages:                 %d\n", out.Prefetched)
+	fmt.Printf("total pages fetched:              %d\n", out.Fetch.Count())
+}
+
+func printRow(label string, bm *mem.Bitmap, pages int, ch byte) {
+	var sb strings.Builder
+	for i := 0; i < pages; i++ {
+		if bm.Get(i) {
+			sb.WriteByte(ch)
+		} else {
+			sb.WriteByte('.')
+		}
+	}
+	s := sb.String()
+	const width = 64
+	for off := 0; off < len(s); off += width {
+		end := off + width
+		if end > len(s) {
+			end = len(s)
+		}
+		if off == 0 {
+			fmt.Printf("%s %s\n", label, s[off:end])
+		} else {
+			fmt.Printf("%s %s\n", strings.Repeat(" ", len(label)), s[off:end])
+		}
+	}
+}
+
+// parseSet parses "0-7,12,30-31" into a bitmap.
+func parseSet(s string, pages int) (*mem.Bitmap, error) {
+	bm := mem.NewBitmap(pages)
+	if strings.TrimSpace(s) == "" {
+		return bm, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		lo, hi := part, part
+		if i := strings.IndexByte(part, '-'); i >= 0 {
+			lo, hi = part[:i], part[i+1:]
+		}
+		a, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, err
+		}
+		b, err := strconv.Atoi(hi)
+		if err != nil {
+			return nil, err
+		}
+		if a > b || a < 0 || b >= pages {
+			return nil, fmt.Errorf("range %q out of [0,%d)", part, pages)
+		}
+		for i := a; i <= b; i++ {
+			bm.Set(i)
+		}
+	}
+	return bm, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "prefetchviz: %v\n", err)
+	os.Exit(1)
+}

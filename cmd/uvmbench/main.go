@@ -1,0 +1,116 @@
+// Command uvmbench regenerates the paper's tables and figures as text
+// tables or CSV.
+//
+// Usage:
+//
+//	uvmbench -list
+//	uvmbench -exp fig3
+//	uvmbench -exp all -gpu-mem 96 -csv -out results/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"uvmsim/internal/exp"
+	"uvmsim/internal/stats"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id to run, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		gpuMB   = flag.Int64("gpu-mem", 96, "scaled GPU framebuffer size in MiB (paper: 12288)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of aligned text")
+		outDir  = flag.String("out", "", "write one file per table into this directory instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "uvmbench: -exp <id> required (use -list to enumerate)")
+		os.Exit(2)
+	}
+	sc := exp.Scale{GPUMemoryBytes: *gpuMB << 20, Seed: *seed, Quick: *quick}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = exp.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := exp.Run(id, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvmbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for i, tb := range tables {
+			if err := emit(tb, id, i, *csvOut, *jsonOut, *outDir); err != nil {
+				fmt.Fprintf(os.Stderr, "uvmbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "# %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func emit(tb *stats.Table, id string, idx int, csv, asJSON bool, outDir string) error {
+	write := func(w io.Writer) error {
+		switch {
+		case asJSON:
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(tb)
+		case csv:
+			return tb.WriteCSV(w)
+		default:
+			return tb.WriteText(w)
+		}
+	}
+	if outDir == "" {
+		err := write(os.Stdout)
+		if !csv && !asJSON {
+			fmt.Println()
+		}
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	ext := "txt"
+	if csv {
+		ext = "csv"
+	}
+	if asJSON {
+		ext = "json"
+	}
+	name := id
+	if idx > 0 {
+		name = fmt.Sprintf("%s_%d", id, idx)
+	}
+	path := filepath.Join(outDir, name+"."+ext)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# wrote %s (%s)\n", path, strings.TrimSpace(tb.Title))
+	return nil
+}

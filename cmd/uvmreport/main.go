@@ -1,0 +1,134 @@
+// Command uvmreport runs one workload with tracing enabled and prints a
+// deep workload analysis: the driver-phase breakdown, derived locality
+// metrics, per-range activity, hot blocks, and an ASCII rendering of the
+// paper's Fig. 7/8 access-pattern scatter (faults as dots, evictions as
+// E marks).
+//
+// Usage:
+//
+//	uvmreport -workload random
+//	uvmreport -workload sgemm -footprint 1.2
+//	uvmreport -workload tealeaf -prefetch none -width 100 -height 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uvmsim/internal/analyze"
+	"uvmsim/internal/core"
+	"uvmsim/internal/plot"
+	"uvmsim/internal/trace"
+	"uvmsim/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "regular", "workload name")
+		gpuMB     = flag.Int64("gpu-mem", 96, "GPU framebuffer in MiB")
+		footprint = flag.Float64("footprint", 0.5, "data footprint as a fraction of GPU memory")
+		prefetch  = flag.String("prefetch", "density", "prefetch policy")
+		evictPol  = flag.String("evict", "lru", "eviction policy")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		width     = flag.Int("width", 78, "chart width")
+		height    = flag.Int("height", 20, "chart height")
+		noChart   = flag.Bool("no-chart", false, "skip the ASCII scatter")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*gpuMB << 20)
+	cfg.Seed = *seed
+	cfg.PrefetchPolicy = *prefetch
+	cfg.EvictPolicy = *evictPol
+	cfg.TraceCapacity = -1
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	builder, err := workloads.Get(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	p := workloads.DefaultParams()
+	p.Seed = *seed + 100
+	k, err := builder(sys, int64(*footprint*float64(*gpuMB<<20)), p)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sys.RunUVM(k)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s: %.0f%% of %d MiB GPU, prefetch=%s, evict=%s\n",
+		*workload, *footprint*100, *gpuMB, *prefetch, *evictPol)
+	fmt.Printf("total=%v  driver breakdown: %s\n\n", res.TotalTime, res.Breakdown.String())
+
+	rep, err := analyze.Analyze(sys.Trace(), sys.Space())
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.Table("workload analysis").WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := rep.RangeTable().WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	hot := analyze.HotBlocks(sys.Trace(), 5)
+	if len(hot) > 0 {
+		fmt.Println("\nhottest VABlocks by fault count:")
+		for _, h := range hot {
+			fmt.Printf("  block %-6d %d faults\n", h.Block, h.Faults)
+		}
+	}
+
+	if !*noChart {
+		fmt.Println()
+		fmt.Print(scatter(sys, *width, *height))
+	}
+}
+
+// scatter renders the Fig. 7/8-style access pattern: fault occurrence
+// order on x, gap-free page index on y, evictions overlaid as E.
+func scatter(sys *core.System, w, h int) string {
+	comp := trace.NewCompressor(sys.Space())
+	var fx, fy, ex, ey []float64
+	n := 0
+	for _, e := range sys.Trace().Events() {
+		idx := comp.Index(e.Page)
+		if idx < 0 {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindFault:
+			fx = append(fx, float64(n))
+			fy = append(fy, float64(idx))
+			n++
+		case trace.KindEvict:
+			ex = append(ex, float64(n))
+			ey = append(ey, float64(idx))
+		}
+	}
+	c := plot.NewCanvas(w, h).
+		Title("access pattern (x = fault occurrence, y = page index, E = eviction)").
+		Labels("fault occurrence", "page")
+	c.SetScale(0, float64(maxInt(n-1, 1)), 0, float64(comp.Total()-1))
+	c.Scatter(fx, fy, '.')
+	c.Scatter(ex, ey, 'E')
+	return c.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uvmreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,154 @@
+// Command uvmsweep runs a generic parameter sweep: one workload crossed
+// with any combination of prefetch policy, density threshold, replay
+// policy, eviction policy, batch size, VABlock granularity, and footprint
+// fraction, printing one row per configuration.
+//
+// Usage:
+//
+//	uvmsweep -workload random -footprints 0.5,1.25 -prefetch none,density,adaptive
+//	uvmsweep -workload sgemm -footprints 0.9,1.2,1.5 -evict lru,access-aware
+//	uvmsweep -workload stream -batch 64,256,1024 -replay batch,batchflush
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"uvmsim/internal/core"
+	"uvmsim/internal/driver"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/workloads"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "regular", "workload name")
+		gpuMB      = flag.Int64("gpu-mem", 96, "GPU framebuffer in MiB")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		footprints = flag.String("footprints", "0.5", "comma-separated data footprints as fractions of GPU memory")
+		prefetch   = flag.String("prefetch", "density", "comma-separated prefetch policies")
+		replay     = flag.String("replay", "batchflush", "comma-separated replay policies")
+		evictPol   = flag.String("evict", "lru", "comma-separated eviction policies")
+		batch      = flag.String("batch", "256", "comma-separated fault batch sizes")
+		vablock    = flag.String("vablock", "2048", "comma-separated VABlock sizes in KiB")
+		csvOut     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	fps, err := parseFloats(*footprints)
+	if err != nil {
+		fatal(err)
+	}
+	batches, err := parseInts(*batch)
+	if err != nil {
+		fatal(err)
+	}
+	vablocks, err := parseInts(*vablock)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("sweep: %s on %d MiB GPU", *workload, *gpuMB),
+		"footprint_pct", "prefetch", "replay", "evict", "batch", "vablock_kb",
+		"total_ms", "faults", "evictions", "h2d_mb", "d2h_mb", "stall_ms")
+
+	for _, fp := range fps {
+		for _, pf := range strings.Split(*prefetch, ",") {
+			for _, rp := range strings.Split(*replay, ",") {
+				pol, err := driver.ParseReplayPolicy(rp)
+				if err != nil {
+					fatal(err)
+				}
+				for _, ev := range strings.Split(*evictPol, ",") {
+					for _, bs := range batches {
+						for _, vb := range vablocks {
+							row, err := runOne(*workload, *gpuMB<<20, *seed, fp, pf, pol, ev, bs, int64(vb)<<10)
+							if err != nil {
+								fatal(err)
+							}
+							t.AddRow(row...)
+						}
+					}
+				}
+			}
+		}
+	}
+	if *csvOut {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func runOne(workload string, gpuMem int64, seed uint64, fp float64, pf string,
+	rp driver.ReplayPolicy, ev string, batch int, vablock int64) ([]interface{}, error) {
+	cfg := core.DefaultConfig(gpuMem)
+	cfg.Seed = seed
+	cfg.PrefetchPolicy = pf
+	cfg.EvictPolicy = ev
+	if strings.Contains(ev, "access-aware") {
+		cfg.GPU.AccessCounters = true
+	}
+	cfg.Driver.Policy = rp
+	cfg.Driver.BatchSize = batch
+	cfg.VABlockSize = vablock
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	builder, err := workloads.Get(workload)
+	if err != nil {
+		return nil, err
+	}
+	p := workloads.DefaultParams()
+	p.Seed = seed + 100
+	k, err := builder(sys, int64(fp*float64(gpuMem)), p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.RunUVM(k)
+	if err != nil {
+		return nil, err
+	}
+	return []interface{}{
+		fp * 100, pf, rp.String(), ev, batch, vablock >> 10,
+		float64(res.TotalTime.Micros()) / 1000, res.Faults, res.Evictions,
+		float64(res.BytesH2D) / (1 << 20), float64(res.BytesD2H) / (1 << 20),
+		float64(res.GPU.StallTime.Micros()) / 1000,
+	}, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("uvmsweep: bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("uvmsweep: bad int %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uvmsweep:", err)
+	os.Exit(1)
+}

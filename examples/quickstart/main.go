@@ -1,0 +1,67 @@
+// Quickstart: run one page-touch kernel under demand-paged UVM and under
+// the explicit-transfer baseline, and print where the UVM time went —
+// the repository's 60-second tour of the paper's Fig. 1 and Fig. 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uvmsim"
+)
+
+func main() {
+	const gpuMem = 96 << 20 // a 1/128-scale Titan V framebuffer
+	const data = 32 << 20   // one third of GPU memory: comfortably in-core
+
+	// UVM run: data starts on the host and migrates on demand.
+	sys, err := uvmsim.NewSystem(uvmsim.DefaultConfig(gpuMem))
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel, err := uvmsim.BuildWorkload(sys, "regular", data, uvmsim.DefaultWorkloadParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	uvm, err := sys.RunUVM(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Explicit baseline on a fresh system: one bulk copy, then compute.
+	sys2, err := uvmsim.NewSystem(uvmsim.DefaultConfig(gpuMem))
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel2, err := uvmsim.BuildWorkload(sys2, "regular", data, uvmsim.DefaultWorkloadParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	explicit, err := sys2.RunExplicit(kernel2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("data: %d MiB on a %d MiB GPU\n\n", data>>20, gpuMem>>20)
+	fmt.Printf("explicit transfer + kernel: %v\n", explicit.TotalTime)
+	fmt.Printf("UVM demand paging:          %v   (%.1fx slower)\n\n",
+		uvm.TotalTime, float64(uvm.TotalTime)/float64(explicit.TotalTime))
+
+	fmt.Printf("UVM fault entries fetched:  %d\n", uvm.Faults)
+	fmt.Printf("GPU warp stall time:        %v\n", uvm.GPU.StallTime)
+	fmt.Printf("replays issued:             %d\n", uvm.GPU.Replays)
+	fmt.Printf("bytes H2D:                  %.1f MiB\n\n", float64(uvm.BytesH2D)/(1<<20))
+
+	fmt.Println("driver time by phase (the paper's Fig. 3/4 categories):")
+	fmt.Printf("  %s\n", uvm.Breakdown.String())
+	fmt.Printf("  service subtotal: %v of %v total\n",
+		uvm.Breakdown.Service(), uvm.Breakdown.Total())
+
+	// A second launch of the same kernel finds everything resident.
+	warm, err := sys.RunUVM(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwarm re-run (data already resident): %v, %d faults\n",
+		warm.TotalTime, warm.Faults)
+}

@@ -1,0 +1,251 @@
+// Package analyze post-processes fault traces into the derived metrics
+// the paper's workload analysis is built on (§IV-B, §V): fault-order
+// locality, per-VABlock fault densities, block residency lifetimes, and
+// evict-refault bounce statistics. It is the reusable core behind
+// cmd/uvmreport and the Fig. 7/8 experiment summaries.
+package analyze
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/trace"
+)
+
+// Report is the full analysis of one trace.
+type Report struct {
+	// Faults, Prefetches, Evictions are event totals.
+	Faults, Prefetches, Evictions int
+
+	// OrderPageCorrelation is the Pearson correlation between fault
+	// occurrence order and gap-free page index: ~1 for streaming
+	// patterns, ~0 for uniform random (the Fig. 7 signal).
+	OrderPageCorrelation float64
+
+	// MeanInterFaultDistance is the mean |Δ page index| between
+	// consecutively processed faults, normalized by the footprint.
+	MeanInterFaultDistance float64
+
+	// CoverageFraction is the fraction of allocated pages that faulted
+	// at least once.
+	CoverageFraction float64
+
+	// PrefetchShare is prefetched / (faulted + prefetched) migrations.
+	PrefetchShare float64
+
+	// BlockFaults is the distribution of fault counts per VABlock.
+	BlockFaults stats.Histogram
+
+	// ResidencyLifetime is the distribution of service-to-eviction
+	// durations per block (how long migrated data survived).
+	ResidencyLifetime stats.Histogram
+
+	// BounceGap is the distribution of evict-to-refault durations for
+	// blocks that came back (the paper's evict-before-use signal).
+	BounceGap stats.Histogram
+
+	// Bounced is how many evictions were later refaulted.
+	Bounced int
+
+	// PerRange summarizes activity per allocation.
+	PerRange []RangeSummary
+}
+
+// RangeSummary is the per-allocation activity slice of a Report.
+type RangeSummary struct {
+	Label      string
+	Pages      int
+	Faults     int
+	Prefetches int
+	Evictions  int
+}
+
+// Analyze computes a Report from a recorder and the address space it was
+// recorded against.
+func Analyze(rec *trace.Recorder, space *mem.AddressSpace) (*Report, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("analyze: no trace recorded (enable Config.TraceCapacity)")
+	}
+	comp := trace.NewCompressor(space)
+	r := &Report{}
+	ranges := space.Ranges()
+	perRange := make([]RangeSummary, len(ranges))
+	for i, rg := range ranges {
+		perRange[i] = RangeSummary{Label: rg.Label, Pages: rg.Pages}
+	}
+
+	var xs, ys []float64
+	seen := make(map[int]bool)
+	blockFaults := make(map[mem.VABlockID]int)
+	firstService := make(map[mem.VABlockID]sim.Time)
+	lastEvict := make(map[mem.VABlockID]sim.Time)
+	prev := -1
+	var distSum float64
+	var distN int
+
+	for _, e := range rec.Events() {
+		ri := int(e.Range)
+		switch e.Kind {
+		case trace.KindFault:
+			r.Faults++
+			if ri >= 0 && ri < len(perRange) {
+				perRange[ri].Faults++
+			}
+			blockFaults[e.Block]++
+			if _, ok := firstService[e.Block]; !ok {
+				firstService[e.Block] = e.At
+			}
+			if at, ok := lastEvict[e.Block]; ok {
+				r.Bounced++
+				r.BounceGap.Observe(e.At.Sub(at))
+				delete(lastEvict, e.Block)
+				firstService[e.Block] = e.At // new residency period
+			}
+			idx := comp.Index(e.Page)
+			if idx < 0 {
+				continue
+			}
+			seen[idx] = true
+			xs = append(xs, float64(len(xs)))
+			ys = append(ys, float64(idx))
+			if prev >= 0 {
+				distSum += math.Abs(float64(idx - prev))
+				distN++
+			}
+			prev = idx
+		case trace.KindPrefetch:
+			r.Prefetches++
+			if ri >= 0 && ri < len(perRange) {
+				perRange[ri].Prefetches++
+			}
+		case trace.KindEvict:
+			r.Evictions++
+			if ri >= 0 && ri < len(perRange) {
+				perRange[ri].Evictions++
+			}
+			if at, ok := firstService[e.Block]; ok {
+				r.ResidencyLifetime.Observe(e.At.Sub(at))
+				delete(firstService, e.Block)
+			}
+			lastEvict[e.Block] = e.At
+		}
+	}
+
+	r.OrderPageCorrelation = Pearson(xs, ys)
+	if distN > 0 && comp.Total() > 0 {
+		r.MeanInterFaultDistance = distSum / float64(distN) / float64(comp.Total())
+	}
+	if comp.Total() > 0 {
+		r.CoverageFraction = float64(len(seen)) / float64(comp.Total())
+	}
+	if tot := r.Faults + r.Prefetches; tot > 0 {
+		r.PrefetchShare = float64(r.Prefetches) / float64(tot)
+	}
+	for _, n := range blockFaults {
+		r.BlockFaults.Observe(sim.Duration(n))
+	}
+	r.PerRange = perRange
+	return r, nil
+}
+
+// Pearson computes the Pearson correlation coefficient of two
+// equal-length series (0 when degenerate).
+func Pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 || len(xs) != len(ys) {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// HotBlocks returns the n most-faulted VABlocks in the trace with their
+// fault counts, most-faulted first.
+func HotBlocks(rec *trace.Recorder, n int) []struct {
+	Block  mem.VABlockID
+	Faults int
+} {
+	counts := make(map[mem.VABlockID]int)
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindFault {
+			counts[e.Block]++
+		}
+	}
+	type bc struct {
+		Block  mem.VABlockID
+		Faults int
+	}
+	out := make([]bc, 0, len(counts))
+	for b, c := range counts {
+		out = append(out, bc{b, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Faults != out[j].Faults {
+			return out[i].Faults > out[j].Faults
+		}
+		return out[i].Block < out[j].Block
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	res := make([]struct {
+		Block  mem.VABlockID
+		Faults int
+	}, len(out))
+	for i, v := range out {
+		res[i] = struct {
+			Block  mem.VABlockID
+			Faults int
+		}{v.Block, v.Faults}
+	}
+	return res
+}
+
+// Table renders the report as a two-column summary table.
+func (r *Report) Table(title string) *stats.Table {
+	t := stats.NewTable(title, "metric", "value")
+	t.AddRow("faults", r.Faults)
+	t.AddRow("prefetched_pages", r.Prefetches)
+	t.AddRow("evictions", r.Evictions)
+	t.AddRow("order_page_correlation", r.OrderPageCorrelation)
+	t.AddRow("mean_interfault_distance", r.MeanInterFaultDistance)
+	t.AddRow("coverage_pct", 100*r.CoverageFraction)
+	t.AddRow("prefetch_share_pct", 100*r.PrefetchShare)
+	t.AddRow("bounced_evictions", r.Bounced)
+	if r.ResidencyLifetime.Count() > 0 {
+		t.AddRow("residency_lifetime_p50", r.ResidencyLifetime.Quantile(0.5).String())
+		t.AddRow("residency_lifetime_p99", r.ResidencyLifetime.Quantile(0.99).String())
+	}
+	if r.BounceGap.Count() > 0 {
+		t.AddRow("bounce_gap_p50", r.BounceGap.Quantile(0.5).String())
+	}
+	return t
+}
+
+// RangeTable renders per-allocation activity.
+func (r *Report) RangeTable() *stats.Table {
+	t := stats.NewTable("per-range activity", "range", "pages", "faults", "prefetched", "evictions")
+	for _, rs := range r.PerRange {
+		t.AddRow(rs.Label, rs.Pages, rs.Faults, rs.Prefetches, rs.Evictions)
+	}
+	return t
+}

@@ -1,0 +1,167 @@
+package analyze
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/trace"
+)
+
+func buildSpace(t *testing.T) *mem.AddressSpace {
+	t.Helper()
+	s := mem.NewAddressSpace(mem.DefaultGeometry())
+	if _, err := s.Alloc(4<<20, "A"); err != nil { // 1024 pages, 2 blocks
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(2<<20, "B"); err != nil { // 512 pages, 1 block
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAnalyzeSequentialTrace(t *testing.T) {
+	s := buildSpace(t)
+	rec := trace.New()
+	for i := 0; i < 1024; i++ {
+		rec.Record(sim.Time(i*1000), trace.KindFault, mem.PageID(i), mem.VABlockID(i/512), 0)
+	}
+	r, err := Analyze(rec, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults != 1024 || r.Evictions != 0 {
+		t.Errorf("faults=%d evictions=%d", r.Faults, r.Evictions)
+	}
+	if r.OrderPageCorrelation < 0.999 {
+		t.Errorf("sequential correlation = %v, want ~1", r.OrderPageCorrelation)
+	}
+	// Coverage: 1024 of 1536 allocated pages.
+	if math.Abs(r.CoverageFraction-1024.0/1536) > 1e-9 {
+		t.Errorf("coverage = %v", r.CoverageFraction)
+	}
+	if r.MeanInterFaultDistance > 0.001 {
+		t.Errorf("sequential inter-fault distance = %v, want tiny", r.MeanInterFaultDistance)
+	}
+	if r.BlockFaults.Count() != 2 || r.BlockFaults.Mean() != 512 {
+		t.Errorf("block fault histogram: %v", r.BlockFaults.String())
+	}
+}
+
+func TestAnalyzeRandomTrace(t *testing.T) {
+	s := buildSpace(t)
+	rec := trace.New()
+	rng := sim.NewRNG(3)
+	for i := 0; i < 2000; i++ {
+		pg := mem.PageID(rng.Intn(1024))
+		rec.Record(sim.Time(i), trace.KindFault, pg, mem.VABlockID(uint64(pg)/512), 0)
+	}
+	r, err := Analyze(rec, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.OrderPageCorrelation) > 0.1 {
+		t.Errorf("random correlation = %v, want ~0", r.OrderPageCorrelation)
+	}
+	// Uniform random inter-fault distance over [0,1024) spans ~1/3 of the
+	// 1536-page footprint-normalized space -> ~0.22.
+	if r.MeanInterFaultDistance < 0.1 {
+		t.Errorf("random inter-fault distance = %v, want large", r.MeanInterFaultDistance)
+	}
+}
+
+func TestAnalyzeLifecycleAndBounce(t *testing.T) {
+	s := buildSpace(t)
+	rec := trace.New()
+	// Block 0: serviced at t=0, evicted at t=1000, refaults at t=1200
+	// (bounce gap 200), evicted again at t=5000.
+	rec.Record(0, trace.KindFault, 0, 0, 0)
+	rec.Record(1000, trace.KindEvict, 0, 0, 0)
+	rec.Record(1200, trace.KindFault, 1, 0, 0)
+	rec.Record(5000, trace.KindEvict, 0, 0, 0)
+	// Block 2 (range B): prefetch only.
+	rec.Record(50, trace.KindPrefetch, 1024, 2, 1)
+	r, err := Analyze(rec, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bounced != 1 {
+		t.Errorf("bounced = %d, want 1", r.Bounced)
+	}
+	if r.BounceGap.Count() != 1 || r.BounceGap.Sum() != 200 {
+		t.Errorf("bounce gap: %v", r.BounceGap.String())
+	}
+	if r.ResidencyLifetime.Count() != 2 {
+		t.Errorf("lifetimes = %d, want 2", r.ResidencyLifetime.Count())
+	}
+	// First residency 0->1000, second 1200->5000.
+	if r.ResidencyLifetime.Sum() != 1000+3800 {
+		t.Errorf("lifetime sum = %v", r.ResidencyLifetime.Sum())
+	}
+	if r.PrefetchShare <= 0 {
+		t.Error("prefetch share missing")
+	}
+	if r.PerRange[1].Prefetches != 1 {
+		t.Errorf("per-range prefetches = %+v", r.PerRange)
+	}
+}
+
+func TestAnalyzeNilRecorder(t *testing.T) {
+	if _, err := Analyze(nil, buildSpace(t)); err == nil {
+		t.Error("nil recorder accepted")
+	}
+}
+
+func TestHotBlocks(t *testing.T) {
+	rec := trace.New()
+	for i := 0; i < 10; i++ {
+		rec.Record(0, trace.KindFault, 0, 7, 0)
+	}
+	for i := 0; i < 5; i++ {
+		rec.Record(0, trace.KindFault, 600, 1, 0)
+	}
+	rec.Record(0, trace.KindFault, 1100, 2, 0)
+	hot := HotBlocks(rec, 2)
+	if len(hot) != 2 || hot[0].Block != 7 || hot[0].Faults != 10 || hot[1].Block != 1 {
+		t.Errorf("hot = %+v", hot)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	if p := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(p-1) > 1e-9 {
+		t.Errorf("perfect correlation = %v", p)
+	}
+	if p := Pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); math.Abs(p+1) > 1e-9 {
+		t.Errorf("perfect anticorrelation = %v", p)
+	}
+	if p := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); p != 0 {
+		t.Errorf("degenerate = %v", p)
+	}
+	if p := Pearson(nil, nil); p != 0 {
+		t.Errorf("empty = %v", p)
+	}
+}
+
+func TestReportTables(t *testing.T) {
+	s := buildSpace(t)
+	rec := trace.New()
+	rec.Record(0, trace.KindFault, 0, 0, 0)
+	rec.Record(10, trace.KindEvict, 0, 0, 0)
+	rec.Record(20, trace.KindFault, 0, 0, 0)
+	r, err := Analyze(rec, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Table("t").String()
+	for _, want := range []string{"faults", "bounced_evictions", "residency_lifetime_p50", "bounce_gap_p50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	rt := r.RangeTable().String()
+	if !strings.Contains(rt, "A") || !strings.Contains(rt, "B") {
+		t.Errorf("range table:\n%s", rt)
+	}
+}

@@ -1,0 +1,413 @@
+// Package core assembles the complete simulated UVM system: address
+// space, GPU, fault buffer, interconnect, physical allocator, eviction
+// and prefetch policies, and the UVM driver. It exposes the two execution
+// modes the paper compares: demand-paged UVM kernels and the
+// explicit-transfer baseline.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"uvmsim/internal/driver"
+	"uvmsim/internal/evict"
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/pma"
+	"uvmsim/internal/prefetch"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/thrash"
+	"uvmsim/internal/trace"
+	"uvmsim/internal/xfer"
+)
+
+// Config describes a complete system. Zero-valid fields fall back to the
+// calibrated defaults in DefaultConfig.
+type Config struct {
+	// Seed drives every random decision in the simulation.
+	Seed uint64
+	// GPUMemoryBytes is the usable framebuffer size. The paper's Titan V
+	// has 12 GB; experiments typically use a scaled-down value with
+	// proportionally scaled problem sizes.
+	GPUMemoryBytes int64
+	// VABlockSize is the allocation/eviction granularity (default 2 MB;
+	// the §VI-B flexible-granularity extension changes it).
+	VABlockSize int64
+	// PrefetchPolicy names the prefetcher (see prefetch.New).
+	PrefetchPolicy string
+	// EvictPolicy names the eviction policy (see evict.New).
+	EvictPolicy string
+	// KernelLaunch is the host-side launch overhead.
+	KernelLaunch sim.Duration
+	// TraceCapacity bounds recorded trace events; 0 disables tracing and
+	// a negative value records unbounded.
+	TraceCapacity int
+
+	GPU    gpusim.Config
+	Driver driver.Config
+	Link   xfer.LinkConfig
+	PMA    pma.Config // CapacityBytes/ChunkBytes are overridden from above
+}
+
+// DefaultConfig returns the calibrated Titan-V-like system with the given
+// framebuffer size.
+func DefaultConfig(gpuMemBytes int64) Config {
+	return Config{
+		Seed:           1,
+		GPUMemoryBytes: gpuMemBytes,
+		VABlockSize:    mem.DefaultVABlockSize,
+		PrefetchPolicy: "density",
+		EvictPolicy:    "lru",
+		KernelLaunch:   12 * sim.Microsecond,
+		TraceCapacity:  0,
+		GPU:            gpusim.DefaultConfig(),
+		Driver:         driver.DefaultConfig(),
+		Link:           xfer.DefaultPCIe3x16(),
+		PMA:            pma.DefaultConfig(gpuMemBytes),
+	}
+}
+
+// System is an assembled simulated machine. Create one per experiment
+// cell; allocations and residency persist across kernel launches on the
+// same system (so warm reuse and multi-kernel applications work).
+type System struct {
+	cfg     Config
+	eng     *sim.Engine
+	rng     *sim.RNG
+	space   *mem.AddressSpace
+	gpu     *gpusim.GPU
+	drv     *driver.Driver
+	pm      *pma.PMA
+	link    *xfer.Link
+	rec     *trace.Recorder
+	pf      prefetch.Prefetcher
+	evictor evict.Policy
+}
+
+// NewSystem validates cfg and assembles the system.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.GPUMemoryBytes <= 0 {
+		return nil, fmt.Errorf("core: GPUMemoryBytes %d must be positive", cfg.GPUMemoryBytes)
+	}
+	if cfg.VABlockSize == 0 {
+		cfg.VABlockSize = mem.DefaultVABlockSize
+	}
+	geom, err := mem.NewGeometry(cfg.VABlockSize)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+	space := mem.NewAddressSpace(geom)
+
+	cfg.PMA.CapacityBytes = cfg.GPUMemoryBytes
+	cfg.PMA.ChunkBytes = cfg.VABlockSize
+	pm, err := pma.New(cfg.PMA, rng)
+	if err != nil {
+		return nil, err
+	}
+	link, err := xfer.NewLink(eng, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	gpu, err := gpusim.New(eng, cfg.GPU, space, rng)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := buildEvictPolicy(cfg.EvictPolicy, rng)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := prefetch.New(cfg.PrefetchPolicy)
+	if err != nil {
+		return nil, err
+	}
+	var rec *trace.Recorder
+	switch {
+	case cfg.TraceCapacity < 0:
+		rec = trace.New()
+	case cfg.TraceCapacity > 0:
+		rec = trace.NewBounded(cfg.TraceCapacity)
+	}
+	drv, err := driver.New(cfg.Driver, driver.Deps{
+		Engine:   eng,
+		Space:    space,
+		Buffer:   gpu.FaultBuffer(),
+		PMA:      pm,
+		Link:     link,
+		Evict:    ev,
+		Prefetch: pf,
+		Replayer: gpu,
+		Trace:    rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gpu.SetHandler(drv)
+	gpu.SetRemoteLink(link)
+	return &System{
+		cfg: cfg, eng: eng, rng: rng, space: space,
+		gpu: gpu, drv: drv, pm: pm, link: link, rec: rec, pf: pf, evictor: ev,
+	}, nil
+}
+
+// buildEvictPolicy resolves an eviction policy name, supporting a
+// "+thrash" suffix that wraps the base policy with the thrashing
+// detector (e.g. "lru+thrash").
+func buildEvictPolicy(name string, rng *sim.RNG) (evict.Policy, error) {
+	base, wrap := name, false
+	if strings.HasSuffix(name, "+thrash") {
+		base, wrap = strings.TrimSuffix(name, "+thrash"), true
+	}
+	ev, err := evict.New(base, rng)
+	if err != nil {
+		return nil, err
+	}
+	if !wrap {
+		return ev, nil
+	}
+	return thrash.New(thrash.DefaultConfig(), ev)
+}
+
+// Config returns the system's (normalized) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Space returns the address space for inspection.
+func (s *System) Space() *mem.AddressSpace { return s.space }
+
+// Engine returns the simulation engine (advanced use).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Trace returns the trace recorder (nil when tracing is disabled).
+func (s *System) Trace() *trace.Recorder { return s.rec }
+
+// Driver exposes the driver for white-box inspection.
+func (s *System) Driver() *driver.Driver { return s.drv }
+
+// PMA exposes the physical allocator for inspection.
+func (s *System) PMA() *pma.PMA { return s.pm }
+
+// GPU exposes the device for inspection.
+func (s *System) GPU() *gpusim.GPU { return s.gpu }
+
+// MallocManaged reserves a managed range (the cudaMallocManaged
+// analogue). Data starts on the host; pages migrate on demand.
+func (s *System) MallocManaged(size int64, label string) (*mem.Range, error) {
+	return s.space.Alloc(size, label)
+}
+
+// MallocManagedMode reserves a managed range with one of UVM's three
+// access behaviors (§III-A): paged migration, remote mapping, or
+// read-only duplication.
+func (s *System) MallocManagedMode(size int64, label string, mode mem.AccessMode) (*mem.Range, error) {
+	return s.space.AllocMode(size, label, mode)
+}
+
+// RunResult reports one kernel execution.
+type RunResult struct {
+	// KernelTime spans launch to retirement of the last block.
+	KernelTime sim.Duration
+	// TotalTime additionally includes explicit staging transfers (equal
+	// to KernelTime for UVM runs).
+	TotalTime sim.Duration
+	// Breakdown is the driver-phase time charged during this run.
+	Breakdown stats.Breakdown
+	// Counters are the driver event-counter deltas for this run.
+	Counters *stats.CounterSet
+	// GPU is the GPU-side statistics delta for this run.
+	GPU gpusim.Stats
+	// BytesH2D and BytesD2H are interconnect byte deltas.
+	BytesH2D, BytesD2H int64
+	// Faults is the number of fault entries the driver fetched.
+	Faults uint64
+	// Evictions is the number of VABlock evictions.
+	Evictions uint64
+}
+
+// snapshot captures cumulative state so runs can report deltas.
+type snapshot struct {
+	bd       stats.Breakdown
+	counters map[string]uint64
+	gpu      gpusim.Stats
+	h2d, d2h int64
+}
+
+func (s *System) snap() snapshot {
+	sn := snapshot{
+		bd:       *s.drv.Breakdown(),
+		counters: make(map[string]uint64),
+		gpu:      s.gpu.Stats(),
+		h2d:      s.link.BytesMoved(xfer.HostToDevice),
+		d2h:      s.link.BytesMoved(xfer.DeviceToHost),
+	}
+	for _, c := range s.drv.Counters().Sorted() {
+		sn.counters[c.Name] = c.Value
+	}
+	return sn
+}
+
+func (s *System) delta(before snapshot, kernelTime, totalTime sim.Duration) *RunResult {
+	res := &RunResult{
+		KernelTime: kernelTime,
+		TotalTime:  totalTime,
+		Counters:   stats.NewCounterSet(),
+		BytesH2D:   s.link.BytesMoved(xfer.HostToDevice) - before.h2d,
+		BytesD2H:   s.link.BytesMoved(xfer.DeviceToHost) - before.d2h,
+	}
+	after := *s.drv.Breakdown()
+	for _, p := range stats.Phases() {
+		res.Breakdown.Add(p, after.Get(p)-before.bd.Get(p))
+	}
+	for _, c := range s.drv.Counters().Sorted() {
+		res.Counters.Inc(c.Name, c.Value-before.counters[c.Name])
+	}
+	g := s.gpu.Stats()
+	res.GPU = gpusim.Stats{
+		Accesses:        g.Accesses - before.gpu.Accesses,
+		FaultsRaised:    g.FaultsRaised - before.gpu.FaultsRaised,
+		FaultsCoalesced: g.FaultsCoalesced - before.gpu.FaultsCoalesced,
+		FaultsDropped:   g.FaultsDropped - before.gpu.FaultsDropped,
+		FaultsThrottled: g.FaultsThrottled - before.gpu.FaultsThrottled,
+		RemoteAccesses:  g.RemoteAccesses - before.gpu.RemoteAccesses,
+		Replays:         g.Replays - before.gpu.Replays,
+		StallTime:       g.StallTime - before.gpu.StallTime,
+		MaxStalled:      g.MaxStalled,
+	}
+	res.Faults = res.Counters.Get("faults_fetched")
+	res.Evictions = res.Counters.Get("evictions")
+	return res
+}
+
+// RunUVM executes k under demand paging and returns its measurements.
+func (s *System) RunUVM(k *gpusim.Kernel) (*RunResult, error) {
+	before := s.snap()
+	start := s.eng.Now().Add(s.cfg.KernelLaunch)
+	var doneAt sim.Time = -1
+	launch := func() {
+		if err := s.gpu.Launch(k, func(at sim.Time) { doneAt = at }); err != nil {
+			panic(err) // single-threaded: Launch cannot race; config errors are programmer bugs
+		}
+	}
+	s.eng.At(start, launch)
+	s.eng.Run()
+	if doneAt < 0 {
+		return nil, fmt.Errorf("core: kernel %q deadlocked: %d warps blocked, %d buffered faults, driver idle=%v",
+			k.Name, s.gpu.BlockedWarps(), s.gpu.FaultBuffer().Len(), s.drv.Idle())
+	}
+	elapsed := doneAt.Sub(start) + s.cfg.KernelLaunch
+	return s.delta(before, elapsed, elapsed), nil
+}
+
+// Prestage explicitly transfers every allocated range to the GPU and maps
+// it (the cudaMemcpy baseline). It fails when the data does not fit.
+func (s *System) Prestage() (sim.Duration, error) {
+	geom := s.space.Geometry()
+	needBlocks := 0
+	for _, r := range s.space.Ranges() {
+		if r.Mode != mem.ModeMigrate {
+			continue // remote/duplicated data does not consume GPU memory here
+		}
+		needBlocks += r.Blocks
+	}
+	if int64(needBlocks)*s.cfg.VABlockSize > s.cfg.GPUMemoryBytes {
+		return 0, fmt.Errorf("core: explicit prestage needs %d blocks but GPU holds %d",
+			needBlocks, s.cfg.GPUMemoryBytes/s.cfg.VABlockSize)
+	}
+	start := s.eng.Now()
+	var end sim.Time = start
+	for _, r := range s.space.Ranges() {
+		if r.Mode == mem.ModeRemoteMap {
+			continue // already mapped; nothing to stage
+		}
+		done := s.link.Enqueue(xfer.HostToDevice, mem.Bytes(r.Pages), nil)
+		if done > end {
+			end = done
+		}
+		for b := 0; b < r.Blocks; b++ {
+			id := geom.BlockOf(r.StartPage) + mem.VABlockID(b)
+			blk := s.space.Block(id)
+			if blk.Allocated {
+				continue
+			}
+			if _, err := s.pm.Alloc(); err != nil {
+				return 0, fmt.Errorf("core: prestage allocation: %w", err)
+			}
+			blk.Allocated = true
+			valid := s.space.ValidPagesIn(id)
+			for p := 0; p < valid; p++ {
+				blk.Resident.Set(p)
+			}
+		}
+	}
+	s.eng.RunUntil(end)
+	return end.Sub(start), nil
+}
+
+// RunExplicit executes k with all data prestaged: the paper's explicit
+// direct-transfer baseline. TotalTime includes the transfer.
+func (s *System) RunExplicit(k *gpusim.Kernel) (*RunResult, error) {
+	before := s.snap()
+	xferTime, err := s.Prestage()
+	if err != nil {
+		return nil, err
+	}
+	start := s.eng.Now().Add(s.cfg.KernelLaunch)
+	var doneAt sim.Time = -1
+	s.eng.At(start, func() {
+		if err := s.gpu.Launch(k, func(at sim.Time) { doneAt = at }); err != nil {
+			panic(err)
+		}
+	})
+	s.eng.Run()
+	if doneAt < 0 {
+		return nil, fmt.Errorf("core: explicit kernel %q did not finish (faulted on unstaged page?)", k.Name)
+	}
+	kernel := doneAt.Sub(start) + s.cfg.KernelLaunch
+	return s.delta(before, kernel, kernel+xferTime), nil
+}
+
+// ResidentPages reports current GPU residency.
+func (s *System) ResidentPages() int { return s.space.ResidentPages() }
+
+// HostRead simulates the CPU consuming a range after kernel completion
+// (e.g. validating results): GPU-resident pages of the range migrate
+// back to the host and their blocks are released, mirroring the
+// CPU-fault path of UVM. It returns the simulated time consumed. No
+// kernel may be running.
+func (s *System) HostRead(r *mem.Range) (sim.Duration, error) {
+	if s.gpu.Running() {
+		return 0, fmt.Errorf("core: HostRead(%q) while a kernel is running", r.Label)
+	}
+	geom := s.space.Geometry()
+	start := s.eng.Now()
+	var end sim.Time = start
+	firstBlock := geom.BlockOf(r.StartPage)
+	for b := 0; b < r.Blocks; b++ {
+		blk := s.space.BlockIfExists(firstBlock + mem.VABlockID(b))
+		if blk == nil || blk.Remote || !blk.Allocated {
+			continue
+		}
+		// Migrate the resident pages home; read-duplicated clean pages
+		// already have a valid host copy and need no transfer.
+		pages := blk.Resident.Count()
+		if blk.ReadDup {
+			pages = blk.Dirty.Count()
+		}
+		if pages > 0 {
+			done := s.link.Enqueue(xfer.DeviceToHost, mem.Bytes(pages), nil)
+			if done > end {
+				end = done
+			}
+		}
+		blk.Resident.Reset()
+		blk.Dirty.Reset()
+		blk.Allocated = false
+		s.pm.Free()
+		// The block leaves GPU memory outside the fault path; it must
+		// also leave the eviction policy's working set.
+		s.evictor.Remove(blk)
+	}
+	s.eng.RunUntil(end)
+	return end.Sub(start), nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"uvmsim/internal/driver"
+)
+
+// ApplyModuleParams mutates cfg according to NVIDIA UVM kernel-module
+// parameters, using their real names, so configurations written for the
+// actual driver translate directly:
+//
+//	uvm_perf_prefetch_enable=0|1        prefetching off/on
+//	uvm_perf_prefetch_threshold=N       density threshold (1-99)
+//	uvm_perf_fault_batch_count=N        fault batch size
+//	uvm_perf_fault_replay_policy=N      0=block 1=batch 2=batchflush 3=once
+//	uvm_perf_fault_coalesce=0|1         (accepted; always on in this model)
+//
+// Parameters are space- or comma-separated "name=value" pairs. Unknown
+// parameters are rejected so typos do not silently change nothing.
+func ApplyModuleParams(cfg *Config, params string) error {
+	fields := strings.FieldsFunc(params, func(r rune) bool { return r == ' ' || r == ',' || r == '\n' || r == '\t' })
+	for _, f := range fields {
+		name, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("core: module param %q is not name=value", f)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("core: module param %s: bad value %q", name, val)
+		}
+		switch name {
+		case "uvm_perf_prefetch_enable":
+			switch n {
+			case 0:
+				cfg.PrefetchPolicy = "none"
+			case 1:
+				if cfg.PrefetchPolicy == "none" || cfg.PrefetchPolicy == "" {
+					cfg.PrefetchPolicy = "density"
+				}
+			default:
+				return fmt.Errorf("core: uvm_perf_prefetch_enable must be 0 or 1, got %d", n)
+			}
+		case "uvm_perf_prefetch_threshold":
+			if n < 1 || n > 99 {
+				return fmt.Errorf("core: uvm_perf_prefetch_threshold %d out of [1,99]", n)
+			}
+			cfg.PrefetchPolicy = fmt.Sprintf("density:%d", n)
+		case "uvm_perf_fault_batch_count":
+			if n < 1 {
+				return fmt.Errorf("core: uvm_perf_fault_batch_count %d must be >= 1", n)
+			}
+			cfg.Driver.BatchSize = n
+		case "uvm_perf_fault_replay_policy":
+			if n < 0 || n > 3 {
+				return fmt.Errorf("core: uvm_perf_fault_replay_policy %d out of [0,3]", n)
+			}
+			cfg.Driver.Policy = driver.ReplayPolicy(n)
+		case "uvm_perf_fault_coalesce":
+			if n != 0 && n != 1 {
+				return fmt.Errorf("core: uvm_perf_fault_coalesce must be 0 or 1, got %d", n)
+			}
+			// µTLB coalescing is structural in this model; accept for
+			// compatibility.
+		default:
+			return fmt.Errorf("core: unknown module param %q", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"uvmsim/internal/driver"
+)
+
+func TestApplyModuleParams(t *testing.T) {
+	cfg := DefaultConfig(64 << 20)
+	err := ApplyModuleParams(&cfg,
+		"uvm_perf_prefetch_threshold=25 uvm_perf_fault_batch_count=512,uvm_perf_fault_replay_policy=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PrefetchPolicy != "density:25" {
+		t.Errorf("prefetch = %q", cfg.PrefetchPolicy)
+	}
+	if cfg.Driver.BatchSize != 512 {
+		t.Errorf("batch = %d", cfg.Driver.BatchSize)
+	}
+	if cfg.Driver.Policy != driver.ReplayBatch {
+		t.Errorf("policy = %v", cfg.Driver.Policy)
+	}
+	// The resulting config must build.
+	if _, err := NewSystem(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyModuleParamsPrefetchToggle(t *testing.T) {
+	cfg := DefaultConfig(64 << 20)
+	if err := ApplyModuleParams(&cfg, "uvm_perf_prefetch_enable=0"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PrefetchPolicy != "none" {
+		t.Errorf("prefetch = %q", cfg.PrefetchPolicy)
+	}
+	if err := ApplyModuleParams(&cfg, "uvm_perf_prefetch_enable=1"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PrefetchPolicy != "density" {
+		t.Errorf("re-enabled prefetch = %q", cfg.PrefetchPolicy)
+	}
+	// Re-enabling must not clobber an explicit threshold.
+	cfg.PrefetchPolicy = "density:25"
+	if err := ApplyModuleParams(&cfg, "uvm_perf_prefetch_enable=1"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PrefetchPolicy != "density:25" {
+		t.Errorf("threshold clobbered: %q", cfg.PrefetchPolicy)
+	}
+}
+
+func TestApplyModuleParamsRejections(t *testing.T) {
+	for name, in := range map[string]string{
+		"unknown":         "uvm_bogus=1",
+		"no value":        "uvm_perf_prefetch_enable",
+		"non-numeric":     "uvm_perf_fault_batch_count=lots",
+		"bad enable":      "uvm_perf_prefetch_enable=2",
+		"threshold range": "uvm_perf_prefetch_threshold=100",
+		"batch range":     "uvm_perf_fault_batch_count=0",
+		"policy range":    "uvm_perf_fault_replay_policy=4",
+		"coalesce range":  "uvm_perf_fault_coalesce=7",
+	} {
+		cfg := DefaultConfig(64 << 20)
+		if err := ApplyModuleParams(&cfg, in); err == nil {
+			t.Errorf("%s: %q accepted", name, in)
+		} else if !strings.Contains(err.Error(), "core:") {
+			t.Errorf("%s: error %v lacks package prefix", name, err)
+		}
+	}
+}
+
+func TestApplyModuleParamsCoalesceAccepted(t *testing.T) {
+	cfg := DefaultConfig(64 << 20)
+	if err := ApplyModuleParams(&cfg, "uvm_perf_fault_coalesce=1"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package driver implements the simulated UVM kernel driver: the fault
+// handling pipeline the paper instruments (§III). A handling pass fetches
+// batches of fault entries from the GPU buffer (pre-processing), bins
+// them by VABlock, services each block (physical allocation, prefetch
+// planning, page zeroing/staging, DMA migration, page-table mapping),
+// evicts VABlocks under memory pressure (§V), and issues fault replays
+// according to one of the four replay policies (§III-E). Every operation
+// charges simulated time to the same cost categories the paper reports.
+package driver
+
+import (
+	"fmt"
+
+	"uvmsim/internal/sim"
+)
+
+// ReplayPolicy selects when the driver issues fault-replay notifications
+// (paper §III-E).
+type ReplayPolicy int
+
+// The four policies supported by the NVIDIA driver.
+const (
+	// ReplayBlock replays after each VABlock within a batch is serviced:
+	// earliest resume, most replays.
+	ReplayBlock ReplayPolicy = iota
+	// ReplayBatch replays after each fault batch is serviced.
+	ReplayBatch
+	// ReplayBatchFlush is the default: like ReplayBatch but the fault
+	// buffer is flushed first so resumed-but-unsatisfied warps do not
+	// leave duplicates behind.
+	ReplayBatchFlush
+	// ReplayOnce replays only when every fault in the buffer has been
+	// serviced: simplest design, longest latency.
+	ReplayOnce
+)
+
+// String names the policy.
+func (p ReplayPolicy) String() string {
+	switch p {
+	case ReplayBlock:
+		return "block"
+	case ReplayBatch:
+		return "batch"
+	case ReplayBatchFlush:
+		return "batchflush"
+	case ReplayOnce:
+		return "once"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseReplayPolicy converts a policy name.
+func ParseReplayPolicy(s string) (ReplayPolicy, error) {
+	switch s {
+	case "block":
+		return ReplayBlock, nil
+	case "batch":
+		return ReplayBatch, nil
+	case "batchflush", "":
+		return ReplayBatchFlush, nil
+	case "once":
+		return ReplayOnce, nil
+	default:
+		return 0, fmt.Errorf("driver: unknown replay policy %q", s)
+	}
+}
+
+// FetchMode selects how the driver reads the fault buffer (§III-C:
+// "faults are fetched until the fault pointer queue is empty, the
+// current batch of faults is full, or a fault that is not ready is
+// encountered, depending on policy").
+type FetchMode int
+
+// Fetch modes.
+const (
+	// FetchStopAtNotReady processes whatever is ready immediately,
+	// polling only when nothing is ready at all (the default).
+	FetchStopAtNotReady FetchMode = iota
+	// FetchFillBatch polls not-ready entries until the batch is full or
+	// the buffer drains, preferring full batches over low latency.
+	FetchFillBatch
+)
+
+// String names the mode.
+func (m FetchMode) String() string {
+	switch m {
+	case FetchStopAtNotReady:
+		return "stop-at-not-ready"
+	case FetchFillBatch:
+		return "fill-batch"
+	default:
+		return fmt.Sprintf("fetchmode(%d)", int(m))
+	}
+}
+
+// Config holds the driver's tunables and cost model. Durations are
+// simulated-time charges for the corresponding operations; the defaults
+// are calibrated so end-to-end behavior matches the magnitudes the paper
+// reports (single far-fault 30-45 µs, hundreds of µs base overhead,
+// roughly linear growth with page count).
+type Config struct {
+	// BatchSize is the maximum faults fetched per batch (driver default 256).
+	BatchSize int
+	// Policy is the replay policy (default ReplayBatchFlush).
+	Policy ReplayPolicy
+	// Fetch selects the batch fetch mode (default FetchStopAtNotReady).
+	Fetch FetchMode
+
+	// InterruptLatency is GPU-interrupt-to-driver-running latency.
+	InterruptLatency sim.Duration
+	// FetchFixed is the per-batch cost of reading the fault pointer queue.
+	FetchFixed sim.Duration
+	// FetchPerFault is the per-entry cost of reading fault information.
+	FetchPerFault sim.Duration
+	// PollInterval is the wait before re-checking a not-ready entry.
+	PollInterval sim.Duration
+	// BookkeepPerFault is per-fault logical checks and caching.
+	BookkeepPerFault sim.Duration
+	// SortPerFault is the per-fault cost of VABlock binning/sorting.
+	SortPerFault sim.Duration
+
+	// ServiceFixedPerBlock is per-VABlock service overhead (locking, state).
+	ServiceFixedPerBlock sim.Duration
+	// PrefetchPlanPerBlock is the cost of running the prefetch tree.
+	PrefetchPlanPerBlock sim.Duration
+	// ZeroPerPage is the cost of zeroing a newly allocated page.
+	ZeroPerPage sim.Duration
+	// StagePerRun is the CPU cost of staging one contiguous run for DMA.
+	StagePerRun sim.Duration
+	// MapPerOp is the cost of one page-table write; contiguous 64 KB-aligned
+	// regions map with big-page PTEs (one op per 16 pages).
+	MapPerOp sim.Duration
+	// MembarPerBlock is the GPU membar/TLB-invalidate cost per serviced block.
+	MembarPerBlock sim.Duration
+
+	// FlushFixed and FlushPerEntry price a fault-buffer flush.
+	FlushFixed    sim.Duration
+	FlushPerEntry sim.Duration
+	// ReplayIssue is the cost of sending a replay notification.
+	ReplayIssue sim.Duration
+
+	// EvictFixed covers victim selection, lock dance, and the faulting
+	// path restart the paper calls out (§V-A).
+	EvictFixed sim.Duration
+	// EvictPerPage is the unmap cost per resident page of the victim.
+	EvictPerPage sim.Duration
+
+	// FaultOriginInfo exposes originating-SM identity to the prefetcher
+	// (the §VI-B hardware extension). The baseline driver has none.
+	FaultOriginInfo bool
+}
+
+// DefaultConfig returns the calibrated cost model.
+func DefaultConfig() Config {
+	return Config{
+		BatchSize:            256,
+		Policy:               ReplayBatchFlush,
+		InterruptLatency:     8 * sim.Microsecond,
+		FetchFixed:           1500 * sim.Nanosecond,
+		FetchPerFault:        250 * sim.Nanosecond,
+		PollInterval:         1 * sim.Microsecond,
+		BookkeepPerFault:     450 * sim.Nanosecond,
+		SortPerFault:         250 * sim.Nanosecond,
+		ServiceFixedPerBlock: 6 * sim.Microsecond,
+		PrefetchPlanPerBlock: 1500 * sim.Nanosecond,
+		ZeroPerPage:          60 * sim.Nanosecond,
+		StagePerRun:          1800 * sim.Nanosecond,
+		MapPerOp:             1100 * sim.Nanosecond,
+		MembarPerBlock:       2500 * sim.Nanosecond,
+		FlushFixed:           2500 * sim.Nanosecond,
+		FlushPerEntry:        60 * sim.Nanosecond,
+		ReplayIssue:          3500 * sim.Nanosecond,
+		EvictFixed:           12 * sim.Microsecond,
+		EvictPerPage:         120 * sim.Nanosecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("driver: BatchSize %d must be positive", c.BatchSize)
+	}
+	if c.Policy < ReplayBlock || c.Policy > ReplayOnce {
+		return fmt.Errorf("driver: invalid replay policy %d", int(c.Policy))
+	}
+	if c.PollInterval <= 0 {
+		return fmt.Errorf("driver: PollInterval must be positive")
+	}
+	if c.Fetch < FetchStopAtNotReady || c.Fetch > FetchFillBatch {
+		return fmt.Errorf("driver: invalid fetch mode %d", int(c.Fetch))
+	}
+	return nil
+}

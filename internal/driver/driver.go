@@ -1,0 +1,449 @@
+package driver
+
+import (
+	"fmt"
+	"sort"
+
+	"uvmsim/internal/evict"
+	"uvmsim/internal/faultbuf"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/pma"
+	"uvmsim/internal/prefetch"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/trace"
+	"uvmsim/internal/tree"
+	"uvmsim/internal/xfer"
+)
+
+// Replayer is the GPU-side replay command interface.
+type Replayer interface {
+	Replay()
+}
+
+// Driver is the simulated UVM kernel module. It is driven entirely by
+// fault interrupts (OnFault) and schedules its pipeline as a chain of
+// simulation events so that GPU execution, DMA, and driver work interleave
+// on the shared clock exactly as they do on real hardware.
+type Driver struct {
+	eng      *sim.Engine
+	cfg      Config
+	space    *mem.AddressSpace
+	buf      *faultbuf.Buffer
+	alloc    *pma.PMA
+	link     *xfer.Link
+	policy   evict.Policy
+	pf       prefetch.Prefetcher
+	replayer Replayer
+
+	breakdown stats.Breakdown
+	counters  *stats.CounterSet
+	rec       *trace.Recorder // optional; nil-safe
+
+	idle bool
+	// servicedSinceReplay supports the Once policy: replay fires only
+	// when the buffer drains after servicing work.
+	servicedSinceReplay int
+}
+
+// Deps bundles the driver's collaborators.
+type Deps struct {
+	Engine   *sim.Engine
+	Space    *mem.AddressSpace
+	Buffer   *faultbuf.Buffer
+	PMA      *pma.PMA
+	Link     *xfer.Link
+	Evict    evict.Policy
+	Prefetch prefetch.Prefetcher
+	Replayer Replayer
+	Trace    *trace.Recorder // optional
+}
+
+// New validates and assembles a driver.
+func New(cfg Config, d Deps) (*Driver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Engine == nil || d.Space == nil || d.Buffer == nil || d.PMA == nil ||
+		d.Link == nil || d.Evict == nil || d.Prefetch == nil || d.Replayer == nil {
+		return nil, fmt.Errorf("driver: missing dependency in %+v", d)
+	}
+	return &Driver{
+		eng:      d.Engine,
+		cfg:      cfg,
+		space:    d.Space,
+		buf:      d.Buffer,
+		alloc:    d.PMA,
+		link:     d.Link,
+		policy:   d.Evict,
+		pf:       d.Prefetch,
+		replayer: d.Replayer,
+		counters: stats.NewCounterSet(),
+		rec:      d.Trace,
+		idle:     true,
+	}, nil
+}
+
+// Breakdown returns the accumulated per-phase time.
+func (d *Driver) Breakdown() *stats.Breakdown { return &d.breakdown }
+
+// Counters returns the driver's event counters.
+func (d *Driver) Counters() *stats.CounterSet { return d.counters }
+
+// Idle reports whether a fault-handling pass is in flight.
+func (d *Driver) Idle() bool { return d.idle }
+
+// OnFault implements gpusim.Handler: the GPU raised an interrupt. A pass
+// starts after the interrupt latency unless one is already running.
+func (d *Driver) OnFault() {
+	if !d.idle {
+		return
+	}
+	d.idle = false
+	d.counters.Inc("passes", 1)
+	d.eng.After(d.cfg.InterruptLatency, d.fetchBatch)
+}
+
+// charge books simulated time into a phase.
+func (d *Driver) charge(p stats.Phase, dur sim.Duration) {
+	d.breakdown.Add(p, dur)
+}
+
+// fetchBatch reads the next batch of ready fault entries, or ends the
+// pass when the buffer has drained.
+func (d *Driver) fetchBatch() { d.fetchMore(nil) }
+
+// fetchMore accumulates ready entries into the current batch, applying
+// the configured fetch mode when a not-ready entry blocks the head.
+func (d *Driver) fetchMore(acc []faultbuf.Entry) {
+	entries := d.buf.FetchReady(d.cfg.BatchSize-len(acc), d.eng.Now())
+	acc = append(acc, entries...)
+	headBlocked := d.buf.Len() > 0 && len(acc) < d.cfg.BatchSize
+	if headBlocked && (len(acc) == 0 || d.cfg.Fetch == FetchFillBatch) {
+		// Nothing usable yet, or fill-batch mode wants a full batch:
+		// poll the not-ready head.
+		d.counters.Inc("polls", 1)
+		d.charge(stats.PhasePreprocess, d.cfg.PollInterval)
+		acc := acc
+		d.eng.After(d.cfg.PollInterval, func() { d.fetchMore(acc) })
+		return
+	}
+	if len(acc) == 0 {
+		d.endPass()
+		return
+	}
+	d.counters.Inc("batches", 1)
+	d.counters.Inc("faults_fetched", uint64(len(acc)))
+	cost := d.cfg.FetchFixed +
+		sim.Duration(len(acc))*(d.cfg.FetchPerFault+d.cfg.BookkeepPerFault)
+	d.charge(stats.PhasePreprocess, cost)
+	d.eng.After(cost, func() { d.preprocess(acc) })
+}
+
+// bin is the per-VABlock grouping of one batch's faults.
+type bin struct {
+	block    mem.VABlockID
+	demanded *mem.Bitmap // in-block page indexes demanded in this batch
+	writes   *mem.Bitmap // demanded pages with write access
+	sms      map[int]int // page index -> originating SM (origin-info extension)
+}
+
+// preprocess sorts and bins the batch by VABlock, deduplicating repeated
+// pages (the "basic bookkeeping and logical checks").
+func (d *Driver) preprocess(entries []faultbuf.Entry) {
+	geom := d.space.Geometry()
+	bins := make(map[mem.VABlockID]*bin)
+	var dups uint64
+	for _, e := range entries {
+		id := geom.BlockOf(e.Page)
+		b := bins[id]
+		if b == nil {
+			b = &bin{
+				block:    id,
+				demanded: mem.NewBitmap(geom.PagesPerVABlock),
+				writes:   mem.NewBitmap(geom.PagesPerVABlock),
+			}
+			if d.cfg.FaultOriginInfo {
+				b.sms = make(map[int]int)
+			}
+			bins[id] = b
+		}
+		idx := geom.PageIndex(e.Page)
+		if !b.demanded.Set(idx) {
+			dups++
+		}
+		if e.Write {
+			b.writes.Set(idx)
+		}
+		if b.sms != nil {
+			b.sms[idx] = e.SM
+		}
+	}
+	d.counters.Inc("faults_deduped", dups)
+	ordered := make([]*bin, 0, len(bins))
+	for _, b := range bins {
+		ordered = append(ordered, b)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].block < ordered[j].block })
+	// Rotate the service order across batches. When a batch spans more
+	// VABlocks than the framebuffer holds, a fixed order would make the
+	// allocation of the batch's tail bins always evict the same
+	// head bins (LRU cascade), permanently starving the warps behind
+	// them; rotation guarantees every block periodically survives a
+	// batch. At real scale (capacity >> bins per batch) this changes
+	// nothing.
+	if n := len(ordered); n > 1 {
+		rot := int(d.counters.Get("batches")) % n
+		rotated := make([]*bin, 0, n)
+		rotated = append(rotated, ordered[rot:]...)
+		rotated = append(rotated, ordered[:rot]...)
+		ordered = rotated
+	}
+	cost := sim.Duration(len(entries)) * d.cfg.SortPerFault
+	d.charge(stats.PhasePreprocess, cost)
+	d.eng.After(cost, func() { d.serviceBlock(ordered, 0) })
+}
+
+// serviceBlock services the i-th bin, then continues with the rest of the
+// batch.
+func (d *Driver) serviceBlock(bins []*bin, i int) {
+	if i >= len(bins) {
+		d.batchEnd()
+		return
+	}
+	b := bins[i]
+	block := d.space.Block(b.block)
+	if !block.Allocated {
+		d.ensureAlloc(bins, i)
+		return
+	}
+	d.policy.Touch(block)
+	block.Touches++
+	d.migrate(bins, i)
+}
+
+// ensureAlloc reserves physical backing for the bin's block, evicting
+// under memory pressure and restarting (the paper's lock-drop restart).
+func (d *Driver) ensureAlloc(bins []*bin, i int) {
+	block := d.space.Block(bins[i].block)
+	cost, err := d.alloc.Alloc()
+	if err == nil {
+		block.Allocated = true
+		d.policy.Insert(block)
+		block.Touches++
+		d.charge(stats.PhasePMAAlloc, cost)
+		d.eng.After(cost, func() { d.migrate(bins, i) })
+		return
+	}
+	// Out of memory: evict the policy's victim and restart this block's
+	// faulting path.
+	victim := d.policy.Victim()
+	if victim == nil {
+		panic("driver: allocation failed with no eviction candidates")
+	}
+	evictCost := d.evictBlock(victim)
+	d.charge(stats.PhaseEvict, cost+evictCost)
+	d.eng.After(cost+evictCost, func() { d.ensureAlloc(bins, i) })
+}
+
+// evictBlock writes back the victim's dirty pages, unmaps it, and
+// releases its physical backing. It returns the simulated cost (CPU work
+// plus waiting for the write-back DMA).
+func (d *Driver) evictBlock(victim *mem.VABlock) sim.Duration {
+	now := d.eng.Now()
+	resident := victim.Resident.Count()
+	var dirtyPages int
+	var dmaEnd sim.Time = now
+	victim.Dirty.Runs(func(lo, hi int) {
+		n := hi - lo
+		dirtyPages += n
+		end := d.link.Enqueue(xfer.DeviceToHost, mem.Bytes(n), nil)
+		if end > dmaEnd {
+			dmaEnd = end
+		}
+	})
+	cpu := d.cfg.EvictFixed + sim.Duration(resident)*d.cfg.EvictPerPage + d.alloc.Free()
+	d.counters.Inc("evictions", 1)
+	d.counters.Inc("evicted_pages", uint64(resident))
+	d.counters.Inc("evicted_dirty_pages", uint64(dirtyPages))
+	d.policy.Remove(victim)
+	victim.Resident.Reset()
+	victim.Dirty.Reset()
+	victim.Allocated = false
+	victim.Evictions++
+	d.rec.Record(now, trace.KindEvict, d.space.Geometry().FirstPage(victim.ID), victim.ID, victim.Range)
+
+	total := cpu
+	if wait := dmaEnd.Sub(now); wait > total {
+		total = wait
+	}
+	return total
+}
+
+// migrate plans the fetch set (demand + prefetch), zeroes and stages
+// pages, and issues the DMA; mapping follows when both the CPU work and
+// the transfers complete.
+func (d *Driver) migrate(bins []*bin, i int) {
+	b := bins[i]
+	block := d.space.Block(b.block)
+	geom := d.space.Geometry()
+	ctx := &prefetch.Context{
+		Geom:           geom,
+		Block:          block,
+		Valid:          d.space.ValidPagesIn(b.block),
+		Faulted:        b.demanded,
+		FaultSMs:       b.sms,
+		Oversubscribed: d.alloc.Exhausted(),
+	}
+	res := d.pf.Plan(ctx)
+	if res.Fetch.Count() == 0 {
+		// Every demanded page is already resident (serviced by an earlier
+		// batch); only fixed bookkeeping remains.
+		d.counters.Inc("stale_bins", 1)
+		cost := d.cfg.ServiceFixedPerBlock
+		d.charge(stats.PhaseMigrate, cost)
+		d.eng.After(cost, func() { d.afterMap(bins, i, res) })
+		return
+	}
+
+	now := d.eng.Now()
+	runs := 0
+	var dmaEnd sim.Time = now
+	res.Fetch.Runs(func(lo, hi int) {
+		runs++
+		end := d.link.Enqueue(xfer.HostToDevice, mem.Bytes(hi-lo), nil)
+		if end > dmaEnd {
+			dmaEnd = end
+		}
+	})
+	cpu := d.cfg.ServiceFixedPerBlock + d.cfg.PrefetchPlanPerBlock +
+		sim.Duration(runs)*d.cfg.StagePerRun +
+		sim.Duration(res.Fetch.Count())*d.cfg.ZeroPerPage
+	mapStart := now.Add(cpu)
+	if dmaEnd > mapStart {
+		mapStart = dmaEnd
+	}
+	d.charge(stats.PhaseMigrate, mapStart.Sub(now))
+	d.counters.Inc("migrated_pages", uint64(res.Fetch.Count()))
+	d.counters.Inc("demand_pages", uint64(res.Faulted))
+	d.counters.Inc("prefetched_pages", uint64(res.Prefetched))
+	d.eng.At(mapStart, func() { d.mapBlock(bins, i, res) })
+}
+
+// mapOps counts PTE writes for a fetch set. A 64 KB-aligned chunk fully
+// present in the fetch set maps with a single big-page PTE only when the
+// prefetcher populated it (the big-page upgrade is what enables 64 KB
+// PTEs); purely demanded pages map as individual 4 KB PTEs, which is why
+// prefetching reduces mapping cost beyond just eliminating faults.
+func mapOps(fetch, demanded *mem.Bitmap) int {
+	ops := 0
+	fetch.Runs(func(lo, hi int) {
+		for p := lo; p < hi; {
+			base := mem.BigPageBase(p)
+			if p == base && p+mem.PagesPerBigPage <= hi &&
+				demanded.CountRange(p, p+mem.PagesPerBigPage) < mem.PagesPerBigPage {
+				ops++
+				p += mem.PagesPerBigPage
+				continue
+			}
+			ops++
+			p++
+		}
+	})
+	return ops
+}
+
+// mapBlock updates page tables and residency, records trace events, and
+// hands control back to the batch loop (replaying first under the Block
+// policy).
+func (d *Driver) mapBlock(bins []*bin, i int, res tree.Result) {
+	b := bins[i]
+	block := d.space.Block(b.block)
+	geom := d.space.Geometry()
+	now := d.eng.Now()
+	first := geom.FirstPage(b.block)
+
+	cost := sim.Duration(mapOps(res.Fetch, b.demanded))*d.cfg.MapPerOp + d.cfg.MembarPerBlock
+	d.charge(stats.PhaseMap, cost)
+
+	res.Fetch.ForEachSet(func(idx int) {
+		block.Resident.Set(idx)
+		kind := trace.KindPrefetch
+		if b.demanded.Get(idx) {
+			kind = trace.KindFault
+		}
+		d.rec.Record(now, kind, first+mem.PageID(idx), b.block, block.Range)
+	})
+	if block.ReadDup {
+		// Read-duplication keeps the host copy valid: the migrated pages
+		// are clean duplicates (eviction will release them without
+		// write-back as long as the GPU does not mutate them).
+		d.counters.Inc("readdup_pages", uint64(res.Fetch.Count()))
+	}
+	d.servicedSinceReplay++
+	d.eng.After(cost, func() { d.afterMap(bins, i, res) })
+}
+
+// afterMap applies the per-block replay policy and advances to the next
+// bin.
+func (d *Driver) afterMap(bins []*bin, i int, _ tree.Result) {
+	if d.cfg.Policy == ReplayBlock {
+		d.issueReplay(func() { d.serviceBlock(bins, i+1) })
+		return
+	}
+	d.serviceBlock(bins, i+1)
+}
+
+// batchEnd applies the per-batch replay policy, then fetches the next
+// batch.
+func (d *Driver) batchEnd() {
+	switch d.cfg.Policy {
+	case ReplayBatchFlush:
+		n := d.buf.Len()
+		flushCost := d.cfg.FlushFixed + sim.Duration(n)*d.cfg.FlushPerEntry
+		discarded := d.buf.Flush()
+		d.counters.Inc("flushes", 1)
+		d.counters.Inc("flush_discarded", uint64(discarded))
+		d.charge(stats.PhaseReplay, flushCost)
+		d.eng.After(flushCost, func() {
+			d.issueReplay(d.fetchBatch)
+		})
+	case ReplayBatch:
+		d.issueReplay(d.fetchBatch)
+	default: // ReplayBlock already replayed per block; ReplayOnce waits.
+		d.eng.After(0, d.fetchBatch)
+	}
+}
+
+// issueReplay charges the replay cost, commands the GPU, and continues
+// with next.
+func (d *Driver) issueReplay(next func()) {
+	d.counters.Inc("replays", 1)
+	d.servicedSinceReplay = 0
+	d.charge(stats.PhaseReplay, d.cfg.ReplayIssue)
+	d.replayer.Replay()
+	d.eng.After(d.cfg.ReplayIssue, next)
+}
+
+// endPass finishes the pass; under the Once policy this is where the
+// single replay fires.
+func (d *Driver) endPass() {
+	if d.cfg.Policy == ReplayOnce && d.servicedSinceReplay > 0 {
+		d.issueReplay(func() {
+			d.idle = true
+			d.rearmIfWork()
+		})
+		return
+	}
+	d.idle = true
+	d.rearmIfWork()
+}
+
+// rearmIfWork restarts a pass when entries arrived while the pass was
+// shutting down (they would otherwise wait for the next interrupt, but
+// the interrupt already fired and was absorbed by the running pass).
+func (d *Driver) rearmIfWork() {
+	if d.buf.Len() > 0 {
+		d.OnFault()
+	}
+}

@@ -1,0 +1,498 @@
+package driver
+
+import (
+	"testing"
+
+	"uvmsim/internal/evict"
+	"uvmsim/internal/faultbuf"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/pma"
+	"uvmsim/internal/prefetch"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/trace"
+	"uvmsim/internal/xfer"
+)
+
+// fakeGPU records replay commands.
+type fakeGPU struct {
+	replays int
+}
+
+func (f *fakeGPU) Replay() { f.replays++ }
+
+type harness struct {
+	eng        *sim.Engine
+	space      *mem.AddressSpace
+	buf        *faultbuf.Buffer
+	pm         *pma.PMA
+	link       *xfer.Link
+	gpu        *fakeGPU
+	drv        *Driver
+	rec        *trace.Recorder
+	prefetcher prefetch.Prefetcher
+}
+
+type harnessOpt func(*Config, *harness)
+
+func withPolicy(p ReplayPolicy) harnessOpt {
+	return func(c *Config, _ *harness) { c.Policy = p }
+}
+
+func withPrefetcher(name string) harnessOpt {
+	return func(_ *Config, h *harness) {
+		pf, err := prefetch.New(name)
+		if err != nil {
+			panic(err)
+		}
+		h.prefetcher = pf
+	}
+}
+
+func newHarness(t *testing.T, gpuMemBytes, allocBytes int64, opts ...harnessOpt) *harness {
+	t.Helper()
+	h := &harness{eng: sim.NewEngine(), gpu: &fakeGPU{}, rec: trace.New()}
+	h.space = mem.NewAddressSpace(mem.DefaultGeometry())
+	if _, err := h.space.Alloc(allocBytes, "data"); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	h.buf, err = faultbuf.New(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := pma.DefaultConfig(gpuMemBytes)
+	pcfg.RMJitterFrac = 0
+	h.pm, err = pma.New(pcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.link, err = xfer.NewLink(h.eng, xfer.DefaultPCIe3x16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	h.prefetcher = prefetch.None{}
+	for _, o := range opts {
+		o(&cfg, h)
+	}
+	h.drv, err = New(cfg, Deps{
+		Engine:   h.eng,
+		Space:    h.space,
+		Buffer:   h.buf,
+		PMA:      h.pm,
+		Link:     h.link,
+		Evict:    evict.NewLRU(),
+		Prefetch: h.prefetcher,
+		Replayer: h.gpu,
+		Trace:    h.rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// fault injects a fault entry (ready immediately) and raises the
+// interrupt.
+func (h *harness) fault(page mem.PageID, write bool) {
+	now := h.eng.Now()
+	if _, ok := h.buf.Put(page, write, 0, now, now); !ok {
+		panic("test fault buffer full")
+	}
+	h.drv.OnFault()
+}
+
+func TestSingleFaultServiced(t *testing.T) {
+	h := newHarness(t, 64<<20, 8<<20)
+	h.fault(5, false)
+	end := h.eng.Run()
+	if !h.space.IsResident(5) {
+		t.Fatal("page not resident after service")
+	}
+	if !h.drv.Idle() {
+		t.Error("driver not idle after pass")
+	}
+	if h.gpu.replays != 1 {
+		t.Errorf("replays = %d, want 1", h.gpu.replays)
+	}
+	bd := h.drv.Breakdown()
+	for _, p := range []stats.Phase{stats.PhasePreprocess, stats.PhasePMAAlloc, stats.PhaseMigrate, stats.PhaseMap, stats.PhaseReplay} {
+		if bd.Get(p) == 0 {
+			t.Errorf("phase %v not charged", p)
+		}
+	}
+	// Calibration: a single far-fault costs tens of microseconds
+	// end-to-end (paper cites 30-45 µs).
+	total := end.Sub(0)
+	if total < 20*sim.Microsecond || total > 120*sim.Microsecond {
+		t.Errorf("single-fault end-to-end = %v, want tens of µs", total)
+	}
+	if h.rec.CountKind(trace.KindFault) != 1 {
+		t.Errorf("trace fault events = %d", h.rec.CountKind(trace.KindFault))
+	}
+}
+
+func TestBatchDeduplication(t *testing.T) {
+	h := newHarness(t, 64<<20, 8<<20)
+	now := h.eng.Now()
+	for i := 0; i < 3; i++ {
+		h.buf.Put(7, false, i, now, now) // same page from three SMs
+	}
+	h.buf.Put(8, false, 0, now, now)
+	h.drv.OnFault()
+	h.eng.Run()
+	c := h.drv.Counters()
+	if c.Get("faults_fetched") != 4 {
+		t.Errorf("faults_fetched = %d", c.Get("faults_fetched"))
+	}
+	if c.Get("faults_deduped") != 2 {
+		t.Errorf("faults_deduped = %d, want 2", c.Get("faults_deduped"))
+	}
+	if c.Get("demand_pages") != 2 {
+		t.Errorf("demand_pages = %d, want 2", c.Get("demand_pages"))
+	}
+}
+
+func TestWriteFaultMigratesAndMaps(t *testing.T) {
+	h := newHarness(t, 64<<20, 8<<20)
+	h.fault(3, true)
+	h.eng.Run()
+	if !h.space.IsResident(3) {
+		t.Fatal("write-faulted page not resident")
+	}
+	if h.link.BytesMoved(xfer.HostToDevice) != mem.PageSize {
+		t.Errorf("H2D bytes = %d, want one page", h.link.BytesMoved(xfer.HostToDevice))
+	}
+}
+
+func TestReplayPolicies(t *testing.T) {
+	// Two faults in two different VABlocks, one batch.
+	run := func(p ReplayPolicy) (*harness, int) {
+		h := newHarness(t, 64<<20, 8<<20, withPolicy(p))
+		now := h.eng.Now()
+		h.buf.Put(5, false, 0, now, now)
+		h.buf.Put(600, false, 0, now, now) // second VABlock
+		h.drv.OnFault()
+		h.eng.Run()
+		return h, h.gpu.replays
+	}
+	if _, n := run(ReplayBlock); n != 2 {
+		t.Errorf("block policy replays = %d, want 2 (one per VABlock)", n)
+	}
+	if _, n := run(ReplayBatch); n != 1 {
+		t.Errorf("batch policy replays = %d, want 1", n)
+	}
+	h, n := run(ReplayBatchFlush)
+	if n != 1 {
+		t.Errorf("batchflush policy replays = %d, want 1", n)
+	}
+	if h.drv.Counters().Get("flushes") != 1 {
+		t.Error("batchflush did not flush")
+	}
+	if _, n = run(ReplayOnce); n != 1 {
+		t.Errorf("once policy replays = %d, want 1", n)
+	}
+}
+
+func TestOncePolicyRepaysOnlyWhenBufferDrains(t *testing.T) {
+	h := newHarness(t, 64<<20, 8<<20, withPolicy(ReplayOnce))
+	cfgBatch := h.drv.cfg.BatchSize
+	now := h.eng.Now()
+	// More faults than one batch: multiple batches, single replay.
+	for i := 0; i < cfgBatch+10; i++ {
+		h.buf.Put(mem.PageID(i), false, 0, now, now)
+	}
+	h.drv.OnFault()
+	h.eng.Run()
+	if h.gpu.replays != 1 {
+		t.Errorf("replays = %d, want 1", h.gpu.replays)
+	}
+	if h.drv.Counters().Get("batches") < 2 {
+		t.Errorf("batches = %d, want >= 2", h.drv.Counters().Get("batches"))
+	}
+}
+
+func TestBatchFlushDiscardsLateEntries(t *testing.T) {
+	h := newHarness(t, 64<<20, 8<<20, withPolicy(ReplayBatchFlush))
+	now := h.eng.Now()
+	h.buf.Put(5, false, 0, now, now)
+	h.drv.OnFault()
+	// A duplicate arriving mid-service (it will sit in the buffer until
+	// the flush discards it).
+	h.eng.After(15*sim.Microsecond, func() {
+		h.buf.Put(5, false, 1, h.eng.Now(), h.eng.Now())
+	})
+	h.eng.Run()
+	if got := h.drv.Counters().Get("flush_discarded"); got != 1 {
+		t.Errorf("flush_discarded = %d, want 1", got)
+	}
+}
+
+func TestEvictionLRUAndWriteback(t *testing.T) {
+	// GPU memory of 4 chunks (over-allocation makes the PMA grab all 4 on
+	// the first RM call); 6 blocks of demand -> evictions.
+	h := newHarness(t, 4*(2<<20), 16<<20)
+	geom := h.space.Geometry()
+	for blk := 0; blk < 6; blk++ {
+		page := geom.FirstPage(mem.VABlockID(blk))
+		now := h.eng.Now()
+		h.buf.Put(page, true, 0, now, now) // writes -> dirty pages
+		h.drv.OnFault()
+		h.eng.Run()
+		// Mark serviced pages dirty the way the GPU would on its retried
+		// write access.
+		b := h.space.Block(mem.VABlockID(blk))
+		b.Resident.ForEachSet(func(i int) { b.Dirty.Set(i) })
+	}
+	c := h.drv.Counters()
+	if c.Get("evictions") != 2 {
+		t.Fatalf("evictions = %d, want 2", c.Get("evictions"))
+	}
+	// LRU: blocks 0 and 1 must be the victims.
+	if h.space.Block(0).Allocated || h.space.Block(1).Allocated {
+		t.Error("LRU victims should be blocks 0 and 1")
+	}
+	if !h.space.Block(5).Allocated {
+		t.Error("most recent block missing")
+	}
+	if h.link.BytesMoved(xfer.DeviceToHost) != 2*mem.PageSize {
+		t.Errorf("writeback bytes = %d, want 2 pages", h.link.BytesMoved(xfer.DeviceToHost))
+	}
+	if h.drv.Breakdown().Get(stats.PhaseEvict) == 0 {
+		t.Error("evict phase not charged")
+	}
+	if h.rec.CountKind(trace.KindEvict) != 2 {
+		t.Errorf("evict trace events = %d", h.rec.CountKind(trace.KindEvict))
+	}
+}
+
+func TestEvictedBlockCanRefault(t *testing.T) {
+	h := newHarness(t, 4*(2<<20), 16<<20)
+	geom := h.space.Geometry()
+	for blk := 0; blk < 6; blk++ {
+		now := h.eng.Now()
+		h.buf.Put(geom.FirstPage(mem.VABlockID(blk)), false, 0, now, now)
+		h.drv.OnFault()
+		h.eng.Run()
+	}
+	// Block 0 was evicted; fault it again.
+	if h.space.IsResident(0) {
+		t.Fatal("precondition: page 0 should be evicted")
+	}
+	h.fault(0, false)
+	h.eng.Run()
+	if !h.space.IsResident(0) {
+		t.Fatal("re-fault after eviction not serviced")
+	}
+	if h.space.Block(0).Evictions != 1 {
+		t.Errorf("block 0 evictions = %d", h.space.Block(0).Evictions)
+	}
+}
+
+func TestPrefetcherIntegration(t *testing.T) {
+	h := newHarness(t, 64<<20, 8<<20, withPrefetcher("density"))
+	h.fault(5, false)
+	h.eng.Run()
+	// Density default upgrades to the 64 KB big page.
+	resident := h.space.Block(0).Resident.Count()
+	if resident != 16 {
+		t.Errorf("resident = %d, want 16 (big-page upgrade)", resident)
+	}
+	if got := h.drv.Counters().Get("prefetched_pages"); got != 15 {
+		t.Errorf("prefetched_pages = %d, want 15", got)
+	}
+	if h.rec.CountKind(trace.KindPrefetch) != 15 {
+		t.Errorf("prefetch trace events = %d", h.rec.CountKind(trace.KindPrefetch))
+	}
+}
+
+func TestStaleBinCostsOnlyFixedWork(t *testing.T) {
+	h := newHarness(t, 64<<20, 8<<20)
+	h.fault(5, false)
+	h.eng.Run()
+	before := h.drv.Counters().Get("migrated_pages")
+	// Same page faults again (e.g. a flushed duplicate): nothing to move.
+	h.fault(5, false)
+	h.eng.Run()
+	c := h.drv.Counters()
+	if c.Get("migrated_pages") != before {
+		t.Error("stale bin migrated pages")
+	}
+	if c.Get("stale_bins") != 1 {
+		t.Errorf("stale_bins = %d, want 1", c.Get("stale_bins"))
+	}
+}
+
+func TestPollOnNotReadyEntry(t *testing.T) {
+	h := newHarness(t, 64<<20, 8<<20)
+	now := h.eng.Now()
+	h.buf.Put(5, false, 0, now, now.Add(50*sim.Microsecond)) // ready far in the future
+	h.drv.OnFault()
+	h.eng.Run()
+	if h.drv.Counters().Get("polls") == 0 {
+		t.Error("driver never polled a not-ready entry")
+	}
+	if !h.space.IsResident(5) {
+		t.Error("entry eventually serviced")
+	}
+}
+
+func TestMapOps(t *testing.T) {
+	bm := mem.NewBitmap(512)
+	noDemand := mem.NewBitmap(512)
+	// One full big page populated by prefetch: 1 big-page PTE op.
+	for i := 0; i < 16; i++ {
+		bm.Set(i)
+	}
+	if got := mapOps(bm, noDemand); got != 1 {
+		t.Errorf("full prefetched big page ops = %d, want 1", got)
+	}
+	// The same chunk entirely demanded (no prefetcher): 16 4KB PTE ops.
+	allDemand := bm.Clone()
+	if got := mapOps(bm, allDemand); got != 16 {
+		t.Errorf("fully demanded big page ops = %d, want 16", got)
+	}
+	// A single demanded page inside a prefetched big page still maps as
+	// one big-page PTE (the upgrade covers it).
+	oneDemand := mem.NewBitmap(512)
+	oneDemand.Set(5)
+	if got := mapOps(bm, oneDemand); got != 1 {
+		t.Errorf("upgraded big page ops = %d, want 1", got)
+	}
+	// Unaligned 16 pages spanning two big pages: 16 single-page ops.
+	bm.Reset()
+	for i := 8; i < 24; i++ {
+		bm.Set(i)
+	}
+	if got := mapOps(bm, noDemand); got != 16 {
+		t.Errorf("unaligned ops = %d, want 16", got)
+	}
+	// Full prefetched VABlock: 32 big-page ops.
+	bm.Reset()
+	for i := 0; i < 512; i++ {
+		bm.Set(i)
+	}
+	if got := mapOps(bm, noDemand); got != 32 {
+		t.Errorf("full block ops = %d, want 32", got)
+	}
+	// Scattered single pages.
+	bm.Reset()
+	bm.Set(0)
+	bm.Set(100)
+	bm.Set(511)
+	if got := mapOps(bm, noDemand); got != 3 {
+		t.Errorf("scattered ops = %d, want 3", got)
+	}
+}
+
+func TestLateFaultAlwaysServiced(t *testing.T) {
+	// A fault landing at any moment relative to an in-flight pass must be
+	// serviced eventually — including the shutdown window between the
+	// final replay and the driver going idle (the rearm path). The Once
+	// policy never flushes, so entries are never legitimately discarded.
+	for us := 1; us <= 100; us += 3 {
+		at := sim.Duration(us) * sim.Microsecond
+		h := newHarness(t, 64<<20, 8<<20, withPolicy(ReplayOnce))
+		h.fault(5, false)
+		h.eng.After(at, func() {
+			now := h.eng.Now()
+			h.buf.Put(600, false, 0, now, now)
+			h.drv.OnFault()
+		})
+		h.eng.Run()
+		if !h.space.IsResident(600) {
+			t.Fatalf("fault injected at t=%v never serviced", at)
+		}
+		if !h.drv.Idle() {
+			t.Fatalf("driver stuck busy for injection at t=%v", at)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.BatchSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero batch size accepted")
+	}
+	bad = DefaultConfig()
+	bad.Policy = ReplayPolicy(9)
+	if err := bad.Validate(); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	bad = DefaultConfig()
+	bad.PollInterval = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero poll interval accepted")
+	}
+}
+
+func TestParseReplayPolicy(t *testing.T) {
+	for s, want := range map[string]ReplayPolicy{
+		"block": ReplayBlock, "batch": ReplayBatch,
+		"batchflush": ReplayBatchFlush, "": ReplayBatchFlush, "once": ReplayOnce,
+	} {
+		got, err := ParseReplayPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseReplayPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseReplayPolicy("bogus"); err == nil {
+		t.Error("bogus policy parsed")
+	}
+	if ReplayBatchFlush.String() != "batchflush" || ReplayPolicy(9).String() == "" {
+		t.Error("policy String wrong")
+	}
+}
+
+func TestNewMissingDeps(t *testing.T) {
+	if _, err := New(DefaultConfig(), Deps{}); err == nil {
+		t.Error("empty deps accepted")
+	}
+}
+
+func withFetchMode(m FetchMode) harnessOpt {
+	return func(c *Config, _ *harness) { c.Fetch = m }
+}
+
+func TestFetchModeFillBatchWaitsForFullBatches(t *testing.T) {
+	// Sixteen entries whose ready flags land one PollInterval apart: the
+	// default mode processes them in several partial batches, while
+	// fill-batch mode polls and takes them in one.
+	run := func(mode FetchMode) uint64 {
+		h := newHarness(t, 64<<20, 8<<20, withFetchMode(mode), withPolicy(ReplayOnce))
+		now := h.eng.Now()
+		for i := 0; i < 16; i++ {
+			h.buf.Put(mem.PageID(i), false, 0, now, now.Add(sim.Duration(i)*2*sim.Microsecond))
+		}
+		h.drv.OnFault()
+		h.eng.Run()
+		if got := h.space.ResidentPages(); got != 16 {
+			t.Fatalf("mode %v: resident = %d, want 16", mode, got)
+		}
+		return h.drv.Counters().Get("batches")
+	}
+	stopBatches := run(FetchStopAtNotReady)
+	fillBatches := run(FetchFillBatch)
+	if fillBatches != 1 {
+		t.Errorf("fill-batch mode used %d batches, want 1", fillBatches)
+	}
+	if stopBatches <= fillBatches {
+		t.Errorf("stop-at-not-ready used %d batches, want more than %d", stopBatches, fillBatches)
+	}
+}
+
+func TestFetchModeValidationAndNames(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Fetch = FetchMode(9)
+	if err := bad.Validate(); err == nil {
+		t.Error("bogus fetch mode accepted")
+	}
+	if FetchStopAtNotReady.String() != "stop-at-not-ready" || FetchFillBatch.String() != "fill-batch" {
+		t.Error("fetch mode names wrong")
+	}
+	if FetchMode(9).String() == "" {
+		t.Error("unknown fetch mode name empty")
+	}
+}

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"uvmsim/internal/driver"
+	"uvmsim/internal/stats"
+)
+
+// costSizes returns the fault-cost scaling sweep (bytes), spanning the
+// paper's "different magnitudes of scale" from tens of KB to a large
+// in-core fraction of GPU memory.
+func costSizes(sc Scale) []int64 {
+	if sc.Quick {
+		return []int64{64 << 10, 4 << 20}
+	}
+	return []int64{
+		16 << 10, 64 << 10, 256 << 10,
+		1 << 20, 4 << 20, 16 << 20,
+		sc.GPUMemoryBytes / 2,
+	}
+}
+
+// breakdownRows appends one row per size for the given pattern and
+// driver policy, reporting the paper's three top-level cost categories.
+func breakdownRows(t *stats.Table, sc Scale, pattern string, policy driver.ReplayPolicy) error {
+	for _, bytes := range costSizes(sc) {
+		cfg := sc.sysConfig()
+		cfg.PrefetchPolicy = "none"
+		cfg.Driver.Policy = policy
+		cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+		if err != nil {
+			return err
+		}
+		bd := cell.res.Breakdown
+		t.AddRow(pattern, mb(bytes), ms(cell.res.TotalTime),
+			us(bd.Get(stats.PhasePreprocess)),
+			us(bd.Service()),
+			us(bd.Get(stats.PhaseReplay)),
+			cell.res.Faults,
+			cell.res.Counters.Get("faults_deduped"),
+		)
+	}
+	return nil
+}
+
+// Fig3 reproduces Figure 3: fault cost scaling and breakdown for regular
+// and random access with prefetching disabled under the default
+// batch-flush replay policy.
+func Fig3(sc Scale) ([]*stats.Table, error) {
+	t := stats.NewTable("Fig 3: fault cost scaling and driver breakdown (prefetch off, batch-flush policy)",
+		"pattern", "size_mb", "total_ms", "preprocess_us", "service_us", "replay_us", "faults", "dup_faults")
+	t.Note = "total is kernel wall time; the three *_us columns are time inside the driver"
+	for _, pattern := range []string{"regular", "random"} {
+		if err := breakdownRows(t, sc, pattern, driver.ReplayBatchFlush); err != nil {
+			return nil, err
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// Fig5 reproduces Figure 5: the same experiment as Fig 3 for regular
+// access but under the Batch policy — the replay-policy cost collapses
+// while pre-processing inflates (duplicate faults are no longer flushed).
+func Fig5(sc Scale) ([]*stats.Table, error) {
+	t := stats.NewTable("Fig 5: fault cost breakdown under the Batch replay policy (no flush)",
+		"pattern", "size_mb", "total_ms", "preprocess_us", "service_us", "replay_us", "faults", "dup_faults")
+	t.Note = "compare against Fig 3: replay cost shrinks, preprocessing grows via duplicates"
+	if err := breakdownRows(t, sc, "regular", driver.ReplayBatch); err != nil {
+		return nil, err
+	}
+	return []*stats.Table{t}, nil
+}
+
+// Fig4 reproduces Figure 4: the service-cost split (Map Pages, Migrate
+// Pages, PMA Alloc Pages) at small sizes, where the over-provisioned
+// allocator's constant cost dominates.
+func Fig4(sc Scale) ([]*stats.Table, error) {
+	sizes := []int64{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	if sc.Quick {
+		sizes = []int64{64 << 10, 1 << 20}
+	}
+	t := stats.NewTable("Fig 4: fault service cost breakdown at small sizes (prefetch off)",
+		"size_kb", "service_us", "pma_alloc_us", "migrate_us", "map_us",
+		"pma_pct", "migrate_pct", "map_pct")
+	for _, bytes := range sizes {
+		cfg := sc.sysConfig()
+		cfg.PrefetchPolicy = "none"
+		cell, err := runWorkloadCell(cfg, "regular", bytes, sc.params())
+		if err != nil {
+			return nil, err
+		}
+		bd := cell.res.Breakdown
+		service := bd.Service()
+		frac := func(p stats.Phase) float64 {
+			if service == 0 {
+				return 0
+			}
+			return pct(float64(bd.Get(p)) / float64(service))
+		}
+		t.AddRow(float64(bytes)/1024, us(service),
+			us(bd.Get(stats.PhasePMAAlloc)), us(bd.Get(stats.PhaseMigrate)), us(bd.Get(stats.PhaseMap)),
+			frac(stats.PhasePMAAlloc), frac(stats.PhaseMigrate), frac(stats.PhaseMap))
+	}
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,142 @@
+// Package exp regenerates every table and figure from the paper's
+// evaluation as data tables, plus the ablations DESIGN.md calls out. Each
+// experiment builds fresh systems at a laptop-friendly scale: the paper's
+// 12 GB Titan V framebuffer maps to a configurable scaled framebuffer
+// (default 96 MB = 1/128 scale) with problem sizes expressed as fractions
+// of GPU memory, preserving every under/oversubscription ratio.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"uvmsim/internal/core"
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/workloads"
+)
+
+// Scale fixes the hardware scale and seed for an experiment run.
+type Scale struct {
+	// GPUMemoryBytes is the scaled framebuffer (paper: 12 GB).
+	GPUMemoryBytes int64
+	// Seed drives all randomness.
+	Seed uint64
+	// Quick shrinks sweeps for benchmarks and smoke tests.
+	Quick bool
+}
+
+// DefaultScale is 1/128 of the paper's Titan V.
+func DefaultScale() Scale {
+	return Scale{GPUMemoryBytes: 96 << 20, Seed: 1}
+}
+
+// Experiment produces one or more result tables.
+type Experiment func(Scale) ([]*stats.Table, error)
+
+// Registry maps experiment ids (DESIGN.md §3) to implementations.
+func Registry() map[string]Experiment {
+	return map[string]Experiment{
+		"fig1":       Fig1,
+		"fig3":       Fig3,
+		"fig4":       Fig4,
+		"fig5":       Fig5,
+		"fig7":       Fig7,
+		"tab1":       Table1,
+		"fig8":       Fig8,
+		"fig9":       Fig9,
+		"fig10":      Fig10,
+		"tab2":       Table2,
+		"abl-policy": AblationReplayPolicy,
+		"abl-thresh": AblationThreshold,
+		"abl-batch":  AblationBatchSize,
+		"abl-evict":  AblationEviction,
+		"abl-mode":   AblationAccessMode,
+		"abl-origin": AblationFaultOrigin,
+		"abl-gran":   AblationGranularity,
+		"abl-adapt":  AblationAdaptive,
+		"val-full":   FullScaleValidation,
+		"val-seeds":  SeedStability,
+		"val-calib":  CalibrationAnchors,
+	}
+}
+
+// ExperimentIDs returns the registry keys in stable order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0)
+	for id := range Registry() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the named experiment.
+func Run(id string, sc Scale) ([]*stats.Table, error) {
+	e, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return e(sc)
+}
+
+// sysConfig returns the default system config at this scale.
+func (sc Scale) sysConfig() core.Config {
+	cfg := core.DefaultConfig(sc.GPUMemoryBytes)
+	cfg.Seed = sc.Seed
+	return cfg
+}
+
+// params returns workload parameters at this scale.
+func (sc Scale) params() workloads.Params {
+	p := workloads.DefaultParams()
+	p.Seed = sc.Seed + 100
+	return p
+}
+
+// cell runs one workload on one fresh system configuration and returns
+// the measurements.
+type cellResult struct {
+	res *core.RunResult
+	sys *core.System
+}
+
+func runCell(cfg core.Config, build func(*core.System) (*gpusim.Kernel, error)) (*cellResult, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	k, err := build(sys)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.RunUVM(k)
+	if err != nil {
+		return nil, err
+	}
+	return &cellResult{res: res, sys: sys}, nil
+}
+
+// runWorkloadCell runs a named workload at the given footprint.
+func runWorkloadCell(cfg core.Config, name string, bytes int64, p workloads.Params) (*cellResult, error) {
+	builder, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return runCell(cfg, func(s *core.System) (*gpusim.Kernel, error) {
+		return builder(s, bytes, p)
+	})
+}
+
+// ms converts a simulated duration to milliseconds.
+func ms(d sim.Duration) float64 { return float64(d) / float64(sim.Millisecond) }
+
+// us converts a simulated duration to microseconds.
+func us(d sim.Duration) float64 { return d.Micros() }
+
+// pct formats a fraction as a percentage value.
+func pct(x float64) float64 { return x * 100 }
+
+// mb converts bytes to mebibytes.
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,490 @@
+package exp
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"uvmsim/internal/stats"
+)
+
+func quickScale() Scale {
+	return Scale{GPUMemoryBytes: 24 << 20, Seed: 1, Quick: true}
+}
+
+// col returns the index of a named column.
+func col(t *testing.T, tb *stats.Table, name string) int {
+	t.Helper()
+	for i, h := range tb.Headers {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("column %q not in %v", name, tb.Headers)
+	return -1
+}
+
+func cellFloat(t *testing.T, tb *stats.Table, row int, name string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col(t, tb, name)], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%s) = %q: %v", row, name, tb.Rows[row][col(t, tb, name)], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := ExperimentIDs()
+	want := []string{"abl-adapt", "abl-batch", "abl-evict", "abl-gran", "abl-mode",
+		"abl-origin", "abl-policy", "abl-thresh", "fig1", "fig10", "fig3", "fig4",
+		"fig5", "fig7", "fig8", "fig9", "tab1", "tab2", "val-calib", "val-full", "val-seeds"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if _, err := Run("nope", quickScale()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	sc := quickScale()
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Run(id, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Headers) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("empty table %q", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Headers) {
+						t.Fatalf("ragged row in %q: %v", tb.Title, row)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Fig 1 observation (1): UVM without prefetching is far above explicit.
+func TestFig1ExplicitBeatsUVM(t *testing.T) {
+	tables, err := Fig1(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	var explicitMs, uvmMs float64
+	for i, row := range tb.Rows {
+		if row[col(t, tb, "pattern")] == "regular" && row[col(t, tb, "oversub_pct")] == "25.00" {
+			switch row[col(t, tb, "mode")] {
+			case "explicit":
+				explicitMs = cellFloat(t, tb, i, "total_ms")
+			case "uvm":
+				uvmMs = cellFloat(t, tb, i, "total_ms")
+			}
+		}
+	}
+	if explicitMs == 0 || uvmMs == 0 {
+		t.Fatalf("rows missing:\n%s", tb)
+	}
+	if uvmMs < 4*explicitMs {
+		t.Errorf("uvm=%.2fms explicit=%.2fms: gap too small", uvmMs, explicitMs)
+	}
+}
+
+// Fig 3 observation: cost grows roughly linearly with size; random is
+// slower than regular at the same size.
+func TestFig3Shapes(t *testing.T) {
+	sc := quickScale()
+	sc.Quick = false
+	sc.GPUMemoryBytes = 24 << 20
+	tables, err := Fig3(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	totals := map[string][]float64{}
+	for i, row := range tb.Rows {
+		p := row[col(t, tb, "pattern")]
+		totals[p] = append(totals[p], cellFloat(t, tb, i, "total_ms"))
+	}
+	for _, p := range []string{"regular", "random"} {
+		ts := totals[p]
+		if len(ts) < 4 {
+			t.Fatalf("%s rows = %d", p, len(ts))
+		}
+		if ts[len(ts)-1] < 10*ts[0] {
+			t.Errorf("%s: no growth across sizes: %v", p, ts)
+		}
+	}
+	// Largest size: random slower than regular.
+	nr := len(totals["regular"])
+	if totals["random"][nr-1] <= totals["regular"][nr-1] {
+		t.Errorf("random (%v) not slower than regular (%v) at max size",
+			totals["random"][nr-1], totals["regular"][nr-1])
+	}
+}
+
+// Fig 4 observation: PMA allocation dominates service at the smallest
+// size and fades at larger sizes.
+func TestFig4PMADominatesSmall(t *testing.T) {
+	sc := quickScale()
+	sc.Quick = false
+	tables, err := Fig4(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	first := cellFloat(t, tb, 0, "pma_pct")
+	last := cellFloat(t, tb, len(tb.Rows)-1, "pma_pct")
+	if first < 30 {
+		t.Errorf("PMA share at smallest size = %.1f%%, want dominant", first)
+	}
+	if last >= first {
+		t.Errorf("PMA share should fade with size: %.1f%% -> %.1f%%", first, last)
+	}
+}
+
+// Fig 5 observation: Batch policy has far lower replay cost but higher
+// preprocessing than Batch-Flush at the same size.
+func TestFig5PolicyTradeoff(t *testing.T) {
+	sc := quickScale()
+	f3, err := Fig3(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := Fig5(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, t5 := f3[0], f5[0]
+	// Compare the largest regular row of each.
+	row3 := -1
+	for i, row := range t3.Rows {
+		if row[col(t, t3, "pattern")] == "regular" {
+			row3 = i
+		}
+	}
+	row5 := len(t5.Rows) - 1
+	replay3 := cellFloat(t, t3, row3, "replay_us")
+	replay5 := cellFloat(t, t5, row5, "replay_us")
+	if replay5 >= replay3 {
+		t.Errorf("batch policy replay %.1fus not below batchflush %.1fus", replay5, replay3)
+	}
+	dup3 := cellFloat(t, t3, row3, "dup_faults")
+	dup5 := cellFloat(t, t5, row5, "dup_faults")
+	if dup5 <= dup3 {
+		t.Errorf("batch policy dups %.0f not above batchflush %.0f", dup5, dup3)
+	}
+}
+
+// Table I observation: prefetching removes a large share of faults for
+// every workload (the paper reports >= 64%; touch-once contiguous
+// patterns cap near 50% in this model, see EXPERIMENTS.md).
+func TestTable1Reduction(t *testing.T) {
+	tables, err := Table1(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	for i, row := range tb.Rows {
+		red := cellFloat(t, tb, i, "reduction_pct")
+		if red < 30 {
+			t.Errorf("%s reduction = %.1f%%, want >= 30%%", row[0], red)
+		}
+	}
+}
+
+// Fig 7 observation: regular faults form a diagonal band (order strongly
+// correlated with page index) while random faults scatter.
+func TestFig7Correlation(t *testing.T) {
+	tables, err := Fig7(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	vals := map[string]float64{}
+	for i, row := range tb.Rows {
+		vals[row[0]] = cellFloat(t, tb, i, "order_page_corr")
+	}
+	if vals["regular"] < 0.5 {
+		t.Errorf("regular correlation = %.3f, want >= 0.5", vals["regular"])
+	}
+	if math.Abs(vals["random"]) > 0.3 {
+		t.Errorf("random correlation = %.3f, want near 0", vals["random"])
+	}
+	if vals["regular"] < 2*math.Abs(vals["random"]) {
+		t.Errorf("patterns not separated: regular=%.3f random=%.3f",
+			vals["regular"], vals["random"])
+	}
+}
+
+// Fig 8 observation: a meaningful share of evictions at 120% are followed
+// by re-faults on the same block (evict-before-use).
+func TestFig8EvictRefault(t *testing.T) {
+	tables, err := Fig8(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if cellFloat(t, tb, 0, "evictions") == 0 {
+		t.Fatal("no evictions at 120%")
+	}
+	if cellFloat(t, tb, 0, "refault_pct") <= 0 {
+		t.Error("no evict-then-refault events recorded")
+	}
+}
+
+// Fig 9 observation: random is much slower than regular when
+// oversubscribed with prefetching.
+func TestFig9PatternGap(t *testing.T) {
+	tables, err := Fig9(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	var reg, rnd float64
+	for i, row := range tb.Rows {
+		switch row[col(t, tb, "pattern")] {
+		case "regular":
+			reg = cellFloat(t, tb, i, "total_ms")
+		case "random":
+			rnd = cellFloat(t, tb, i, "total_ms")
+		}
+	}
+	if rnd < 2*reg {
+		t.Errorf("random=%.2fms regular=%.2fms: oversubscription gap too small", rnd, reg)
+	}
+}
+
+// Fig 10 observation: compute rate collapses once the footprint crosses
+// ~120% of GPU memory.
+func TestFig10Cliff(t *testing.T) {
+	tables, err := Fig10(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	in := cellFloat(t, tb, 0, "gflops")
+	over := cellFloat(t, tb, len(tb.Rows)-1, "gflops")
+	if over >= in {
+		t.Errorf("gflops did not degrade: %.2f -> %.2f", in, over)
+	}
+}
+
+// Table II observation: evictions per fault grows with problem size.
+func TestTable2Monotone(t *testing.T) {
+	tables, err := Table2(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	first := cellFloat(t, tb, 0, "evictions_per_fault")
+	last := cellFloat(t, tb, len(tb.Rows)-1, "evictions_per_fault")
+	if first != 0 {
+		t.Errorf("undersubscribed sgemm has evictions per fault %.3f", first)
+	}
+	if last <= first {
+		t.Errorf("evictions per fault did not grow: %.3f -> %.3f", first, last)
+	}
+}
+
+// Threshold ablation: the aggressive 1% threshold beats the 51% default
+// for undersubscribed regular access (§IV-C).
+func TestAblationThresholdAggressiveWins(t *testing.T) {
+	tables, err := AblationThreshold(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	var t1, t51 float64
+	for i, row := range tb.Rows {
+		if row[col(t, tb, "workload")] != "regular" {
+			continue
+		}
+		switch row[col(t, tb, "threshold")] {
+		case "1":
+			t1 = cellFloat(t, tb, i, "total_ms")
+		case "51":
+			t51 = cellFloat(t, tb, i, "total_ms")
+		}
+	}
+	if t1 >= t51 {
+		t.Errorf("threshold 1 (%.2fms) not faster than 51 (%.2fms)", t1, t51)
+	}
+}
+
+// Adaptive ablation: under memory pressure the adaptive prefetcher stops
+// prefetching, so it must move less H2D data than static density (the
+// paper's wasted-prefetch-traffic argument, §V/§VI-B); undersubscribed it
+// behaves aggressively and eliminates more faults than the default.
+func TestAblationAdaptiveProperties(t *testing.T) {
+	tables, err := AblationAdaptive(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	get := func(footprint, prefetcher, column string) float64 {
+		for i, row := range tb.Rows {
+			if row[col(t, tb, "pattern")] == "random" &&
+				row[col(t, tb, "footprint_pct")] == footprint &&
+				row[col(t, tb, "prefetcher")] == prefetcher {
+				return cellFloat(t, tb, i, column)
+			}
+		}
+		t.Fatalf("row %s/%s missing:\n%s", footprint, prefetcher, tb)
+		return 0
+	}
+	// Oversubscribed: adaptive moves less data than static density.
+	dH2D := get("125.00", "density", "h2d_mb")
+	aH2D := get("125.00", "adaptive", "h2d_mb")
+	if aH2D >= dH2D {
+		t.Errorf("adaptive H2D %.1fMB not below density %.1fMB oversubscribed", aH2D, dH2D)
+	}
+	// Undersubscribed: adaptive (aggressive) eliminates more faults.
+	dF := get("50.00", "density", "faults")
+	aF := get("50.00", "adaptive", "faults")
+	if aF > dF {
+		t.Errorf("adaptive faults %.0f above density %.0f undersubscribed", aF, dF)
+	}
+}
+
+// Access-mode ablation: remote mapping never faults or migrates, and
+// wins over thrashing migration for oversubscribed random access.
+func TestAblationAccessMode(t *testing.T) {
+	tables, err := AblationAccessMode(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	get := func(footprint, mode, column string) float64 {
+		for i, row := range tb.Rows {
+			if row[col(t, tb, "footprint_pct")] == footprint && row[col(t, tb, "mode")] == mode {
+				return cellFloat(t, tb, i, column)
+			}
+		}
+		t.Fatalf("row %s/%s missing:\n%s", footprint, mode, tb)
+		return 0
+	}
+	if get("125.00", "remote-map", "faults") != 0 {
+		t.Error("remote mapping faulted")
+	}
+	if get("125.00", "remote-map", "h2d_mb") != 0 {
+		t.Error("remote mapping migrated data")
+	}
+	if get("125.00", "remote-map", "total_ms") >= get("125.00", "migrate", "total_ms") {
+		t.Error("remote mapping not faster than thrashing migration")
+	}
+	// The touch kernels write their pages, which breaks duplication, so
+	// read-dup degrades to migrate-like behavior (no extra write-back).
+	// The zero-write-back property is asserted in core's
+	// TestReadDupEvictionSkipsWriteback with a read-only kernel.
+	if get("125.00", "read-dup", "d2h_mb") > get("125.00", "migrate", "d2h_mb")*1.01 {
+		t.Error("read duplication wrote back more than migration")
+	}
+}
+
+// Fault-origin ablation: without origin info the stream prefetcher
+// degrades to demand paging; with it, it eliminates faults on streaming
+// patterns.
+func TestAblationFaultOrigin(t *testing.T) {
+	tables, err := AblationFaultOrigin(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	get := func(pf, origin, column string) float64 {
+		for i, row := range tb.Rows {
+			if row[col(t, tb, "prefetcher")] == pf && row[col(t, tb, "origin_info")] == origin {
+				return cellFloat(t, tb, i, column)
+			}
+		}
+		t.Fatalf("row %s/%s missing:\n%s", pf, origin, tb)
+		return 0
+	}
+	erased := get("stream", "false", "prefetched_pages")
+	if erased != 0 {
+		t.Errorf("source-erased stream prefetcher prefetched %v pages", erased)
+	}
+	withInfo := get("stream", "true", "prefetched_pages")
+	if withInfo == 0 {
+		t.Error("origin-informed stream prefetcher prefetched nothing")
+	}
+	if get("stream", "true", "faults") >= get("stream", "false", "faults") {
+		t.Error("origin info did not reduce faults")
+	}
+}
+
+// Schema stability: the column layout of every experiment table is part
+// of the tool contract (CSV/JSON consumers depend on it).
+func TestExperimentTableSchemas(t *testing.T) {
+	want := map[string][]string{
+		"fig1":  {"pattern", "size_mb", "oversub_pct", "mode", "total_ms", "us_per_page", "faults", "evictions"},
+		"fig3":  {"pattern", "size_mb", "total_ms", "preprocess_us", "service_us", "replay_us", "faults", "dup_faults"},
+		"fig4":  {"size_kb", "service_us", "pma_alloc_us", "migrate_us", "map_us", "pma_pct", "migrate_pct", "map_pct"},
+		"fig7":  {"workload", "ranges", "pages", "faults", "order_page_corr", "coverage_pct"},
+		"fig9":  {"pattern", "oversub_pct", "total_ms", "map_us", "evict_us", "replay_us", "faults", "evictions", "h2d_mb", "d2h_mb"},
+		"fig10": {"n", "footprint_pct", "total_ms", "gflops", "faults", "evictions"},
+		"tab1":  {"workload", "total_faults", "faults_w_prefetch", "reduction_pct"},
+		"tab2":  {"n", "footprint_pct", "faults", "pages_evicted", "evictions_per_fault"},
+	}
+	sc := quickScale()
+	for id, cols := range want {
+		tables, err := Run(id, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		got := tables[0].Headers
+		if len(got) != len(cols) {
+			t.Errorf("%s headers = %v, want %v", id, got, cols)
+			continue
+		}
+		for i := range cols {
+			if got[i] != cols[i] {
+				t.Errorf("%s header[%d] = %q, want %q", id, i, got[i], cols[i])
+			}
+		}
+	}
+}
+
+// Seed stability: the variation across seeds must be small relative to
+// the effect sizes the reproduction claims (orders of magnitude).
+func TestSeedStabilitySmallRSD(t *testing.T) {
+	tables, err := SeedStability(quickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	for i, row := range tb.Rows {
+		if rsd := cellFloat(t, tb, i, "time_rsd_pct"); rsd > 20 {
+			t.Errorf("%s time RSD = %.1f%%, want < 20%%", row[0], rsd)
+		}
+	}
+}
+
+// Every calibration anchor must hold at the default scale.
+func TestCalibrationAnchorsAllPass(t *testing.T) {
+	sc := DefaultScale()
+	tables, err := CalibrationAnchors(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	for _, row := range tb.Rows {
+		if row[col(t, tb, "ok")] != "true" {
+			t.Errorf("anchor %q failed: measured %s (band %s)",
+				row[0], row[col(t, tb, "measured")], row[col(t, tb, "band")])
+		}
+	}
+}

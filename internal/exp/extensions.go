@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+
+	"uvmsim/internal/core"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/workloads"
+)
+
+// modeAllocator allocates every workload range with a fixed UVM access
+// behavior.
+type modeAllocator struct {
+	sys  *core.System
+	mode mem.AccessMode
+}
+
+func (a modeAllocator) MallocManaged(size int64, label string) (*mem.Range, error) {
+	return a.sys.MallocManagedMode(size, label, a.mode)
+}
+
+// AblationAccessMode compares UVM's three page access behaviors
+// (§III-A): paged migration (the paper's focus, with and without
+// prefetching), remote mapping, and read-only duplication, on
+// single-touch patterns under and over the memory limit. Remote mapping
+// never migrates (every access crosses the interconnect), so it wins
+// exactly where migration thrashes.
+func AblationAccessMode(sc Scale) ([]*stats.Table, error) {
+	t := stats.NewTable("Ablation: UVM access behaviors (migrate / remote-map / read-dup)",
+		"pattern", "footprint_pct", "mode", "total_ms", "faults", "evictions",
+		"remote_accesses", "h2d_mb", "d2h_mb")
+	fractions := []float64{0.5, 1.25}
+	patterns := []string{"regular", "random"}
+	if sc.Quick {
+		patterns = []string{"random"}
+	}
+	modes := []struct {
+		name string
+		mode mem.AccessMode
+		pf   string
+	}{
+		{"migrate", mem.ModeMigrate, "density"},
+		{"migrate-nopf", mem.ModeMigrate, "none"},
+		{"remote-map", mem.ModeRemoteMap, "density"},
+		{"read-dup", mem.ModeReadDup, "density"},
+	}
+	for _, pattern := range patterns {
+		builder, err := workloads.Get(pattern)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range fractions {
+			for _, m := range modes {
+				cfg := sc.sysConfig()
+				cfg.PrefetchPolicy = m.pf
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					return nil, err
+				}
+				k, err := builder(modeAllocator{sys, m.mode}, int64(f*float64(sc.GPUMemoryBytes)), sc.params())
+				if err != nil {
+					return nil, err
+				}
+				res, err := sys.RunUVM(k)
+				if err != nil {
+					return nil, fmt.Errorf("abl-mode %s/%.2f/%s: %w", pattern, f, m.name, err)
+				}
+				t.AddRow(pattern, pct(f), m.name, ms(res.TotalTime), res.Faults,
+					res.Evictions, res.GPU.RemoteAccesses,
+					mb(res.BytesH2D), mb(res.BytesD2H))
+			}
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// AblationFaultOrigin evaluates the §VI-B "increased fault origin
+// information" path: with per-SM origin identity in fault entries, a
+// classic per-core stream prefetcher becomes possible. Compared against
+// source-erased density prefetching on streaming and random patterns.
+func AblationFaultOrigin(sc Scale) ([]*stats.Table, error) {
+	t := stats.NewTable("Ablation: fault-origin information enabling stream prefetching",
+		"workload", "prefetcher", "origin_info", "total_ms", "faults", "prefetched_pages")
+	bytes := sc.GPUMemoryBytes / 2
+	names := []string{"regular", "stream", "random"}
+	if sc.Quick {
+		names = []string{"stream"}
+	}
+	cells := []struct {
+		pf     string
+		origin bool
+	}{
+		{"none", false},
+		{"density", false},
+		{"stream", false}, // source erasure: degrades to demand paging
+		{"stream", true},  // the §VI-B hardware extension
+	}
+	for _, name := range names {
+		for _, c := range cells {
+			cfg := sc.sysConfig()
+			cfg.PrefetchPolicy = c.pf
+			cfg.Driver.FaultOriginInfo = c.origin
+			cell, err := runWorkloadCell(cfg, name, bytes, sc.params())
+			if err != nil {
+				return nil, fmt.Errorf("abl-origin %s/%s: %w", name, c.pf, err)
+			}
+			t.AddRow(name, c.pf, c.origin, ms(cell.res.TotalTime), cell.res.Faults,
+				cell.res.Counters.Get("prefetched_pages"))
+		}
+	}
+	return []*stats.Table{t}, nil
+}

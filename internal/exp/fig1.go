@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"uvmsim/internal/core"
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/workloads"
+)
+
+// Fig1 reproduces Figure 1: cumulative data access latency for page-touch
+// kernels under explicit transfer, UVM without prefetching, and UVM with
+// prefetching, across sizes spanning the GPU memory limit. The paper's
+// four observations should hold: (1) UVM without prefetching is one or
+// more orders of magnitude above explicit transfer, (2) prefetching
+// closes most but not all of the gap in-core, (3) oversubscription costs
+// another order of magnitude, and (4) prefetching aggravates
+// oversubscribed random access.
+func Fig1(sc Scale) ([]*stats.Table, error) {
+	fractions := []float64{0.0625, 0.25, 0.5, 0.75, 1.2, 1.5}
+	if sc.Quick {
+		fractions = []float64{0.25, 1.2}
+	}
+	t := stats.NewTable("Fig 1: page-touch access latency vs management mode",
+		"pattern", "size_mb", "oversub_pct", "mode", "total_ms", "us_per_page", "faults", "evictions")
+	t.Note = "explicit rows exist only while the data fits in GPU memory"
+
+	patterns := []string{"regular", "random"}
+	for _, pattern := range patterns {
+		for _, f := range fractions {
+			bytes := int64(f * float64(sc.GPUMemoryBytes))
+			addRow := func(mode string, totalMs float64, pages int, faults, evictions uint64) {
+				t.AddRow(pattern, mb(bytes), pct(f), mode, totalMs,
+					totalMs*1000/float64(pages), faults, evictions)
+			}
+			// Explicit baseline (in-core only).
+			if f <= 1.0 {
+				cfg := sc.sysConfig()
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					return nil, err
+				}
+				k, err := buildTouch(sys, pattern, bytes, sc)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sys.RunExplicit(k)
+				if err != nil {
+					return nil, err
+				}
+				addRow("explicit", ms(res.TotalTime), sys.Space().TotalPages(), res.Faults, res.Evictions)
+			}
+			// UVM without prefetching.
+			cfg := sc.sysConfig()
+			cfg.PrefetchPolicy = "none"
+			cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+			if err != nil {
+				return nil, err
+			}
+			addRow("uvm", ms(cell.res.TotalTime), cell.sys.Space().TotalPages(),
+				cell.res.Faults, cell.res.Evictions)
+			// UVM with the default density prefetcher.
+			cfg = sc.sysConfig()
+			cell, err = runWorkloadCell(cfg, pattern, bytes, sc.params())
+			if err != nil {
+				return nil, err
+			}
+			addRow("uvm+prefetch", ms(cell.res.TotalTime), cell.sys.Space().TotalPages(),
+				cell.res.Faults, cell.res.Evictions)
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+func buildTouch(sys *core.System, pattern string, bytes int64, sc Scale) (*gpusim.Kernel, error) {
+	b, err := workloads.Get(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return b(sys, bytes, sc.params())
+}

@@ -1,0 +1,15 @@
+package exp
+
+import (
+	"uvmsim/internal/core"
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/workloads"
+)
+
+// runSGEMMWithConfig runs sgemm of dimension n on an explicit system
+// configuration (used by ablations that tweak policies).
+func runSGEMMWithConfig(cfg core.Config, n int, sc Scale) (*cellResult, error) {
+	return runCell(cfg, func(s *core.System) (*gpusim.Kernel, error) {
+		return workloads.SGEMM(s, n, sc.params())
+	})
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"uvmsim/internal/stats"
+)
+
+// SeedStability quantifies how sensitive the headline measurements are to
+// the simulation seed (which drives scheduler jitter, warp staggering,
+// PMA latency noise, and workload randomization). For each cell it runs
+// several seeds and reports the mean and relative standard deviation of
+// total time and fault count. Shapes claimed in EXPERIMENTS.md should be
+// far larger than these variations.
+func SeedStability(sc Scale) ([]*stats.Table, error) {
+	seeds := []uint64{1, 2, 3, 4, 5}
+	if sc.Quick {
+		seeds = seeds[:3]
+	}
+	t := stats.NewTable("Seed stability of headline measurements",
+		"cell", "seeds", "mean_ms", "time_rsd_pct", "mean_faults", "fault_rsd_pct")
+	cells := []struct {
+		name     string
+		workload string
+		frac     float64
+		prefetch string
+	}{
+		{"regular-incore-nopf", "regular", 0.5, "none"},
+		{"regular-incore-pf", "regular", 0.5, "density"},
+		{"random-incore-pf", "random", 0.5, "density"},
+		{"random-oversub-pf", "random", 1.25, "density"},
+	}
+	if sc.Quick {
+		cells = cells[:2]
+	}
+	for _, c := range cells {
+		var times, faults []float64
+		for _, seed := range seeds {
+			cfg := sc.sysConfig()
+			cfg.Seed = seed
+			cfg.PrefetchPolicy = c.prefetch
+			p := sc.params()
+			p.Seed = seed + 100
+			cell, err := runWorkloadCell(cfg, c.workload, int64(c.frac*float64(sc.GPUMemoryBytes)), p)
+			if err != nil {
+				return nil, fmt.Errorf("stability %s seed %d: %w", c.name, seed, err)
+			}
+			times = append(times, ms(cell.res.TotalTime))
+			faults = append(faults, float64(cell.res.Faults))
+		}
+		mt, rt := meanRSD(times)
+		mf, rf := meanRSD(faults)
+		t.AddRow(c.name, len(seeds), mt, rt*100, mf, rf*100)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// meanRSD returns the mean and the relative standard deviation of xs.
+func meanRSD(xs []float64) (mean, rsd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean == 0 || len(xs) < 2 {
+		return mean, 0
+	}
+	var v float64
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	v /= float64(len(xs) - 1)
+	return mean, math.Sqrt(v) / mean
+}

@@ -1,0 +1,115 @@
+// Package faultbuf models the GPU-side replayable fault buffer and its
+// pointer queue (paper §III-C and Fig. 2): the GPU serializes far-faults
+// from all SMs into a circular buffer; entries become readable by the
+// host only after an asynchronous "ready" flag is set; the driver reads
+// batches in FIFO order and may flush the buffer (batch-flush replay
+// policy) to discard entries that would become duplicates after a replay.
+package faultbuf
+
+import (
+	"fmt"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+// Entry is one far-fault record. Matching the paper's "fault source
+// erasure", the driver-visible portion is only the faulting address and
+// access type; SM is carried for the fault-origin-information extension
+// (§VI-B) and for tracing, and is ignored by the baseline driver.
+type Entry struct {
+	Seq     uint64     // global fault sequence number
+	Page    mem.PageID // faulting virtual page
+	Write   bool       // access type
+	SM      int        // originating SM (extension/tracing only)
+	Raised  sim.Time   // when the GPU recorded the fault
+	ReadyAt sim.Time   // when the entry's ready flag is visible to the host
+}
+
+// Buffer is the circular fault buffer. It is a passive data structure
+// driven by GPU puts and driver fetches.
+type Buffer struct {
+	cap     int
+	entries []Entry // FIFO; head at index 0 (slices are re-sliced on fetch)
+	seq     uint64
+
+	drops   uint64 // puts rejected because the buffer was full
+	flushed uint64 // entries discarded by Flush
+	total   uint64 // entries accepted
+}
+
+// New returns a buffer holding at most capacity entries.
+func New(capacity int) (*Buffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("faultbuf: capacity %d must be positive", capacity)
+	}
+	return &Buffer{cap: capacity}, nil
+}
+
+// Cap returns the buffer capacity.
+func (b *Buffer) Cap() int { return b.cap }
+
+// Len returns the number of buffered entries (ready or not).
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Full reports whether a Put would be rejected.
+func (b *Buffer) Full() bool { return len(b.entries) >= b.cap }
+
+// Put appends a fault entry. It returns the assigned sequence number and
+// false when the buffer was full (the fault is dropped; the warp will
+// re-fault after the next replay).
+func (b *Buffer) Put(page mem.PageID, write bool, sm int, raised, readyAt sim.Time) (uint64, bool) {
+	if b.Full() {
+		b.drops++
+		return 0, false
+	}
+	b.seq++
+	b.total++
+	b.entries = append(b.entries, Entry{
+		Seq: b.seq, Page: page, Write: write, SM: sm, Raised: raised, ReadyAt: readyAt,
+	})
+	return b.seq, true
+}
+
+// FetchReady pops up to max entries from the head whose ready flag is
+// visible at time now. It stops early at the first not-ready entry,
+// mirroring the driver's fetch loop.
+func (b *Buffer) FetchReady(max int, now sim.Time) []Entry {
+	n := 0
+	for n < len(b.entries) && n < max && b.entries[n].ReadyAt <= now {
+		n++
+	}
+	out := b.entries[:n:n]
+	b.entries = b.entries[n:]
+	if len(b.entries) == 0 {
+		b.entries = nil // release backing array once drained
+	}
+	return out
+}
+
+// HeadReadyAt returns when the head entry becomes ready. ok is false when
+// the buffer is empty.
+func (b *Buffer) HeadReadyAt() (t sim.Time, ok bool) {
+	if len(b.entries) == 0 {
+		return 0, false
+	}
+	return b.entries[0].ReadyAt, true
+}
+
+// Flush discards every buffered entry (the batch-flush replay policy) and
+// returns how many were dropped.
+func (b *Buffer) Flush() int {
+	n := len(b.entries)
+	b.entries = nil
+	b.flushed += uint64(n)
+	return n
+}
+
+// Drops returns how many faults were rejected due to a full buffer.
+func (b *Buffer) Drops() uint64 { return b.drops }
+
+// Flushed returns how many entries Flush has discarded in total.
+func (b *Buffer) Flushed() uint64 { return b.flushed }
+
+// Total returns how many entries have been accepted in total.
+func (b *Buffer) Total() uint64 { return b.total }

@@ -1,0 +1,148 @@
+package faultbuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+type pageID = mem.PageID
+
+func uint64ToPage(v uint64) pageID { return pageID(v) }
+
+func TestPutFetchFIFO(t *testing.T) {
+	b, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := b.Put(uint64ToPage(uint64(i)), false, 0, sim.Time(i), sim.Time(i)); !ok {
+			t.Fatalf("put %d rejected", i)
+		}
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	got := b.FetchReady(3, 100)
+	if len(got) != 3 {
+		t.Fatalf("fetched %d, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Page != uint64ToPage(uint64(i)) || e.Seq != uint64(i+1) {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len after fetch = %d", b.Len())
+	}
+}
+
+func TestReadyGating(t *testing.T) {
+	b, _ := New(8)
+	b.Put(1, false, 0, 0, 10) // ready at 10
+	b.Put(2, false, 0, 0, 5)  // ready at 5 but behind entry 1
+	if got := b.FetchReady(10, 7); len(got) != 0 {
+		t.Fatalf("fetched %d entries before head ready", len(got))
+	}
+	at, ok := b.HeadReadyAt()
+	if !ok || at != 10 {
+		t.Fatalf("HeadReadyAt = %v, %v", at, ok)
+	}
+	if got := b.FetchReady(10, 10); len(got) != 2 {
+		t.Fatalf("fetched %d entries at t=10, want 2 (FIFO order unblocks both)", len(got))
+	}
+	if _, ok := b.HeadReadyAt(); ok {
+		t.Error("HeadReadyAt on empty buffer")
+	}
+}
+
+func TestOverflowDrops(t *testing.T) {
+	b, _ := New(2)
+	b.Put(1, false, 0, 0, 0)
+	b.Put(2, false, 0, 0, 0)
+	if !b.Full() {
+		t.Error("should be full")
+	}
+	if _, ok := b.Put(3, false, 0, 0, 0); ok {
+		t.Error("overflow accepted")
+	}
+	if b.Drops() != 1 || b.Total() != 2 {
+		t.Errorf("drops=%d total=%d", b.Drops(), b.Total())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	b, _ := New(8)
+	for i := 0; i < 6; i++ {
+		b.Put(pageID(i), false, 0, 0, 0)
+	}
+	b.FetchReady(2, 0)
+	if n := b.Flush(); n != 4 {
+		t.Fatalf("Flush = %d, want 4", n)
+	}
+	if b.Len() != 0 || b.Flushed() != 4 {
+		t.Errorf("len=%d flushed=%d", b.Len(), b.Flushed())
+	}
+	// Buffer usable after flush.
+	if _, ok := b.Put(9, false, 0, 0, 0); !ok {
+		t.Error("put after flush rejected")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestSequenceNumbersMonotonic(t *testing.T) {
+	b, _ := New(4)
+	s1, _ := b.Put(1, false, 0, 0, 0)
+	s2, _ := b.Put(2, false, 0, 0, 0)
+	b.Flush()
+	s3, _ := b.Put(3, false, 0, 0, 0)
+	if !(s1 < s2 && s2 < s3) {
+		t.Errorf("sequence not monotonic: %d %d %d", s1, s2, s3)
+	}
+}
+
+// Property: conservation — accepted = fetched + flushed + still buffered,
+// for any interleaving of operations.
+func TestConservationProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8 // 0 put, 1 fetch, 2 flush
+		Count uint8
+	}
+	f := func(ops []op) bool {
+		b, err := New(32)
+		if err != nil {
+			return false
+		}
+		var fetched uint64
+		for i, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				b.Put(pageID(i), false, 0, 0, 0)
+			case 1:
+				fetched += uint64(len(b.FetchReady(int(o.Count%8)+1, sim.MaxTime)))
+			case 2:
+				b.Flush()
+			}
+			if b.Total() != fetched+b.Flushed()+uint64(b.Len()) {
+				return false
+			}
+			if b.Len() > b.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

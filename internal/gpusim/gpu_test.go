@@ -1,0 +1,483 @@
+package gpusim
+
+import (
+	"testing"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+// testRig wires a GPU to a trivial in-test "driver" that services every
+// buffered fault after a fixed delay and replays.
+type testRig struct {
+	eng   *sim.Engine
+	space *mem.AddressSpace
+	gpu   *GPU
+
+	serviceDelay sim.Duration
+	busy         bool
+	serviced     int
+}
+
+func newRig(t *testing.T, cfg Config, allocPages int) *testRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	space := mem.NewAddressSpace(mem.DefaultGeometry())
+	if _, err := space.Alloc(mem.Bytes(allocPages), "data"); err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := New(eng, cfg, space, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &testRig{eng: eng, space: space, gpu: gpu, serviceDelay: 5 * sim.Microsecond}
+	gpu.SetHandler(r)
+	return r
+}
+
+// OnFault implements Handler: drain the buffer, make pages resident,
+// replay.
+func (r *testRig) OnFault() {
+	if r.busy {
+		return
+	}
+	r.busy = true
+	r.eng.After(r.serviceDelay, r.pass)
+}
+
+func (r *testRig) pass() {
+	geom := r.space.Geometry()
+	entries := r.gpu.FaultBuffer().FetchReady(1024, r.eng.Now())
+	for _, e := range entries {
+		b := r.space.Block(geom.BlockOf(e.Page))
+		b.Resident.Set(geom.PageIndex(e.Page))
+		r.serviced++
+	}
+	if len(entries) > 0 {
+		r.gpu.Replay()
+	}
+	if r.gpu.FaultBuffer().Len() > 0 {
+		r.eng.After(r.serviceDelay, r.pass)
+		return
+	}
+	r.busy = false
+}
+
+func touchKernel(pages, warpSize, warpsPerBlock int) *Kernel {
+	k := &Kernel{Name: "touch", ComputePerAccess: 10}
+	perBlock := warpSize * warpsPerBlock
+	for base := 0; base < pages; base += perBlock {
+		var tb ThreadBlock
+		for w := 0; w < warpsPerBlock; w++ {
+			start := base + w*warpSize
+			if start >= pages {
+				break
+			}
+			n := warpSize
+			if start+n > pages {
+				n = pages - start
+			}
+			tb.Warps = append(tb.Warps, StridedProgram{
+				Start: mem.PageID(start), Stride: 1, Count: n, Repeat: 1,
+			})
+		}
+		if len(tb.Warps) > 0 {
+			k.Blocks = append(k.Blocks, tb)
+		}
+	}
+	return k
+}
+
+func TestKernelCompletesWithAllPagesResident(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1024)
+	var doneAt sim.Time = -1
+	if err := r.gpu.Launch(touchKernel(1024, 32, 4), func(at sim.Time) { doneAt = at }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if doneAt < 0 {
+		t.Fatalf("kernel did not complete; blocked=%d bufLen=%d", r.gpu.BlockedWarps(), r.gpu.FaultBuffer().Len())
+	}
+	if got := r.space.ResidentPages(); got != 1024 {
+		t.Errorf("resident pages = %d, want 1024", got)
+	}
+	st := r.gpu.Stats()
+	if st.FaultsRaised == 0 || st.Replays == 0 {
+		t.Errorf("stats = %+v, want faults and replays", st)
+	}
+	if st.StallTime <= 0 {
+		t.Error("no stall time recorded")
+	}
+}
+
+func TestNoFaultsWhenAllResident(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 512)
+	geom := r.space.Geometry()
+	b := r.space.Block(0)
+	for i := 0; i < geom.PagesPerVABlock; i++ {
+		b.Resident.Set(i)
+	}
+	var done bool
+	if err := r.gpu.Launch(touchKernel(512, 32, 4), func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("kernel did not complete")
+	}
+	st := r.gpu.Stats()
+	if st.FaultsRaised != 0 || st.Replays != 0 {
+		t.Errorf("unexpected faults: %+v", st)
+	}
+	if st.Accesses != 512 {
+		t.Errorf("accesses = %d, want 512", st.Accesses)
+	}
+}
+
+func TestMicroTLBCoalescing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 1
+	cfg.WarpSlotsPerSM = 8
+	r := newRig(t, cfg, 64)
+	// Two warps in the same block (same SM) touch the same page.
+	k := &Kernel{Name: "dup", Blocks: []ThreadBlock{{
+		Warps: []WarpProgram{
+			SliceProgram{{Page: 7}},
+			SliceProgram{{Page: 7}},
+		},
+	}}}
+	var done bool
+	if err := r.gpu.Launch(k, func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("kernel did not complete")
+	}
+	st := r.gpu.Stats()
+	if st.FaultsRaised != 1 || st.FaultsCoalesced != 1 {
+		t.Errorf("raised=%d coalesced=%d, want 1,1", st.FaultsRaised, st.FaultsCoalesced)
+	}
+}
+
+func TestCrossSMDuplicatesAreNotCoalesced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.WarpSlotsPerSM = 1
+	cfg.WarpStartSpread = 0 // both warps must fault before service lands
+	r := newRig(t, cfg, 64)
+	// Two single-warp blocks land on different SMs and fault on the same
+	// page: fault source erasure means the driver sees two entries.
+	k := &Kernel{Name: "dup2", Blocks: []ThreadBlock{
+		{Warps: []WarpProgram{SliceProgram{{Page: 7}}}},
+		{Warps: []WarpProgram{SliceProgram{{Page: 7}}}},
+	}}
+	var done bool
+	if err := r.gpu.Launch(k, func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("kernel did not complete")
+	}
+	if st := r.gpu.Stats(); st.FaultsRaised != 2 {
+		t.Errorf("raised = %d, want 2 (no cross-SM coalescing)", st.FaultsRaised)
+	}
+}
+
+func TestWriteAccessSetsDirty(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 64)
+	k := &Kernel{Name: "w", Blocks: []ThreadBlock{{
+		Warps: []WarpProgram{SliceProgram{{Page: 3, Write: true}, {Page: 4, Write: false}}},
+	}}}
+	var done bool
+	if err := r.gpu.Launch(k, func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("kernel did not complete")
+	}
+	b := r.space.Block(0)
+	if !b.Dirty.Get(3) {
+		t.Error("write access did not set dirty bit")
+	}
+	if b.Dirty.Get(4) {
+		t.Error("read access set dirty bit")
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AccessCounters = true
+	r := newRig(t, cfg, 64)
+	k := &Kernel{Name: "ac", Blocks: []ThreadBlock{{
+		Warps: []WarpProgram{StridedProgram{Start: 0, Stride: 1, Count: 8, Repeat: 3}},
+	}}}
+	var done bool
+	if err := r.gpu.Launch(k, func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("kernel did not complete")
+	}
+	b := r.space.Block(0)
+	if b.GPUAccesses != 24 {
+		t.Errorf("GPUAccesses = %d, want 24", b.GPUAccesses)
+	}
+}
+
+func TestSchedulerPrefersLowBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 1
+	cfg.WarpSlotsPerSM = 1
+	cfg.JitterFrac = 0
+	r := newRig(t, cfg, 1024)
+	// Pre-resident everything so execution order is purely scheduling.
+	for blk := 0; blk < 2; blk++ {
+		b := r.space.Block(mem.VABlockID(blk))
+		for i := 0; i < 512; i++ {
+			b.Resident.Set(i)
+		}
+	}
+	var order []int
+	k := &Kernel{Name: "order"}
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Blocks = append(k.Blocks, ThreadBlock{Warps: []WarpProgram{
+			recordingProgram{pages: []mem.PageID{mem.PageID(i)}, onFirst: func() { order = append(order, i) }},
+		}})
+	}
+	var done bool
+	if err := r.gpu.Launch(k, func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("kernel did not complete")
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("dispatch order = %v, want ascending", order)
+		}
+	}
+}
+
+type recordingProgram struct {
+	pages   []mem.PageID
+	onFirst func()
+	fired   *bool
+}
+
+func (p recordingProgram) Len() int { return len(p.pages) }
+func (p recordingProgram) At(i int) Access {
+	if i == 0 && p.onFirst != nil {
+		p.onFirst()
+	}
+	return Access{Page: p.pages[i]}
+}
+
+func TestLaunchWhileRunningFails(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 64)
+	k := touchKernel(32, 32, 1)
+	if err := r.gpu.Launch(k, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.gpu.Launch(k, nil); err == nil {
+		t.Error("concurrent launch accepted")
+	}
+	r.eng.Run()
+}
+
+func TestLaunchValidation(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 64)
+	if err := r.gpu.Launch(&Kernel{Name: "empty"}, nil); err == nil {
+		t.Error("empty kernel accepted")
+	}
+	if err := r.gpu.Launch(&Kernel{Name: "noblock", Blocks: []ThreadBlock{{}}}, nil); err == nil {
+		t.Error("block without warps accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	space := mem.NewAddressSpace(mem.DefaultGeometry())
+	bad := DefaultConfig()
+	bad.NumSMs = 0
+	if _, err := New(eng, bad, space, sim.NewRNG(1)); err == nil {
+		t.Error("zero SMs accepted")
+	}
+	bad = DefaultConfig()
+	bad.ChunkAccesses = 0
+	if _, err := New(eng, bad, space, sim.NewRNG(1)); err == nil {
+		t.Error("zero chunk accepted")
+	}
+	bad = DefaultConfig()
+	bad.FaultBufferCap = 0
+	if _, err := New(eng, bad, space, sim.NewRNG(1)); err == nil {
+		t.Error("zero fault buffer accepted")
+	}
+}
+
+func TestStridedProgram(t *testing.T) {
+	p := StridedProgram{Start: 10, Stride: 2, Count: 3, Repeat: 2, Write: true}
+	if p.Len() != 6 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	want := []mem.PageID{10, 12, 14, 10, 12, 14}
+	for i, wp := range want {
+		a := p.At(i)
+		if a.Page != wp || !a.Write {
+			t.Fatalf("At(%d) = %+v", i, a)
+		}
+	}
+	zero := StridedProgram{Start: 0, Stride: 1, Count: 4}
+	if zero.Len() != 4 {
+		t.Errorf("Repeat=0 Len = %d, want 4", zero.Len())
+	}
+}
+
+func TestKernelTotalAccesses(t *testing.T) {
+	k := touchKernel(100, 32, 2)
+	if k.TotalAccesses() != 100 {
+		t.Errorf("TotalAccesses = %d, want 100", k.TotalAccesses())
+	}
+}
+
+func TestFaultBufferOverflowStillCompletes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FaultBufferCap = 8 // tiny buffer forces drops
+	r := newRig(t, cfg, 2048)
+	var done bool
+	if err := r.gpu.Launch(touchKernel(2048, 32, 4), func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("kernel did not complete despite drops")
+	}
+	if r.gpu.Stats().FaultsDropped == 0 {
+		t.Error("expected dropped faults with a tiny buffer")
+	}
+	if r.space.ResidentPages() != 2048 {
+		t.Errorf("resident = %d, want 2048", r.space.ResidentPages())
+	}
+}
+
+func TestMSHRThrottleBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 1
+	cfg.WarpSlotsPerSM = 4
+	cfg.MaxOutstandingPerSM = 8
+	cfg.WarpStartSpread = 0
+	r := newRig(t, cfg, 2048)
+	// Delay the test driver so the initial fault wave is observable.
+	r.serviceDelay = sim.Second
+	// Four warps × 32-page groups = 128 potential simultaneous faults,
+	// but the SM may only keep 8 outstanding.
+	var done bool
+	if err := r.gpu.Launch(touchKernel(128, 32, 4), func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(sim.Time(100 * sim.Microsecond))
+	if got := r.gpu.FaultBuffer().Len(); got > 8 {
+		t.Errorf("outstanding faults %d exceed MSHR budget 8", got)
+	}
+	if r.gpu.Stats().FaultsThrottled == 0 {
+		t.Error("no throttling recorded")
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("kernel did not complete under throttling")
+	}
+}
+
+func TestStallHistogramPopulated(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1024)
+	var done bool
+	if err := r.gpu.Launch(touchKernel(1024, 32, 4), func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("kernel did not complete")
+	}
+	h := r.gpu.StallHistogram()
+	if h.Count() == 0 {
+		t.Fatal("stall histogram empty")
+	}
+	if h.Quantile(0.5) <= 0 || h.Quantile(0.99) < h.Quantile(0.5) {
+		t.Errorf("quantiles wrong: p50=%v p99=%v", h.Quantile(0.5), h.Quantile(0.99))
+	}
+}
+
+func TestSIMTGroupRaisesAllLanes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 1
+	cfg.WarpSlotsPerSM = 1
+	cfg.WarpStartSpread = 0
+	r := newRig(t, cfg, 64)
+	// One warp touching 8 scattered pages: all 8 fault as one group.
+	pages := []mem.PageID{3, 9, 17, 21, 33, 41, 50, 63}
+	prog := make(SliceProgram, len(pages))
+	for i, p := range pages {
+		prog[i] = Access{Page: p}
+	}
+	k := &Kernel{Name: "group", Blocks: []ThreadBlock{{Warps: []WarpProgram{prog}}}}
+	var done bool
+	if err := r.gpu.Launch(k, func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunLimit(5)
+	if got := r.gpu.Stats().FaultsRaised; got != uint64(len(pages)) {
+		t.Errorf("group raised %d faults, want %d", got, len(pages))
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("kernel did not complete")
+	}
+}
+
+func TestDeterministicExecutionPerSeed(t *testing.T) {
+	run := func(seed uint64) (sim.Time, uint64) {
+		eng := sim.NewEngine()
+		space := mem.NewAddressSpace(mem.DefaultGeometry())
+		if _, err := space.Alloc(mem.Bytes(2048), "d"); err != nil {
+			t.Fatal(err)
+		}
+		gpu, err := New(eng, DefaultConfig(), space, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig := &testRig{eng: eng, space: space, gpu: gpu, serviceDelay: 5 * sim.Microsecond}
+		gpu.SetHandler(rig)
+		var at sim.Time
+		if err := gpu.Launch(touchKernel(2048, 32, 4), func(t sim.Time) { at = t }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return at, gpu.Stats().FaultsRaised
+	}
+	t1, f1 := run(7)
+	t2, f2 := run(7)
+	if t1 != t2 || f1 != f2 {
+		t.Errorf("same seed diverged: (%v,%d) vs (%v,%d)", t1, f1, t2, f2)
+	}
+}
+
+func TestTitanVFullScaleSmoke(t *testing.T) {
+	cfg := TitanV()
+	r := newRig(t, cfg, 8192)
+	var done bool
+	if err := r.gpu.Launch(touchKernel(8192, 32, 4), func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !done {
+		t.Fatal("full-scale kernel did not complete")
+	}
+	if r.space.ResidentPages() != 8192 {
+		t.Errorf("resident = %d", r.space.ResidentPages())
+	}
+}

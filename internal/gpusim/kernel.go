@@ -1,0 +1,104 @@
+// Package gpusim models the GPU side of the UVM system: streaming
+// multiprocessors executing warps, a thread-block scheduler that prefers
+// low-numbered blocks (paper §IV-B) with nondeterministic jitter, µTLB
+// fault coalescing per SM, the replayable-fault stall/wake cycle, and
+// Volta-style access counters for the §VI-B eviction extension.
+//
+// The model is page-granular: a warp's program is a sequence of page
+// accesses, which is exactly the granularity the UVM driver observes.
+package gpusim
+
+import (
+	"fmt"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+// Access is a single page-granularity memory access by a warp.
+type Access struct {
+	Page  mem.PageID
+	Write bool
+}
+
+// WarpProgram is the access sequence one warp executes. Implementations
+// are typically compact generators (internal/workloads) rather than
+// materialized slices, so multi-gigabyte traces stay cheap.
+type WarpProgram interface {
+	Len() int
+	At(i int) Access
+}
+
+// SliceProgram is a WarpProgram backed by an explicit access slice.
+type SliceProgram []Access
+
+// Len implements WarpProgram.
+func (p SliceProgram) Len() int { return len(p) }
+
+// At implements WarpProgram.
+func (p SliceProgram) At(i int) Access { return p[i] }
+
+// StridedProgram is a compact WarpProgram touching Count pages starting
+// at Start with the given Stride (in pages), Repeat times over.
+type StridedProgram struct {
+	Start  mem.PageID
+	Stride int64
+	Count  int
+	Repeat int // >= 1
+	Write  bool
+}
+
+// Len implements WarpProgram.
+func (p StridedProgram) Len() int {
+	r := p.Repeat
+	if r < 1 {
+		r = 1
+	}
+	return p.Count * r
+}
+
+// At implements WarpProgram.
+func (p StridedProgram) At(i int) Access {
+	idx := i % p.Count
+	return Access{
+		Page:  mem.PageID(int64(p.Start) + int64(idx)*p.Stride),
+		Write: p.Write,
+	}
+}
+
+// ThreadBlock groups the warps that are scheduled onto one SM together.
+type ThreadBlock struct {
+	Warps []WarpProgram
+}
+
+// Kernel is a grid of thread blocks plus the per-access compute cost that
+// separates memory operations (the "compute gap").
+type Kernel struct {
+	Name             string
+	Blocks           []ThreadBlock
+	ComputePerAccess sim.Duration
+}
+
+// TotalAccesses returns the number of accesses across all warps.
+func (k *Kernel) TotalAccesses() int64 {
+	var n int64
+	for _, b := range k.Blocks {
+		for _, w := range b.Warps {
+			n += int64(w.Len())
+		}
+	}
+	return n
+}
+
+// Validate checks structural sanity.
+func (k *Kernel) Validate() error {
+	if len(k.Blocks) == 0 {
+		return fmt.Errorf("gpusim: kernel %q has no blocks", k.Name)
+	}
+	for i, b := range k.Blocks {
+		if len(b.Warps) == 0 {
+			return fmt.Errorf("gpusim: kernel %q block %d has no warps", k.Name, i)
+		}
+	}
+	return nil
+}

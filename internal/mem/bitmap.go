@@ -1,0 +1,137 @@
+package mem
+
+import "math/bits"
+
+// Bitmap is a fixed-capacity bitset sized for one VABlock's pages. The
+// zero value of a Bitmap created via NewBitmap is empty.
+type Bitmap struct {
+	words []uint64
+	n     int // capacity in bits
+	count int // set bits, maintained incrementally
+}
+
+// NewBitmap returns an empty bitmap with capacity for n bits.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the bitmap capacity in bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int { return b.count }
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i and reports whether it was previously clear.
+func (b *Bitmap) Set(i int) bool {
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.count++
+	return true
+}
+
+// Clear clears bit i and reports whether it was previously set.
+func (b *Bitmap) Clear(i int) bool {
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	b.count--
+	return true
+}
+
+// Reset clears every bit.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.count = 0
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b *Bitmap) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	n := 0
+	for i := lo; i < hi; {
+		w := i >> 6
+		// Mask off bits below i and at/above hi within this word.
+		word := b.words[w] >> uint(i&63)
+		span := 64 - i&63
+		if i+span > hi {
+			span = hi - i
+			word &= (1 << uint(span)) - 1
+		}
+		n += bits.OnesCount64(word)
+		i += span
+	}
+	return n
+}
+
+// ForEachSet calls fn for each set bit in ascending order.
+func (b *Bitmap) ForEachSet(fn func(i int)) {
+	for w, word := range b.words {
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			fn(w<<6 + tz)
+			word &= word - 1
+		}
+	}
+}
+
+// NextClear returns the first clear bit at or after i, or -1 when all
+// remaining bits are set.
+func (b *Bitmap) NextClear(i int) int {
+	for ; i < b.n; i++ {
+		if !b.Get(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Or sets every bit that is set in other. The bitmaps must have equal
+// capacity.
+func (b *Bitmap) Or(other *Bitmap) {
+	for i, w := range other.words {
+		added := w &^ b.words[i]
+		b.words[i] |= added
+		b.count += bits.OnesCount64(added)
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{words: make([]uint64, len(b.words)), n: b.n, count: b.count}
+	copy(c.words, b.words)
+	return c
+}
+
+// Runs calls fn for each maximal run [lo, hi) of set bits, in order. It is
+// used to coalesce contiguous pages into single DMA transfers.
+func (b *Bitmap) Runs(fn func(lo, hi int)) {
+	i := 0
+	for i < b.n {
+		if !b.Get(i) {
+			i++
+			continue
+		}
+		lo := i
+		for i < b.n && b.Get(i) {
+			i++
+		}
+		fn(lo, i)
+	}
+}

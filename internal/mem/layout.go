@@ -1,0 +1,105 @@
+// Package mem models the UVM virtual-address-space hierarchy described in
+// the paper (§III-A): an address space is composed of ranges (one per
+// cudaMallocManaged-style allocation); ranges are broken into 2 MB
+// virtual address blocks (VABlocks); VABlocks are composed of 4 KB OS
+// pages, with 64 KB "big page" alignment used by the prefetcher's upgrade
+// stage.
+package mem
+
+import "fmt"
+
+// Fixed layout constants matching the x86 UVM driver.
+const (
+	// PageSize is the OS page size (x86: 4 KB).
+	PageSize = 4 << 10
+	// BigPageSize is the "big page" the prefetcher upgrades faults to
+	// (64 KB, emulating Power9 page size on x86).
+	BigPageSize = 64 << 10
+	// DefaultVABlockSize is the virtual address block size (2 MB). The
+	// flexible-granularity extension (§VI-B) makes this configurable per
+	// system; everything else derives from Geometry.
+	DefaultVABlockSize = 2 << 20
+
+	// PagesPerBigPage is the number of 4 KB pages per 64 KB big page.
+	PagesPerBigPage = BigPageSize / PageSize
+)
+
+// PageID identifies a 4 KB page within an address space (global index).
+type PageID uint64
+
+// VABlockID identifies a VABlock within an address space.
+type VABlockID uint64
+
+// RangeID identifies a managed allocation (range) within an address space.
+type RangeID int
+
+// Geometry captures the derived page/block arithmetic for a configurable
+// VABlock size. The paper's system uses the 2 MB default; the
+// flexible-granularity ablation uses smaller blocks.
+type Geometry struct {
+	VABlockSize     int64 // bytes per VABlock; multiple of BigPageSize
+	PagesPerVABlock int   // 4 KB pages per VABlock
+	TreeLevels      int   // log2(PagesPerVABlock) + 1 tree levels (leaf level included)
+}
+
+// NewGeometry validates blockSize and returns the derived geometry.
+// blockSize must be a power-of-two multiple of BigPageSize.
+func NewGeometry(blockSize int64) (Geometry, error) {
+	if blockSize < BigPageSize {
+		return Geometry{}, fmt.Errorf("mem: VABlock size %d below big page size %d", blockSize, BigPageSize)
+	}
+	if blockSize&(blockSize-1) != 0 {
+		return Geometry{}, fmt.Errorf("mem: VABlock size %d not a power of two", blockSize)
+	}
+	pages := int(blockSize / PageSize)
+	levels := 0
+	for 1<<levels < pages {
+		levels++
+	}
+	return Geometry{
+		VABlockSize:     blockSize,
+		PagesPerVABlock: pages,
+		TreeLevels:      levels + 1,
+	}, nil
+}
+
+// DefaultGeometry returns the 2 MB VABlock geometry used by the real
+// driver: 512 pages per block, 10 node levels (9 levels above the leaves,
+// matching the paper's log2(2MB/4KB) = 9).
+func DefaultGeometry() Geometry {
+	g, err := NewGeometry(DefaultVABlockSize)
+	if err != nil {
+		panic(err) // impossible: constant input
+	}
+	return g
+}
+
+// BlockOf returns the VABlock containing page p.
+func (g Geometry) BlockOf(p PageID) VABlockID {
+	return VABlockID(uint64(p) / uint64(g.PagesPerVABlock))
+}
+
+// PageIndex returns the index of page p within its VABlock.
+func (g Geometry) PageIndex(p PageID) int {
+	return int(uint64(p) % uint64(g.PagesPerVABlock))
+}
+
+// FirstPage returns the first page of VABlock b.
+func (g Geometry) FirstPage(b VABlockID) PageID {
+	return PageID(uint64(b) * uint64(g.PagesPerVABlock))
+}
+
+// BigPageBase returns the index of the first page of the big page
+// containing in-block page index idx.
+func BigPageBase(idx int) int { return idx &^ (PagesPerBigPage - 1) }
+
+// Bytes converts a page count to bytes.
+func Bytes(pages int) int64 { return int64(pages) * PageSize }
+
+// PagesFor returns the number of pages needed to hold size bytes.
+func PagesFor(size int64) int {
+	if size <= 0 {
+		return 0
+	}
+	return int((size + PageSize - 1) / PageSize)
+}

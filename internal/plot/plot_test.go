@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterPlacesMarks(t *testing.T) {
+	c := NewCanvas(20, 10)
+	c.Scatter([]float64{0, 50, 100}, []float64{0, 50, 100}, 'x')
+	out := c.String()
+	if strings.Count(out, "x") != 3 {
+		t.Errorf("marks = %d, want 3:\n%s", strings.Count(out, "x"), out)
+	}
+	lines := strings.Split(out, "\n")
+	// Diagonal: first mark bottom-left, last top-right.
+	var firstRow, lastRow int
+	for i, l := range lines {
+		if strings.Contains(l, "x") {
+			if firstRow == 0 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow >= lastRow {
+		t.Errorf("diagonal not rendered:\n%s", out)
+	}
+}
+
+func TestAutoScaleBounds(t *testing.T) {
+	c := NewCanvas(20, 10)
+	c.Scatter([]float64{5, 15}, []float64{100, 300}, '*')
+	out := c.String()
+	if !strings.Contains(out, "300") || !strings.Contains(out, "100") {
+		t.Errorf("y bounds missing:\n%s", out)
+	}
+	if !strings.Contains(out, "5") || !strings.Contains(out, "15") {
+		t.Errorf("x bounds missing:\n%s", out)
+	}
+}
+
+func TestSetScaleClipsOutOfRange(t *testing.T) {
+	c := NewCanvas(20, 10).SetScale(0, 10, 0, 10)
+	c.Scatter([]float64{5, 50}, []float64{5, 50}, 'o')
+	if strings.Count(c.String(), "o") != 1 {
+		t.Errorf("out-of-range point drawn:\n%s", c.String())
+	}
+}
+
+func TestLineConnects(t *testing.T) {
+	c := NewCanvas(30, 10).SetScale(0, 10, 0, 10)
+	c.Line([]float64{0, 10}, []float64{0, 10}, '.')
+	marks := strings.Count(c.String(), ".")
+	if marks < 10 {
+		t.Errorf("line too sparse (%d marks):\n%s", marks, c.String())
+	}
+}
+
+func TestTitleAndLabels(t *testing.T) {
+	c := NewCanvas(20, 6).Title("demo").Labels("occurrence", "page")
+	c.Scatter([]float64{1}, []float64{1}, 'x')
+	out := c.String()
+	for _, want := range []string{"demo", "occurrence", "pag"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// Single point, zero span, empty series: no panics, sane output.
+	if out := NewCanvas(0, 0).Scatter(nil, nil, 'x').String(); out == "" {
+		t.Error("empty canvas rendered nothing")
+	}
+	c := NewCanvas(10, 5)
+	c.Scatter([]float64{3}, []float64{3}, 'x')
+	if !strings.Contains(c.String(), "x") {
+		t.Error("single point not drawn")
+	}
+	c2 := NewCanvas(10, 5)
+	c2.Line([]float64{1}, []float64{2}, 'o')
+	if !strings.Contains(c2.String(), "o") {
+		t.Error("single-point line not drawn")
+	}
+}
+
+func TestOverwriteOrder(t *testing.T) {
+	c := NewCanvas(10, 5).SetScale(0, 10, 0, 10)
+	c.Scatter([]float64{5}, []float64{5}, '.')
+	c.Scatter([]float64{5}, []float64{5}, 'E')
+	out := c.String()
+	if !strings.Contains(out, "E") || strings.Contains(out, ".") {
+		t.Errorf("later mark should overwrite:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+// Package pma models the physical memory allocator the UVM driver calls
+// to reserve GPU framebuffer chunks for VABlocks. The real allocator
+// lives in the proprietary NVIDIA driver; the paper (§III-D) observes
+// that each call is expensive and "subject to system latency", so the
+// UVM driver over-allocates and caches chunks to keep the cost roughly
+// constant and negligible at large sizes while dominating at small sizes
+// (Fig. 4). This package reproduces exactly that cost profile.
+package pma
+
+import (
+	"errors"
+	"fmt"
+
+	"uvmsim/internal/sim"
+)
+
+// ErrOutOfMemory is returned when the framebuffer is exhausted; the
+// caller (the driver) must evict a VABlock and retry.
+var ErrOutOfMemory = errors.New("pma: GPU memory exhausted")
+
+// Config describes the allocator and its cost model.
+type Config struct {
+	// CapacityBytes is the usable GPU framebuffer size.
+	CapacityBytes int64
+	// ChunkBytes is the allocation granularity (the VABlock size).
+	ChunkBytes int64
+	// FastAllocCost is the cost of handing out a cached chunk.
+	FastAllocCost sim.Duration
+	// RMCallCost is the base cost of a call into the proprietary driver.
+	RMCallCost sim.Duration
+	// RMPerChunkCost is the additional cost per chunk acquired in one call.
+	RMPerChunkCost sim.Duration
+	// RMJitterFrac models system-latency noise on RM calls (0 disables).
+	RMJitterFrac float64
+	// OverAllocChunks is how many chunks one RM call acquires (>= 1).
+	OverAllocChunks int
+	// FreeCost is the cost of returning a chunk to the cache (eviction).
+	FreeCost sim.Duration
+}
+
+// DefaultConfig returns a cost model calibrated to the paper's
+// observations for a framebuffer of the given size.
+func DefaultConfig(capacityBytes int64) Config {
+	return Config{
+		CapacityBytes:   capacityBytes,
+		ChunkBytes:      2 << 20,
+		FastAllocCost:   300 * sim.Nanosecond,
+		RMCallCost:      22 * sim.Microsecond,
+		RMPerChunkCost:  400 * sim.Nanosecond,
+		RMJitterFrac:    0.25,
+		OverAllocChunks: 16,
+		FreeCost:        500 * sim.Nanosecond,
+	}
+}
+
+// PMA tracks physical GPU memory at chunk granularity. It is a passive
+// cost model: Alloc/Free return the simulated time consumed and the
+// caller advances its own clock.
+type PMA struct {
+	cfg      Config
+	rng      *sim.RNG
+	capacity int // total chunks
+	used     int // chunks handed out
+	cached   int // chunks acquired from RM but not handed out
+
+	rmCalls    uint64
+	fastAllocs uint64
+	frees      uint64
+}
+
+// New validates cfg and returns an allocator. rng supplies RM-call
+// jitter; it may be nil when RMJitterFrac is 0.
+func New(cfg Config, rng *sim.RNG) (*PMA, error) {
+	if cfg.ChunkBytes <= 0 {
+		return nil, fmt.Errorf("pma: chunk size %d must be positive", cfg.ChunkBytes)
+	}
+	if cfg.CapacityBytes < cfg.ChunkBytes {
+		return nil, fmt.Errorf("pma: capacity %d below one chunk (%d)", cfg.CapacityBytes, cfg.ChunkBytes)
+	}
+	if cfg.OverAllocChunks < 1 {
+		return nil, fmt.Errorf("pma: OverAllocChunks %d must be >= 1", cfg.OverAllocChunks)
+	}
+	if cfg.RMJitterFrac > 0 && rng == nil {
+		return nil, errors.New("pma: jitter requested without an RNG")
+	}
+	return &PMA{
+		cfg:      cfg,
+		rng:      rng,
+		capacity: int(cfg.CapacityBytes / cfg.ChunkBytes),
+	}, nil
+}
+
+// Alloc reserves one chunk, returning the time consumed. When the
+// framebuffer is exhausted it returns ErrOutOfMemory and consumes the
+// (cheap) failed-lookup cost.
+func (p *PMA) Alloc() (sim.Duration, error) {
+	if p.cached > 0 {
+		p.cached--
+		p.used++
+		p.fastAllocs++
+		return p.cfg.FastAllocCost, nil
+	}
+	free := p.capacity - p.used
+	if free <= 0 {
+		return p.cfg.FastAllocCost, ErrOutOfMemory
+	}
+	grab := p.cfg.OverAllocChunks
+	if grab > free {
+		grab = free
+	}
+	cost := p.cfg.RMCallCost + sim.Duration(grab)*p.cfg.RMPerChunkCost
+	if p.cfg.RMJitterFrac > 0 {
+		cost = p.rng.Jitter(cost, p.cfg.RMJitterFrac)
+	}
+	p.rmCalls++
+	p.cached = grab - 1
+	p.used++
+	return cost, nil
+}
+
+// Free returns one handed-out chunk to the cache (the eviction path) and
+// returns the time consumed.
+func (p *PMA) Free() sim.Duration {
+	if p.used == 0 {
+		panic("pma: Free without outstanding allocation")
+	}
+	p.used--
+	p.cached++
+	p.frees++
+	return p.cfg.FreeCost
+}
+
+// CapacityChunks returns the framebuffer size in chunks.
+func (p *PMA) CapacityChunks() int { return p.capacity }
+
+// UsedChunks returns chunks currently handed out.
+func (p *PMA) UsedChunks() int { return p.used }
+
+// CachedChunks returns chunks held in the over-allocation cache.
+func (p *PMA) CachedChunks() int { return p.cached }
+
+// FreeChunks returns chunks not yet acquired from RM nor handed out.
+func (p *PMA) FreeChunks() int { return p.capacity - p.used - p.cached }
+
+// Exhausted reports whether the next Alloc would require an eviction.
+func (p *PMA) Exhausted() bool { return p.cached == 0 && p.used >= p.capacity }
+
+// RMCalls returns how many times the proprietary allocator was invoked.
+func (p *PMA) RMCalls() uint64 { return p.rmCalls }
+
+// FastAllocs returns how many allocations were served from the cache.
+func (p *PMA) FastAllocs() uint64 { return p.fastAllocs }
+
+// Frees returns how many chunks were released.
+func (p *PMA) Frees() uint64 { return p.frees }

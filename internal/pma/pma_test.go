@@ -1,0 +1,194 @@
+package pma
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"uvmsim/internal/sim"
+)
+
+func newTestPMA(t *testing.T, chunks int) *PMA {
+	t.Helper()
+	cfg := DefaultConfig(int64(chunks) * (2 << 20))
+	cfg.RMJitterFrac = 0 // deterministic costs for assertions
+	p, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOverAllocationAmortizesRMCalls(t *testing.T) {
+	p := newTestPMA(t, 64)
+	first, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first < 22*sim.Microsecond {
+		t.Errorf("first alloc cost %v, want an expensive RM call", first)
+	}
+	// The next 15 come from the cache.
+	for i := 0; i < 15; i++ {
+		c, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != 300*sim.Nanosecond {
+			t.Fatalf("cached alloc %d cost %v, want 300ns", i, c)
+		}
+	}
+	if p.RMCalls() != 1 || p.FastAllocs() != 15 {
+		t.Errorf("rmCalls=%d fastAllocs=%d", p.RMCalls(), p.FastAllocs())
+	}
+	// 17th allocation triggers the second RM call.
+	if _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if p.RMCalls() != 2 {
+		t.Errorf("rmCalls = %d, want 2", p.RMCalls())
+	}
+}
+
+func TestExhaustionAndFree(t *testing.T) {
+	p := newTestPMA(t, 4)
+	for i := 0; i < 4; i++ {
+		if _, err := p.Alloc(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if !p.Exhausted() {
+		t.Error("should be exhausted")
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	p.Free()
+	if p.Exhausted() {
+		t.Error("free should clear exhaustion")
+	}
+	if c, err := p.Alloc(); err != nil || c != 300*sim.Nanosecond {
+		t.Errorf("post-eviction alloc: cost=%v err=%v (should hit cache)", c, err)
+	}
+}
+
+func TestPartialOverAllocationNearCapacity(t *testing.T) {
+	p := newTestPMA(t, 10) // capacity below OverAllocChunks(16)
+	for i := 0; i < 10; i++ {
+		if _, err := p.Alloc(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if p.RMCalls() != 1 {
+		t.Errorf("rmCalls = %d, want 1 (single capped over-allocation)", p.RMCalls())
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrOutOfMemory) {
+		t.Error("expected OOM at capacity")
+	}
+}
+
+func TestAccountingInvariant(t *testing.T) {
+	p := newTestPMA(t, 32)
+	check := func() {
+		if p.UsedChunks()+p.CachedChunks()+p.FreeChunks() != p.CapacityChunks() {
+			t.Fatalf("invariant broken: used=%d cached=%d free=%d cap=%d",
+				p.UsedChunks(), p.CachedChunks(), p.FreeChunks(), p.CapacityChunks())
+		}
+	}
+	for i := 0; i < 20; i++ {
+		p.Alloc()
+		check()
+	}
+	for i := 0; i < 10; i++ {
+		p.Free()
+		check()
+	}
+	if p.Frees() != 10 {
+		t.Errorf("Frees = %d", p.Frees())
+	}
+}
+
+func TestFreeWithoutAllocPanics(t *testing.T) {
+	p := newTestPMA(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Free on empty PMA did not panic")
+		}
+	}()
+	p.Free()
+}
+
+func TestJitteredAllocWithinBounds(t *testing.T) {
+	cfg := DefaultConfig(256 << 20)
+	p, err := New(cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cfg.RMCallCost + sim.Duration(cfg.OverAllocChunks)*cfg.RMPerChunkCost
+	lo := sim.Duration(float64(base) * (1 - cfg.RMJitterFrac) * 0.999)
+	hi := sim.Duration(float64(base) * (1 + cfg.RMJitterFrac) * 1.001)
+	c, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < lo || c > hi {
+		t.Errorf("jittered RM cost %v outside [%v, %v]", c, lo, hi)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{ChunkBytes: 0, CapacityBytes: 1}, nil); err == nil {
+		t.Error("zero chunk accepted")
+	}
+	if _, err := New(Config{ChunkBytes: 2 << 20, CapacityBytes: 1 << 20, OverAllocChunks: 1}, nil); err == nil {
+		t.Error("capacity below one chunk accepted")
+	}
+	cfg := DefaultConfig(16 << 20)
+	cfg.OverAllocChunks = 0
+	if _, err := New(cfg, sim.NewRNG(1)); err == nil {
+		t.Error("zero over-alloc accepted")
+	}
+	cfg = DefaultConfig(16 << 20)
+	if _, err := New(cfg, nil); err == nil {
+		t.Error("jitter without RNG accepted")
+	}
+}
+
+// Property: any interleaving of allocs and frees preserves the chunk
+// conservation invariant and never over-commits capacity.
+func TestAllocFreeProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		cfg := DefaultConfig(16 * (2 << 20))
+		cfg.RMJitterFrac = 0
+		p, err := New(cfg, nil)
+		if err != nil {
+			return false
+		}
+		outstanding := 0
+		for _, alloc := range ops {
+			if alloc {
+				if _, err := p.Alloc(); err == nil {
+					outstanding++
+				} else if !errors.Is(err, ErrOutOfMemory) {
+					return false
+				}
+			} else if outstanding > 0 {
+				p.Free()
+				outstanding--
+			}
+			if p.UsedChunks() != outstanding {
+				return false
+			}
+			if p.UsedChunks()+p.CachedChunks()+p.FreeChunks() != p.CapacityChunks() {
+				return false
+			}
+			if p.UsedChunks() > p.CapacityChunks() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package prefetch
+
+import (
+	"testing"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/tree"
+)
+
+func ctxWith(t *testing.T, faulted ...int) *Context {
+	t.Helper()
+	g := mem.DefaultGeometry()
+	b := &mem.VABlock{
+		ID:       0,
+		Resident: mem.NewBitmap(g.PagesPerVABlock),
+		Dirty:    mem.NewBitmap(g.PagesPerVABlock),
+	}
+	fb := mem.NewBitmap(g.PagesPerVABlock)
+	for _, i := range faulted {
+		fb.Set(i)
+	}
+	return &Context{Geom: g, Block: b, Valid: g.PagesPerVABlock, Faulted: fb}
+}
+
+func TestNoneFetchesOnlyDemanded(t *testing.T) {
+	ctx := ctxWith(t, 5, 100)
+	res := None{}.Plan(ctx)
+	if res.Fetch.Count() != 2 || res.Prefetched != 0 {
+		t.Fatalf("none fetched %d (prefetched %d)", res.Fetch.Count(), res.Prefetched)
+	}
+}
+
+func TestDensityDefaultUpgradesBigPage(t *testing.T) {
+	ctx := ctxWith(t, 5)
+	res := NewDensity(tree.DefaultThreshold).Plan(ctx)
+	if res.Fetch.Count() != 16 {
+		t.Fatalf("density fetched %d, want 16 (one big page)", res.Fetch.Count())
+	}
+}
+
+func TestAggressiveFetchesWholeBlock(t *testing.T) {
+	ctx := ctxWith(t, 5)
+	res := NewDensity(1).Plan(ctx)
+	if res.Fetch.Count() != 512 {
+		t.Fatalf("aggressive fetched %d, want 512", res.Fetch.Count())
+	}
+}
+
+func TestAdaptiveSwitchesOnPressure(t *testing.T) {
+	a := &Adaptive{Under: NewDensity(1), Over: None{}}
+	ctx := ctxWith(t, 5)
+	if n := a.Plan(ctx).Fetch.Count(); n != 512 {
+		t.Fatalf("undersubscribed adaptive fetched %d, want 512", n)
+	}
+	ctx.Oversubscribed = true
+	if n := a.Plan(ctx).Fetch.Count(); n != 1 {
+		t.Fatalf("oversubscribed adaptive fetched %d, want 1", n)
+	}
+}
+
+func TestStreamNeedsOriginInfo(t *testing.T) {
+	s := NewStream(4)
+	ctx := ctxWith(t, 10)
+	if n := s.Plan(ctx).Fetch.Count(); n != 1 {
+		t.Fatalf("stream without origin info fetched %d, want 1", n)
+	}
+}
+
+func TestStreamDeepensOnSequentialFaults(t *testing.T) {
+	s := NewStream(4)
+	// SM 3 faults pages 10, 11, 12 in consecutive batches.
+	var lastCount int
+	for _, p := range []int{10, 11, 12} {
+		ctx := ctxWith(t, p)
+		ctx.FaultSMs = map[int]int{p: 3}
+		res := s.Plan(ctx)
+		lastCount = res.Fetch.Count()
+	}
+	// Third sequential fault: depth 3 -> page 12 plus pages 13,14,15.
+	if lastCount != 4 {
+		t.Fatalf("stream depth-3 fetch = %d, want 4", lastCount)
+	}
+	// A non-sequential fault resets the stream.
+	ctx := ctxWith(t, 100)
+	ctx.FaultSMs = map[int]int{100: 3}
+	if n := s.Plan(ctx).Fetch.Count(); n != 2 { // page 100 + depth-1 next page
+		t.Fatalf("post-reset fetch = %d, want 2", n)
+	}
+	s.Reset()
+	ctx = ctxWith(t, 101)
+	ctx.FaultSMs = map[int]int{101: 3}
+	if n := s.Plan(ctx).Fetch.Count(); n != 2 {
+		t.Fatalf("after Reset fetch = %d, want 2", n)
+	}
+}
+
+func TestStreamRespectsValidBound(t *testing.T) {
+	s := NewStream(8)
+	ctx := ctxWith(t, 510)
+	ctx.Valid = 511
+	ctx.FaultSMs = map[int]int{510: 0}
+	res := s.Plan(ctx)
+	if res.Fetch.Get(511) {
+		t.Fatal("stream prefetched past the valid region")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	cases := map[string]string{
+		"none":       "none",
+		"density":    "density:51",
+		"":           "density:51",
+		"aggressive": "density:1",
+		"adaptive":   "adaptive",
+		"stream":     "stream:8",
+		"density:25": "density:25",
+	}
+	for in, want := range cases {
+		p, err := New(in)
+		if err != nil {
+			t.Errorf("New(%q): %v", in, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("New(%q).Name() = %q, want %q", in, p.Name(), want)
+		}
+	}
+	for _, bad := range []string{"density:0", "density:100", "nonsense"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPlanNeverFetchesResident(t *testing.T) {
+	ctx := ctxWith(t, 5)
+	for i := 0; i < 16; i++ {
+		ctx.Block.Resident.Set(i)
+	}
+	for _, p := range []Prefetcher{None{}, NewDensity(51), NewDensity(1), NewStream(4)} {
+		res := p.Plan(ctx)
+		res.Fetch.ForEachSet(func(i int) {
+			if ctx.Block.Resident.Get(i) {
+				t.Errorf("%s fetched resident page %d", p.Name(), i)
+			}
+		})
+	}
+}

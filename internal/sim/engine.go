@@ -1,0 +1,176 @@
+// Package sim provides the discrete-event simulation engine that drives
+// every component of the simulated UVM system.
+//
+// The engine keeps an int64 nanosecond clock and a binary heap of pending
+// events. Execution is fully deterministic: events at equal timestamps run
+// in scheduling order (a monotonically increasing sequence number breaks
+// ties). Components never block; they schedule continuations instead.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point on the simulated clock, in nanoseconds since simulation
+// start.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds. It mirrors
+// time.Duration semantics but is kept distinct so simulated and host time
+// cannot be mixed accidentally.
+type Duration int64
+
+// Convenience duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// String renders a Time with automatic unit selection.
+func (t Time) String() string { return Duration(t).String() }
+
+// String renders a Duration with automatic unit selection.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	}
+}
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Add offsets a time by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is
+// ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Executed counts events dispatched so far; useful for debugging and
+	// for bounding runaway simulations in tests.
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed returns the number of events dispatched so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it indicates a bookkeeping bug in the caller, and silently
+// reordering time would corrupt every measurement downstream.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event %v in the past", d))
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Step dispatches the single earliest event. It reports whether an event
+// was available.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty and returns the final
+// clock value.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with timestamps <= t, then advances the clock
+// to t (if it is ahead of the last event). Events scheduled beyond t stay
+// queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunLimit dispatches at most n events; it returns the number dispatched.
+// It exists so tests can bound simulations that would otherwise run
+// forever when a component misbehaves.
+func (e *Engine) RunLimit(n uint64) uint64 {
+	var done uint64
+	for done < n && e.Step() {
+		done++
+	}
+	return done
+}

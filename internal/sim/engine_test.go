@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.At(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+		e.After(1, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	if len(trace) != 3 || trace[0] != 10 || trace[1] != 11 || trace[2] != 15 {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("After with negative duration did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v events before t=12, want 2", fired)
+	}
+	if e.Now() != 12 {
+		t.Errorf("Now = %v, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 || e.Now() != 20 {
+		t.Errorf("after Run: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := NewEngine()
+	var n int
+	var reschedule func()
+	reschedule = func() {
+		n++
+		e.After(1, reschedule)
+	}
+	e.After(1, reschedule)
+	done := e.RunLimit(100)
+	if done != 100 || n != 100 {
+		t.Fatalf("RunLimit dispatched %d (n=%d), want 100", done, n)
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	if e.Run() != 0 {
+		t.Error("Run on empty queue moved the clock")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var base Time = 1000
+	if base.Add(500) != 1500 {
+		t.Error("Add")
+	}
+	if Time(1500).Sub(base) != 500 {
+		t.Error("Sub")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := map[Duration]string{
+		12:               "12ns",
+		3 * Microsecond:  "3.00us",
+		45 * Millisecond: "45.00ms",
+		2 * Second:       "2.000s",
+		-5:               "-5ns",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("(%d).String() = %q, want %q", int64(d), got, want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds")
+	}
+	if (3 * Microsecond).Micros() != 3.0 {
+		t.Error("Micros")
+	}
+}
+
+// Property: event timestamps never decrease across a run, regardless of
+// insertion order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var times []Time
+		for _, off := range offsets {
+			at := Time(off)
+			e.At(at, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(5)
+	const d = 1000 * Nanosecond
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(d, 0.25)
+		if j < 750 || j > 1250 {
+			t.Fatalf("Jitter out of bounds: %v", j)
+		}
+	}
+	if r.Jitter(d, 0) != d {
+		t.Error("zero-frac jitter should return d unchanged")
+	}
+}
+
+func TestRNGUint64n(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(17); v >= 17 {
+			t.Fatalf("Uint64n(17) = %d", v)
+		}
+	}
+}
+
+// Property: Jitter never returns negative and stays within the requested
+// fraction.
+func TestRNGJitterProperty(t *testing.T) {
+	r := NewRNG(123)
+	f := func(base uint32, fracRaw uint8) bool {
+		d := Duration(base)
+		frac := float64(fracRaw%100) / 100
+		j := r.Jitter(d, frac)
+		if j < 0 {
+			return false
+		}
+		lo := Duration(float64(d) * (1 - frac) * 0.999)
+		hi := Duration(float64(d)*(1+frac)*1.001) + 1
+		return j >= lo && j <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package thrash
+
+import (
+	"testing"
+
+	"uvmsim/internal/evict"
+	"uvmsim/internal/mem"
+)
+
+func newDetector(t *testing.T, cfg Config) *Detector {
+	t.Helper()
+	d, err := New(cfg, evict.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func block(id int) *mem.VABlock { return &mem.VABlock{ID: mem.VABlockID(id)} }
+
+// churn advances the detector's eviction clock by cycling n distinct
+// sacrificial blocks (distinct so they never bounce themselves).
+func churn(d *Detector, n int) {
+	for i := 0; i < n; i++ {
+		b := block(10000 + i)
+		d.Insert(b)
+		d.Remove(b)
+	}
+}
+
+func TestBounceCountingAndPinning(t *testing.T) {
+	cfg := Config{WindowEvictions: 16, Threshold: 2, PinEvictions: 100}
+	d := newDetector(t, cfg)
+	b := block(1)
+	// Two fast evict/realloc bounces pin the block.
+	d.Insert(b)
+	d.Remove(b)
+	d.Insert(b) // bounce 1 (0 evictions in between)
+	d.Remove(b)
+	d.Insert(b) // bounce 2 -> pinned
+	if !d.Pinned(b.ID) {
+		t.Fatal("block not pinned after threshold bounces")
+	}
+	st := d.Stats()
+	if st.ThrashEvents != 2 || st.Pins != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSlowReallocDoesNotCount(t *testing.T) {
+	cfg := Config{WindowEvictions: 4, Threshold: 1, PinEvictions: 100}
+	d := newDetector(t, cfg)
+	b := block(1)
+	d.Insert(b)
+	d.Remove(b)
+	churn(d, 10) // push the re-allocation outside the window
+	d.Insert(b)
+	if d.Pinned(b.ID) || d.Stats().ThrashEvents != 0 {
+		t.Error("slow re-allocation counted as thrash")
+	}
+}
+
+func TestPinExpires(t *testing.T) {
+	cfg := Config{WindowEvictions: 16, Threshold: 1, PinEvictions: 5}
+	d := newDetector(t, cfg)
+	b := block(1)
+	d.Insert(b)
+	d.Remove(b)
+	d.Insert(b) // pinned for 5 evictions
+	if !d.Pinned(b.ID) {
+		t.Fatal("not pinned")
+	}
+	churn(d, 6)
+	if d.Pinned(b.ID) {
+		t.Error("pin did not expire")
+	}
+}
+
+func TestVictimSkipsPinned(t *testing.T) {
+	cfg := Config{WindowEvictions: 16, Threshold: 1, PinEvictions: 1000}
+	d := newDetector(t, cfg)
+	hot, cold := block(1), block(2)
+	d.Insert(hot)
+	d.Remove(hot)
+	d.Insert(hot) // pinned
+	d.Insert(cold)
+	// LRU order would pick hot (older); the pin redirects to cold.
+	if v := d.Victim(); v != cold {
+		t.Fatalf("victim = %v, want cold", v.ID)
+	}
+	if d.Stats().VictimSkips == 0 {
+		t.Error("no victim skips recorded")
+	}
+}
+
+func TestVictimFallsBackWhenAllPinned(t *testing.T) {
+	cfg := Config{WindowEvictions: 16, Threshold: 1, PinEvictions: 1000}
+	d := newDetector(t, cfg)
+	for i := 1; i <= 3; i++ {
+		b := block(i)
+		d.Insert(b)
+		d.Remove(b)
+		d.Insert(b) // all pinned
+	}
+	if v := d.Victim(); v == nil {
+		t.Fatal("no victim despite fallback")
+	}
+}
+
+func TestEmptyDetector(t *testing.T) {
+	d := newDetector(t, DefaultConfig())
+	if d.Victim() != nil || d.Len() != 0 {
+		t.Error("empty detector misbehaved")
+	}
+	if d.Name() != "lru+thrash" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestBounceStreakResetsAfterCoolOff(t *testing.T) {
+	cfg := Config{WindowEvictions: 4, Threshold: 2, PinEvictions: 100}
+	d := newDetector(t, cfg)
+	b := block(1)
+	d.Insert(b)
+	d.Remove(b)
+	d.Insert(b) // bounce 1
+	d.Remove(b)
+	churn(d, 10) // cool off
+	d.Insert(b)  // streak reset, not a bounce
+	d.Remove(b)
+	d.Insert(b) // bounce 1 again
+	if d.Pinned(b.ID) {
+		t.Error("pinned despite streak reset")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil inner accepted")
+	}
+	bad := DefaultConfig()
+	bad.Threshold = 0
+	if _, err := New(bad, evict.NewLRU()); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	bad = DefaultConfig()
+	bad.WindowEvictions = 0
+	if _, err := New(bad, evict.NewLRU()); err == nil {
+		t.Error("zero window accepted")
+	}
+	bad = DefaultConfig()
+	bad.PinEvictions = 0
+	if _, err := New(bad, evict.NewLRU()); err == nil {
+		t.Error("zero pin lease accepted")
+	}
+}
+
+// The detector preserves the wrapped policy's membership semantics under
+// interleaved operations.
+func TestDetectorDelegatesMembership(t *testing.T) {
+	d := newDetector(t, DefaultConfig())
+	blocks := make([]*mem.VABlock, 8)
+	for i := range blocks {
+		blocks[i] = block(i)
+		d.Insert(blocks[i])
+	}
+	if d.Len() != 8 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	d.Touch(blocks[0])
+	d.Remove(blocks[3])
+	if d.Len() != 7 {
+		t.Fatalf("Len after remove = %d", d.Len())
+	}
+	v := d.Victim()
+	if v == nil || v == blocks[3] {
+		t.Fatalf("victim = %v", v)
+	}
+}

@@ -1,0 +1,198 @@
+// Package trace records driver-visible events (fault servicing,
+// prefetches, evictions) in occurrence order. The paper's access-pattern
+// figures (Fig. 7, Fig. 8) are scatter plots of exactly this stream:
+// x = the order the driver processed the event, y = the page's position
+// in a gap-compressed virtual address space.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+// Kind classifies a recorded event.
+type Kind int
+
+// Event kinds.
+const (
+	// KindFault is a demanded page serviced by the driver.
+	KindFault Kind = iota
+	// KindPrefetch is a page migrated by the prefetcher.
+	KindPrefetch
+	// KindEvict is a VABlock eviction (one event per block).
+	KindEvict
+)
+
+// String names the kind for CSV output.
+func (k Kind) String() string {
+	switch k {
+	case KindFault:
+		return "fault"
+	case KindPrefetch:
+		return "prefetch"
+	case KindEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq   uint64     // occurrence order (x-axis of Fig. 7/8)
+	At    sim.Time   // simulated time
+	Kind  Kind       //
+	Page  mem.PageID // faulted/prefetched page; first page for evictions
+	Block mem.VABlockID
+	Range mem.RangeID
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and records
+// nothing, so components can carry an optional recorder without nil
+// checks at every call site.
+type Recorder struct {
+	events []Event
+	seq    uint64
+	// MaxEvents bounds memory use; 0 means unbounded. Once reached,
+	// further events are counted but not stored.
+	MaxEvents int
+	dropped   uint64
+}
+
+// New returns an unbounded recorder.
+func New() *Recorder { return &Recorder{} }
+
+// NewBounded returns a recorder that stores at most max events.
+func NewBounded(max int) *Recorder { return &Recorder{MaxEvents: max} }
+
+// Record appends an event. Safe on a nil receiver.
+func (r *Recorder) Record(at sim.Time, kind Kind, page mem.PageID, block mem.VABlockID, rng mem.RangeID) {
+	if r == nil {
+		return
+	}
+	r.seq++
+	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{
+		Seq: r.seq, At: at, Kind: kind, Page: page, Block: block, Range: rng,
+	})
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Count returns the number of events recorded (including dropped).
+func (r *Recorder) Count() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}
+
+// Dropped returns how many events exceeded MaxEvents.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// CountKind returns the number of stored events of kind k.
+func (r *Recorder) CountKind(k Kind) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Compressor maps global pages to gap-free "page indexes" the way the
+// paper's Fig. 7 adjusts them: each range's pages are packed end to end
+// in allocation order, removing VABlock alignment gaps.
+type Compressor struct {
+	ranges []*mem.Range
+	base   []int
+	total  int
+}
+
+// NewCompressor builds a compressor over the space's ranges.
+func NewCompressor(space *mem.AddressSpace) *Compressor {
+	c := &Compressor{ranges: space.Ranges()}
+	for _, r := range c.ranges {
+		c.base = append(c.base, c.total)
+		c.total += r.Pages
+	}
+	return c
+}
+
+// Index returns the gap-free index for page p, or -1 when p belongs to no
+// range (alignment padding).
+func (c *Compressor) Index(p mem.PageID) int {
+	for i, r := range c.ranges {
+		if r.Contains(p) {
+			return c.base[i] + int(p-r.StartPage)
+		}
+	}
+	return -1
+}
+
+// Total returns the number of indexable pages.
+func (c *Compressor) Total() int { return c.total }
+
+// RangeBoundaries returns the gap-free indexes where each range starts
+// (the black separator lines in Fig. 7).
+func (c *Compressor) RangeBoundaries() []int {
+	out := make([]int, len(c.base))
+	copy(out, c.base)
+	return out
+}
+
+// WriteCSV emits "seq,time_ns,kind,page_index,block,range" rows for every
+// stored event, using the compressor for page indexes. Events on padding
+// pages are skipped. stride > 1 downsamples fault/prefetch events (it
+// never skips evictions, which are sparse and load-bearing in Fig. 8).
+func (r *Recorder) WriteCSV(w io.Writer, c *Compressor, stride int) error {
+	if r == nil {
+		return nil
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	if _, err := io.WriteString(w, "seq,time_ns,kind,page_index,block,range\n"); err != nil {
+		return err
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Kind != KindEvict {
+			n++
+			if n%stride != 0 {
+				continue
+			}
+		}
+		idx := c.Index(e.Page)
+		if idx < 0 {
+			continue
+		}
+		_, err := fmt.Fprintf(w, "%d,%d,%s,%d,%d,%d\n",
+			e.Seq, int64(e.At), e.Kind, idx, uint64(e.Block), int(e.Range))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, KindFault, 1, 0, 0)
+	if r.Count() != 0 || r.Events() != nil || r.Dropped() != 0 || r.CountKind(KindFault) != 0 {
+		t.Error("nil recorder misbehaved")
+	}
+}
+
+func TestRecordOrder(t *testing.T) {
+	r := New()
+	r.Record(10, KindFault, 5, 0, 0)
+	r.Record(20, KindPrefetch, 6, 0, 0)
+	r.Record(30, KindEvict, 512, 1, 0)
+	ev := r.Events()
+	if len(ev) != 3 || ev[0].Seq != 1 || ev[2].Seq != 3 {
+		t.Fatalf("events = %+v", ev)
+	}
+	if r.CountKind(KindFault) != 1 || r.CountKind(KindEvict) != 1 {
+		t.Error("CountKind wrong")
+	}
+}
+
+func TestBoundedRecorder(t *testing.T) {
+	r := NewBounded(2)
+	for i := 0; i < 5; i++ {
+		r.Record(0, KindFault, mem.PageID(i), 0, 0)
+	}
+	if len(r.Events()) != 2 || r.Count() != 5 || r.Dropped() != 3 {
+		t.Errorf("len=%d count=%d dropped=%d", len(r.Events()), r.Count(), r.Dropped())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindFault.String() != "fault" || KindPrefetch.String() != "prefetch" || KindEvict.String() != "evict" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind name")
+	}
+}
+
+func buildSpace(t *testing.T) *mem.AddressSpace {
+	t.Helper()
+	s := mem.NewAddressSpace(mem.DefaultGeometry())
+	if _, err := s.Alloc(3<<20, "A"); err != nil { // 768 pages, 2 blocks
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(1<<20, "B"); err != nil { // 256 pages at page 1024
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCompressorRemovesGaps(t *testing.T) {
+	c := NewCompressor(buildSpace(t))
+	if c.Total() != 1024 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if c.Index(0) != 0 || c.Index(767) != 767 {
+		t.Error("range A indexes wrong")
+	}
+	// Range B starts at global page 1024 but gap-free index 768.
+	if c.Index(1024) != 768 || c.Index(1279) != 1023 {
+		t.Errorf("range B indexes wrong: %d %d", c.Index(1024), c.Index(1279))
+	}
+	if c.Index(800) != -1 { // padding in A's tail block
+		t.Error("padding page got an index")
+	}
+	bounds := c.RangeBoundaries()
+	if len(bounds) != 2 || bounds[0] != 0 || bounds[1] != 768 {
+		t.Errorf("boundaries = %v", bounds)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := buildSpace(t)
+	c := NewCompressor(s)
+	r := New()
+	for i := 0; i < 10; i++ {
+		r.Record(int64ToTime(i), KindFault, mem.PageID(i), 0, 0)
+	}
+	r.Record(100, KindEvict, 1024, 2, 1)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 12 { // header + 10 faults + 1 evict
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "seq,time_ns,kind") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "evict,768,2,1") {
+		t.Errorf("evict row missing:\n%s", out)
+	}
+}
+
+func TestWriteCSVDownsamplingKeepsEvictions(t *testing.T) {
+	s := buildSpace(t)
+	c := NewCompressor(s)
+	r := New()
+	for i := 0; i < 100; i++ {
+		r.Record(0, KindFault, mem.PageID(i%768), 0, 0)
+	}
+	for i := 0; i < 3; i++ {
+		r.Record(0, KindEvict, 0, 0, 0)
+	}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb, c, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "evict"); got != 3 {
+		t.Errorf("evictions in downsampled output = %d, want 3", got)
+	}
+	if got := strings.Count(out, "fault"); got != 10 {
+		t.Errorf("faults in downsampled output = %d, want 10", got)
+	}
+}
+
+func int64ToTime(i int) sim.Time { return sim.Time(i) }

@@ -1,0 +1,192 @@
+// Package tree implements the two-stage page prefetching mechanism the
+// NVIDIA UVM driver uses (paper §IV-A):
+//
+// Stage 1 upgrades every faulted 4 KB page to its 64 KB-aligned "big
+// page", emulating Power9 page granularity on x86.
+//
+// Stage 2 runs the "density prefetcher": each VABlock is conceptually a
+// 9-level binary tree whose 512 leaves are the block's 4 KB pages. A
+// node's value is the number of leaves in its subtree that are either
+// already resident on the GPU or present in the current fault batch
+// (including pages flagged by the big-page upgrade). For each faulted
+// leaf, the prefetch region is the largest enclosing subtree whose access
+// density exceeds the density threshold (default 51%). All leaves of the
+// chosen region are flagged for fetching, which feeds back into the
+// counts seen by later faults in the same batch — the cascade effect the
+// paper highlights.
+package tree
+
+import "uvmsim/internal/mem"
+
+// DefaultThreshold is the driver's default density threshold (percent).
+const DefaultThreshold = 51
+
+// Result reports the outcome of planning prefetch for one VABlock within
+// one fault batch.
+type Result struct {
+	// Fetch marks every non-resident page that must be migrated: the
+	// faulted pages themselves plus all prefetched pages.
+	Fetch *mem.Bitmap
+	// Faulted is the number of distinct demanded pages that need
+	// migration.
+	Faulted int
+	// Prefetched is the number of extra pages fetched beyond the demanded
+	// ones (big-page upgrades + density regions).
+	Prefetched int
+}
+
+// Planner plans prefetch regions for VABlocks of a fixed geometry.
+// A zero threshold disables stage 2; BigPages disables stage 1 when false.
+type Planner struct {
+	// Threshold is the density threshold in percent (1-100). The driver
+	// default is 51; 1 produces the aggressive mode §IV-C reports as
+	// rivaling explicit transfer.
+	Threshold int
+	// BigPages enables the 64 KB upgrade stage.
+	BigPages bool
+}
+
+// NewPlanner returns a planner with the given threshold and big-page
+// upgrading enabled.
+func NewPlanner(threshold int) *Planner {
+	return &Planner{Threshold: threshold, BigPages: true}
+}
+
+// Plan computes the fetch set for one VABlock.
+//
+// resident marks pages already on the GPU; faulted marks the demanded
+// pages of the current batch (in-block indices); valid is the number of
+// leading pages of the block that belong to the allocation (tail blocks
+// of a range may be partial — density is computed over valid pages only,
+// mirroring the driver's sub-block max region).
+func (pl *Planner) Plan(g mem.Geometry, resident, faulted *mem.Bitmap, valid int) Result {
+	pages := g.PagesPerVABlock
+	if valid > pages {
+		valid = pages
+	}
+	// mask holds resident | demanded | flagged-for-prefetch leaves.
+	mask := resident.Clone()
+	faulted.ForEachSet(func(i int) {
+		if i < valid {
+			mask.Set(i)
+		}
+	})
+
+	// Stage 1: big-page upgrade.
+	if pl.BigPages {
+		faulted.ForEachSet(func(i int) {
+			if i >= valid {
+				return
+			}
+			base := mem.BigPageBase(i)
+			end := base + mem.PagesPerBigPage
+			if end > valid {
+				end = valid
+			}
+			for p := base; p < end; p++ {
+				mask.Set(p)
+			}
+		})
+	}
+
+	// Stage 2: density tree.
+	if pl.Threshold > 0 && pl.Threshold < 100 {
+		t := newCounts(pages, mask, valid)
+		faulted.ForEachSet(func(i int) {
+			if i >= valid {
+				return
+			}
+			lvl, node := t.largestDenseRegion(i, pl.Threshold, valid)
+			if lvl < 0 {
+				return
+			}
+			lo := node << uint(lvl)
+			hi := lo + 1<<uint(lvl)
+			if hi > valid {
+				hi = valid
+			}
+			for p := lo; p < hi; p++ {
+				if mask.Set(p) {
+					t.add(p)
+				}
+			}
+		})
+	}
+
+	// Fetch = mask minus already-resident pages.
+	res := Result{Fetch: mem.NewBitmap(pages)}
+	mask.ForEachSet(func(i int) {
+		if !resident.Get(i) {
+			res.Fetch.Set(i)
+		}
+	})
+	faulted.ForEachSet(func(i int) {
+		if i < valid && !resident.Get(i) {
+			res.Faulted++
+		}
+	})
+	res.Prefetched = res.Fetch.Count() - res.Faulted
+	return res
+}
+
+// counts holds the per-level subtree occupancy of one block's tree.
+// Level 0 is the leaf level; level L has pages>>L nodes of span 1<<L.
+type counts struct {
+	levels [][]int
+}
+
+func newCounts(pages int, mask *mem.Bitmap, valid int) *counts {
+	nlevels := 1
+	for 1<<uint(nlevels-1) < pages {
+		nlevels++
+	}
+	t := &counts{levels: make([][]int, nlevels)}
+	for l := range t.levels {
+		t.levels[l] = make([]int, pages>>uint(l))
+	}
+	for i := 0; i < valid; i++ {
+		if mask.Get(i) {
+			t.add(i)
+		}
+	}
+	return t
+}
+
+// add increments every ancestor of leaf i.
+func (t *counts) add(i int) {
+	for l := range t.levels {
+		t.levels[l][i>>uint(l)]++
+	}
+}
+
+// largestDenseRegion walks from leaf i to the root and returns the level
+// and node index of the largest subtree whose density over valid leaves
+// strictly exceeds threshold percent, or (-1, -1) when none does.
+func (t *counts) largestDenseRegion(i, threshold, valid int) (level, node int) {
+	level, node = -1, -1
+	for l := range t.levels {
+		n := i >> uint(l)
+		lo := n << uint(l)
+		hi := lo + 1<<uint(l)
+		if hi > valid {
+			hi = valid
+		}
+		span := hi - lo
+		if span <= 0 {
+			break
+		}
+		// Density strictly exceeds threshold: count/span*100 > threshold.
+		if t.levels[l][n]*100 > threshold*span {
+			level, node = l, n
+		}
+	}
+	return level, node
+}
+
+// Snapshot returns the per-level subtree counts for a mask; it exists for
+// visualization (cmd/prefetchviz) and white-box tests. Level 0 is the
+// leaf level.
+func Snapshot(g mem.Geometry, mask *mem.Bitmap, valid int) [][]int {
+	t := newCounts(g.PagesPerVABlock, mask, valid)
+	return t.levels
+}

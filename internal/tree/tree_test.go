@@ -1,0 +1,260 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uvmsim/internal/mem"
+)
+
+func smallGeom(t *testing.T) mem.Geometry {
+	t.Helper()
+	g, err := mem.NewGeometry(64 << 10) // 16 pages, like the paper's Fig. 6 scale
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func bitmapOf(n int, set ...int) *mem.Bitmap {
+	b := mem.NewBitmap(n)
+	for _, i := range set {
+		b.Set(i)
+	}
+	return b
+}
+
+// Fig. 6 scenario: with just over half the leaves occupied, a fault
+// anywhere pulls the whole region.
+func TestRootCascadeFullBlock(t *testing.T) {
+	g := smallGeom(t)
+	resident := bitmapOf(16, 0, 1, 2, 3, 4, 5, 6, 7) // 8 of 16 resident
+	faulted := bitmapOf(16, 8)
+	pl := &Planner{Threshold: DefaultThreshold, BigPages: false}
+	res := pl.Plan(g, resident, faulted, 16)
+	// Root density = (8 resident + 1 fault)/16 = 56% > 51% -> whole block.
+	if res.Fetch.Count() != 8 { // pages 8..15 (0..7 already resident)
+		t.Fatalf("Fetch.Count = %d, want 8", res.Fetch.Count())
+	}
+	if res.Faulted != 1 || res.Prefetched != 7 {
+		t.Errorf("Faulted=%d Prefetched=%d, want 1,7", res.Faulted, res.Prefetched)
+	}
+}
+
+func TestBelowThresholdFetchesOnlyDenseSubtree(t *testing.T) {
+	g := smallGeom(t)
+	resident := bitmapOf(16, 0) // leaf 0 resident
+	faulted := bitmapOf(16, 1)
+	pl := &Planner{Threshold: DefaultThreshold, BigPages: false}
+	res := pl.Plan(g, resident, faulted, 16)
+	// Pair [0,1] = 100% dense; quad [0..3] = 50% (not >51). Only the
+	// demanded page is fetched; nothing extra.
+	if res.Fetch.Count() != 1 || !res.Fetch.Get(1) {
+		t.Fatalf("Fetch = %d pages, want just page 1", res.Fetch.Count())
+	}
+	if res.Prefetched != 0 {
+		t.Errorf("Prefetched = %d, want 0", res.Prefetched)
+	}
+}
+
+func TestNoPrefetchWhenSparse(t *testing.T) {
+	g := smallGeom(t)
+	resident := mem.NewBitmap(16)
+	faulted := bitmapOf(16, 9)
+	pl := &Planner{Threshold: DefaultThreshold, BigPages: false}
+	res := pl.Plan(g, resident, faulted, 16)
+	if res.Fetch.Count() != 1 || !res.Fetch.Get(9) {
+		t.Fatalf("sparse fault fetched %d pages", res.Fetch.Count())
+	}
+}
+
+func TestAggressiveThresholdFetchesEverything(t *testing.T) {
+	g := smallGeom(t)
+	resident := mem.NewBitmap(16)
+	faulted := bitmapOf(16, 3)
+	pl := &Planner{Threshold: 1, BigPages: false}
+	res := pl.Plan(g, resident, faulted, 16)
+	// 1/16 = 6.25% > 1% at the root -> whole block.
+	if res.Fetch.Count() != 16 {
+		t.Fatalf("aggressive fetch = %d, want 16", res.Fetch.Count())
+	}
+}
+
+func TestThresholdDisabledStage2(t *testing.T) {
+	g := smallGeom(t)
+	resident := bitmapOf(16, 0, 1, 2, 3, 4, 5, 6, 7, 8)
+	faulted := bitmapOf(16, 9)
+	pl := &Planner{Threshold: 0, BigPages: false} // stage 2 off
+	res := pl.Plan(g, resident, faulted, 16)
+	if res.Fetch.Count() != 1 {
+		t.Fatalf("disabled prefetcher fetched %d pages", res.Fetch.Count())
+	}
+}
+
+func TestBigPageUpgrade(t *testing.T) {
+	g := mem.DefaultGeometry() // 512 pages
+	resident := mem.NewBitmap(512)
+	faulted := bitmapOf(512, 5)
+	pl := NewPlanner(DefaultThreshold)
+	res := pl.Plan(g, resident, faulted, 512)
+	// Upgrade to big page [0,16); that 16-page subtree is 100% dense so
+	// the region sticks at the big page; the 32-page parent is 50%.
+	if res.Fetch.Count() != 16 {
+		t.Fatalf("Fetch = %d pages, want 16 (one big page)", res.Fetch.Count())
+	}
+	for i := 0; i < 16; i++ {
+		if !res.Fetch.Get(i) {
+			t.Fatalf("page %d missing from big-page upgrade", i)
+		}
+	}
+	if res.Faulted != 1 || res.Prefetched != 15 {
+		t.Errorf("Faulted=%d Prefetched=%d", res.Faulted, res.Prefetched)
+	}
+}
+
+// The cascade the paper describes: a handful of faults placed in distinct
+// subtrees escalates to fetching the entire 2 MB VABlock.
+func TestCascadeFetchesFullVABlockInSixFaults(t *testing.T) {
+	g := mem.DefaultGeometry()
+	resident := mem.NewBitmap(512)
+	pl := NewPlanner(DefaultThreshold)
+	seq := []int{0, 16, 32, 64, 128, 256}
+	for n, f := range seq {
+		faulted := bitmapOf(512, f)
+		res := pl.Plan(g, resident, faulted, 512)
+		resident.Or(res.Fetch)
+		t.Logf("fault %d at page %d: resident now %d", n+1, f, resident.Count())
+	}
+	if resident.Count() != 512 {
+		t.Fatalf("after 6 cascading faults resident = %d, want 512", resident.Count())
+	}
+}
+
+func TestPartialTailBlock(t *testing.T) {
+	g := smallGeom(t)
+	resident := mem.NewBitmap(16)
+	faulted := bitmapOf(16, 2)
+	pl := &Planner{Threshold: DefaultThreshold, BigPages: false}
+	// Only 4 pages valid; fault at 2, residents at 0,1.
+	resident.Set(0)
+	resident.Set(1)
+	res := pl.Plan(g, resident, faulted, 4)
+	// Density over valid pages: (2+1)/4 = 75% > 51 -> fetch all 4 valid.
+	if res.Fetch.Count() != 2 || !res.Fetch.Get(2) || !res.Fetch.Get(3) {
+		t.Fatalf("tail-block fetch = %d pages", res.Fetch.Count())
+	}
+	// Never fetch beyond the valid region.
+	for i := 4; i < 16; i++ {
+		if res.Fetch.Get(i) {
+			t.Fatalf("fetched invalid page %d", i)
+		}
+	}
+}
+
+func TestFaultOnResidentPageCostsNothing(t *testing.T) {
+	g := smallGeom(t)
+	resident := bitmapOf(16, 7)
+	faulted := bitmapOf(16, 7) // duplicate fault on resident page
+	pl := &Planner{Threshold: DefaultThreshold, BigPages: false}
+	res := pl.Plan(g, resident, faulted, 16)
+	if res.Fetch.Count() != 0 || res.Faulted != 0 {
+		t.Fatalf("resident fault produced fetch=%d faulted=%d", res.Fetch.Count(), res.Faulted)
+	}
+}
+
+func TestMultipleFaultsOneBatchCascadeWithinBatch(t *testing.T) {
+	g := smallGeom(t)
+	resident := mem.NewBitmap(16)
+	// Nine faults spread over the block: root = 9/16 = 56% > 51.
+	faulted := bitmapOf(16, 0, 2, 4, 6, 8, 10, 12, 14, 15)
+	pl := &Planner{Threshold: DefaultThreshold, BigPages: false}
+	res := pl.Plan(g, resident, faulted, 16)
+	if res.Fetch.Count() != 16 {
+		t.Fatalf("batch of 9 faults fetched %d, want 16", res.Fetch.Count())
+	}
+	if res.Faulted != 9 || res.Prefetched != 7 {
+		t.Errorf("Faulted=%d Prefetched=%d", res.Faulted, res.Prefetched)
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	g := smallGeom(t)
+	mask := bitmapOf(16, 0, 1, 2, 3)
+	levels := Snapshot(g, mask, 16)
+	if len(levels) != 5 {
+		t.Fatalf("levels = %d, want 5", len(levels))
+	}
+	if levels[0][0] != 1 || levels[1][0] != 2 || levels[2][0] != 4 || levels[3][0] != 4 || levels[4][0] != 4 {
+		t.Errorf("counts wrong: %v", levels)
+	}
+	if levels[2][1] != 0 {
+		t.Errorf("empty subtree counted: %v", levels)
+	}
+}
+
+// Properties that must hold for any residency/fault pattern.
+func TestPlanProperties(t *testing.T) {
+	g := mem.DefaultGeometry()
+	pl := NewPlanner(DefaultThreshold)
+	f := func(residentBits, faultBits []uint16, validRaw uint16) bool {
+		resident := mem.NewBitmap(512)
+		for _, b := range residentBits {
+			resident.Set(int(b) % 512)
+		}
+		valid := int(validRaw)%512 + 1
+		faulted := mem.NewBitmap(512)
+		for _, b := range faultBits {
+			faulted.Set(int(b) % 512)
+		}
+		res := pl.Plan(g, resident, faulted, valid)
+		ok := true
+		// 1. Fetch never includes resident pages.
+		res.Fetch.ForEachSet(func(i int) {
+			if resident.Get(i) || i >= valid {
+				ok = false
+			}
+		})
+		// 2. Every demanded non-resident valid page is fetched.
+		faulted.ForEachSet(func(i int) {
+			if i < valid && !resident.Get(i) && !res.Fetch.Get(i) {
+				ok = false
+			}
+		})
+		// 3. Counters are consistent.
+		if res.Faulted+res.Prefetched != res.Fetch.Count() {
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: raising the threshold never fetches more pages.
+func TestThresholdMonotoneProperty(t *testing.T) {
+	g := mem.DefaultGeometry()
+	f := func(residentBits, faultBits []uint16) bool {
+		resident := mem.NewBitmap(512)
+		for _, b := range residentBits {
+			resident.Set(int(b) % 512)
+		}
+		faulted := mem.NewBitmap(512)
+		for _, b := range faultBits {
+			faulted.Set(int(b) % 512)
+		}
+		prev := -1
+		for _, th := range []int{1, 25, 51, 75, 99} {
+			pl := &Planner{Threshold: th, BigPages: true}
+			n := pl.Plan(g, resident, faulted, 512).Fetch.Count()
+			if prev >= 0 && n > prev {
+				return false
+			}
+			prev = n
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

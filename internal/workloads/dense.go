@@ -1,0 +1,158 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/mem"
+)
+
+// sgemmTile is the thread-block tile edge (elements).
+const sgemmTile = 64
+
+// SGEMM builds a tiled single-precision matrix multiply C = A*B with
+// n×n matrices. Each thread block computes one C tile, sweeping the A row
+// panel and B column panel per k-step — the panel-sweep pattern with heavy
+// on-GPU reuse the paper shows for sgemm (Fig. 7), which the driver cannot
+// see once pages are resident.
+func SGEMM(a Allocator, n int, p Params) (*gpusim.Kernel, error) {
+	p = p.normalized()
+	if n < sgemmTile {
+		return nil, fmt.Errorf("workloads: sgemm n=%d below tile %d", n, sgemmTile)
+	}
+	n = n / sgemmTile * sgemmTile
+	const elem = 4 // float32
+	rowBytes := int64(n) * elem
+	matBytes := rowBytes * int64(n)
+	ma, err := a.MallocManaged(matBytes, "A")
+	if err != nil {
+		return nil, err
+	}
+	mb, err := a.MallocManaged(matBytes, "B")
+	if err != nil {
+		return nil, err
+	}
+	mc, err := a.MallocManaged(matBytes, "C")
+	if err != nil {
+		return nil, err
+	}
+	tiles := n / sgemmTile
+
+	// tilePages appends the page ids covering rows [r0,r0+T) x cols
+	// [c0,c0+T) of the matrix starting at range m, deduplicating within
+	// the tile.
+	tilePages := func(dst []gpusim.Access, m *mem.Range, r0, c0 int, write bool) []gpusim.Access {
+		var last mem.PageID
+		haveLast := false
+		for r := r0; r < r0+sgemmTile; r++ {
+			off0 := int64(r)*rowBytes + int64(c0)*elem
+			off1 := off0 + sgemmTile*elem - 1
+			for pg := off0 / mem.PageSize; pg <= off1/mem.PageSize; pg++ {
+				id := pageAt(m, pg)
+				if haveLast && id == last {
+					continue
+				}
+				last, haveLast = id, true
+				dst = append(dst, gpusim.Access{Page: id, Write: write})
+			}
+		}
+		return dst
+	}
+
+	var warps []gpusim.WarpProgram
+	var blockSizes []int
+	for ti := 0; ti < tiles; ti++ {
+		for tj := 0; tj < tiles; tj++ {
+			var accs []gpusim.Access
+			for tk := 0; tk < tiles; tk++ {
+				accs = tilePages(accs, ma, ti*sgemmTile, tk*sgemmTile, false)
+				accs = tilePages(accs, mb, tk*sgemmTile, tj*sgemmTile, false)
+			}
+			accs = tilePages(accs, mc, ti*sgemmTile, tj*sgemmTile, true)
+			// Split the block's work across its warps as contiguous chunks.
+			per := (len(accs) + p.WarpsPerBlock - 1) / p.WarpsPerBlock
+			nw := 0
+			for s := 0; s < len(accs); s += per {
+				e := s + per
+				if e > len(accs) {
+					e = len(accs)
+				}
+				warps = append(warps, gpusim.SliceProgram(accs[s:e]))
+				nw++
+			}
+			blockSizes = append(blockSizes, nw)
+		}
+	}
+	// Blocks were built with exactly their own warps; regroup respecting
+	// the per-block warp counts rather than a uniform WarpsPerBlock.
+	k := &gpusim.Kernel{Name: "sgemm", ComputePerAccess: p.ComputePerAccess}
+	idx := 0
+	for _, nw := range blockSizes {
+		k.Blocks = append(k.Blocks, gpusim.ThreadBlock{Warps: warps[idx : idx+nw]})
+		idx += nw
+	}
+	return k, nil
+}
+
+// SGEMMBytes sizes n so the three matrices total roughly bytes.
+func SGEMMBytes(a Allocator, bytes int64, p Params) (*gpusim.Kernel, error) {
+	n := int(math.Sqrt(float64(bytes) / 12.0))
+	if n < sgemmTile {
+		n = sgemmTile
+	}
+	return SGEMM(a, n, p)
+}
+
+// CUFFT models out-of-place forward and inverse FFTs: multiple full
+// passes over input and output ranges, each pass visiting pages in a
+// power-of-two strided order (butterfly/transpose traffic), ping-ponging
+// between the two buffers.
+func CUFFT(a Allocator, bytes int64, p Params) (*gpusim.Kernel, error) {
+	p = p.normalized()
+	half := bytes / 2
+	if half < mem.PageSize {
+		return nil, fmt.Errorf("workloads: cufft needs at least %d bytes", 2*mem.PageSize)
+	}
+	in, err := a.MallocManaged(half, "fft_in")
+	if err != nil {
+		return nil, err
+	}
+	out, err := a.MallocManaged(half, "fft_out")
+	if err != nil {
+		return nil, err
+	}
+	pages := in.Pages
+	if out.Pages < pages {
+		pages = out.Pages
+	}
+	const passes = 4 // grouped radix stages: forward ×2, inverse ×2
+	var warps []gpusim.WarpProgram
+	src, dst := in, out
+	for pass := 0; pass < passes; pass++ {
+		stride := 1 << uint(pass)
+		// Strided full sweep: offsets 0..stride-1 interleave page visits.
+		order := make([]int, 0, pages)
+		for off := 0; off < stride && off < pages; off++ {
+			for i := off; i < pages; i += stride {
+				order = append(order, i)
+			}
+		}
+		for s := 0; s < len(order); s += p.WarpAccesses / 2 {
+			e := s + p.WarpAccesses/2
+			if e > len(order) {
+				e = len(order)
+			}
+			accs := make([]gpusim.Access, 0, 2*(e-s))
+			for _, pg := range order[s:e] {
+				accs = append(accs,
+					gpusim.Access{Page: pageAt(src, int64(pg))},
+					gpusim.Access{Page: pageAt(dst, int64(pg)), Write: true},
+				)
+			}
+			warps = append(warps, gpusim.SliceProgram(accs))
+		}
+		src, dst = dst, src
+	}
+	return assemble("cufft", warps, p), nil
+}

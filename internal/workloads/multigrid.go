@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+// TeaLeaf models the TeaLeaf heat-conduction CG solver: a 2D g×g double
+// grid with several working vectors (u, p, r, w). Each CG iteration
+// performs a 5-point stencil sweep (w = A·p, touching each p page and its
+// row neighbors), reductions over r and w, and axpy updates of u, p, r —
+// repeated full-range sweeps with strong page reuse across vectors.
+func TeaLeaf(a Allocator, bytes int64, p Params) (*gpusim.Kernel, error) {
+	p = p.normalized()
+	const vectors = 4
+	const iters = 3
+	per := bytes / vectors
+	if per < mem.PageSize {
+		return nil, fmt.Errorf("workloads: tealeaf needs at least %d bytes", vectors*mem.PageSize)
+	}
+	// Square grid of float64: g*g*8 = per.
+	g := int(math.Sqrt(float64(per) / 8))
+	if g < 1 {
+		g = 1
+	}
+	alloc := func(label string) (*mem.Range, error) { return a.MallocManaged(per, label) }
+	u, err := alloc("u")
+	if err != nil {
+		return nil, err
+	}
+	pv, err := alloc("p")
+	if err != nil {
+		return nil, err
+	}
+	r, err := alloc("r")
+	if err != nil {
+		return nil, err
+	}
+	w, err := alloc("w")
+	if err != nil {
+		return nil, err
+	}
+	pages := u.Pages
+	rowPages := int64(g) * 8 / mem.PageSize // pages per grid row (>=0)
+	if rowPages < 1 {
+		rowPages = 1
+	}
+	var warps []gpusim.WarpProgram
+	chunk := p.WarpAccesses
+	for it := 0; it < iters; it++ {
+		// Stencil sweep: per page of p, touch the page and its row
+		// neighbors (previous/next grid row), write w.
+		for s := 0; s < pages; s += chunk {
+			e := s + chunk
+			if e > pages {
+				e = pages
+			}
+			var accs []gpusim.Access
+			for i := s; i < e; i++ {
+				accs = append(accs, gpusim.Access{Page: pageAt(pv, int64(i))})
+				if up := int64(i) - rowPages; up >= 0 {
+					accs = append(accs, gpusim.Access{Page: pageAt(pv, up)})
+				}
+				if dn := int64(i) + rowPages; dn < int64(pages) {
+					accs = append(accs, gpusim.Access{Page: pageAt(pv, dn)})
+				}
+				accs = append(accs, gpusim.Access{Page: pageAt(w, int64(i)), Write: true})
+			}
+			warps = append(warps, gpusim.SliceProgram(accs))
+		}
+		// Reduction + axpy updates: sweep r, w, then update u, p, r.
+		for s := 0; s < pages; s += chunk {
+			e := s + chunk
+			if e > pages {
+				e = pages
+			}
+			var accs []gpusim.Access
+			for i := s; i < e; i++ {
+				accs = append(accs,
+					gpusim.Access{Page: pageAt(r, int64(i))},
+					gpusim.Access{Page: pageAt(w, int64(i))},
+					gpusim.Access{Page: pageAt(u, int64(i)), Write: true},
+					gpusim.Access{Page: pageAt(pv, int64(i)), Write: true},
+					gpusim.Access{Page: pageAt(r, int64(i)), Write: true},
+				)
+			}
+			warps = append(warps, gpusim.SliceProgram(accs))
+		}
+	}
+	return assemble("tealeaf", warps, p), nil
+}
+
+// HPGMG models a geometric multigrid V-cycle: a hierarchy of grids, each
+// 1/8 the size of the previous (3D halving). Each cycle smooths at every
+// level on the way down (sweep + boundary gathers), solves the coarsest,
+// and interpolates back up. The boundary gathers produce the random-like
+// segments the paper observes for hpgmg.
+func HPGMG(a Allocator, bytes int64, p Params) (*gpusim.Kernel, error) {
+	p = p.normalized()
+	const levels = 4
+	const cycles = 2
+	// Geometric series: level0*(1 + 1/8 + 1/64 + ...) ~= bytes.
+	level0 := bytes * 7 / 8
+	if level0 < mem.PageSize {
+		return nil, fmt.Errorf("workloads: hpgmg needs at least %d bytes", mem.PageSize*8)
+	}
+	type level struct {
+		x, rhs *mem.Range
+	}
+	var lv []level
+	size := level0 / 2 // two vectors per level
+	for l := 0; l < levels; l++ {
+		if size < mem.PageSize {
+			break
+		}
+		x, err := a.MallocManaged(size, fmt.Sprintf("mg_x%d", l))
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := a.MallocManaged(size, fmt.Sprintf("mg_rhs%d", l))
+		if err != nil {
+			return nil, err
+		}
+		lv = append(lv, level{x, rhs})
+		size /= 8
+	}
+	rng := sim.NewRNG(p.Seed + 7)
+	var warps []gpusim.WarpProgram
+	chunk := p.WarpAccesses
+
+	smooth := func(l level) {
+		pages := l.x.Pages
+		for s := 0; s < pages; s += chunk {
+			e := s + chunk
+			if e > pages {
+				e = pages
+			}
+			var accs []gpusim.Access
+			for i := s; i < e; i++ {
+				accs = append(accs,
+					gpusim.Access{Page: pageAt(l.rhs, int64(i))},
+					gpusim.Access{Page: pageAt(l.x, int64(i)), Write: true},
+				)
+			}
+			// Boundary exchange: a few scattered gathers across the level.
+			for j := 0; j < 2; j++ {
+				accs = append(accs, gpusim.Access{Page: pageAt(l.x, int64(rng.Intn(pages)))})
+			}
+			warps = append(warps, gpusim.SliceProgram(accs))
+		}
+	}
+	transfer := func(fine, coarse level, down bool) {
+		pages := coarse.x.Pages
+		for s := 0; s < pages; s += chunk {
+			e := s + chunk
+			if e > pages {
+				e = pages
+			}
+			var accs []gpusim.Access
+			for i := s; i < e; i++ {
+				fi := int64(i) * 8
+				if fi >= int64(fine.x.Pages) {
+					fi = int64(fine.x.Pages) - 1
+				}
+				if down { // restrict: read fine, write coarse rhs
+					accs = append(accs,
+						gpusim.Access{Page: pageAt(fine.x, fi)},
+						gpusim.Access{Page: pageAt(coarse.rhs, int64(i)), Write: true},
+					)
+				} else { // prolong: read coarse, write fine
+					accs = append(accs,
+						gpusim.Access{Page: pageAt(coarse.x, int64(i))},
+						gpusim.Access{Page: pageAt(fine.x, fi), Write: true},
+					)
+				}
+			}
+			warps = append(warps, gpusim.SliceProgram(accs))
+		}
+	}
+
+	for c := 0; c < cycles; c++ {
+		for l := 0; l < len(lv); l++ {
+			smooth(lv[l])
+			if l+1 < len(lv) {
+				transfer(lv[l], lv[l+1], true)
+			}
+		}
+		for l := len(lv) - 2; l >= 0; l-- {
+			transfer(lv[l], lv[l+1], false)
+			smooth(lv[l])
+		}
+	}
+	return assemble("hpgmg", warps, p), nil
+}

@@ -1,0 +1,109 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+// CUSparse models the cuSPARSE example the paper uses: convert a dense
+// matrix to CSR, then multiply the sparse matrix by a dense matrix. The
+// conversion is a regular sweep; the SpMM gathers rows of the dense
+// operand at sparse column positions — the random-like segments the
+// paper's Fig. 7 shows for cusparse.
+func CUSparse(a Allocator, bytes int64, p Params) (*gpusim.Kernel, error) {
+	p = p.normalized()
+	// Footprint split: dense source ~1/2, CSR ~1/8 (10% density), dense
+	// operand ~1/4, output ~1/8.
+	const density = 0.10
+	denseBytes := bytes / 2
+	n := int(math.Sqrt(float64(denseBytes) / 4)) // float32 n×n
+	if n < 64 {
+		return nil, fmt.Errorf("workloads: cusparse needs a larger footprint than %d bytes", bytes)
+	}
+	dense, err := a.MallocManaged(denseBytes, "dense")
+	if err != nil {
+		return nil, err
+	}
+	nnz := int64(float64(n) * float64(n) * density)
+	csrBytes := nnz * 8 // value + column index
+	if csrBytes < mem.PageSize {
+		csrBytes = mem.PageSize
+	}
+	csr, err := a.MallocManaged(csrBytes, "csr")
+	if err != nil {
+		return nil, err
+	}
+	opBytes := bytes / 4
+	op, err := a.MallocManaged(opBytes, "B")
+	if err != nil {
+		return nil, err
+	}
+	outBytes := bytes / 8
+	if outBytes < mem.PageSize {
+		outBytes = mem.PageSize
+	}
+	out, err := a.MallocManaged(outBytes, "C")
+	if err != nil {
+		return nil, err
+	}
+
+	rng := sim.NewRNG(p.Seed + 13)
+	var warps []gpusim.WarpProgram
+	chunk := p.WarpAccesses
+
+	// Phase 1: dense -> CSR. Sequential read of the dense matrix,
+	// interleaved sequential writes of the (much smaller) CSR arrays.
+	csrPerDense := float64(csr.Pages) / float64(dense.Pages)
+	acc := 0.0
+	csrPage := int64(0)
+	for s := 0; s < dense.Pages; s += chunk {
+		e := s + chunk
+		if e > dense.Pages {
+			e = dense.Pages
+		}
+		var accs []gpusim.Access
+		for i := s; i < e; i++ {
+			accs = append(accs, gpusim.Access{Page: pageAt(dense, int64(i))})
+			acc += csrPerDense
+			for acc >= 1 && csrPage < int64(csr.Pages) {
+				accs = append(accs, gpusim.Access{Page: pageAt(csr, csrPage), Write: true})
+				csrPage++
+				acc--
+			}
+		}
+		warps = append(warps, gpusim.SliceProgram(accs))
+	}
+
+	// Phase 2: SpMM. Sweep CSR sequentially; for every CSR page gather a
+	// handful of random operand pages (sparse column positions) and write
+	// the output sequentially.
+	outPerCSR := float64(out.Pages) / float64(csr.Pages)
+	acc = 0
+	outPage := int64(0)
+	const gathersPerCSRPage = 4
+	for s := 0; s < csr.Pages; s += chunk / 2 {
+		e := s + chunk/2
+		if e > csr.Pages {
+			e = csr.Pages
+		}
+		var accs []gpusim.Access
+		for i := s; i < e; i++ {
+			accs = append(accs, gpusim.Access{Page: pageAt(csr, int64(i))})
+			for g := 0; g < gathersPerCSRPage; g++ {
+				accs = append(accs, gpusim.Access{Page: pageAt(op, int64(rng.Intn(op.Pages)))})
+			}
+			acc += outPerCSR
+			for acc >= 1 && outPage < int64(out.Pages) {
+				accs = append(accs, gpusim.Access{Page: pageAt(out, outPage), Write: true})
+				outPage++
+				acc--
+			}
+		}
+		warps = append(warps, gpusim.SliceProgram(accs))
+	}
+	return assemble("cusparse", warps, p), nil
+}

@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"fmt"
+
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+// PageTouchRegular is the paper's "regular access" kernel: each thread
+// writes exactly one page corresponding to its global ID, so access is
+// regular within a warp and block.
+func PageTouchRegular(a Allocator, bytes int64, p Params) (*gpusim.Kernel, error) {
+	p = p.normalized()
+	r, err := a.MallocManaged(bytes, "touch")
+	if err != nil {
+		return nil, err
+	}
+	var warps []gpusim.WarpProgram
+	for start := int64(0); start < int64(r.Pages); start += int64(p.WarpAccesses) {
+		n := int64(p.WarpAccesses)
+		if start+n > int64(r.Pages) {
+			n = int64(r.Pages) - start
+		}
+		warps = append(warps, gpusim.StridedProgram{
+			Start: pageAt(r, start), Stride: 1, Count: int(n), Repeat: 1, Write: true,
+		})
+	}
+	return assemble("regular", warps, p), nil
+}
+
+// PageTouchRandom is the paper's "random access" kernel: each thread
+// writes a single, random, unique page from the global buffer.
+func PageTouchRandom(a Allocator, bytes int64, p Params) (*gpusim.Kernel, error) {
+	p = p.normalized()
+	r, err := a.MallocManaged(bytes, "touch")
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(p.Seed)
+	perm := rng.Perm(r.Pages)
+	accs := make([]gpusim.Access, r.Pages)
+	for i, pg := range perm {
+		accs[i] = gpusim.Access{Page: pageAt(r, int64(pg)), Write: true}
+	}
+	return assemble("random", sliceWarps(accs, p), p), nil
+}
+
+// StreamTriad reproduces GPU-STREAM's triad kernel a[i] = b[i] + s*c[i]
+// over three equal vectors. The three-vector pattern enforces the page
+// access dependency ordering the paper highlights: for each chunk the
+// warp reads the B page and C page, then writes the A page.
+func StreamTriad(a Allocator, bytes int64, p Params) (*gpusim.Kernel, error) {
+	p = p.normalized()
+	per := bytes / 3
+	if per < mem.PageSize {
+		return nil, fmt.Errorf("workloads: stream needs at least %d bytes", 3*mem.PageSize)
+	}
+	va, err := a.MallocManaged(per, "a")
+	if err != nil {
+		return nil, err
+	}
+	vb, err := a.MallocManaged(per, "b")
+	if err != nil {
+		return nil, err
+	}
+	vc, err := a.MallocManaged(per, "c")
+	if err != nil {
+		return nil, err
+	}
+	pages := va.Pages
+	if vb.Pages < pages {
+		pages = vb.Pages
+	}
+	if vc.Pages < pages {
+		pages = vc.Pages
+	}
+	// One warp handles WarpAccesses/3 page triples.
+	triplesPerWarp := p.WarpAccesses / 3
+	if triplesPerWarp < 1 {
+		triplesPerWarp = 1
+	}
+	var warps []gpusim.WarpProgram
+	for start := 0; start < pages; start += triplesPerWarp {
+		end := start + triplesPerWarp
+		if end > pages {
+			end = pages
+		}
+		accs := make([]gpusim.Access, 0, 3*(end-start))
+		for i := start; i < end; i++ {
+			accs = append(accs,
+				gpusim.Access{Page: pageAt(vb, int64(i))},
+				gpusim.Access{Page: pageAt(vc, int64(i))},
+				gpusim.Access{Page: pageAt(va, int64(i)), Write: true},
+			)
+		}
+		warps = append(warps, gpusim.SliceProgram(accs))
+	}
+	return assemble("stream", warps, p), nil
+}
+
+// HotCold is an extension workload (not in the paper's suite) built to
+// exercise the §V-A eviction pathology directly: a small hot range is
+// re-read throughout the run while a large cold range streams past once.
+// Fault-only LRU lets the fully-resident hot blocks sink to the LRU tail
+// and evicts them ahead of the dead cold data, producing the
+// evict-then-refault cycle; access-aware eviction and thrash pinning
+// exist to fix exactly this.
+func HotCold(a Allocator, bytes int64, p Params) (*gpusim.Kernel, error) {
+	p = p.normalized()
+	hotBytes := bytes / 8
+	coldBytes := bytes - hotBytes
+	if hotBytes < mem.PageSize || coldBytes < mem.PageSize {
+		return nil, fmt.Errorf("workloads: hotcold needs at least %d bytes", 16*mem.PageSize)
+	}
+	hot, err := a.MallocManaged(hotBytes, "hot")
+	if err != nil {
+		return nil, err
+	}
+	cold, err := a.MallocManaged(coldBytes, "cold")
+	if err != nil {
+		return nil, err
+	}
+	// Each warp interleaves a chunk of the cold stream with re-reads of
+	// the hot range (round-robin over hot pages, so every hot page is
+	// re-touched many times across the run).
+	chunk := p.WarpAccesses / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	// Two passes over the cold stream: the second pass re-creates the
+	// eviction pressure after the hot set has already bounced once, which
+	// is where thrash pinning can act.
+	const passes = 2
+	var warps []gpusim.WarpProgram
+	hotCursor := int64(0)
+	for pass := 0; pass < passes; pass++ {
+		for s := 0; s < cold.Pages; s += chunk {
+			e := s + chunk
+			if e > cold.Pages {
+				e = cold.Pages
+			}
+			accs := make([]gpusim.Access, 0, 2*(e-s))
+			for i := s; i < e; i++ {
+				accs = append(accs,
+					gpusim.Access{Page: pageAt(hot, hotCursor%int64(hot.Pages))},
+					gpusim.Access{Page: pageAt(cold, int64(i)), Write: true},
+				)
+				hotCursor++
+			}
+			warps = append(warps, gpusim.SliceProgram(accs))
+		}
+	}
+	return assemble("hotcold", warps, p), nil
+}

@@ -1,0 +1,124 @@
+// Package workloads generates page-granularity GPU kernels reproducing
+// the access patterns of the paper's benchmark suite (§III-B): synthetic
+// regular and random page-touch kernels, cuBLAS-style SGEMM, STREAM
+// triad, cuFFT-style multi-pass transforms, TeaLeaf-style stencil CG,
+// HPGMG-style multigrid V-cycles, and a cuSPARSE-style dense-to-CSR
+// conversion followed by a sparse-matrix multiply.
+//
+// Generators emit the page access sequence each warp performs — exactly
+// the granularity the UVM driver observes (§IV-B) — so the driver-side
+// fault patterns match the paper's Fig. 7 characterizations.
+package workloads
+
+import (
+	"fmt"
+
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+// Allocator abstracts managed allocation; core.System implements it.
+type Allocator interface {
+	MallocManaged(size int64, label string) (*mem.Range, error)
+}
+
+// Params tunes kernel shape.
+type Params struct {
+	// Seed drives randomized generators (access permutations, sparsity).
+	Seed uint64
+	// WarpAccesses is the page-access granularity one warp covers per
+	// work item (CUDA warps coalesce; 32 threads touching consecutive
+	// 4 KB pages yields 32 page accesses per warp in the touch kernels).
+	WarpAccesses int
+	// WarpsPerBlock groups warps into thread blocks.
+	WarpsPerBlock int
+	// ComputePerAccess is the compute gap between page accesses.
+	ComputePerAccess sim.Duration
+}
+
+// DefaultParams returns the shape used throughout the experiments.
+func DefaultParams() Params {
+	return Params{
+		Seed:             42,
+		WarpAccesses:     32,
+		WarpsPerBlock:    4,
+		ComputePerAccess: 30 * sim.Nanosecond,
+	}
+}
+
+func (p Params) normalized() Params {
+	if p.WarpAccesses <= 0 {
+		p.WarpAccesses = 32
+	}
+	if p.WarpsPerBlock <= 0 {
+		p.WarpsPerBlock = 4
+	}
+	return p
+}
+
+// assemble groups per-warp programs into thread blocks.
+func assemble(name string, warps []gpusim.WarpProgram, p Params) *gpusim.Kernel {
+	p = p.normalized()
+	k := &gpusim.Kernel{Name: name, ComputePerAccess: p.ComputePerAccess}
+	for start := 0; start < len(warps); start += p.WarpsPerBlock {
+		end := start + p.WarpsPerBlock
+		if end > len(warps) {
+			end = len(warps)
+		}
+		k.Blocks = append(k.Blocks, gpusim.ThreadBlock{Warps: warps[start:end]})
+	}
+	return k
+}
+
+// sliceWarps splits a flat access list into warp programs of p.WarpAccesses.
+func sliceWarps(accs []gpusim.Access, p Params) []gpusim.WarpProgram {
+	p = p.normalized()
+	var warps []gpusim.WarpProgram
+	for start := 0; start < len(accs); start += p.WarpAccesses {
+		end := start + p.WarpAccesses
+		if end > len(accs) {
+			end = len(accs)
+		}
+		warps = append(warps, gpusim.SliceProgram(accs[start:end]))
+	}
+	return warps
+}
+
+// Builder constructs a kernel with roughly the given total data footprint
+// on the allocator.
+type Builder func(a Allocator, bytes int64, p Params) (*gpusim.Kernel, error)
+
+// Names lists the benchmark suite in the paper's Table I order.
+func Names() []string {
+	return []string{"regular", "random", "sgemm", "stream", "cufft", "tealeaf", "hpgmg", "cusparse"}
+}
+
+// Get returns the named builder.
+func Get(name string) (Builder, error) {
+	switch name {
+	case "regular":
+		return PageTouchRegular, nil
+	case "random":
+		return PageTouchRandom, nil
+	case "sgemm":
+		return SGEMMBytes, nil
+	case "stream":
+		return StreamTriad, nil
+	case "cufft":
+		return CUFFT, nil
+	case "tealeaf":
+		return TeaLeaf, nil
+	case "hpgmg":
+		return HPGMG, nil
+	case "cusparse":
+		return CUSparse, nil
+	case "hotcold":
+		return HotCold, nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+}
+
+// pagesOf returns the page ids of r as a convenience for generators.
+func pageAt(r *mem.Range, i int64) mem.PageID { return r.StartPage + mem.PageID(i) }

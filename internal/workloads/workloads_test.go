@@ -1,0 +1,385 @@
+package workloads
+
+import (
+	"testing"
+
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/mem"
+)
+
+// spaceAlloc adapts a bare AddressSpace to the Allocator interface.
+type spaceAlloc struct{ s *mem.AddressSpace }
+
+func (a spaceAlloc) MallocManaged(size int64, label string) (*mem.Range, error) {
+	return a.s.Alloc(size, label)
+}
+
+func newAlloc() spaceAlloc {
+	return spaceAlloc{mem.NewAddressSpace(mem.DefaultGeometry())}
+}
+
+// touchedPages walks a kernel and returns access statistics.
+func touchedPages(k *gpusim.Kernel) (distinct map[mem.PageID]int, writes int, total int) {
+	distinct = make(map[mem.PageID]int)
+	for _, b := range k.Blocks {
+		for _, w := range b.Warps {
+			for i := 0; i < w.Len(); i++ {
+				a := w.At(i)
+				distinct[a.Page]++
+				total++
+				if a.Write {
+					writes++
+				}
+			}
+		}
+	}
+	return distinct, writes, total
+}
+
+func TestRegularTouchesEachPageOnce(t *testing.T) {
+	al := newAlloc()
+	k, err := PageTouchRegular(al, 8<<20, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct, writes, total := touchedPages(k)
+	if len(distinct) != 2048 || total != 2048 || writes != 2048 {
+		t.Fatalf("distinct=%d total=%d writes=%d, want 2048 each", len(distinct), total, writes)
+	}
+	for p, n := range distinct {
+		if n != 1 {
+			t.Fatalf("page %d touched %d times", p, n)
+		}
+	}
+}
+
+func TestRandomIsPermutation(t *testing.T) {
+	al := newAlloc()
+	k, err := PageTouchRandom(al, 4<<20, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct, _, total := touchedPages(k)
+	if len(distinct) != 1024 || total != 1024 {
+		t.Fatalf("distinct=%d total=%d, want 1024", len(distinct), total)
+	}
+	// Must not be the identity order: check first warp is scrambled.
+	w := k.Blocks[0].Warps[0]
+	ascending := true
+	for i := 1; i < w.Len(); i++ {
+		if w.At(i).Page != w.At(i-1).Page+1 {
+			ascending = false
+			break
+		}
+	}
+	if ascending {
+		t.Error("random kernel produced sequential pages")
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	p := DefaultParams()
+	k1, _ := PageTouchRandom(newAlloc(), 1<<20, p)
+	k2, _ := PageTouchRandom(newAlloc(), 1<<20, p)
+	p.Seed = 99
+	k3, _ := PageTouchRandom(newAlloc(), 1<<20, p)
+	same := func(a, b *gpusim.Kernel) bool {
+		wa, wb := a.Blocks[0].Warps[0], b.Blocks[0].Warps[0]
+		for i := 0; i < wa.Len(); i++ {
+			if wa.At(i).Page != wb.At(i).Page {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(k1, k2) {
+		t.Error("same seed produced different kernels")
+	}
+	if same(k1, k3) {
+		t.Error("different seed produced identical kernel")
+	}
+}
+
+func TestStreamTriadPattern(t *testing.T) {
+	al := newAlloc()
+	k, err := StreamTriad(al, 12<<20, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := al.s.Ranges()
+	if len(ranges) != 3 {
+		t.Fatalf("ranges = %d, want 3", len(ranges))
+	}
+	va, vb, vc := ranges[0], ranges[1], ranges[2]
+	w := k.Blocks[0].Warps[0]
+	if w.Len() < 3 {
+		t.Fatal("warp too short")
+	}
+	// Pattern per triple: read B, read C, write A.
+	a0, a1, a2 := w.At(0), w.At(1), w.At(2)
+	if !vb.Contains(a0.Page) || a0.Write {
+		t.Errorf("first access should read B: %+v", a0)
+	}
+	if !vc.Contains(a1.Page) || a1.Write {
+		t.Errorf("second access should read C: %+v", a1)
+	}
+	if !va.Contains(a2.Page) || !a2.Write {
+		t.Errorf("third access should write A: %+v", a2)
+	}
+	distinct, _, _ := touchedPages(k)
+	if len(distinct) != va.Pages+vb.Pages+vc.Pages {
+		t.Errorf("distinct=%d, want %d", len(distinct), va.Pages+vb.Pages+vc.Pages)
+	}
+}
+
+func TestSGEMMHasReuse(t *testing.T) {
+	al := newAlloc()
+	k, err := SGEMM(al, 256, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct, writes, total := touchedPages(k)
+	pages := 0
+	for _, r := range al.s.Ranges() {
+		pages += r.Pages
+	}
+	if len(distinct) != pages {
+		t.Errorf("distinct=%d, want full coverage %d", len(distinct), pages)
+	}
+	if total <= 2*pages {
+		t.Errorf("total=%d, want heavy reuse over %d pages", total, pages)
+	}
+	if writes == 0 {
+		t.Error("sgemm never writes C")
+	}
+}
+
+func TestSGEMMBytesSizing(t *testing.T) {
+	al := newAlloc()
+	if _, err := SGEMMBytes(al, 3<<20, DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	var totalBytes int64
+	for _, r := range al.s.Ranges() {
+		totalBytes += mem.Bytes(r.Pages)
+	}
+	// Three matrices roughly within 2x of the request.
+	if totalBytes < 1<<20 || totalBytes > 6<<20 {
+		t.Errorf("footprint = %d for 3MB request", totalBytes)
+	}
+	if _, err := SGEMM(newAlloc(), 10, DefaultParams()); err == nil {
+		t.Error("tiny sgemm accepted")
+	}
+}
+
+func TestCUFFTMultiplePasses(t *testing.T) {
+	al := newAlloc()
+	k, err := CUFFT(al, 8<<20, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct, writes, total := touchedPages(k)
+	pages := 0
+	for _, r := range al.s.Ranges() {
+		pages += r.Pages
+	}
+	if len(distinct) != pages {
+		t.Errorf("coverage %d of %d pages", len(distinct), pages)
+	}
+	// 4 passes over in+out -> total = 4 * pages.
+	if total != 4*pages {
+		t.Errorf("total=%d, want %d", total, 4*pages)
+	}
+	if writes != total/2 {
+		t.Errorf("writes=%d, want half of %d", writes, total)
+	}
+}
+
+func TestTeaLeafStencilNeighbors(t *testing.T) {
+	al := newAlloc()
+	k, err := TeaLeaf(al, 16<<20, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct, writes, total := touchedPages(k)
+	if len(distinct) == 0 || writes == 0 {
+		t.Fatal("empty tealeaf kernel")
+	}
+	pages := 0
+	for _, r := range al.s.Ranges() {
+		pages += r.Pages
+	}
+	if len(distinct) != pages {
+		t.Errorf("coverage %d of %d", len(distinct), pages)
+	}
+	if total < 3*pages {
+		t.Errorf("total=%d, want multiple sweeps over %d", total, pages)
+	}
+}
+
+func TestHPGMGLevels(t *testing.T) {
+	al := newAlloc()
+	k, err := HPGMG(al, 32<<20, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect two ranges (x, rhs) per materialized level.
+	if len(al.s.Ranges())%2 != 0 || len(al.s.Ranges()) < 4 {
+		t.Errorf("ranges = %d, want >= 4 and even", len(al.s.Ranges()))
+	}
+	distinct, _, _ := touchedPages(k)
+	if len(distinct) == 0 {
+		t.Fatal("empty hpgmg kernel")
+	}
+	// The coarsest level is revisited every cycle: some pages reused.
+	reused := 0
+	for _, n := range distinct {
+		if n > 1 {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Error("no page reuse in multigrid")
+	}
+}
+
+func TestCUSparseHasRandomGathers(t *testing.T) {
+	al := newAlloc()
+	k, err := CUSparse(al, 32<<20, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := al.s.Ranges()
+	if len(ranges) != 4 {
+		t.Fatalf("ranges = %d, want 4 (dense, csr, B, C)", len(ranges))
+	}
+	distinct, writes, _ := touchedPages(k)
+	if writes == 0 {
+		t.Error("no writes")
+	}
+	// Operand gathers are random: the operand range should have repeats
+	// and (for a small gather budget) incomplete coverage is fine, but at
+	// least a quarter should be hit.
+	op := ranges[2]
+	hit := 0
+	for p := range distinct {
+		if op.Contains(p) {
+			hit++
+		}
+	}
+	if hit < op.Pages/4 {
+		t.Errorf("operand pages hit = %d of %d", hit, op.Pages)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Names()) != 8 {
+		t.Fatalf("Names = %v", Names())
+	}
+	for _, name := range Names() {
+		b, err := Get(name)
+		if err != nil || b == nil {
+			t.Errorf("Get(%q): %v", name, err)
+			continue
+		}
+		k, err := b(newAlloc(), 32<<20, DefaultParams())
+		if err != nil {
+			t.Errorf("%s builder: %v", name, err)
+			continue
+		}
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s kernel invalid: %v", name, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestAssembleGrouping(t *testing.T) {
+	p := DefaultParams()
+	p.WarpsPerBlock = 3
+	var warps []gpusim.WarpProgram
+	for i := 0; i < 7; i++ {
+		warps = append(warps, gpusim.SliceProgram{{Page: mem.PageID(i)}})
+	}
+	k := assemble("x", warps, p)
+	if len(k.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(k.Blocks))
+	}
+	if len(k.Blocks[0].Warps) != 3 || len(k.Blocks[2].Warps) != 1 {
+		t.Error("grouping wrong")
+	}
+}
+
+func TestParamsNormalization(t *testing.T) {
+	var p Params // all zero
+	n := p.normalized()
+	if n.WarpAccesses <= 0 || n.WarpsPerBlock <= 0 {
+		t.Error("normalization failed")
+	}
+}
+
+func TestBuildersRejectTinyFootprints(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		b     Builder
+		bytes int64
+	}{
+		{"stream", StreamTriad, 1000},
+		{"cufft", CUFFT, 1000},
+		{"tealeaf", TeaLeaf, 1000},
+		{"hpgmg", HPGMG, 1000},
+		{"cusparse", CUSparse, 1000},
+	} {
+		if _, err := tc.b(newAlloc(), tc.bytes, DefaultParams()); err == nil {
+			t.Errorf("%s accepted %d bytes", tc.name, tc.bytes)
+		}
+	}
+}
+
+func TestHotColdReusePattern(t *testing.T) {
+	al := newAlloc()
+	k, err := HotCold(al, 16<<20, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := al.s.Ranges()
+	if len(ranges) != 2 {
+		t.Fatalf("ranges = %d, want hot+cold", len(ranges))
+	}
+	hot, cold := ranges[0], ranges[1]
+	if hot.Pages >= cold.Pages {
+		t.Errorf("hot (%d pages) should be much smaller than cold (%d)", hot.Pages, cold.Pages)
+	}
+	distinct, writes, total := touchedPages(k)
+	// Hot pages are re-read many times; cold pages are write-touched
+	// twice (two passes).
+	var hotTouches, coldTouches int
+	for p, n := range distinct {
+		if hot.Contains(p) {
+			hotTouches += n
+		} else {
+			coldTouches += n
+		}
+	}
+	if hotTouches != coldTouches {
+		t.Errorf("hot/cold touch counts %d/%d, want interleaved 1:1", hotTouches, coldTouches)
+	}
+	perHotPage := float64(hotTouches) / float64(hot.Pages)
+	if perHotPage < 4 {
+		t.Errorf("hot reuse = %.1f touches/page, want heavy reuse", perHotPage)
+	}
+	if writes != coldTouches {
+		t.Errorf("writes = %d, want cold touches only (%d)", writes, coldTouches)
+	}
+	if total != hotTouches+coldTouches {
+		t.Errorf("total mismatch")
+	}
+	if _, err := HotCold(newAlloc(), 1000, DefaultParams()); err == nil {
+		t.Error("tiny hotcold accepted")
+	}
+	if b, err := Get("hotcold"); err != nil || b == nil {
+		t.Error("hotcold not in registry")
+	}
+}

@@ -1,0 +1,135 @@
+// Package xfer models the host-device interconnect: a full-duplex link
+// (PCIe-like) with per-transaction latency and finite bandwidth, plus a
+// DMA engine that serializes transfers per direction. Coalescing
+// contiguous pages into fewer, larger transactions is what makes batches
+// with fuller VABlocks cheaper to service (paper §III-D).
+package xfer
+
+import (
+	"fmt"
+
+	"uvmsim/internal/sim"
+)
+
+// Direction of a transfer relative to the device.
+type Direction int
+
+// Transfer directions.
+const (
+	HostToDevice Direction = iota
+	DeviceToHost
+)
+
+// String names the direction like CUDA does.
+func (d Direction) String() string {
+	if d == HostToDevice {
+		return "H2D"
+	}
+	return "D2H"
+}
+
+// LinkConfig describes the interconnect characteristics.
+type LinkConfig struct {
+	// BandwidthBytesPerSec is the peak per-direction bandwidth.
+	// PCIe 3.0 x16 sustains roughly 12 GB/s.
+	BandwidthBytesPerSec float64
+	// TransactionLatency is the fixed setup cost per DMA transaction.
+	TransactionLatency sim.Duration
+}
+
+// DefaultPCIe3x16 returns the link used in the paper's testbed.
+func DefaultPCIe3x16() LinkConfig {
+	return LinkConfig{
+		BandwidthBytesPerSec: 12e9,
+		TransactionLatency:   1500 * sim.Nanosecond,
+	}
+}
+
+// Link is a full-duplex interconnect: each direction has an independent
+// channel that serializes its transfers.
+type Link struct {
+	eng  *sim.Engine
+	cfg  LinkConfig
+	free [2]sim.Time // earliest time each direction is idle
+
+	// Totals for reporting.
+	bytes [2]int64
+	txns  [2]uint64
+	busy  [2]sim.Duration
+}
+
+// NewLink returns a link driven by eng.
+func NewLink(eng *sim.Engine, cfg LinkConfig) (*Link, error) {
+	if cfg.BandwidthBytesPerSec <= 0 {
+		return nil, fmt.Errorf("xfer: bandwidth must be positive, got %v", cfg.BandwidthBytesPerSec)
+	}
+	if cfg.TransactionLatency < 0 {
+		return nil, fmt.Errorf("xfer: negative transaction latency %v", cfg.TransactionLatency)
+	}
+	return &Link{eng: eng, cfg: cfg}, nil
+}
+
+// TransferTime returns the service time of a single transaction of size
+// bytes, excluding queueing.
+func (l *Link) TransferTime(bytes int64) sim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	wire := sim.Duration(float64(bytes) / l.cfg.BandwidthBytesPerSec * 1e9)
+	return l.cfg.TransactionLatency + wire
+}
+
+// Enqueue schedules a transfer of size bytes in direction dir, starting no
+// earlier than now, and returns the completion time. Transfers in the
+// same direction are serialized in submission order.
+func (l *Link) Enqueue(dir Direction, bytes int64, done func(at sim.Time)) sim.Time {
+	start := l.eng.Now()
+	if l.free[dir] > start {
+		start = l.free[dir]
+	}
+	d := l.TransferTime(bytes)
+	end := start.Add(d)
+	l.free[dir] = end
+	l.bytes[dir] += bytes
+	l.txns[dir]++
+	l.busy[dir] += d
+	if done != nil {
+		l.eng.At(end, func() { done(end) })
+	}
+	return end
+}
+
+// EnqueueStream schedules a pipelined transfer (no per-transaction setup
+// latency): the model for remote-mapped load/store traffic, which streams
+// cache lines rather than issuing discrete DMA descriptors. It returns
+// the completion time; bandwidth contention with DMA traffic in the same
+// direction is preserved.
+func (l *Link) EnqueueStream(dir Direction, bytes int64) sim.Time {
+	start := l.eng.Now()
+	if l.free[dir] > start {
+		start = l.free[dir]
+	}
+	d := sim.Duration(float64(bytes) / l.cfg.BandwidthBytesPerSec * 1e9)
+	end := start.Add(d)
+	l.free[dir] = end
+	l.bytes[dir] += bytes
+	l.txns[dir]++
+	l.busy[dir] += d
+	return end
+}
+
+// BytesMoved returns the cumulative bytes transferred in dir.
+func (l *Link) BytesMoved(dir Direction) int64 { return l.bytes[dir] }
+
+// Transactions returns the cumulative transaction count in dir.
+func (l *Link) Transactions(dir Direction) uint64 { return l.txns[dir] }
+
+// BusyTime returns the cumulative busy time of dir's channel.
+func (l *Link) BusyTime(dir Direction) sim.Duration { return l.busy[dir] }
+
+// Reset clears the accounting counters (not the queue horizon).
+func (l *Link) Reset() {
+	l.bytes = [2]int64{}
+	l.txns = [2]uint64{}
+	l.busy = [2]sim.Duration{}
+}

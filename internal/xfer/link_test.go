@@ -1,0 +1,168 @@
+package xfer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uvmsim/internal/sim"
+)
+
+func testLink(t *testing.T) (*sim.Engine, *Link) {
+	t.Helper()
+	eng := sim.NewEngine()
+	l, err := NewLink(eng, LinkConfig{BandwidthBytesPerSec: 1e9, TransactionLatency: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, l
+}
+
+func TestTransferTime(t *testing.T) {
+	_, l := testLink(t)
+	// 1e9 B/s = 1 byte/ns; 4096 bytes -> 4096ns + 1000ns latency.
+	if got := l.TransferTime(4096); got != 5096 {
+		t.Errorf("TransferTime = %v, want 5096ns", got)
+	}
+	if l.TransferTime(0) != 0 || l.TransferTime(-5) != 0 {
+		t.Error("zero/negative size should cost nothing")
+	}
+}
+
+func TestSerializationSameDirection(t *testing.T) {
+	eng, l := testLink(t)
+	var done []sim.Time
+	l.Enqueue(HostToDevice, 1000, func(at sim.Time) { done = append(done, at) })
+	l.Enqueue(HostToDevice, 1000, func(at sim.Time) { done = append(done, at) })
+	eng.Run()
+	if len(done) != 2 {
+		t.Fatal("callbacks missing")
+	}
+	if done[0] != 2000 || done[1] != 4000 {
+		t.Errorf("completions = %v, want [2000 4000]", done)
+	}
+}
+
+func TestFullDuplex(t *testing.T) {
+	eng, l := testLink(t)
+	var h2d, d2h sim.Time
+	l.Enqueue(HostToDevice, 1000, func(at sim.Time) { h2d = at })
+	l.Enqueue(DeviceToHost, 1000, func(at sim.Time) { d2h = at })
+	eng.Run()
+	if h2d != 2000 || d2h != 2000 {
+		t.Errorf("h2d=%v d2h=%v, directions should not contend", h2d, d2h)
+	}
+}
+
+func TestEnqueueAfterIdleGap(t *testing.T) {
+	eng, l := testLink(t)
+	l.Enqueue(HostToDevice, 1000, nil) // finishes at 2000
+	eng.Run()
+	eng.At(10_000, func() {
+		end := l.Enqueue(HostToDevice, 1000, nil)
+		if end != 12_000 {
+			t.Errorf("end = %v, want 12000 (no retroactive queueing)", end)
+		}
+	})
+	eng.Run()
+}
+
+func TestAccounting(t *testing.T) {
+	eng, l := testLink(t)
+	l.Enqueue(HostToDevice, 1000, nil)
+	l.Enqueue(HostToDevice, 2000, nil)
+	l.Enqueue(DeviceToHost, 500, nil)
+	eng.Run()
+	if l.BytesMoved(HostToDevice) != 3000 || l.BytesMoved(DeviceToHost) != 500 {
+		t.Error("BytesMoved wrong")
+	}
+	if l.Transactions(HostToDevice) != 2 || l.Transactions(DeviceToHost) != 1 {
+		t.Error("Transactions wrong")
+	}
+	if l.BusyTime(HostToDevice) != 5000 { // (1000+1000)+(1000+2000)
+		t.Errorf("BusyTime = %v", l.BusyTime(HostToDevice))
+	}
+	l.Reset()
+	if l.BytesMoved(HostToDevice) != 0 || l.Transactions(DeviceToHost) != 0 {
+		t.Error("Reset wrong")
+	}
+}
+
+func TestCoalescingBeatsPagewise(t *testing.T) {
+	// One 2 MB transfer must beat 512 separate 4 KB transfers: this is
+	// the §III-D insight that fuller VABlocks service faster.
+	eng := sim.NewEngine()
+	l, _ := NewLink(eng, DefaultPCIe3x16())
+	bulk := l.TransferTime(2 << 20)
+	var paged sim.Duration
+	for i := 0; i < 512; i++ {
+		paged += l.TransferTime(4 << 10)
+	}
+	if bulk*2 > paged {
+		t.Errorf("bulk=%v paged=%v: coalescing advantage too small", bulk, paged)
+	}
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewLink(eng, LinkConfig{BandwidthBytesPerSec: 0}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := NewLink(eng, LinkConfig{BandwidthBytesPerSec: 1, TransactionLatency: -1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if HostToDevice.String() != "H2D" || DeviceToHost.String() != "D2H" {
+		t.Error("direction names wrong")
+	}
+}
+
+// Property: completion times in one direction are non-decreasing in
+// submission order, and total busy time equals the sum of service times.
+func TestSerializationProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		eng := sim.NewEngine()
+		l, err := NewLink(eng, LinkConfig{BandwidthBytesPerSec: 1e9, TransactionLatency: 100})
+		if err != nil {
+			return false
+		}
+		var ends []sim.Time
+		var want sim.Duration
+		for _, s := range sizes {
+			sz := int64(s) + 1
+			want += l.TransferTime(sz)
+			ends = append(ends, l.Enqueue(HostToDevice, sz, nil))
+		}
+		eng.Run()
+		for i := 1; i < len(ends); i++ {
+			if ends[i] < ends[i-1] {
+				return false
+			}
+		}
+		return l.BusyTime(HostToDevice) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnqueueStreamNoSetupLatency(t *testing.T) {
+	eng, l := testLink(t)
+	// Stream transfer: pure wire time (1 byte/ns), no 1000ns setup.
+	if end := l.EnqueueStream(HostToDevice, 4096); end != 4096 {
+		t.Errorf("stream end = %v, want 4096", end)
+	}
+	// It queues behind earlier traffic in the same direction.
+	if end := l.EnqueueStream(HostToDevice, 1000); end != 5096 {
+		t.Errorf("second stream end = %v, want 5096", end)
+	}
+	// And contends with DMA transfers.
+	if end := l.Enqueue(HostToDevice, 1000, nil); end != 7096 {
+		t.Errorf("dma after streams = %v, want 7096 (5096+1000 setup+1000 wire)", end)
+	}
+	if l.BytesMoved(HostToDevice) != 6096 {
+		t.Errorf("bytes = %d", l.BytesMoved(HostToDevice))
+	}
+	eng.Run()
+}

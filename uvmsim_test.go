@@ -1,0 +1,81 @@
+package uvmsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig(64 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := BuildWorkload(sys, "regular", 8<<20, DefaultWorkloadParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunUVM(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == 0 || res.TotalTime <= 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestFacadeWorkloadNames(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 8 || names[0] != "regular" || names[7] != "cusparse" {
+		t.Errorf("names = %v", names)
+	}
+	sys, err := NewSystem(DefaultConfig(64 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildWorkload(sys, "not-a-workload", 1<<20, DefaultWorkloadParams()); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFacadeSGEMM(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig(64 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := BuildSGEMM(sys, 256, DefaultWorkloadParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "sgemm" {
+		t.Errorf("kernel name = %q", k.Name)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 21 {
+		t.Fatalf("ids = %v", ids)
+	}
+	sc := DefaultScale()
+	sc.GPUMemoryBytes = 24 << 20
+	sc.Quick = true
+	tables, err := RunExperiment("fig4", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || !strings.Contains(tables[0].Title, "Fig 4") {
+		t.Errorf("tables = %v", tables)
+	}
+	if _, err := RunExperiment("nope", sc); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if PageSize != 4<<10 || BigPageSize != 64<<10 || VABlockSize != 2<<20 {
+		t.Error("layout constants wrong")
+	}
+	if ReplayBatchFlush.String() != "batchflush" {
+		t.Error("replay policy constants wrong")
+	}
+}
