@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build vet test race chaos clean
+
+# The full verification gate: compile everything, vet, and run the test
+# suite under the race detector.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Seeded fault-injection campaign across workloads and replay policies;
+# exits non-zero if any cell fails to converge.
+chaos:
+	$(GO) run ./cmd/uvmchaos
+
+clean:
+	$(GO) clean ./...

@@ -34,6 +34,7 @@ func main() {
 		width     = flag.Int("width", 78, "chart width")
 		height    = flag.Int("height", 20, "chart height")
 		noChart   = flag.Bool("no-chart", false, "skip the ASCII scatter")
+		counters  = flag.Bool("counters", true, "print the driver event counters")
 	)
 	flag.Parse()
 
@@ -64,6 +65,17 @@ func main() {
 	fmt.Printf("%s: %.0f%% of %d MiB GPU, prefetch=%s, evict=%s\n",
 		*workload, *footprint*100, *gpuMB, *prefetch, *evictPol)
 	fmt.Printf("total=%v  driver breakdown: %s\n\n", res.TotalTime, res.Breakdown.String())
+
+	if *counters {
+		// Driver event counters, including the fault-buffer health
+		// accounting (faultbuf_drops / faultbuf_flushed): overflow that a
+		// report would otherwise silently absorb.
+		fmt.Println("driver counters:")
+		for _, c := range res.Counters.Sorted() {
+			fmt.Printf("  %-26s %d\n", c.Name, c.Value)
+		}
+		fmt.Println()
+	}
 
 	rep, err := analyze.Analyze(sys.Trace(), sys.Space())
 	if err != nil {

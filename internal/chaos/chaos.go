@@ -1,0 +1,275 @@
+// Package chaos runs randomized, seeded fault-injection campaigns
+// against the simulated UVM stack and checks that it converges: a run
+// with dropped faults, duplicated entries, delayed ready flags, overflow
+// storms, transient DMA failures, and eviction stalls must still execute
+// every access and service every demanded page that the unperturbed
+// baseline does, with zero invariant violations. This is how the
+// simulator earns trust in its degradation paths — the happy path is
+// covered by the paper-reproduction experiments; chaos covers everything
+// else.
+package chaos
+
+import (
+	"fmt"
+
+	"uvmsim/internal/core"
+	"uvmsim/internal/driver"
+	"uvmsim/internal/gpusim"
+	"uvmsim/internal/inject"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/workloads"
+)
+
+// Campaign describes a chaos sweep: the cross product of workloads,
+// replay policies, and seeds, each cell run twice (baseline vs.
+// injected) and compared.
+type Campaign struct {
+	// GPUMemoryBytes is the framebuffer size per cell.
+	GPUMemoryBytes int64
+	// FootprintFrac sizes each workload's data as a fraction of GPU
+	// memory; above 1.0 the campaign also exercises eviction.
+	FootprintFrac float64
+	// Workloads names the workload generators to sweep.
+	Workloads []string
+	// Policies lists the replay policies to sweep.
+	Policies []driver.ReplayPolicy
+	// Seeds drives both the system and (derived) injection randomness;
+	// one cell per seed per workload per policy.
+	Seeds []uint64
+	// Inject is the perturbation template. Enabled is forced on for the
+	// injected run; a zero Seed derives one from the cell seed.
+	Inject inject.Config
+}
+
+// DefaultCampaign returns a small all-layers campaign: three workloads
+// of distinct fault-pattern classes, the two replay policies whose
+// buffer interactions differ most (batchflush discards entries, once
+// never does), at a footprint that triggers eviction.
+func DefaultCampaign() Campaign {
+	return Campaign{
+		GPUMemoryBytes: 32 << 20,
+		FootprintFrac:  0.75,
+		Workloads:      []string{"regular", "random", "stream"},
+		Policies:       []driver.ReplayPolicy{driver.ReplayBatchFlush, driver.ReplayOnce},
+		Seeds:          []uint64{1, 2},
+		Inject:         inject.DefaultConfig(0),
+	}
+}
+
+// RunStats captures one run (baseline or injected) of a cell.
+type RunStats struct {
+	TotalTime     sim.Duration
+	Accesses      uint64 // resident accesses the GPU executed
+	FaultsFetched uint64 // entries the driver consumed
+	FaultsRaised  uint64 // entries accepted into the buffer
+	Drops         uint64 // rejected entries (overflow + injection)
+	Replays       uint64
+	ForcedReplays uint64 // replays issued solely to recover dropped faults
+	DMAFailures   uint64
+	DMARetries    uint64
+	DMAGiveups    uint64
+	EvictStalls   uint64
+	Evictions     uint64
+	Checks        uint64 // invariant checks that ran
+	DeepChecks    uint64
+}
+
+// Cell is one campaign cell: a (workload, policy, seed) triple run with
+// and without injection.
+type Cell struct {
+	Workload string
+	Policy   driver.ReplayPolicy
+	Seed     uint64
+
+	// Pages is the workload's distinct page set — the serviced-fault
+	// total both runs must converge to: completion proves every one of
+	// these pages was faulted (or prefetched) and serviced.
+	Pages int
+	// Accesses is the kernel's total access count; both runs must
+	// execute exactly this many.
+	Accesses uint64
+
+	Baseline RunStats
+	Injected RunStats
+	Injector inject.Stats
+
+	// Converged reports that the injected run completed, executed the
+	// same accesses over the same page set as the baseline, and tripped
+	// zero invariants.
+	Converged bool
+	// Err holds the failure (deadlock, invariant violation, divergence).
+	Err error
+}
+
+// Run executes the campaign and returns one Cell per combination. The
+// returned error is non-nil only for setup problems; per-cell failures
+// land in Cell.Err with Converged=false.
+func Run(c Campaign) ([]Cell, error) {
+	if c.GPUMemoryBytes <= 0 {
+		return nil, fmt.Errorf("chaos: GPUMemoryBytes %d must be positive", c.GPUMemoryBytes)
+	}
+	if c.FootprintFrac <= 0 {
+		return nil, fmt.Errorf("chaos: FootprintFrac %v must be positive", c.FootprintFrac)
+	}
+	if len(c.Workloads) == 0 || len(c.Policies) == 0 || len(c.Seeds) == 0 {
+		return nil, fmt.Errorf("chaos: empty campaign (workloads=%d policies=%d seeds=%d)",
+			len(c.Workloads), len(c.Policies), len(c.Seeds))
+	}
+	inj := c.Inject
+	inj.Enabled = true
+	if err := inj.Validate(); err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(c.Workloads)*len(c.Policies)*len(c.Seeds))
+	for _, w := range c.Workloads {
+		for _, p := range c.Policies {
+			for _, seed := range c.Seeds {
+				cells = append(cells, runCell(c, w, p, seed, inj))
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Failures returns the cells that did not converge.
+func Failures(cells []Cell) []Cell {
+	var out []Cell
+	for _, c := range cells {
+		if !c.Converged {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// runCell runs baseline and injected simulations of one cell and
+// compares them. Invariant-checker panics are recovered into Cell.Err so
+// one violated cell does not abort the campaign.
+func runCell(c Campaign, workload string, policy driver.ReplayPolicy, seed uint64, injCfg inject.Config) (cell Cell) {
+	cell = Cell{Workload: workload, Policy: policy, Seed: seed}
+	defer func() {
+		if r := recover(); r != nil {
+			if v, ok := r.(*inject.Violation); ok {
+				cell.Err = v
+			} else {
+				cell.Err = fmt.Errorf("chaos: cell panicked: %v", r)
+			}
+			cell.Converged = false
+		}
+	}()
+
+	bytes := int64(c.FootprintFrac * float64(c.GPUMemoryBytes))
+	baseSys, baseRun, basePages, baseAcc, err := runOne(c, workload, policy, seed, inject.Config{}, bytes)
+	if err != nil {
+		cell.Err = fmt.Errorf("baseline: %w", err)
+		return cell
+	}
+	if injCfg.Seed == 0 {
+		// Derive a per-cell injection seed (splitmix-style mix) so cells
+		// perturb differently but reproducibly.
+		injCfg.Seed = (seed+uint64(policy)*97+1)*0x9e3779b97f4a7c15 ^ hashString(workload)
+	}
+	injSys, injRun, injPages, injAcc, err := runOne(c, workload, policy, seed, injCfg, bytes)
+	if err != nil {
+		cell.Err = fmt.Errorf("injected: %w", err)
+		return cell
+	}
+
+	cell.Pages = basePages
+	cell.Accesses = baseAcc
+	cell.Baseline = collect(baseSys, baseRun)
+	cell.Injected = collect(injSys, injRun)
+	cell.Injector = injSys.Injector().Stats()
+
+	switch {
+	case basePages != injPages:
+		cell.Err = fmt.Errorf("chaos: workload diverged: baseline touches %d pages, injected %d", basePages, injPages)
+	case cell.Baseline.Accesses != baseAcc:
+		cell.Err = fmt.Errorf("chaos: baseline executed %d accesses, kernel defines %d", cell.Baseline.Accesses, baseAcc)
+	case cell.Injected.Accesses != injAcc:
+		cell.Err = fmt.Errorf("chaos: injected run executed %d accesses, kernel defines %d", cell.Injected.Accesses, injAcc)
+	case cell.Baseline.Accesses != cell.Injected.Accesses:
+		cell.Err = fmt.Errorf("chaos: access totals diverged: baseline %d, injected %d", cell.Baseline.Accesses, cell.Injected.Accesses)
+	default:
+		cell.Converged = true
+	}
+	return cell
+}
+
+// runOne builds a fresh system and workload for the cell and executes
+// one UVM run. It returns the distinct page count and total access count
+// of the kernel so the caller can compare coverage across runs.
+func runOne(c Campaign, workload string, policy driver.ReplayPolicy, seed uint64, injCfg inject.Config, bytes int64) (*core.System, *core.RunResult, int, uint64, error) {
+	cfg := core.DefaultConfig(c.GPUMemoryBytes)
+	cfg.Seed = seed
+	cfg.Driver.Policy = policy
+	cfg.Inject = injCfg
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	builder, err := workloads.Get(workload)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	p := workloads.DefaultParams()
+	p.Seed = seed + 1000 // decoupled from both system and injection streams
+	k, err := builder(sys, bytes, p)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	pages, accesses := footprint(k)
+	res, err := sys.RunUVM(k)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return sys, res, pages, accesses, nil
+}
+
+// footprint returns the kernel's distinct page count and total access
+// count. Completion of a run proves each of these pages was serviced, so
+// the distinct count is the cell's serviced-fault total.
+func footprint(k *gpusim.Kernel) (pages int, accesses uint64) {
+	seen := make(map[mem.PageID]struct{})
+	for _, b := range k.Blocks {
+		for _, w := range b.Warps {
+			n := w.Len()
+			accesses += uint64(n)
+			for i := 0; i < n; i++ {
+				seen[w.At(i).Page] = struct{}{}
+			}
+		}
+	}
+	return len(seen), accesses
+}
+
+// collect flattens one run's measurements into RunStats.
+func collect(sys *core.System, res *core.RunResult) RunStats {
+	return RunStats{
+		TotalTime:     res.TotalTime,
+		Accesses:      res.GPU.Accesses,
+		FaultsFetched: res.Counters.Get("faults_fetched"),
+		FaultsRaised:  res.GPU.FaultsRaised,
+		Drops:         res.Counters.Get("faultbuf_drops"),
+		Replays:       res.Counters.Get("replays"),
+		ForcedReplays: res.Counters.Get("forced_replays"),
+		DMAFailures:   res.Counters.Get("dma_failures"),
+		DMARetries:    res.Counters.Get("dma_retries"),
+		DMAGiveups:    res.Counters.Get("dma_giveups"),
+		EvictStalls:   res.Counters.Get("evict_stalls"),
+		Evictions:     res.Evictions,
+		Checks:        sys.Invariants().Checks(),
+		DeepChecks:    sys.Invariants().DeepChecks(),
+	}
+}
+
+// hashString is an FNV-1a hash used for injection seed derivation.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

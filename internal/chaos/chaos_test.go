@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"testing"
+
+	"uvmsim/internal/core"
+	"uvmsim/internal/driver"
+	"uvmsim/internal/inject"
+	"uvmsim/internal/workloads"
+)
+
+// TestCampaignConverges is the acceptance gate for the injection layer:
+// three workloads of distinct fault-pattern classes crossed with the two
+// replay policies whose buffer interactions differ most, each run with
+// seeded all-layer injection, must service exactly the pages and
+// accesses of the uninjected baseline with zero invariant violations.
+func TestCampaignConverges(t *testing.T) {
+	camp := Campaign{
+		GPUMemoryBytes: 16 << 20,
+		FootprintFrac:  0.75,
+		Workloads:      []string{"regular", "random", "stream"},
+		Policies:       []driver.ReplayPolicy{driver.ReplayBatchFlush, driver.ReplayOnce},
+		Seeds:          []uint64{1},
+		Inject:         inject.DefaultConfig(0),
+	}
+	cells, err := Run(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(cells))
+	}
+	var perturbations uint64
+	for _, c := range cells {
+		if !c.Converged {
+			t.Errorf("%s/%v/seed=%d diverged: %v", c.Workload, c.Policy, c.Seed, c.Err)
+			continue
+		}
+		if c.Pages == 0 || c.Accesses == 0 {
+			t.Errorf("%s/%v: empty footprint (pages=%d accesses=%d)", c.Workload, c.Policy, c.Pages, c.Accesses)
+		}
+		if c.Baseline.Accesses != c.Accesses || c.Injected.Accesses != c.Accesses {
+			t.Errorf("%s/%v: access totals %d/%d, kernel defines %d",
+				c.Workload, c.Policy, c.Baseline.Accesses, c.Injected.Accesses, c.Accesses)
+		}
+		if c.Baseline.Checks == 0 || c.Injected.Checks == 0 {
+			t.Errorf("%s/%v: invariant checker did not run", c.Workload, c.Policy)
+		}
+		perturbations += c.Injector.Drops + c.Injector.Dups + c.Injector.DMAFailures +
+			c.Injector.ReadyDelays + c.Injector.EvictStalls
+	}
+	if fails := Failures(cells); len(fails) != 0 {
+		t.Errorf("%d cells failed", len(fails))
+	}
+	// Convergence is vacuous if nothing was actually injected.
+	if perturbations == 0 {
+		t.Error("campaign injected no perturbations at default probabilities")
+	}
+}
+
+func TestCampaignReproducible(t *testing.T) {
+	// The same campaign twice must produce identical measurements — the
+	// whole point of seeding every injection decision.
+	camp := Campaign{
+		GPUMemoryBytes: 16 << 20,
+		FootprintFrac:  0.5,
+		Workloads:      []string{"random"},
+		Policies:       []driver.ReplayPolicy{driver.ReplayBatchFlush},
+		Seeds:          []uint64{3},
+		Inject:         inject.DefaultConfig(0),
+	}
+	a, err := Run(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("cell counts %d/%d", len(a), len(b))
+	}
+	if a[0].Injected != b[0].Injected || a[0].Injector != b[0].Injector {
+		t.Errorf("runs diverged:\n  %+v\n  %+v", a[0], b[0])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ok := DefaultCampaign()
+	bad := ok
+	bad.GPUMemoryBytes = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero memory accepted")
+	}
+	bad = ok
+	bad.FootprintFrac = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero footprint accepted")
+	}
+	bad = ok
+	bad.Workloads = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("empty workload list accepted")
+	}
+	bad = ok
+	bad.Inject.DropProb = 1
+	if _, err := Run(bad); err == nil {
+		t.Error("livelocking injection config accepted")
+	}
+}
+
+func TestUnknownWorkloadFailsCell(t *testing.T) {
+	camp := DefaultCampaign()
+	camp.Workloads = []string{"no-such-workload"}
+	camp.Policies = camp.Policies[:1]
+	camp.Seeds = camp.Seeds[:1]
+	cells, err := Run(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Converged || cells[0].Err == nil {
+		t.Errorf("unknown workload cell = %+v, want unconverged with error", cells[0])
+	}
+}
+
+// TestFullStackBufferCapacityOne is the end-to-end adversarial overflow
+// test: a one-entry hardware fault buffer drops nearly every fault of
+// every SIMT wave, so completion depends entirely on the
+// overflow → forced-replay → re-fault degradation path.
+func TestFullStackBufferCapacityOne(t *testing.T) {
+	cfg := core.DefaultConfig(16 << 20)
+	cfg.Seed = 1
+	cfg.GPU.FaultBufferCap = 1
+	cfg.InvariantStride = 1 // deep-check every event under maximum stress
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder, err := workloads.Get("regular")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workloads.DefaultParams()
+	p.Seed = 5
+	k, err := builder(sys, 2<<20, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, accesses := footprint(k)
+	res, err := sys.RunUVM(k)
+	if err != nil {
+		t.Fatalf("capacity-1 run failed: %v", err)
+	}
+	if res.GPU.Accesses != accesses {
+		t.Errorf("executed %d accesses, kernel defines %d", res.GPU.Accesses, accesses)
+	}
+	if pages == 0 {
+		t.Fatal("empty kernel")
+	}
+	drops := res.Counters.Get("faultbuf_drops")
+	if drops == 0 {
+		t.Error("capacity-1 buffer recorded no drops; test exerts nothing")
+	}
+	if sys.Invariants().Violations() != 0 {
+		t.Errorf("violations = %d", sys.Invariants().Violations())
+	}
+	t.Logf("capacity-1: pages=%d accesses=%d drops=%d replays=%d forced=%d",
+		pages, accesses, drops, res.Counters.Get("replays"), res.Counters.Get("forced_replays"))
+}

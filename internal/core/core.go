@@ -12,6 +12,7 @@ import (
 	"uvmsim/internal/driver"
 	"uvmsim/internal/evict"
 	"uvmsim/internal/gpusim"
+	"uvmsim/internal/inject"
 	"uvmsim/internal/mem"
 	"uvmsim/internal/pma"
 	"uvmsim/internal/prefetch"
@@ -43,6 +44,13 @@ type Config struct {
 	// TraceCapacity bounds recorded trace events; 0 disables tracing and
 	// a negative value records unbounded.
 	TraceCapacity int
+	// Inject configures the deterministic fault-injection layer; the
+	// zero value (Enabled=false) wires no injector.
+	Inject inject.Config
+	// InvariantStride is the invariant checker's deep-check period in
+	// events; 0 selects inject.DefaultStride. The checker itself is
+	// always on.
+	InvariantStride int
 
 	GPU    gpusim.Config
 	Driver driver.Config
@@ -83,6 +91,8 @@ type System struct {
 	rec     *trace.Recorder
 	pf      prefetch.Prefetcher
 	evictor evict.Policy
+	inj     *inject.Injector // nil when injection is disabled
+	inv     *inject.Invariants
 }
 
 // NewSystem validates cfg and assembles the system.
@@ -130,7 +140,18 @@ func NewSystem(cfg Config) (*System, error) {
 	case cfg.TraceCapacity > 0:
 		rec = trace.NewBounded(cfg.TraceCapacity)
 	}
-	drv, err := driver.New(cfg.Driver, driver.Deps{
+	var inj *inject.Injector
+	if cfg.Inject.Enabled {
+		// The injector runs on its own RNG stream so injected and
+		// baseline runs of the same seed execute identical workloads.
+		inj, err = inject.New(cfg.Inject)
+		if err != nil {
+			return nil, err
+		}
+		gpu.FaultBuffer().SetPerturber(inj)
+		link.SetFaultHook(inj.DMAFault)
+	}
+	deps := driver.Deps{
 		Engine:   eng,
 		Space:    space,
 		Buffer:   gpu.FaultBuffer(),
@@ -140,15 +161,22 @@ func NewSystem(cfg Config) (*System, error) {
 		Prefetch: pf,
 		Replayer: gpu,
 		Trace:    rec,
-	})
+	}
+	if inj != nil {
+		deps.Inject = inj
+	}
+	drv, err := driver.New(cfg.Driver, deps)
 	if err != nil {
 		return nil, err
 	}
 	gpu.SetHandler(drv)
 	gpu.SetRemoteLink(link)
+	inv := inject.NewInvariants(eng, gpu.FaultBuffer(), space, pm, cfg.Seed, cfg.InvariantStride)
+	inv.Attach()
 	return &System{
 		cfg: cfg, eng: eng, rng: rng, space: space,
 		gpu: gpu, drv: drv, pm: pm, link: link, rec: rec, pf: pf, evictor: ev,
+		inj: inj, inv: inv,
 	}, nil
 }
 
@@ -190,6 +218,12 @@ func (s *System) PMA() *pma.PMA { return s.pm }
 
 // GPU exposes the device for inspection.
 func (s *System) GPU() *gpusim.GPU { return s.gpu }
+
+// Injector exposes the fault-injection layer (nil when disabled).
+func (s *System) Injector() *inject.Injector { return s.inj }
+
+// Invariants exposes the always-on runtime invariant checker.
+func (s *System) Invariants() *inject.Invariants { return s.inv }
 
 // MallocManaged reserves a managed range (the cudaMallocManaged
 // analogue). Data starts on the host; pages migrate on demand.
@@ -294,6 +328,9 @@ func (s *System) RunUVM(k *gpusim.Kernel) (*RunResult, error) {
 	if doneAt < 0 {
 		return nil, fmt.Errorf("core: kernel %q deadlocked: %d warps blocked, %d buffered faults, driver idle=%v",
 			k.Name, s.gpu.BlockedWarps(), s.gpu.FaultBuffer().Len(), s.drv.Idle())
+	}
+	if err := s.inv.Final(); err != nil {
+		return nil, fmt.Errorf("core: kernel %q: %w", k.Name, err)
 	}
 	elapsed := doneAt.Sub(start) + s.cfg.KernelLaunch
 	return s.delta(before, elapsed, elapsed), nil

@@ -146,6 +146,17 @@ type Config struct {
 	// EvictPerPage is the unmap cost per resident page of the victim.
 	EvictPerPage sim.Duration
 
+	// DMAMaxRetries bounds how often a transiently failed DMA transfer is
+	// retried before the driver gives up and forces the transfer through
+	// synchronously. Zero disables retrying (every failure is forced).
+	DMAMaxRetries int
+	// DMABackoffBase is the wait before the first DMA retry; subsequent
+	// retries double it (bounded exponential backoff on the simulated
+	// clock).
+	DMABackoffBase sim.Duration
+	// DMABackoffMax caps the exponential backoff.
+	DMABackoffMax sim.Duration
+
 	// FaultOriginInfo exposes originating-SM identity to the prefetcher
 	// (the §VI-B hardware extension). The baseline driver has none.
 	FaultOriginInfo bool
@@ -173,6 +184,9 @@ func DefaultConfig() Config {
 		ReplayIssue:          3500 * sim.Nanosecond,
 		EvictFixed:           12 * sim.Microsecond,
 		EvictPerPage:         120 * sim.Nanosecond,
+		DMAMaxRetries:        8,
+		DMABackoffBase:       2 * sim.Microsecond,
+		DMABackoffMax:        64 * sim.Microsecond,
 	}
 }
 
@@ -189,6 +203,17 @@ func (c *Config) Validate() error {
 	}
 	if c.Fetch < FetchStopAtNotReady || c.Fetch > FetchFillBatch {
 		return fmt.Errorf("driver: invalid fetch mode %d", int(c.Fetch))
+	}
+	if c.DMAMaxRetries < 0 {
+		return fmt.Errorf("driver: DMAMaxRetries %d must be >= 0", c.DMAMaxRetries)
+	}
+	if c.DMAMaxRetries > 0 {
+		if c.DMABackoffBase <= 0 {
+			return fmt.Errorf("driver: DMABackoffBase must be positive when retries are enabled, got %v", c.DMABackoffBase)
+		}
+		if c.DMABackoffMax < c.DMABackoffBase {
+			return fmt.Errorf("driver: DMABackoffMax %v below DMABackoffBase %v", c.DMABackoffMax, c.DMABackoffBase)
+		}
 	}
 	return nil
 }

@@ -21,6 +21,16 @@ type Replayer interface {
 	Replay()
 }
 
+// FaultInjector is the driver-visible surface of the fault-injection
+// layer (internal/inject). DMA failures and fault-buffer perturbations
+// are injected below the driver via xfer.Link and faultbuf.Buffer hooks;
+// this interface covers the perturbations the driver applies itself.
+type FaultInjector interface {
+	// EvictStall returns extra simulated latency injected into one
+	// eviction (lock contention, RM call stalls); zero means none.
+	EvictStall() sim.Duration
+}
+
 // Driver is the simulated UVM kernel module. It is driven entirely by
 // fault interrupts (OnFault) and schedules its pipeline as a chain of
 // simulation events so that GPU execution, DMA, and driver work interleave
@@ -39,11 +49,17 @@ type Driver struct {
 	breakdown stats.Breakdown
 	counters  *stats.CounterSet
 	rec       *trace.Recorder // optional; nil-safe
+	inj       FaultInjector   // optional; nil-safe
 
 	idle bool
 	// servicedSinceReplay supports the Once policy: replay fires only
 	// when the buffer drains after servicing work.
 	servicedSinceReplay int
+	// dropsReplayed is the buffer drop count already covered by a replay.
+	// Dropped faults leave stalled warps with no buffer entry; when new
+	// drops outrun the last replay, endPass must force one or those warps
+	// would never re-fault (graceful buffer-full degradation).
+	dropsReplayed uint64
 }
 
 // Deps bundles the driver's collaborators.
@@ -57,6 +73,7 @@ type Deps struct {
 	Prefetch prefetch.Prefetcher
 	Replayer Replayer
 	Trace    *trace.Recorder // optional
+	Inject   FaultInjector   // optional
 }
 
 // New validates and assembles a driver.
@@ -80,6 +97,7 @@ func New(cfg Config, d Deps) (*Driver, error) {
 		replayer: d.Replayer,
 		counters: stats.NewCounterSet(),
 		rec:      d.Trace,
+		inj:      d.Inject,
 		idle:     true,
 	}, nil
 }
@@ -107,6 +125,35 @@ func (d *Driver) OnFault() {
 // charge books simulated time into a phase.
 func (d *Driver) charge(p stats.Phase, dur sim.Duration) {
 	d.breakdown.Add(p, dur)
+}
+
+// dma schedules a transfer, retrying transient failures with bounded
+// exponential backoff on the simulated clock. After DMAMaxRetries failed
+// attempts the transfer is forced through the non-abortable path (a
+// synchronous copy that cannot be declined), so the pipeline always
+// makes progress. It returns the completion time; backoff waits are part
+// of it and therefore charged to whichever phase waits on the transfer.
+func (d *Driver) dma(dir xfer.Direction, bytes int64) sim.Time {
+	notBefore := d.eng.Now()
+	backoff := d.cfg.DMABackoffBase
+	for attempt := 0; ; attempt++ {
+		end, ok := d.link.Attempt(dir, bytes, attempt, notBefore)
+		if ok {
+			return end
+		}
+		d.counters.Inc("dma_failures", 1)
+		if attempt >= d.cfg.DMAMaxRetries {
+			d.counters.Inc("dma_giveups", 1)
+			return d.link.Enqueue(dir, bytes, nil)
+		}
+		d.counters.Inc("dma_retries", 1)
+		d.counters.Inc("dma_backoff_ns", uint64(backoff))
+		notBefore = end.Add(backoff)
+		backoff *= 2
+		if backoff > d.cfg.DMABackoffMax {
+			backoff = d.cfg.DMABackoffMax
+		}
+	}
 }
 
 // fetchBatch reads the next batch of ready fault entries, or ends the
@@ -257,12 +304,18 @@ func (d *Driver) evictBlock(victim *mem.VABlock) sim.Duration {
 	victim.Dirty.Runs(func(lo, hi int) {
 		n := hi - lo
 		dirtyPages += n
-		end := d.link.Enqueue(xfer.DeviceToHost, mem.Bytes(n), nil)
+		end := d.dma(xfer.DeviceToHost, mem.Bytes(n))
 		if end > dmaEnd {
 			dmaEnd = end
 		}
 	})
 	cpu := d.cfg.EvictFixed + sim.Duration(resident)*d.cfg.EvictPerPage + d.alloc.Free()
+	if d.inj != nil {
+		if stall := d.inj.EvictStall(); stall > 0 {
+			d.counters.Inc("evict_stalls", 1)
+			cpu += stall
+		}
+	}
 	d.counters.Inc("evictions", 1)
 	d.counters.Inc("evicted_pages", uint64(resident))
 	d.counters.Inc("evicted_dirty_pages", uint64(dirtyPages))
@@ -311,7 +364,7 @@ func (d *Driver) migrate(bins []*bin, i int) {
 	var dmaEnd sim.Time = now
 	res.Fetch.Runs(func(lo, hi int) {
 		runs++
-		end := d.link.Enqueue(xfer.HostToDevice, mem.Bytes(hi-lo), nil)
+		end := d.dma(xfer.HostToDevice, mem.Bytes(hi-lo))
 		if end > dmaEnd {
 			dmaEnd = end
 		}
@@ -420,15 +473,32 @@ func (d *Driver) batchEnd() {
 func (d *Driver) issueReplay(next func()) {
 	d.counters.Inc("replays", 1)
 	d.servicedSinceReplay = 0
+	// Every replay wakes all stalled warps, so faults dropped before this
+	// point will be re-raised by their warps; no forced replay is owed
+	// for them.
+	d.dropsReplayed = d.buf.Drops()
 	d.charge(stats.PhaseReplay, d.cfg.ReplayIssue)
 	d.replayer.Replay()
 	d.eng.After(d.cfg.ReplayIssue, next)
 }
 
 // endPass finishes the pass; under the Once policy this is where the
-// single replay fires.
+// single replay fires. Before going idle the driver settles its debt to
+// dropped faults: a fault rejected by a full (or perturbed) buffer has
+// no entry anywhere, so only a replay makes its stalled warp re-raise
+// it — real hardware's buffer-full degradation. Going idle with unpaid
+// drops would deadlock the warp.
 func (d *Driver) endPass() {
+	d.syncBufCounters()
 	if d.cfg.Policy == ReplayOnce && d.servicedSinceReplay > 0 {
+		d.issueReplay(func() {
+			d.idle = true
+			d.rearmIfWork()
+		})
+		return
+	}
+	if d.buf.Drops() > d.dropsReplayed {
+		d.counters.Inc("forced_replays", 1)
 		d.issueReplay(func() {
 			d.idle = true
 			d.rearmIfWork()
@@ -439,11 +509,27 @@ func (d *Driver) endPass() {
 	d.rearmIfWork()
 }
 
+// syncBufCounters mirrors the fault buffer's cumulative accounting into
+// the driver counter set so overflow is visible in every report instead
+// of silently absorbed.
+func (d *Driver) syncBufCounters() {
+	d.counters.Set("faultbuf_drops", d.buf.Drops())
+	d.counters.Set("faultbuf_flushed", d.buf.Flushed())
+	if inj := d.buf.InjectedDrops(); inj > 0 {
+		d.counters.Set("faultbuf_injected_drops", inj)
+	}
+	if dups := d.buf.InjectedDups(); dups > 0 {
+		d.counters.Set("faultbuf_injected_dups", dups)
+	}
+}
+
 // rearmIfWork restarts a pass when entries arrived while the pass was
 // shutting down (they would otherwise wait for the next interrupt, but
 // the interrupt already fired and was absorbed by the running pass).
+// Unpaid drops re-arm too: the new pass's endPass issues the forced
+// replay that recovers their stalled warps.
 func (d *Driver) rearmIfWork() {
-	if d.buf.Len() > 0 {
+	if d.buf.Len() > 0 || d.buf.Drops() > d.dropsReplayed {
 		d.OnFault()
 	}
 }

@@ -1,0 +1,249 @@
+package driver
+
+import (
+	"testing"
+
+	"uvmsim/internal/faultbuf"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/xfer"
+)
+
+func TestRetryBackoffValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{"default ok", func(c *Config) {}, false},
+		{"negative retries", func(c *Config) { c.DMAMaxRetries = -1 }, true},
+		{"zero retries ignores backoff", func(c *Config) {
+			c.DMAMaxRetries = 0
+			c.DMABackoffBase = 0
+			c.DMABackoffMax = 0
+		}, false},
+		{"zero backoff base", func(c *Config) {
+			c.DMAMaxRetries = 3
+			c.DMABackoffBase = 0
+		}, true},
+		{"negative backoff base", func(c *Config) {
+			c.DMAMaxRetries = 3
+			c.DMABackoffBase = -sim.Microsecond
+		}, true},
+		{"max below base", func(c *Config) {
+			c.DMAMaxRetries = 3
+			c.DMABackoffBase = 4 * sim.Microsecond
+			c.DMABackoffMax = 2 * sim.Microsecond
+		}, true},
+		{"max equals base ok", func(c *Config) {
+			c.DMAMaxRetries = 3
+			c.DMABackoffBase = 4 * sim.Microsecond
+			c.DMABackoffMax = 4 * sim.Microsecond
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Errorf("Validate() = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDMARetryWithBackoff(t *testing.T) {
+	// The first two attempts of every transfer fail; the third succeeds.
+	h := newHarness(t, 64<<20, 8<<20)
+	h.link.SetFaultHook(func(_ xfer.Direction, _ int64, attempt int) bool {
+		return attempt < 2
+	})
+	h.fault(5, false)
+	end := h.eng.Run()
+	if !h.space.IsResident(5) {
+		t.Fatal("page not serviced through DMA retries")
+	}
+	c := h.drv.Counters()
+	if c.Get("dma_failures") != 2 || c.Get("dma_retries") != 2 {
+		t.Errorf("failures/retries = %d/%d, want 2/2",
+			c.Get("dma_failures"), c.Get("dma_retries"))
+	}
+	if c.Get("dma_giveups") != 0 {
+		t.Errorf("dma_giveups = %d, want 0", c.Get("dma_giveups"))
+	}
+	if got := c.Get("dma_backoff_ns"); got == 0 {
+		t.Error("no backoff time accounted")
+	}
+	if h.link.Failures(xfer.HostToDevice) != 2 {
+		t.Errorf("link failures = %d, want 2", h.link.Failures(xfer.HostToDevice))
+	}
+
+	// The same fault with a healthy link must finish strictly earlier:
+	// retries cost real simulated time (aborted descriptors + backoff).
+	clean := newHarness(t, 64<<20, 8<<20)
+	clean.fault(5, false)
+	cleanEnd := clean.eng.Run()
+	if end <= cleanEnd {
+		t.Errorf("retried run ended at %v, healthy run at %v; retries should cost time", end, cleanEnd)
+	}
+}
+
+func TestDMABackoffIsExponentialAndCapped(t *testing.T) {
+	h := newHarness(t, 64<<20, 8<<20)
+	base, max := h.drv.cfg.DMABackoffBase, h.drv.cfg.DMABackoffMax
+	fails := 4
+	h.link.SetFaultHook(func(_ xfer.Direction, _ int64, attempt int) bool {
+		return attempt < fails
+	})
+	h.fault(5, false)
+	h.eng.Run()
+	// base + 2base + 4base + 8base, each term clamped at max.
+	var want sim.Duration
+	b := base
+	for i := 0; i < fails; i++ {
+		want += b
+		b *= 2
+		if b > max {
+			b = max
+		}
+	}
+	if got := sim.Duration(h.drv.Counters().Get("dma_backoff_ns")); got != want {
+		t.Errorf("dma_backoff_ns = %v, want %v", got, want)
+	}
+}
+
+func TestDMAGiveupForcesTransfer(t *testing.T) {
+	// A link that never passes an Attempt: after DMAMaxRetries the driver
+	// must force the transfer through the non-abortable path rather than
+	// spin forever.
+	h := newHarness(t, 64<<20, 8<<20)
+	h.link.SetFaultHook(func(xfer.Direction, int64, int) bool { return true })
+	h.fault(5, false)
+	h.eng.Run()
+	if !h.space.IsResident(5) {
+		t.Fatal("page not serviced after DMA give-up")
+	}
+	c := h.drv.Counters()
+	if c.Get("dma_giveups") == 0 {
+		t.Error("no give-up recorded for a permanently failing link")
+	}
+	wantFailures := uint64(h.drv.cfg.DMAMaxRetries + 1)
+	if c.Get("dma_failures") != wantFailures {
+		t.Errorf("dma_failures = %d, want %d (MaxRetries+1)", c.Get("dma_failures"), wantFailures)
+	}
+	if !h.drv.Idle() {
+		t.Error("driver stuck after give-up")
+	}
+}
+
+// dropFirst is a test perturber that rejects the first n puts, emulating
+// injected fault loss with an otherwise empty buffer.
+type dropFirst struct{ left int }
+
+func (p *dropFirst) PerturbPut(mem.PageID, bool) faultbuf.PutAction {
+	if p.left > 0 {
+		p.left--
+		return faultbuf.PutAction{Drop: true}
+	}
+	return faultbuf.PutAction{}
+}
+
+func TestDroppedFaultForcesReplay(t *testing.T) {
+	// A fault dropped with nothing else in flight leaves a stalled warp
+	// and an empty buffer: without the forced-replay path the driver's
+	// pass would fetch nothing and go idle, deadlocking the warp.
+	h := newHarness(t, 64<<20, 8<<20)
+	h.buf.SetPerturber(&dropFirst{left: 1})
+	h.gpu.onReplay = func() {
+		// The stalled warp re-faults on the replay wave.
+		if !h.space.IsResident(600) {
+			now := h.eng.Now()
+			h.buf.Put(600, false, 0, now, now)
+			h.drv.OnFault()
+		}
+	}
+	now := h.eng.Now()
+	if _, ok := h.buf.Put(600, false, 0, now, now); ok {
+		t.Fatal("precondition: put should have been dropped")
+	}
+	h.drv.OnFault() // the GPU raises the interrupt even for a dropped fault
+	h.eng.Run()
+	if !h.space.IsResident(600) {
+		t.Fatal("dropped fault never recovered")
+	}
+	c := h.drv.Counters()
+	if c.Get("forced_replays") != 1 {
+		t.Errorf("forced_replays = %d, want 1", c.Get("forced_replays"))
+	}
+	if c.Get("faultbuf_drops") != 1 {
+		t.Errorf("faultbuf_drops = %d, want 1", c.Get("faultbuf_drops"))
+	}
+	if !h.drv.Idle() {
+		t.Error("driver not idle after recovery")
+	}
+}
+
+func TestBufferCapacityOneAllServiced(t *testing.T) {
+	// Adversarial capacity: a one-entry fault buffer drops all but one
+	// fault of every wave. Replays must grind through the overflow — every
+	// page eventually serviced, one (or fewer) per wave.
+	for _, policy := range []ReplayPolicy{ReplayBatchFlush, ReplayOnce} {
+		h := newHarness(t, 64<<20, 8<<20, withBufferCap(1), withPolicy(policy))
+		const pages = 10
+		refault := func() {
+			now := h.eng.Now()
+			for p := 0; p < pages; p++ {
+				if !h.space.IsResident(mem.PageID(p)) {
+					h.buf.Put(mem.PageID(p), false, 0, now, now)
+				}
+			}
+			h.drv.OnFault()
+		}
+		h.gpu.onReplay = refault
+		refault() // initial fault wave: 1 accepted, 9 dropped
+		h.eng.Run()
+		for p := 0; p < pages; p++ {
+			if !h.space.IsResident(mem.PageID(p)) {
+				t.Fatalf("policy %v: page %d never serviced through capacity-1 buffer", policy, p)
+			}
+		}
+		c := h.drv.Counters()
+		if c.Get("faultbuf_drops") < pages-1 {
+			t.Errorf("policy %v: drops = %d, want >= %d", policy, c.Get("faultbuf_drops"), pages-1)
+		}
+		if h.buf.Len() != 0 {
+			t.Errorf("policy %v: %d entries left in buffer", policy, h.buf.Len())
+		}
+		if !h.drv.Idle() {
+			t.Errorf("policy %v: driver stuck busy", policy)
+		}
+		if err := h.buf.CheckConsistency(); err != nil {
+			t.Errorf("policy %v: %v", policy, err)
+		}
+	}
+}
+
+func TestInjectedEvictStallCharged(t *testing.T) {
+	// Small GPU memory forces evictions; a stubbed injector adds a fixed
+	// stall to each and the counter must record every one.
+	h := newHarness(t, 4*(2<<20), 16<<20)
+	h.drv.inj = stallInjector{stall: 10 * sim.Microsecond}
+	geom := h.space.Geometry()
+	for blk := 0; blk < 6; blk++ {
+		h.fault(geom.FirstPage(mem.VABlockID(blk)), false)
+		h.eng.Run()
+	}
+	c := h.drv.Counters()
+	if c.Get("evictions") == 0 {
+		t.Fatal("test did not trigger eviction")
+	}
+	if c.Get("evict_stalls") != c.Get("evictions") {
+		t.Errorf("evict_stalls = %d, want %d (one per eviction)",
+			c.Get("evict_stalls"), c.Get("evictions"))
+	}
+}
+
+type stallInjector struct{ stall sim.Duration }
+
+func (s stallInjector) EvictStall() sim.Duration { return s.stall }

@@ -14,12 +14,19 @@ import (
 	"uvmsim/internal/xfer"
 )
 
-// fakeGPU records replay commands.
+// fakeGPU records replay commands. onReplay, when set, emulates stalled
+// warps re-raising their faults on the replay wave.
 type fakeGPU struct {
-	replays int
+	replays  int
+	onReplay func()
 }
 
-func (f *fakeGPU) Replay() { f.replays++ }
+func (f *fakeGPU) Replay() {
+	f.replays++
+	if f.onReplay != nil {
+		f.onReplay()
+	}
+}
 
 type harness struct {
 	eng        *sim.Engine
@@ -37,6 +44,16 @@ type harnessOpt func(*Config, *harness)
 
 func withPolicy(p ReplayPolicy) harnessOpt {
 	return func(c *Config, _ *harness) { c.Policy = p }
+}
+
+func withBufferCap(n int) harnessOpt {
+	return func(_ *Config, h *harness) {
+		buf, err := faultbuf.New(n)
+		if err != nil {
+			panic(err)
+		}
+		h.buf = buf
+	}
 }
 
 func withPrefetcher(name string) harnessOpt {

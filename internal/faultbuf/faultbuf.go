@@ -26,16 +26,40 @@ type Entry struct {
 	ReadyAt sim.Time   // when the entry's ready flag is visible to the host
 }
 
+// PutAction is a fault-injection verdict for one Put: the perturbations
+// a misbehaving buffer can apply to an incoming entry.
+type PutAction struct {
+	// Drop rejects the entry exactly as a full buffer would: the caller
+	// sees ok=false and the warp must re-fault after a replay.
+	Drop bool
+	// Duplicate appends a second copy of the entry (the hardware wrote
+	// the record twice), consuming an extra slot.
+	Duplicate bool
+	// ExtraReadyDelay postpones the entry's ready flag beyond the normal
+	// asynchronous delay.
+	ExtraReadyDelay sim.Duration
+}
+
+// Perturber lets a fault-injection layer interfere with Put. A nil
+// perturber (the default) leaves the buffer unperturbed.
+type Perturber interface {
+	PerturbPut(page mem.PageID, write bool) PutAction
+}
+
 // Buffer is the circular fault buffer. It is a passive data structure
 // driven by GPU puts and driver fetches.
 type Buffer struct {
 	cap     int
 	entries []Entry // FIFO; head at index 0 (slices are re-sliced on fetch)
 	seq     uint64
+	perturb Perturber // optional fault injection; nil when disabled
 
-	drops   uint64 // puts rejected because the buffer was full
-	flushed uint64 // entries discarded by Flush
-	total   uint64 // entries accepted
+	drops    uint64 // puts rejected because the buffer was full
+	injDrops uint64 // puts rejected by injection (subset of drops)
+	injDups  uint64 // entries duplicated by injection
+	flushed  uint64 // entries discarded by Flush
+	fetched  uint64 // entries handed to the driver by FetchReady
+	total    uint64 // entries accepted
 }
 
 // New returns a buffer holding at most capacity entries.
@@ -45,6 +69,10 @@ func New(capacity int) (*Buffer, error) {
 	}
 	return &Buffer{cap: capacity}, nil
 }
+
+// SetPerturber installs (or, with nil, removes) a fault-injection layer
+// that sees every Put.
+func (b *Buffer) SetPerturber(p Perturber) { b.perturb = p }
 
 // Cap returns the buffer capacity.
 func (b *Buffer) Cap() int { return b.cap }
@@ -63,12 +91,33 @@ func (b *Buffer) Put(page mem.PageID, write bool, sm int, raised, readyAt sim.Ti
 		b.drops++
 		return 0, false
 	}
+	var act PutAction
+	if b.perturb != nil {
+		act = b.perturb.PerturbPut(page, write)
+	}
+	if act.Drop {
+		// Injected loss is indistinguishable from overflow to the GPU:
+		// the warp stalls and must be recovered by a (forced) replay.
+		b.drops++
+		b.injDrops++
+		return 0, false
+	}
+	readyAt = readyAt.Add(act.ExtraReadyDelay)
 	b.seq++
 	b.total++
 	b.entries = append(b.entries, Entry{
 		Seq: b.seq, Page: page, Write: write, SM: sm, Raised: raised, ReadyAt: readyAt,
 	})
-	return b.seq, true
+	seq := b.seq
+	if act.Duplicate && !b.Full() {
+		b.seq++
+		b.total++
+		b.injDups++
+		b.entries = append(b.entries, Entry{
+			Seq: b.seq, Page: page, Write: write, SM: sm, Raised: raised, ReadyAt: readyAt,
+		})
+	}
+	return seq, true
 }
 
 // FetchReady pops up to max entries from the head whose ready flag is
@@ -81,6 +130,7 @@ func (b *Buffer) FetchReady(max int, now sim.Time) []Entry {
 	}
 	out := b.entries[:n:n]
 	b.entries = b.entries[n:]
+	b.fetched += uint64(n)
 	if len(b.entries) == 0 {
 		b.entries = nil // release backing array once drained
 	}
@@ -105,11 +155,43 @@ func (b *Buffer) Flush() int {
 	return n
 }
 
-// Drops returns how many faults were rejected due to a full buffer.
+// Drops returns how many faults were rejected, by a full buffer or by
+// injection. Every dropped fault leaves a stalled warp behind that only
+// a replay can recover, so the driver must track this count.
 func (b *Buffer) Drops() uint64 { return b.drops }
+
+// InjectedDrops returns the subset of Drops caused by fault injection.
+func (b *Buffer) InjectedDrops() uint64 { return b.injDrops }
+
+// InjectedDups returns how many extra duplicate entries injection added.
+func (b *Buffer) InjectedDups() uint64 { return b.injDups }
 
 // Flushed returns how many entries Flush has discarded in total.
 func (b *Buffer) Flushed() uint64 { return b.flushed }
 
+// Fetched returns how many entries FetchReady has handed to the driver.
+func (b *Buffer) Fetched() uint64 { return b.fetched }
+
 // Total returns how many entries have been accepted in total.
 func (b *Buffer) Total() uint64 { return b.total }
+
+// CheckConsistency validates the buffer's structural invariants: FIFO
+// sequence order, capacity bounds, and entry conservation (every
+// accepted entry is buffered, fetched, or flushed — none lost). The
+// runtime invariant checker calls it after simulation events.
+func (b *Buffer) CheckConsistency() error {
+	if len(b.entries) > b.cap {
+		return fmt.Errorf("faultbuf: %d entries exceed capacity %d", len(b.entries), b.cap)
+	}
+	if got := b.fetched + b.flushed + uint64(len(b.entries)); got != b.total {
+		return fmt.Errorf("faultbuf: conservation broken: accepted %d != fetched %d + flushed %d + buffered %d",
+			b.total, b.fetched, b.flushed, len(b.entries))
+	}
+	for i := 1; i < len(b.entries); i++ {
+		if b.entries[i].Seq <= b.entries[i-1].Seq {
+			return fmt.Errorf("faultbuf: FIFO order broken at index %d: seq %d after %d",
+				i, b.entries[i].Seq, b.entries[i-1].Seq)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package faultbuf
+
+import (
+	"testing"
+
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+)
+
+// scriptedPerturber replays a fixed sequence of actions, then passes
+// everything through.
+type scriptedPerturber struct {
+	actions []PutAction
+	calls   int
+}
+
+func (p *scriptedPerturber) PerturbPut(mem.PageID, bool) PutAction {
+	p.calls++
+	if len(p.actions) == 0 {
+		return PutAction{}
+	}
+	act := p.actions[0]
+	p.actions = p.actions[1:]
+	return act
+}
+
+func TestPerturberDrop(t *testing.T) {
+	b, _ := New(8)
+	b.SetPerturber(&scriptedPerturber{actions: []PutAction{{Drop: true}}})
+	if _, ok := b.Put(1, false, 0, 0, 0); ok {
+		t.Fatal("perturbed put accepted")
+	}
+	if b.Len() != 0 {
+		t.Errorf("len = %d after injected drop", b.Len())
+	}
+	if b.Drops() != 1 || b.InjectedDrops() != 1 {
+		t.Errorf("drops = %d, injected = %d, want 1, 1", b.Drops(), b.InjectedDrops())
+	}
+	// A dropped entry never counts as accepted: conservation must hold.
+	if b.Total() != 0 {
+		t.Errorf("total = %d, want 0", b.Total())
+	}
+	if err := b.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	// Subsequent puts pass through.
+	if _, ok := b.Put(2, false, 0, 0, 0); !ok {
+		t.Fatal("unperturbed put rejected")
+	}
+}
+
+func TestPerturberDuplicate(t *testing.T) {
+	b, _ := New(8)
+	b.SetPerturber(&scriptedPerturber{actions: []PutAction{{Duplicate: true}}})
+	seq, ok := b.Put(7, true, 3, 10, 20)
+	if !ok {
+		t.Fatal("duplicated put rejected")
+	}
+	if b.Len() != 2 || b.Total() != 2 || b.InjectedDups() != 1 {
+		t.Fatalf("len=%d total=%d dups=%d, want 2, 2, 1", b.Len(), b.Total(), b.InjectedDups())
+	}
+	got := b.FetchReady(10, 100)
+	if len(got) != 2 {
+		t.Fatalf("fetched %d entries", len(got))
+	}
+	if got[0].Seq != seq || got[1].Seq <= got[0].Seq {
+		t.Errorf("duplicate seq ordering wrong: %d then %d", got[0].Seq, got[1].Seq)
+	}
+	if got[1].Page != got[0].Page || got[1].Write != got[0].Write || got[1].SM != got[0].SM {
+		t.Error("duplicate entry differs from original")
+	}
+	if err := b.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerturberDuplicateRespectsCapacity(t *testing.T) {
+	// A duplicate that would overflow the buffer is silently skipped: the
+	// hardware cannot write past the ring.
+	b, _ := New(1)
+	b.SetPerturber(&scriptedPerturber{actions: []PutAction{{Duplicate: true}}})
+	if _, ok := b.Put(7, false, 0, 0, 0); !ok {
+		t.Fatal("put rejected")
+	}
+	if b.Len() != 1 || b.InjectedDups() != 0 {
+		t.Errorf("len=%d dups=%d, want 1, 0", b.Len(), b.InjectedDups())
+	}
+	if err := b.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerturberReadyDelay(t *testing.T) {
+	b, _ := New(8)
+	delay := 5 * sim.Microsecond
+	b.SetPerturber(&scriptedPerturber{actions: []PutAction{{ExtraReadyDelay: delay}}})
+	ready := sim.Time(0).Add(sim.Microsecond)
+	b.Put(1, false, 0, 0, ready)
+	if got := b.FetchReady(1, ready); len(got) != 0 {
+		t.Fatal("delayed entry fetched at its nominal ready time")
+	}
+	at, ok := b.HeadReadyAt()
+	if !ok || at != ready.Add(delay) {
+		t.Errorf("head ready at %v, want %v", at, ready.Add(delay))
+	}
+	if got := b.FetchReady(1, ready.Add(delay)); len(got) != 1 {
+		t.Fatal("entry not fetchable after the injected delay")
+	}
+}
+
+func TestFetchedAccounting(t *testing.T) {
+	b, _ := New(8)
+	for i := 0; i < 5; i++ {
+		b.Put(mem.PageID(i), false, 0, 0, 0)
+	}
+	b.FetchReady(3, 0)
+	if b.Fetched() != 3 {
+		t.Errorf("fetched = %d, want 3", b.Fetched())
+	}
+	b.Flush()
+	if b.Flushed() != 2 {
+		t.Errorf("flushed = %d, want 2", b.Flushed())
+	}
+	if err := b.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckConsistencyDetectsCorruption(t *testing.T) {
+	b, _ := New(8)
+	b.Put(1, false, 0, 0, 0)
+	b.Put(2, false, 0, 0, 0)
+	if err := b.CheckConsistency(); err != nil {
+		t.Fatalf("clean buffer reported: %v", err)
+	}
+	// Lost entry: accepted count no longer balances.
+	b.total++
+	if err := b.CheckConsistency(); err == nil {
+		t.Error("conservation break undetected")
+	}
+	b.total--
+	// FIFO order break.
+	b.entries[1].Seq = b.entries[0].Seq
+	if err := b.CheckConsistency(); err == nil {
+		t.Error("sequence order break undetected")
+	}
+	b.entries[1].Seq = b.entries[0].Seq + 1
+	// Over capacity.
+	b.cap = 1
+	if err := b.CheckConsistency(); err == nil {
+		t.Error("over-capacity undetected")
+	}
+}

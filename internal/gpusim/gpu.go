@@ -381,6 +381,7 @@ func (g *GPU) faultGroup(w *warpRun) {
 		end = n
 	}
 	anyRaised := false
+	anyDropped := false
 	if debugLog != nil {
 		a := w.prog.At(w.pc)
 		debugLog("t=%v warp sm=%d pc=%d FAULT page=%d outstanding=%d", g.eng.Now(), w.sm, w.pc, a.Page, len(sm.outstanding))
@@ -405,12 +406,20 @@ func (g *GPU) faultGroup(w *warpRun) {
 		ready := now.Add(g.cfg.FaultIssue + g.jitter(g.cfg.FaultReadyDelay))
 		if _, ok := g.buf.Put(a.Page, a.Write, w.sm, now, ready); !ok {
 			g.stats.FaultsDropped++
+			anyDropped = true
+			// The fault left no buffer entry; clear the µTLB slot so the
+			// retry after the recovery replay re-raises it instead of
+			// coalescing onto a fault that does not exist.
+			delete(sm.outstanding, a.Page)
 			continue
 		}
 		g.stats.FaultsRaised++
 		anyRaised = true
 	}
-	if anyRaised && g.handler != nil {
+	// Dropped faults raise the interrupt too: the driver must observe the
+	// overflow so it can issue the forced replay that un-wedges the
+	// stalled warp (nothing else would, if the buffer is otherwise idle).
+	if (anyRaised || anyDropped) && g.handler != nil {
 		g.handler.OnFault()
 	}
 }

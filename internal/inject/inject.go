@@ -1,0 +1,229 @@
+// Package inject is the deterministic fault-injection layer: seeded,
+// reproducible perturbations of every layer of the simulated UVM stack.
+// The paper's central finding is that UVM cost is dominated by driver
+// behavior under pressure — serialized fault storms, batch boundaries,
+// replay policy interactions (§III, §IV) — so the simulator must stay
+// correct when the stack misbehaves, not just on the happy path. The
+// injector perturbs the fault buffer (dropped entries, duplicated
+// entries, delayed ready flags, overflow storms), the interconnect
+// (transient DMA failures), and the eviction path (stalls); every
+// decision comes from a private RNG so a campaign is reproducible from a
+// single seed and never disturbs the workload's random stream.
+//
+// The companion invariant checker (invariant.go) validates conservation
+// properties after every simulation event, so injected chaos that the
+// stack fails to absorb is caught at the event where it happens rather
+// than as a corrupted result.
+package inject
+
+import (
+	"fmt"
+
+	"uvmsim/internal/faultbuf"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/xfer"
+)
+
+// Config describes one injection campaign. Probabilities are evaluated
+// per opportunity (per fault-buffer Put, per DMA attempt, per eviction).
+// The zero value injects nothing.
+type Config struct {
+	// Enabled gates the whole layer; when false the system wires no
+	// injector at all.
+	Enabled bool
+	// Seed drives every injection decision, independent of the system
+	// seed so the injected and baseline runs execute identical workloads.
+	Seed uint64
+
+	// DropProb is the per-Put probability of rejecting a fault entry as
+	// if the buffer were full. Must stay below 1 or stalled warps could
+	// re-fault forever.
+	DropProb float64
+	// DupProb is the per-Put probability of writing the entry twice.
+	DupProb float64
+	// ReadyDelayProb is the per-Put probability of stretching the entry's
+	// asynchronous ready delay by up to ReadyDelayMax.
+	ReadyDelayProb float64
+	// ReadyDelayMax bounds the injected extra ready delay.
+	ReadyDelayMax sim.Duration
+	// StormProb is the per-Put probability of starting an overflow storm:
+	// the next StormLen puts are rejected wholesale, emulating a burst of
+	// faults arriving faster than the buffer drains.
+	StormProb float64
+	// StormLen is how many consecutive puts one storm rejects.
+	StormLen int
+
+	// DMAFailProb is the per-attempt probability of a transient DMA
+	// failure on the interconnect.
+	DMAFailProb float64
+	// DMAMaxConsecutive caps consecutive failures per direction so the
+	// driver's bounded retry always eventually succeeds (0 means 3).
+	DMAMaxConsecutive int
+
+	// EvictStallProb is the per-eviction probability of an injected
+	// stall of up to EvictStallMax.
+	EvictStallProb float64
+	// EvictStallMax bounds the injected eviction stall.
+	EvictStallMax sim.Duration
+}
+
+// DefaultConfig returns a moderate all-layers campaign: every
+// perturbation class fires often enough to exercise the recovery paths
+// without drowning the workload.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Enabled:           true,
+		Seed:              seed,
+		DropProb:          0.02,
+		DupProb:           0.02,
+		ReadyDelayProb:    0.05,
+		ReadyDelayMax:     20 * sim.Microsecond,
+		StormProb:         0.002,
+		StormLen:          32,
+		DMAFailProb:       0.05,
+		DMAMaxConsecutive: 3,
+		EvictStallProb:    0.1,
+		EvictStallMax:     50 * sim.Microsecond,
+	}
+}
+
+// Validate checks the campaign for configurations that cannot converge.
+func (c *Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DupProb", c.DupProb},
+		{"ReadyDelayProb", c.ReadyDelayProb},
+		{"EvictStallProb", c.EvictStallProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("inject: %s %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropProb", c.DropProb},
+		{"StormProb", c.StormProb},
+		{"DMAFailProb", c.DMAFailProb},
+	} {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("inject: %s %v outside [0, 1) (1 would livelock the retry paths)", p.name, p.v)
+		}
+	}
+	if c.StormLen < 0 {
+		return fmt.Errorf("inject: StormLen %d must be >= 0", c.StormLen)
+	}
+	if c.ReadyDelayProb > 0 && c.ReadyDelayMax <= 0 {
+		return fmt.Errorf("inject: ReadyDelayProb set with non-positive ReadyDelayMax %v", c.ReadyDelayMax)
+	}
+	if c.EvictStallProb > 0 && c.EvictStallMax <= 0 {
+		return fmt.Errorf("inject: EvictStallProb set with non-positive EvictStallMax %v", c.EvictStallMax)
+	}
+	if c.DMAMaxConsecutive < 0 {
+		return fmt.Errorf("inject: DMAMaxConsecutive %d must be >= 0", c.DMAMaxConsecutive)
+	}
+	return nil
+}
+
+// Stats tallies what the injector actually did.
+type Stats struct {
+	Drops       uint64 // fault entries rejected
+	Dups        uint64 // fault entries duplicated
+	ReadyDelays uint64 // ready flags delayed
+	Storms      uint64 // overflow storms started
+	DMAFailures uint64 // DMA attempts failed
+	EvictStalls uint64 // evictions stalled
+}
+
+// Injector applies a Config. It implements faultbuf.Perturber,
+// xfer.FaultHook (via DMAFault), and driver.FaultInjector; one injector
+// serves all three hook points of a single system.
+type Injector struct {
+	cfg Config
+	rng *sim.RNG
+
+	stormLeft  int
+	consecFail [2]int
+	stats      Stats
+}
+
+// New validates cfg and returns an injector.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DMAMaxConsecutive == 0 {
+		cfg.DMAMaxConsecutive = 3
+	}
+	return &Injector{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}, nil
+}
+
+// Stats returns the injection tallies so far.
+func (i *Injector) Stats() Stats { return i.stats }
+
+// PerturbPut implements faultbuf.Perturber: per-entry drop, duplication,
+// ready-flag delay, and overflow storms.
+func (i *Injector) PerturbPut(page mem.PageID, write bool) faultbuf.PutAction {
+	var act faultbuf.PutAction
+	if i.stormLeft > 0 {
+		i.stormLeft--
+		i.stats.Drops++
+		act.Drop = true
+		return act
+	}
+	if i.cfg.StormProb > 0 && i.cfg.StormLen > 0 && i.rng.Float64() < i.cfg.StormProb {
+		i.stats.Storms++
+		i.stormLeft = i.cfg.StormLen - 1
+		i.stats.Drops++
+		act.Drop = true
+		return act
+	}
+	if i.cfg.DropProb > 0 && i.rng.Float64() < i.cfg.DropProb {
+		i.stats.Drops++
+		act.Drop = true
+		return act
+	}
+	if i.cfg.DupProb > 0 && i.rng.Float64() < i.cfg.DupProb {
+		i.stats.Dups++
+		act.Duplicate = true
+	}
+	if i.cfg.ReadyDelayProb > 0 && i.rng.Float64() < i.cfg.ReadyDelayProb {
+		i.stats.ReadyDelays++
+		act.ExtraReadyDelay = sim.Duration(i.rng.Uint64n(uint64(i.cfg.ReadyDelayMax)) + 1)
+	}
+	return act
+}
+
+// DMAFault is the xfer.FaultHook: transient per-attempt failures, capped
+// at DMAMaxConsecutive in a row per direction so retries always succeed
+// within the driver's bounded budget.
+func (i *Injector) DMAFault(dir xfer.Direction, bytes int64, attempt int) bool {
+	if i.cfg.DMAFailProb <= 0 {
+		return false
+	}
+	if i.consecFail[dir] >= i.cfg.DMAMaxConsecutive {
+		i.consecFail[dir] = 0
+		return false
+	}
+	if i.rng.Float64() < i.cfg.DMAFailProb {
+		i.consecFail[dir]++
+		i.stats.DMAFailures++
+		return true
+	}
+	i.consecFail[dir] = 0
+	return false
+}
+
+// EvictStall implements driver.FaultInjector: extra latency on the
+// eviction path.
+func (i *Injector) EvictStall() sim.Duration {
+	if i.cfg.EvictStallProb <= 0 || i.rng.Float64() >= i.cfg.EvictStallProb {
+		return 0
+	}
+	i.stats.EvictStalls++
+	return sim.Duration(i.rng.Uint64n(uint64(i.cfg.EvictStallMax)) + 1)
+}

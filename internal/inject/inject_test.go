@@ -1,0 +1,223 @@
+package inject
+
+import (
+	"testing"
+
+	"uvmsim/internal/faultbuf"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/xfer"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{"zero config ok", func(c *Config) { *c = Config{} }, false},
+		{"default ok", func(c *Config) {}, false},
+		{"drop prob 1 livelocks", func(c *Config) { c.DropProb = 1 }, true},
+		{"storm prob 1 livelocks", func(c *Config) { c.StormProb = 1 }, true},
+		{"dma fail prob 1 livelocks", func(c *Config) { c.DMAFailProb = 1 }, true},
+		{"dup prob 1 ok", func(c *Config) { c.DupProb = 1 }, false},
+		{"dup prob above 1", func(c *Config) { c.DupProb = 1.5 }, true},
+		{"negative drop prob", func(c *Config) { c.DropProb = -0.1 }, true},
+		{"negative ready delay prob", func(c *Config) { c.ReadyDelayProb = -1 }, true},
+		{"ready delay without max", func(c *Config) {
+			c.ReadyDelayProb = 0.5
+			c.ReadyDelayMax = 0
+		}, true},
+		{"evict stall without max", func(c *Config) {
+			c.EvictStallProb = 0.5
+			c.EvictStallMax = 0
+		}, true},
+		{"negative storm len", func(c *Config) { c.StormLen = -1 }, true},
+		{"negative dma consecutive", func(c *Config) { c.DMAMaxConsecutive = -1 }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(1)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Errorf("Validate() = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := New(Config{DropProb: 2}); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	// Two injectors with the same seed must make identical decisions —
+	// that is what makes a chaos campaign replayable.
+	mk := func() *Injector {
+		inj, err := New(DefaultConfig(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 2000; i++ {
+		actA := a.PerturbPut(0, false)
+		actB := b.PerturbPut(0, false)
+		if actA != actB {
+			t.Fatalf("put %d diverged: %+v vs %+v", i, actA, actB)
+		}
+		if fa, fb := a.DMAFault(xfer.HostToDevice, 4096, 0), b.DMAFault(xfer.HostToDevice, 4096, 0); fa != fb {
+			t.Fatalf("dma decision %d diverged", i)
+		}
+		if sa, sb := a.EvictStall(), b.EvictStall(); sa != sb {
+			t.Fatalf("evict stall %d diverged: %v vs %v", i, sa, sb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	// A different seed must eventually diverge.
+	c, err := New(DefaultConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mk()
+	same := true
+	for i := 0; i < 2000 && same; i++ {
+		same = c.PerturbPut(0, false) == d.PerturbPut(0, false)
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical perturbation streams")
+	}
+}
+
+func TestStormDropsConsecutivePuts(t *testing.T) {
+	cfg := Config{Enabled: true, Seed: 7, StormProb: 0.9, StormLen: 5}
+	inj, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With p=0.9 the first storm starts almost immediately; once started,
+	// exactly StormLen puts in a row must drop.
+	run := 0
+	maxRun := 0
+	for i := 0; i < 200; i++ {
+		if inj.PerturbPut(0, false).Drop {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	st := inj.Stats()
+	if st.Storms == 0 {
+		t.Fatal("no storm started in 200 puts at p=0.9")
+	}
+	if maxRun < cfg.StormLen {
+		t.Errorf("longest drop run = %d, want >= StormLen %d", maxRun, cfg.StormLen)
+	}
+	// Every storm drops StormLen puts, except the last which the loop may
+	// truncate mid-storm.
+	if st.Drops < uint64(st.Storms-1)*uint64(cfg.StormLen) {
+		t.Errorf("drops = %d, want >= (storms-1)(%d) * len(%d)", st.Drops, st.Storms-1, cfg.StormLen)
+	}
+}
+
+func TestDMAConsecutiveFailureCap(t *testing.T) {
+	cfg := Config{Enabled: true, Seed: 3, DMAFailProb: 0.99, DMAMaxConsecutive: 3}
+	inj, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even at a 99% failure rate, no direction may fail more than
+	// DMAMaxConsecutive times in a row — the guarantee that the driver's
+	// bounded retry always converges.
+	consec := 0
+	for i := 0; i < 1000; i++ {
+		if inj.DMAFault(xfer.HostToDevice, 4096, 0) {
+			consec++
+			if consec > cfg.DMAMaxConsecutive {
+				t.Fatalf("attempt %d: %d consecutive failures, cap is %d", i, consec, cfg.DMAMaxConsecutive)
+			}
+		} else {
+			consec = 0
+		}
+	}
+	if inj.Stats().DMAFailures == 0 {
+		t.Error("no DMA failures at p=0.99")
+	}
+	// The cap is per direction: D2H failures do not reset the H2D run.
+	inj2, _ := New(cfg)
+	h2dConsec := 0
+	for i := 0; i < 1000; i++ {
+		inj2.DMAFault(xfer.DeviceToHost, 4096, 0)
+		if inj2.DMAFault(xfer.HostToDevice, 4096, 0) {
+			h2dConsec++
+			if h2dConsec > cfg.DMAMaxConsecutive {
+				t.Fatalf("interleaved: %d consecutive H2D failures", h2dConsec)
+			}
+		} else {
+			h2dConsec = 0
+		}
+	}
+}
+
+func TestReadyDelayBounded(t *testing.T) {
+	cfg := Config{Enabled: true, Seed: 9, ReadyDelayProb: 1, ReadyDelayMax: 10 * sim.Microsecond}
+	inj, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		act := inj.PerturbPut(0, false)
+		if act.Drop || act.Duplicate {
+			t.Fatal("unexpected drop/dup")
+		}
+		if act.ExtraReadyDelay <= 0 || act.ExtraReadyDelay > cfg.ReadyDelayMax {
+			t.Fatalf("delay %v outside (0, %v]", act.ExtraReadyDelay, cfg.ReadyDelayMax)
+		}
+	}
+	if got := inj.Stats().ReadyDelays; got != 500 {
+		t.Errorf("ReadyDelays = %d, want 500", got)
+	}
+}
+
+func TestEvictStallBounded(t *testing.T) {
+	cfg := Config{Enabled: true, Seed: 9, EvictStallProb: 1, EvictStallMax: 50 * sim.Microsecond}
+	inj, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if s := inj.EvictStall(); s <= 0 || s > cfg.EvictStallMax {
+			t.Fatalf("stall %v outside (0, %v]", s, cfg.EvictStallMax)
+		}
+	}
+	// Probability zero never stalls.
+	quiet, _ := New(Config{Enabled: true, Seed: 9})
+	for i := 0; i < 100; i++ {
+		if quiet.EvictStall() != 0 {
+			t.Fatal("zero-probability injector stalled an eviction")
+		}
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	inj, err := New(Config{Enabled: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if act := inj.PerturbPut(0, false); act != (faultbuf.PutAction{}) {
+			t.Fatalf("zero config perturbed put: %+v", act)
+		}
+		if inj.DMAFault(xfer.HostToDevice, 4096, 0) {
+			t.Fatal("zero config failed a DMA")
+		}
+	}
+	if inj.Stats() != (Stats{}) {
+		t.Errorf("zero config recorded stats: %+v", inj.Stats())
+	}
+}

@@ -1,0 +1,202 @@
+// Invariant checker: validates conservation properties of the simulated
+// UVM stack after every simulation event. Simulator-credibility work
+// (MGSim's always-on assertions, gem5 runtime validation) shows that
+// discrete-event models earn trust through injected perturbation plus
+// runtime checking; this is the checking half. It hooks the engine's
+// per-event observer and panics with a replayable trail on violation, so
+// a bug surfaces at the event that caused it, not as a silently wrong
+// result table.
+package inject
+
+import (
+	"fmt"
+	"strings"
+
+	"uvmsim/internal/faultbuf"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/pma"
+	"uvmsim/internal/sim"
+)
+
+// Violation is the panic value raised when an invariant breaks. It
+// carries the full diagnostic message including the replay recipe (seed
+// and event ordinal).
+type Violation struct {
+	Msg string
+}
+
+// Error implements error so recovered violations compose with err paths.
+func (v *Violation) Error() string { return v.Msg }
+
+// trailLen is how many recent event samples the violation report includes.
+const trailLen = 16
+
+// sample is one cheap per-event observation kept for the violation trail.
+type sample struct {
+	now      sim.Time
+	executed uint64
+	bufLen   int
+	total    uint64
+	fetched  uint64
+	flushed  uint64
+	drops    uint64
+	resident int // -1 when not sampled (deep checks only)
+}
+
+func (s sample) String() string {
+	res := "-"
+	if s.resident >= 0 {
+		res = fmt.Sprintf("%d", s.resident)
+	}
+	return fmt.Sprintf("event=%d t=%v buf=%d accepted=%d fetched=%d flushed=%d drops=%d resident=%s",
+		s.executed, s.now, s.bufLen, s.total, s.fetched, s.flushed, s.drops, res)
+}
+
+// Invariants is the always-on runtime checker. Cheap O(1) conservation
+// checks run after every event; structural sweeps (FIFO order, residency
+// vs. capacity) run every Stride events to keep the hot path fast.
+type Invariants struct {
+	eng   *sim.Engine
+	buf   *faultbuf.Buffer
+	space *mem.AddressSpace
+	pm    *pma.PMA
+	seed  uint64
+	// stride is the deep-check period in events (>= 1).
+	stride uint64
+
+	lastNow    sim.Time
+	checks     uint64
+	deepChecks uint64
+	violations uint64
+	trail      [trailLen]sample
+}
+
+// DefaultStride is the deep-check period used when none is configured: a
+// structural sweep every 64 events keeps overhead negligible while still
+// catching corruption within microseconds of simulated time.
+const DefaultStride = 64
+
+// NewInvariants builds a checker over the system's components. stride <= 0
+// selects DefaultStride.
+func NewInvariants(eng *sim.Engine, buf *faultbuf.Buffer, space *mem.AddressSpace, pm *pma.PMA, seed uint64, stride int) *Invariants {
+	if stride <= 0 {
+		stride = DefaultStride
+	}
+	return &Invariants{eng: eng, buf: buf, space: space, pm: pm, seed: seed, stride: uint64(stride)}
+}
+
+// Attach hooks the checker into the engine's per-event observer.
+func (v *Invariants) Attach() { v.eng.SetObserver(v.onEvent) }
+
+// Detach removes the hook.
+func (v *Invariants) Detach() { v.eng.SetObserver(nil) }
+
+// Checks returns how many per-event checks have run.
+func (v *Invariants) Checks() uint64 { return v.checks }
+
+// DeepChecks returns how many structural sweeps have run.
+func (v *Invariants) DeepChecks() uint64 { return v.deepChecks }
+
+// Violations returns how many invariant violations were detected (the
+// first one panics, so this is 0 in any simulation that completed).
+func (v *Invariants) Violations() uint64 { return v.violations }
+
+func (v *Invariants) onEvent(now sim.Time) {
+	v.checks++
+
+	// Clock monotonicity: the engine contract every cost model relies on.
+	if now < v.lastNow {
+		v.violate("clock went backwards: %v after %v", now, v.lastNow)
+	}
+	v.lastNow = now
+
+	// Fault conservation, O(1): every accepted entry is buffered, fetched,
+	// or flushed. An entry that vanishes any other way is a lost fault —
+	// a warp that will stall forever.
+	total, fetched, flushed := v.buf.Total(), v.buf.Fetched(), v.buf.Flushed()
+	bufLen := v.buf.Len()
+	if got := fetched + flushed + uint64(bufLen); got != total {
+		v.violate("fault conservation broken: accepted %d != fetched %d + flushed %d + buffered %d",
+			total, fetched, flushed, bufLen)
+	}
+	if bufLen > v.buf.Cap() {
+		v.violate("fault buffer over capacity: %d > %d", bufLen, v.buf.Cap())
+	}
+
+	s := sample{
+		now: now, executed: v.eng.Executed(), bufLen: bufLen,
+		total: total, fetched: fetched, flushed: flushed, drops: v.buf.Drops(),
+		resident: -1,
+	}
+	if v.checks%v.stride == 0 {
+		s.resident = v.deep()
+	}
+	v.trail[v.checks%trailLen] = s
+}
+
+// deep runs the structural sweeps: buffer FIFO consistency and residency
+// vs. physical capacity. It returns the resident page count it measured.
+func (v *Invariants) deep() int {
+	v.deepChecks++
+	if err := v.buf.CheckConsistency(); err != nil {
+		v.violate("%v", err)
+	}
+	if used, capacity := v.pm.UsedChunks(), v.pm.CapacityChunks(); used > capacity {
+		v.violate("PMA over capacity: %d chunks used of %d", used, capacity)
+	}
+	geom := v.space.Geometry()
+	allocated, resident := 0, 0
+	v.space.ForEachBlock(func(b *mem.VABlock) {
+		if b.Remote {
+			return // remote pages live in host memory, not the framebuffer
+		}
+		n := b.Resident.Count()
+		if b.Allocated {
+			allocated++
+		} else if n > 0 {
+			v.violate("block %d holds %d resident pages without physical backing", b.ID, n)
+		}
+		resident += n
+	})
+	if capacity := v.pm.CapacityChunks(); allocated > capacity {
+		v.violate("%d VABlocks allocated but GPU holds %d", allocated, capacity)
+	}
+	if maxPages := v.pm.CapacityChunks() * geom.PagesPerVABlock; resident > maxPages {
+		v.violate("%d resident pages exceed GPU capacity of %d", resident, maxPages)
+	}
+	return resident
+}
+
+// Final runs the end-of-run conservation checks once the engine has
+// drained and the kernel retired: the fault buffer must be empty (every
+// raised fault was serviced or explicitly flushed) and structurally
+// consistent.
+func (v *Invariants) Final() error {
+	if err := v.buf.CheckConsistency(); err != nil {
+		return fmt.Errorf("inject: final check: %w", err)
+	}
+	if n := v.buf.Len(); n != 0 {
+		return fmt.Errorf("inject: final check: %d fault entries never serviced (lost faults)", n)
+	}
+	return nil
+}
+
+// violate records the violation and panics with the replay recipe and
+// the recent event trail.
+func (v *Invariants) violate(format string, args ...interface{}) {
+	v.violations++
+	var b strings.Builder
+	fmt.Fprintf(&b, "uvmsim invariant violation: ")
+	fmt.Fprintf(&b, format, args...)
+	fmt.Fprintf(&b, "\n  replay: seed=%d at event %d (t=%v), after %d checks (%d deep)",
+		v.seed, v.eng.Executed(), v.eng.Now(), v.checks, v.deepChecks)
+	fmt.Fprintf(&b, "\n  recent events (oldest first):")
+	for i := uint64(0); i < trailLen; i++ {
+		s := v.trail[(v.checks+1+i)%trailLen]
+		if s.executed == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n    %s", s)
+	}
+	panic(&Violation{Msg: b.String()})
+}

@@ -241,6 +241,14 @@ func (s *AddressSpace) IsResident(p PageID) bool {
 	return b.Resident.Get(s.geom.PageIndex(p))
 }
 
+// ForEachBlock visits every materialized VABlock in unspecified order
+// (the invariant checker's residency sweep).
+func (s *AddressSpace) ForEachBlock(fn func(*VABlock)) {
+	for _, b := range s.blocks {
+		fn(b)
+	}
+}
+
 // ResidentPages returns the total number of GPU-resident pages.
 func (s *AddressSpace) ResidentPages() int {
 	n := 0

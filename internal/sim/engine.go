@@ -98,6 +98,9 @@ type Engine struct {
 	// Executed counts events dispatched so far; useful for debugging and
 	// for bounding runaway simulations in tests.
 	executed uint64
+	// observer, when set, runs after every dispatched event (the
+	// invariant checker's hook).
+	observer func(now Time)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -111,6 +114,12 @@ func (e *Engine) Pending() int { return len(e.events) }
 
 // Executed returns the number of events dispatched so far.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// SetObserver installs fn to run after every dispatched event, with the
+// clock at the event's timestamp. Pass nil to remove it. A runtime
+// invariant checker hooks here to validate conservation properties after
+// each state transition; the hook must not schedule events.
+func (e *Engine) SetObserver(fn func(now Time)) { e.observer = fn }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it indicates a bookkeeping bug in the caller, and silently
@@ -141,6 +150,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.executed++
 	ev.fn()
+	if e.observer != nil {
+		e.observer(e.now)
+	}
 	return true
 }
 

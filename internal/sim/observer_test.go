@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+func TestObserverRunsAfterEveryEvent(t *testing.T) {
+	e := NewEngine()
+	var seen []Time
+	e.SetObserver(func(now Time) { seen = append(seen, now) })
+	e.At(10, func() {})
+	e.At(5, func() { e.After(20, func() {}) })
+	e.Run()
+	want := []Time{5, 10, 25}
+	if len(seen) != len(want) {
+		t.Fatalf("observer fired %d times, want %d", len(seen), len(want))
+	}
+	for i, w := range want {
+		if seen[i] != w {
+			t.Errorf("observation %d at t=%v, want %v", i, seen[i], w)
+		}
+	}
+}
+
+func TestObserverSeesEventEffects(t *testing.T) {
+	// The observer runs after the event's function, so state mutated by
+	// the event is visible — that is what lets an invariant checker
+	// validate post-conditions.
+	e := NewEngine()
+	state := 0
+	var observed []int
+	e.SetObserver(func(Time) { observed = append(observed, state) })
+	e.At(1, func() { state = 1 })
+	e.At(2, func() { state = 2 })
+	e.Run()
+	if len(observed) != 2 || observed[0] != 1 || observed[1] != 2 {
+		t.Errorf("observed = %v, want [1 2]", observed)
+	}
+}
+
+func TestObserverDetach(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.SetObserver(func(Time) { fired++ })
+	e.At(1, func() {})
+	e.At(2, func() { e.SetObserver(nil) })
+	e.At(3, func() {})
+	e.Run()
+	// Observed events 1 and 2; event 3 runs after detach. The detach event
+	// itself is not observed: SetObserver(nil) takes effect immediately.
+	if fired != 1 {
+		t.Errorf("observer fired %d times after detach mid-run, want 1", fired)
+	}
+}

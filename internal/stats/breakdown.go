@@ -140,6 +140,12 @@ func NewCounterSet() *CounterSet { return &CounterSet{m: make(map[string]uint64)
 // Inc adds delta to the named counter.
 func (c *CounterSet) Inc(name string, delta uint64) { c.m[name] += delta }
 
+// Set overwrites the named counter with an absolute value. It mirrors
+// cumulative counts maintained by another component (e.g. the fault
+// buffer's drop tally) into the set; callers must keep the mirrored
+// value monotonic so run deltas stay meaningful.
+func (c *CounterSet) Set(name string, v uint64) { c.m[name] = v }
+
 // Get returns the named counter value (0 when absent).
 func (c *CounterSet) Get(name string) uint64 { return c.m[name] }
 

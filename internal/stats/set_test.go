@@ -1,0 +1,21 @@
+package stats
+
+import "testing"
+
+func TestCounterSetSet(t *testing.T) {
+	c := NewCounterSet()
+	c.Set("faultbuf_drops", 7)
+	if c.Get("faultbuf_drops") != 7 {
+		t.Errorf("Get = %d, want 7", c.Get("faultbuf_drops"))
+	}
+	// Set overwrites: mirroring a cumulative source counter.
+	c.Set("faultbuf_drops", 12)
+	if c.Get("faultbuf_drops") != 12 {
+		t.Errorf("Get after overwrite = %d, want 12", c.Get("faultbuf_drops"))
+	}
+	// Inc composes with Set on the same key.
+	c.Inc("faultbuf_drops", 3)
+	if c.Get("faultbuf_drops") != 15 {
+		t.Errorf("Get after Inc = %d, want 15", c.Get("faultbuf_drops"))
+	}
+}

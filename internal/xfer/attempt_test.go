@@ -1,0 +1,90 @@
+package xfer
+
+import (
+	"testing"
+
+	"uvmsim/internal/sim"
+)
+
+func TestAttemptSuccessMatchesEnqueue(t *testing.T) {
+	_, a := testLink(t)
+	_, e := testLink(t)
+	endA, ok := a.Attempt(HostToDevice, 4096, 0, 0)
+	if !ok {
+		t.Fatal("attempt without hook failed")
+	}
+	if endE := e.Enqueue(HostToDevice, 4096, nil); endA != endE {
+		t.Errorf("Attempt end = %v, Enqueue end = %v", endA, endE)
+	}
+	if a.BytesMoved(HostToDevice) != 4096 || a.Transactions(HostToDevice) != 1 {
+		t.Error("success accounting wrong")
+	}
+	if a.Failures(HostToDevice) != 0 {
+		t.Error("spurious failure recorded")
+	}
+}
+
+func TestAttemptFailureOccupiesSetupLatency(t *testing.T) {
+	_, l := testLink(t)
+	l.SetFaultHook(func(_ Direction, _ int64, attempt int) bool { return attempt == 0 })
+	end, ok := l.Attempt(HostToDevice, 4096, 0, 0)
+	if ok {
+		t.Fatal("hooked attempt succeeded")
+	}
+	// The aborted descriptor costs setup latency (1000ns) but moves no data.
+	if end != 1000 {
+		t.Errorf("failed attempt frees channel at %v, want 1000", end)
+	}
+	if l.BytesMoved(HostToDevice) != 0 || l.Transactions(HostToDevice) != 0 {
+		t.Error("failed attempt moved data")
+	}
+	if l.Failures(HostToDevice) != 1 {
+		t.Errorf("failures = %d, want 1", l.Failures(HostToDevice))
+	}
+	// Retry (attempt=1) passes the hook and queues behind the aborted
+	// descriptor: 1000 (abort) + 1000 setup + 4096 wire.
+	end, ok = l.Attempt(HostToDevice, 4096, 1, end)
+	if !ok || end != 6096 {
+		t.Errorf("retry end = %v, ok = %v; want 6096, true", end, ok)
+	}
+}
+
+func TestAttemptHonorsNotBefore(t *testing.T) {
+	_, l := testLink(t)
+	notBefore := sim.Time(5000)
+	end, ok := l.Attempt(DeviceToHost, 1000, 0, notBefore)
+	if !ok {
+		t.Fatal("attempt failed")
+	}
+	// Starts at notBefore even though the channel is free at t=0.
+	if want := notBefore.Add(l.TransferTime(1000)); end != want {
+		t.Errorf("end = %v, want %v", end, want)
+	}
+}
+
+func TestAttemptFailureIsPerDirection(t *testing.T) {
+	_, l := testLink(t)
+	l.SetFaultHook(func(dir Direction, _ int64, _ int) bool { return dir == HostToDevice })
+	if _, ok := l.Attempt(HostToDevice, 100, 0, 0); ok {
+		t.Error("H2D attempt should fail")
+	}
+	if _, ok := l.Attempt(DeviceToHost, 100, 0, 0); !ok {
+		t.Error("D2H attempt should pass")
+	}
+	if l.Failures(HostToDevice) != 1 || l.Failures(DeviceToHost) != 0 {
+		t.Error("per-direction failure accounting wrong")
+	}
+	l.Reset()
+	if l.Failures(HostToDevice) != 0 {
+		t.Error("Reset did not clear failures")
+	}
+}
+
+func TestSetFaultHookNilRemoves(t *testing.T) {
+	_, l := testLink(t)
+	l.SetFaultHook(func(Direction, int64, int) bool { return true })
+	l.SetFaultHook(nil)
+	if _, ok := l.Attempt(HostToDevice, 100, 0, 0); !ok {
+		t.Error("attempt failed after hook removal")
+	}
+}

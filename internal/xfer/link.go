@@ -45,17 +45,24 @@ func DefaultPCIe3x16() LinkConfig {
 	}
 }
 
+// FaultHook decides whether one DMA attempt fails transiently. attempt
+// counts retries of the same transfer, starting at 0. It is consulted
+// only by Attempt; plain Enqueue never fails.
+type FaultHook func(dir Direction, bytes int64, attempt int) bool
+
 // Link is a full-duplex interconnect: each direction has an independent
 // channel that serializes its transfers.
 type Link struct {
-	eng  *sim.Engine
-	cfg  LinkConfig
-	free [2]sim.Time // earliest time each direction is idle
+	eng   *sim.Engine
+	cfg   LinkConfig
+	free  [2]sim.Time // earliest time each direction is idle
+	fault FaultHook   // optional transient-failure injection
 
 	// Totals for reporting.
-	bytes [2]int64
-	txns  [2]uint64
-	busy  [2]sim.Duration
+	bytes    [2]int64
+	txns     [2]uint64
+	busy     [2]sim.Duration
+	failures [2]uint64
 }
 
 // NewLink returns a link driven by eng.
@@ -77,6 +84,40 @@ func (l *Link) TransferTime(bytes int64) sim.Duration {
 	}
 	wire := sim.Duration(float64(bytes) / l.cfg.BandwidthBytesPerSec * 1e9)
 	return l.cfg.TransactionLatency + wire
+}
+
+// SetFaultHook installs (or, with nil, removes) the transient DMA
+// failure injector consulted by Attempt.
+func (l *Link) SetFaultHook(h FaultHook) { l.fault = h }
+
+// Attempt tries to schedule a transfer of size bytes in direction dir,
+// starting no earlier than notBefore. When the fault hook fails the
+// attempt, the channel is still occupied for the transaction setup
+// latency (the aborted descriptor) and ok is false; the returned time is
+// when the channel frees, which is the earliest moment a retry can be
+// scheduled. On success it behaves exactly like Enqueue.
+func (l *Link) Attempt(dir Direction, bytes int64, attempt int, notBefore sim.Time) (end sim.Time, ok bool) {
+	start := l.eng.Now()
+	if notBefore > start {
+		start = notBefore
+	}
+	if l.free[dir] > start {
+		start = l.free[dir]
+	}
+	if l.fault != nil && l.fault(dir, bytes, attempt) {
+		end = start.Add(l.cfg.TransactionLatency)
+		l.free[dir] = end
+		l.busy[dir] += l.cfg.TransactionLatency
+		l.failures[dir]++
+		return end, false
+	}
+	d := l.TransferTime(bytes)
+	end = start.Add(d)
+	l.free[dir] = end
+	l.bytes[dir] += bytes
+	l.txns[dir]++
+	l.busy[dir] += d
+	return end, true
 }
 
 // Enqueue schedules a transfer of size bytes in direction dir, starting no
@@ -127,9 +168,13 @@ func (l *Link) Transactions(dir Direction) uint64 { return l.txns[dir] }
 // BusyTime returns the cumulative busy time of dir's channel.
 func (l *Link) BusyTime(dir Direction) sim.Duration { return l.busy[dir] }
 
+// Failures returns how many transfer attempts failed transiently in dir.
+func (l *Link) Failures(dir Direction) uint64 { return l.failures[dir] }
+
 // Reset clears the accounting counters (not the queue horizon).
 func (l *Link) Reset() {
 	l.bytes = [2]int64{}
 	l.txns = [2]uint64{}
 	l.busy = [2]sim.Duration{}
+	l.failures = [2]uint64{}
 }

@@ -26,10 +26,12 @@ package uvmsim
 import (
 	"io"
 
+	"uvmsim/internal/chaos"
 	"uvmsim/internal/core"
 	"uvmsim/internal/driver"
 	"uvmsim/internal/exp"
 	"uvmsim/internal/gpusim"
+	"uvmsim/internal/inject"
 	"uvmsim/internal/mem"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
@@ -62,7 +64,26 @@ type (
 	Range = mem.Range
 	// AccessMode selects one of UVM's three page access behaviors.
 	AccessMode = mem.AccessMode
+	// InjectConfig configures the deterministic fault-injection layer
+	// (set Config.Inject to enable seeded chaos in a system).
+	InjectConfig = inject.Config
+	// ChaosCampaign describes a fault-injection convergence sweep.
+	ChaosCampaign = chaos.Campaign
+	// ChaosCell is one (workload, policy, seed) result of a campaign.
+	ChaosCell = chaos.Cell
 )
+
+// DefaultInjectConfig returns a moderate all-layers injection campaign
+// seeded with seed.
+func DefaultInjectConfig(seed uint64) InjectConfig { return inject.DefaultConfig(seed) }
+
+// RunChaos executes a fault-injection campaign and returns one cell per
+// (workload, policy, seed) combination.
+func RunChaos(c ChaosCampaign) ([]ChaosCell, error) { return chaos.Run(c) }
+
+// DefaultChaosCampaign returns the standard convergence sweep run by
+// cmd/uvmchaos.
+func DefaultChaosCampaign() ChaosCampaign { return chaos.DefaultCampaign() }
 
 // UVM access behaviors (paper §III-A).
 const (

@@ -79,3 +79,38 @@ func TestFacadeConstants(t *testing.T) {
 		t.Error("replay policy constants wrong")
 	}
 }
+
+func TestFacadeInjectedRun(t *testing.T) {
+	cfg := DefaultConfig(16 << 20)
+	cfg.Inject = DefaultInjectConfig(7)
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := BuildWorkload(sys, "regular", 8<<20, DefaultWorkloadParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunUVM(k)
+	if err != nil {
+		t.Fatalf("injected run failed: %v", err)
+	}
+	if res.TotalTime <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+}
+
+func TestFacadeChaos(t *testing.T) {
+	camp := DefaultChaosCampaign()
+	camp.GPUMemoryBytes = 8 << 20
+	camp.Workloads = camp.Workloads[:1]
+	camp.Policies = camp.Policies[:1]
+	camp.Seeds = camp.Seeds[:1]
+	cells, err := RunChaos(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || !cells[0].Converged {
+		t.Fatalf("chaos cell = %+v", cells)
+	}
+}
