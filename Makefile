@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos clean
+.PHONY: check build vet test race bench chaos clean
 
 # The full verification gate: compile everything, vet, and run the test
 # suite under the race detector.
@@ -17,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Every benchmark with allocation counts: paper-artifact regeneration
+# benches at the repo root plus the engine/microbenchmarks. Numbers are
+# recorded against EXPERIMENTS.md's "Simulator performance" baselines.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Seeded fault-injection campaign across workloads and replay policies;
 # exits non-zero if any cell fails to converge.

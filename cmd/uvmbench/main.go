@@ -29,6 +29,7 @@ func main() {
 		gpuMB   = flag.Int64("gpu-mem", 96, "scaled GPU framebuffer size in MiB (paper: 12288)")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		jobs    = flag.Int("jobs", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial); output is identical at every value")
 		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut = flag.Bool("json", false, "emit JSON instead of aligned text")
 		outDir  = flag.String("out", "", "write one file per table into this directory instead of stdout")
@@ -45,7 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uvmbench: -exp <id> required (use -list to enumerate)")
 		os.Exit(2)
 	}
-	sc := exp.Scale{GPUMemoryBytes: *gpuMB << 20, Seed: *seed, Quick: *quick}
+	sc := exp.Scale{GPUMemoryBytes: *gpuMB << 20, Seed: *seed, Quick: *quick, Jobs: *jobs}
 
 	ids := []string{*expID}
 	if *expID == "all" {

@@ -40,6 +40,7 @@ func main() {
 		stormLen   = flag.Int("storm-len", 32, "puts rejected per overflow storm")
 		dmaFail    = flag.Float64("dma-fail", 0.05, "transient DMA failure probability")
 		evictStall = flag.Float64("evict-stall", 0.1, "eviction stall probability")
+		jobs       = flag.Int("jobs", 0, "worker goroutines fanning cells out (0 = all CPUs, 1 = serial)")
 		verbose    = flag.Bool("v", false, "print per-run detail columns")
 	)
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 		GPUMemoryBytes: *gpuMB << 20,
 		FootprintFrac:  *footprint,
 		Workloads:      splitList(*workloadsF),
+		Jobs:           *jobs,
 		Inject: inject.Config{
 			Enabled:        true,
 			DropProb:       *drop,

@@ -3,11 +3,17 @@
 // policy, eviction policy, batch size, VABlock granularity, and footprint
 // fraction, printing one row per configuration.
 //
+// Every flag combination is validated before anything runs, so a typo in
+// the last policy name fails instantly instead of after earlier configs
+// have simulated. Independent configurations fan out across -jobs worker
+// goroutines (default: all CPUs); the output is byte-identical at every
+// -jobs value, and -jobs 1 is the strictly serial path.
+//
 // Usage:
 //
 //	uvmsweep -workload random -footprints 0.5,1.25 -prefetch none,density,adaptive
 //	uvmsweep -workload sgemm -footprints 0.9,1.2,1.5 -evict lru,access-aware
-//	uvmsweep -workload stream -batch 64,256,1024 -replay batch,batchflush
+//	uvmsweep -workload stream -batch 64,256,1024 -replay batch,batchflush -jobs 8
 package main
 
 import (
@@ -17,10 +23,7 @@ import (
 	"strconv"
 	"strings"
 
-	"uvmsim/internal/core"
-	"uvmsim/internal/driver"
-	"uvmsim/internal/stats"
-	"uvmsim/internal/workloads"
+	"uvmsim/internal/sweep"
 )
 
 func main() {
@@ -34,6 +37,7 @@ func main() {
 		evictPol   = flag.String("evict", "lru", "comma-separated eviction policies")
 		batch      = flag.String("batch", "256", "comma-separated fault batch sizes")
 		vablock    = flag.String("vablock", "2048", "comma-separated VABlock sizes in KiB")
+		jobs       = flag.Int("jobs", 0, "worker goroutines fanning configs out (0 = all CPUs, 1 = serial)")
 		csvOut     = flag.Bool("csv", false, "emit CSV")
 	)
 	flag.Parse()
@@ -50,31 +54,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	vbBytes := make([]int64, len(vablocks))
+	for i, vb := range vablocks {
+		vbBytes[i] = int64(vb) << 10
+	}
 
-	t := stats.NewTable(fmt.Sprintf("sweep: %s on %d MiB GPU", *workload, *gpuMB),
-		"footprint_pct", "prefetch", "replay", "evict", "batch", "vablock_kb",
-		"total_ms", "faults", "evictions", "h2d_mb", "d2h_mb", "stall_ms")
-
-	for _, fp := range fps {
-		for _, pf := range strings.Split(*prefetch, ",") {
-			for _, rp := range strings.Split(*replay, ",") {
-				pol, err := driver.ParseReplayPolicy(rp)
-				if err != nil {
-					fatal(err)
-				}
-				for _, ev := range strings.Split(*evictPol, ",") {
-					for _, bs := range batches {
-						for _, vb := range vablocks {
-							row, err := runOne(*workload, *gpuMB<<20, *seed, fp, pf, pol, ev, bs, int64(vb)<<10)
-							if err != nil {
-								fatal(err)
-							}
-							t.AddRow(row...)
-						}
-					}
-				}
-			}
-		}
+	s := &sweep.Spec{
+		Workload:       *workload,
+		GPUMemoryBytes: *gpuMB << 20,
+		Seed:           *seed,
+		Footprints:     fps,
+		Prefetch:       splitList(*prefetch),
+		Replay:         splitList(*replay),
+		Evict:          splitList(*evictPol),
+		Batch:          batches,
+		VABlock:        vbBytes,
+		Jobs:           *jobs,
+	}
+	// Fail fast: reject any bad name or bound before a single cell runs.
+	if err := s.Validate(); err != nil {
+		fatal(err)
+	}
+	t, err := s.Run()
+	if err != nil {
+		fatal(err)
 	}
 	if *csvOut {
 		err = t.WriteCSV(os.Stdout)
@@ -86,42 +89,14 @@ func main() {
 	}
 }
 
-func runOne(workload string, gpuMem int64, seed uint64, fp float64, pf string,
-	rp driver.ReplayPolicy, ev string, batch int, vablock int64) ([]interface{}, error) {
-	cfg := core.DefaultConfig(gpuMem)
-	cfg.Seed = seed
-	cfg.PrefetchPolicy = pf
-	cfg.EvictPolicy = ev
-	if strings.Contains(ev, "access-aware") {
-		cfg.GPU.AccessCounters = true
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
 	}
-	cfg.Driver.Policy = rp
-	cfg.Driver.BatchSize = batch
-	cfg.VABlockSize = vablock
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return nil, err
-	}
-	builder, err := workloads.Get(workload)
-	if err != nil {
-		return nil, err
-	}
-	p := workloads.DefaultParams()
-	p.Seed = seed + 100
-	k, err := builder(sys, int64(fp*float64(gpuMem)), p)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sys.RunUVM(k)
-	if err != nil {
-		return nil, err
-	}
-	return []interface{}{
-		fp * 100, pf, rp.String(), ev, batch, vablock >> 10,
-		float64(res.TotalTime.Micros()) / 1000, res.Faults, res.Evictions,
-		float64(res.BytesH2D) / (1 << 20), float64(res.BytesD2H) / (1 << 20),
-		float64(res.GPU.StallTime.Micros()) / 1000,
-	}, nil
+	return out
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -17,6 +17,7 @@ import (
 	"uvmsim/internal/gpusim"
 	"uvmsim/internal/inject"
 	"uvmsim/internal/mem"
+	"uvmsim/internal/parallel"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/workloads"
 )
@@ -40,6 +41,10 @@ type Campaign struct {
 	// Inject is the perturbation template. Enabled is forced on for the
 	// injected run; a zero Seed derives one from the cell seed.
 	Inject inject.Config
+	// Jobs bounds the worker pool fanning cells out across goroutines:
+	// 1 runs strictly serially, <= 0 selects NumCPU. Each cell owns its
+	// systems and RNG streams, so results are identical at every value.
+	Jobs int
 }
 
 // DefaultCampaign returns a small all-layers campaign: three workloads
@@ -121,15 +126,27 @@ func Run(c Campaign) ([]Cell, error) {
 	if err := inj.Validate(); err != nil {
 		return nil, err
 	}
-	cells := make([]Cell, 0, len(c.Workloads)*len(c.Policies)*len(c.Seeds))
+	type spec struct {
+		workload string
+		policy   driver.ReplayPolicy
+		seed     uint64
+	}
+	specs := make([]spec, 0, len(c.Workloads)*len(c.Policies)*len(c.Seeds))
 	for _, w := range c.Workloads {
 		for _, p := range c.Policies {
 			for _, seed := range c.Seeds {
-				cells = append(cells, runCell(c, w, p, seed, inj))
+				specs = append(specs, spec{w, p, seed})
 			}
 		}
 	}
-	return cells, nil
+	// Cells are independent (fresh systems, decoupled RNG streams) and
+	// collected by index, so campaign output is deterministic at every
+	// worker count. runCell converts its own panics (invariant
+	// violations) into Cell.Err, so the pool only ever sees success.
+	return parallel.Map(c.Jobs, len(specs), func(i int) (Cell, error) {
+		s := specs[i]
+		return runCell(c, s.workload, s.policy, s.seed, inj), nil
+	})
 }
 
 // Failures returns the cells that did not converge.

@@ -167,3 +167,45 @@ func TestFullStackBufferCapacityOne(t *testing.T) {
 	t.Logf("capacity-1: pages=%d accesses=%d drops=%d replays=%d forced=%d",
 		pages, accesses, drops, res.Counters.Get("replays"), res.Counters.Get("forced_replays"))
 }
+
+// TestCampaignParallelMatchesSerial asserts the parallel runner's
+// determinism contract at the campaign level: the same cells, measured
+// identically, whether run serially or across a worker pool.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	camp := Campaign{
+		GPUMemoryBytes: 16 << 20,
+		FootprintFrac:  0.75,
+		Workloads:      []string{"regular", "random"},
+		Policies:       []driver.ReplayPolicy{driver.ReplayBatchFlush, driver.ReplayOnce},
+		Seeds:          []uint64{1, 2},
+		Inject:         inject.DefaultConfig(0),
+		Jobs:           1,
+	}
+	serial, err := Run(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{4, 8} {
+		camp.Jobs = jobs
+		par, err := Run(camp)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("jobs=%d: %d cells, serial had %d", jobs, len(par), len(serial))
+		}
+		for i := range serial {
+			s, p := serial[i], par[i]
+			if s.Workload != p.Workload || s.Policy != p.Policy || s.Seed != p.Seed {
+				t.Fatalf("jobs=%d: cell %d reordered: %s/%v/%d vs %s/%v/%d",
+					jobs, i, s.Workload, s.Policy, s.Seed, p.Workload, p.Policy, p.Seed)
+			}
+			if s.Baseline != p.Baseline || s.Injected != p.Injected || s.Injector != p.Injector {
+				t.Errorf("jobs=%d: cell %d measurements diverged from serial", jobs, i)
+			}
+			if s.Converged != p.Converged {
+				t.Errorf("jobs=%d: cell %d verdict diverged", jobs, i)
+			}
+		}
+	}
+}

@@ -198,6 +198,18 @@ func buildEvictPolicy(name string, rng *sim.RNG) (evict.Policy, error) {
 	return thrash.New(thrash.DefaultConfig(), ev)
 }
 
+// ValidatePolicies resolves the prefetch and eviction policy names in
+// cfg without assembling a system. Sweep front-ends use it to reject a
+// misspelled policy before any simulation has run, rather than failing
+// mid-sweep when the bad combination is finally reached.
+func ValidatePolicies(cfg Config) error {
+	if _, err := buildEvictPolicy(cfg.EvictPolicy, sim.NewRNG(0)); err != nil {
+		return err
+	}
+	_, err := prefetch.New(cfg.PrefetchPolicy)
+	return err
+}
+
 // Config returns the system's (normalized) configuration.
 func (s *System) Config() Config { return s.cfg }
 

@@ -23,24 +23,33 @@ func AblationReplayPolicy(sc Scale) ([]*stats.Table, error) {
 	if sc.Quick {
 		patterns = []string{"regular"}
 	}
+	q := sc.newQueue()
 	for _, pattern := range patterns {
 		for _, pol := range policies {
-			cfg := sc.sysConfig()
-			cfg.PrefetchPolicy = "none"
-			cfg.Driver.Policy = pol
-			cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
-			if err != nil {
-				return nil, fmt.Errorf("abl-policy %s/%s: %w", pattern, pol, err)
-			}
-			hist := cell.sys.GPU().StallHistogram()
-			t.AddRow(pattern, pol.String(), ms(cell.res.TotalTime),
-				cell.res.GPU.Replays, cell.res.Faults,
-				cell.res.Counters.Get("faults_deduped"),
-				us(cell.res.Breakdown.Get(stats.PhasePreprocess)),
-				us(cell.res.Breakdown.Get(stats.PhaseReplay)),
-				ms(cell.res.GPU.StallTime),
-				us(hist.Quantile(0.5)), us(hist.Quantile(0.99)))
+			q.add(fmt.Sprintf("abl-policy pattern=%s policy=%s seed=%d", pattern, pol, sc.Seed),
+				func() (func(), error) {
+					cfg := sc.sysConfig()
+					cfg.PrefetchPolicy = "none"
+					cfg.Driver.Policy = pol
+					cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+					if err != nil {
+						return nil, fmt.Errorf("abl-policy %s/%s: %w", pattern, pol, err)
+					}
+					return func() {
+						hist := cell.sys.GPU().StallHistogram()
+						t.AddRow(pattern, pol.String(), ms(cell.res.TotalTime),
+							cell.res.GPU.Replays, cell.res.Faults,
+							cell.res.Counters.Get("faults_deduped"),
+							us(cell.res.Breakdown.Get(stats.PhasePreprocess)),
+							us(cell.res.Breakdown.Get(stats.PhaseReplay)),
+							ms(cell.res.GPU.StallTime),
+							us(hist.Quantile(0.5)), us(hist.Quantile(0.99)))
+					}, nil
+				})
 		}
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }
@@ -60,17 +69,26 @@ func AblationThreshold(sc Scale) ([]*stats.Table, error) {
 	if sc.Quick {
 		names = []string{"regular"}
 	}
+	q := sc.newQueue()
 	for _, name := range names {
 		for _, th := range thresholds {
-			cfg := sc.sysConfig()
-			cfg.PrefetchPolicy = fmt.Sprintf("density:%d", th)
-			cell, err := runWorkloadCell(cfg, name, bytes, sc.params())
-			if err != nil {
-				return nil, fmt.Errorf("abl-thresh %s/%d: %w", name, th, err)
-			}
-			t.AddRow(name, th, ms(cell.res.TotalTime), cell.res.Faults,
-				cell.res.Counters.Get("prefetched_pages"))
+			q.add(fmt.Sprintf("abl-thresh workload=%s threshold=%d seed=%d", name, th, sc.Seed),
+				func() (func(), error) {
+					cfg := sc.sysConfig()
+					cfg.PrefetchPolicy = fmt.Sprintf("density:%d", th)
+					cell, err := runWorkloadCell(cfg, name, bytes, sc.params())
+					if err != nil {
+						return nil, fmt.Errorf("abl-thresh %s/%d: %w", name, th, err)
+					}
+					return func() {
+						t.AddRow(name, th, ms(cell.res.TotalTime), cell.res.Faults,
+							cell.res.Counters.Get("prefetched_pages"))
+					}, nil
+				})
 		}
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }
@@ -85,22 +103,31 @@ func AblationBatchSize(sc Scale) ([]*stats.Table, error) {
 	if sc.Quick {
 		sizes = []int{64, 256}
 	}
+	q := sc.newQueue()
 	for _, pattern := range []string{"regular", "random"} {
 		for _, bs := range sizes {
-			cfg := sc.sysConfig()
-			cfg.PrefetchPolicy = "none"
-			cfg.Driver.BatchSize = bs
-			cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
-			if err != nil {
-				return nil, fmt.Errorf("abl-batch %s/%d: %w", pattern, bs, err)
-			}
-			t.AddRow(pattern, bs, ms(cell.res.TotalTime),
-				cell.res.Counters.Get("batches"), cell.res.Faults,
-				ms(cell.res.GPU.StallTime))
+			q.add(fmt.Sprintf("abl-batch pattern=%s batch=%d seed=%d", pattern, bs, sc.Seed),
+				func() (func(), error) {
+					cfg := sc.sysConfig()
+					cfg.PrefetchPolicy = "none"
+					cfg.Driver.BatchSize = bs
+					cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+					if err != nil {
+						return nil, fmt.Errorf("abl-batch %s/%d: %w", pattern, bs, err)
+					}
+					return func() {
+						t.AddRow(pattern, bs, ms(cell.res.TotalTime),
+							cell.res.Counters.Get("batches"), cell.res.Faults,
+							ms(cell.res.GPU.StallTime))
+					}, nil
+				})
 		}
 		if sc.Quick {
 			break
 		}
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }
@@ -124,26 +151,35 @@ func AblationEviction(sc Scale) ([]*stats.Table, error) {
 	if sc.Quick {
 		wls = wls[:1]
 	}
+	q := sc.newQueue()
 	for _, w := range wls {
 		for _, pol := range policies {
-			cfg := sc.sysConfig()
-			cfg.EvictPolicy = pol
-			if pol == "access-aware" {
-				cfg.GPU.AccessCounters = true
-			}
-			var cell *cellResult
-			var err error
-			if w.name == "sgemm" {
-				cell, err = runSGEMMWithConfig(cfg, sgemmN(sc, w.frac), sc)
-			} else {
-				cell, err = runWorkloadCell(cfg, w.name, int64(w.frac*float64(sc.GPUMemoryBytes)), sc.params())
-			}
-			if err != nil {
-				return nil, fmt.Errorf("abl-evict %s/%s: %w", w.name, pol, err)
-			}
-			t.AddRow(w.name, pol, ms(cell.res.TotalTime), cell.res.Faults, cell.res.Evictions,
-				cell.res.Counters.Get("evicted_pages"), mb(cell.res.BytesD2H))
+			q.add(fmt.Sprintf("abl-evict workload=%s policy=%s seed=%d", w.name, pol, sc.Seed),
+				func() (func(), error) {
+					cfg := sc.sysConfig()
+					cfg.EvictPolicy = pol
+					if pol == "access-aware" {
+						cfg.GPU.AccessCounters = true
+					}
+					var cell *cellResult
+					var err error
+					if w.name == "sgemm" {
+						cell, err = runSGEMMWithConfig(cfg, sgemmN(sc, w.frac), sc)
+					} else {
+						cell, err = runWorkloadCell(cfg, w.name, int64(w.frac*float64(sc.GPUMemoryBytes)), sc.params())
+					}
+					if err != nil {
+						return nil, fmt.Errorf("abl-evict %s/%s: %w", w.name, pol, err)
+					}
+					return func() {
+						t.AddRow(w.name, pol, ms(cell.res.TotalTime), cell.res.Faults, cell.res.Evictions,
+							cell.res.Counters.Get("evicted_pages"), mb(cell.res.BytesD2H))
+					}, nil
+				})
 		}
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }
@@ -159,15 +195,23 @@ func AblationGranularity(sc Scale) ([]*stats.Table, error) {
 	if sc.Quick {
 		sizes = []int64{256 << 10, 2 << 20}
 	}
+	q := sc.newQueue()
 	for _, vb := range sizes {
-		cfg := sc.sysConfig()
-		cfg.VABlockSize = vb
-		cell, err := runWorkloadCell(cfg, "random", bytes, sc.params())
-		if err != nil {
-			return nil, fmt.Errorf("abl-gran %d: %w", vb, err)
-		}
-		t.AddRow(vb/1024, ms(cell.res.TotalTime), cell.res.Faults, cell.res.Evictions,
-			mb(cell.res.BytesH2D), mb(cell.res.BytesD2H))
+		q.add(fmt.Sprintf("abl-gran vablock=%d seed=%d", vb, sc.Seed), func() (func(), error) {
+			cfg := sc.sysConfig()
+			cfg.VABlockSize = vb
+			cell, err := runWorkloadCell(cfg, "random", bytes, sc.params())
+			if err != nil {
+				return nil, fmt.Errorf("abl-gran %d: %w", vb, err)
+			}
+			return func() {
+				t.AddRow(vb/1024, ms(cell.res.TotalTime), cell.res.Faults, cell.res.Evictions,
+					mb(cell.res.BytesH2D), mb(cell.res.BytesD2H))
+			}, nil
+		})
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }
@@ -185,20 +229,29 @@ func AblationAdaptive(sc Scale) ([]*stats.Table, error) {
 	if sc.Quick {
 		patterns = []string{"random"}
 	}
+	q := sc.newQueue()
 	for _, pattern := range patterns {
 		for _, f := range fractions {
 			for _, pf := range prefetchers {
-				cfg := sc.sysConfig()
-				cfg.PrefetchPolicy = pf
-				bytes := int64(f * float64(sc.GPUMemoryBytes))
-				cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
-				if err != nil {
-					return nil, fmt.Errorf("abl-adapt %s/%.2f/%s: %w", pattern, f, pf, err)
-				}
-				t.AddRow(pattern, pct(f), pf, ms(cell.res.TotalTime),
-					cell.res.Faults, cell.res.Evictions, mb(cell.res.BytesH2D))
+				q.add(fmt.Sprintf("abl-adapt pattern=%s footprint=%.2f prefetch=%s seed=%d", pattern, f, pf, sc.Seed),
+					func() (func(), error) {
+						cfg := sc.sysConfig()
+						cfg.PrefetchPolicy = pf
+						bytes := int64(f * float64(sc.GPUMemoryBytes))
+						cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+						if err != nil {
+							return nil, fmt.Errorf("abl-adapt %s/%.2f/%s: %w", pattern, f, pf, err)
+						}
+						return func() {
+							t.AddRow(pattern, pct(f), pf, ms(cell.res.TotalTime),
+								cell.res.Faults, cell.res.Evictions, mb(cell.res.BytesH2D))
+						}, nil
+					})
 			}
 		}
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }

@@ -19,53 +19,63 @@ func CalibrationAnchors(sc Scale) ([]*stats.Table, error) {
 	t := stats.NewTable("Calibration anchors: paper vs measured",
 		"anchor", "paper", "measured", "band", "ok")
 
-	addRow := func(name, paper, measured, band string, ok bool) {
-		t.AddRow(name, paper, measured, band, ok)
+	addRow := func(name, paper, measured, band string, ok bool) func() {
+		return func() { t.AddRow(name, paper, measured, band, ok) }
+	}
+	nopf := func() core.Config {
+		cfg := sc.sysConfig()
+		cfg.PrefetchPolicy = "none"
+		return cfg
 	}
 
+	q := sc.newQueue()
 	// Anchor 1: a single isolated far-fault costs 30-45 µs end-to-end.
-	single, err := singleFaultLatency(sc)
-	if err != nil {
-		return nil, err
-	}
-	addRow("single far-fault", "30-45us", single.String(), "20-120us",
-		single >= 20*sim.Microsecond && single <= 120*sim.Microsecond)
-
+	q.add(fmt.Sprintf("val-calib anchor=single-fault seed=%d", sc.Seed), func() (func(), error) {
+		single, err := singleFaultLatency(sc)
+		if err != nil {
+			return nil, err
+		}
+		return addRow("single far-fault", "30-45us", single.String(), "20-120us",
+			single >= 20*sim.Microsecond && single <= 120*sim.Microsecond), nil
+	})
 	// Anchor 2: sub-100 KB page-touch total is hundreds of µs.
-	cfg := sc.sysConfig()
-	cfg.PrefetchPolicy = "none"
-	cell, err := runWorkloadCell(cfg, "regular", 96<<10, sc.params())
-	if err != nil {
-		return nil, err
-	}
-	small := cell.res.TotalTime
-	addRow("96KB page-touch total", "400-600us", small.String(), "100us-2ms",
-		small >= 100*sim.Microsecond && small <= 2*sim.Millisecond)
-
+	q.add(fmt.Sprintf("val-calib anchor=96kb-touch seed=%d", sc.Seed), func() (func(), error) {
+		cell, err := runWorkloadCell(nopf(), "regular", 96<<10, sc.params())
+		if err != nil {
+			return nil, err
+		}
+		small := cell.res.TotalTime
+		return addRow("96KB page-touch total", "400-600us", small.String(), "100us-2ms",
+			small >= 100*sim.Microsecond && small <= 2*sim.Millisecond), nil
+	})
 	// Anchor 3: explicit transfer beats no-prefetch UVM by >= 4x in-core.
-	uvmCell, err := runWorkloadCell(cfg, "regular", sc.GPUMemoryBytes/3, sc.params())
-	if err != nil {
-		return nil, err
-	}
-	ratio, err := explicitRatio(sc, uvmCell.res.TotalTime)
-	if err != nil {
-		return nil, err
-	}
-	addRow("UVM/explicit in-core ratio", ">=10x", fmt.Sprintf("%.1fx", ratio), ">=4x", ratio >= 4)
-
+	q.add(fmt.Sprintf("val-calib anchor=explicit-ratio seed=%d", sc.Seed), func() (func(), error) {
+		uvmCell, err := runWorkloadCell(nopf(), "regular", sc.GPUMemoryBytes/3, sc.params())
+		if err != nil {
+			return nil, err
+		}
+		ratio, err := explicitRatio(sc, uvmCell.res.TotalTime)
+		if err != nil {
+			return nil, err
+		}
+		return addRow("UVM/explicit in-core ratio", ">=10x", fmt.Sprintf("%.1fx", ratio), ">=4x", ratio >= 4), nil
+	})
 	// Anchor 4: density prefetching removes most random-pattern faults.
-	offCell, err := runWorkloadCell(cfg, "random", sc.GPUMemoryBytes/3, sc.params())
-	if err != nil {
+	q.add(fmt.Sprintf("val-calib anchor=fault-reduction seed=%d", sc.Seed), func() (func(), error) {
+		offCell, err := runWorkloadCell(nopf(), "random", sc.GPUMemoryBytes/3, sc.params())
+		if err != nil {
+			return nil, err
+		}
+		onCell, err := runWorkloadCell(sc.sysConfig(), "random", sc.GPUMemoryBytes/3, sc.params())
+		if err != nil {
+			return nil, err
+		}
+		red := 100 * (1 - float64(onCell.res.Faults)/float64(offCell.res.Faults))
+		return addRow("random fault reduction", "98.0%", fmt.Sprintf("%.1f%%", red), ">=80%", red >= 80), nil
+	})
+	if err := q.run(); err != nil {
 		return nil, err
 	}
-	onCfg := sc.sysConfig()
-	onCell, err := runWorkloadCell(onCfg, "random", sc.GPUMemoryBytes/3, sc.params())
-	if err != nil {
-		return nil, err
-	}
-	red := 100 * (1 - float64(onCell.res.Faults)/float64(offCell.res.Faults))
-	addRow("random fault reduction", "98.0%", fmt.Sprintf("%.1f%%", red), ">=80%", red >= 80)
-
 	return []*stats.Table{t}, nil
 }
 

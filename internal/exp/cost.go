@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"uvmsim/internal/driver"
 	"uvmsim/internal/stats"
 )
@@ -19,27 +21,33 @@ func costSizes(sc Scale) []int64 {
 	}
 }
 
-// breakdownRows appends one row per size for the given pattern and
-// driver policy, reporting the paper's three top-level cost categories.
-func breakdownRows(t *stats.Table, sc Scale, pattern string, policy driver.ReplayPolicy) error {
+// queueBreakdownRows queues one cell per size for the given pattern and
+// driver policy; each emits a row with the paper's three top-level cost
+// categories.
+func queueBreakdownRows(q *queue, t *stats.Table, sc Scale, pattern string, policy driver.ReplayPolicy) {
 	for _, bytes := range costSizes(sc) {
-		cfg := sc.sysConfig()
-		cfg.PrefetchPolicy = "none"
-		cfg.Driver.Policy = policy
-		cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
-		if err != nil {
-			return err
-		}
-		bd := cell.res.Breakdown
-		t.AddRow(pattern, mb(bytes), ms(cell.res.TotalTime),
-			us(bd.Get(stats.PhasePreprocess)),
-			us(bd.Service()),
-			us(bd.Get(stats.PhaseReplay)),
-			cell.res.Faults,
-			cell.res.Counters.Get("faults_deduped"),
-		)
+		bytes := bytes
+		q.add(fmt.Sprintf("cost pattern=%s size=%d policy=%s seed=%d", pattern, bytes, policy, sc.Seed),
+			func() (func(), error) {
+				cfg := sc.sysConfig()
+				cfg.PrefetchPolicy = "none"
+				cfg.Driver.Policy = policy
+				cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+				if err != nil {
+					return nil, err
+				}
+				return func() {
+					bd := cell.res.Breakdown
+					t.AddRow(pattern, mb(bytes), ms(cell.res.TotalTime),
+						us(bd.Get(stats.PhasePreprocess)),
+						us(bd.Service()),
+						us(bd.Get(stats.PhaseReplay)),
+						cell.res.Faults,
+						cell.res.Counters.Get("faults_deduped"),
+					)
+				}, nil
+			})
 	}
-	return nil
 }
 
 // Fig3 reproduces Figure 3: fault cost scaling and breakdown for regular
@@ -49,10 +57,12 @@ func Fig3(sc Scale) ([]*stats.Table, error) {
 	t := stats.NewTable("Fig 3: fault cost scaling and driver breakdown (prefetch off, batch-flush policy)",
 		"pattern", "size_mb", "total_ms", "preprocess_us", "service_us", "replay_us", "faults", "dup_faults")
 	t.Note = "total is kernel wall time; the three *_us columns are time inside the driver"
+	q := sc.newQueue()
 	for _, pattern := range []string{"regular", "random"} {
-		if err := breakdownRows(t, sc, pattern, driver.ReplayBatchFlush); err != nil {
-			return nil, err
-		}
+		queueBreakdownRows(q, t, sc, pattern, driver.ReplayBatchFlush)
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }
@@ -64,7 +74,9 @@ func Fig5(sc Scale) ([]*stats.Table, error) {
 	t := stats.NewTable("Fig 5: fault cost breakdown under the Batch replay policy (no flush)",
 		"pattern", "size_mb", "total_ms", "preprocess_us", "service_us", "replay_us", "faults", "dup_faults")
 	t.Note = "compare against Fig 3: replay cost shrinks, preprocessing grows via duplicates"
-	if err := breakdownRows(t, sc, "regular", driver.ReplayBatch); err != nil {
+	q := sc.newQueue()
+	queueBreakdownRows(q, t, sc, "regular", driver.ReplayBatch)
+	if err := q.run(); err != nil {
 		return nil, err
 	}
 	return []*stats.Table{t}, nil
@@ -81,24 +93,33 @@ func Fig4(sc Scale) ([]*stats.Table, error) {
 	t := stats.NewTable("Fig 4: fault service cost breakdown at small sizes (prefetch off)",
 		"size_kb", "service_us", "pma_alloc_us", "migrate_us", "map_us",
 		"pma_pct", "migrate_pct", "map_pct")
+	q := sc.newQueue()
 	for _, bytes := range sizes {
-		cfg := sc.sysConfig()
-		cfg.PrefetchPolicy = "none"
-		cell, err := runWorkloadCell(cfg, "regular", bytes, sc.params())
-		if err != nil {
-			return nil, err
-		}
-		bd := cell.res.Breakdown
-		service := bd.Service()
-		frac := func(p stats.Phase) float64 {
-			if service == 0 {
-				return 0
+		bytes := bytes
+		q.add(fmt.Sprintf("fig4 size=%d seed=%d", bytes, sc.Seed), func() (func(), error) {
+			cfg := sc.sysConfig()
+			cfg.PrefetchPolicy = "none"
+			cell, err := runWorkloadCell(cfg, "regular", bytes, sc.params())
+			if err != nil {
+				return nil, err
 			}
-			return pct(float64(bd.Get(p)) / float64(service))
-		}
-		t.AddRow(float64(bytes)/1024, us(service),
-			us(bd.Get(stats.PhasePMAAlloc)), us(bd.Get(stats.PhaseMigrate)), us(bd.Get(stats.PhaseMap)),
-			frac(stats.PhasePMAAlloc), frac(stats.PhaseMigrate), frac(stats.PhaseMap))
+			return func() {
+				bd := cell.res.Breakdown
+				service := bd.Service()
+				frac := func(p stats.Phase) float64 {
+					if service == 0 {
+						return 0
+					}
+					return pct(float64(bd.Get(p)) / float64(service))
+				}
+				t.AddRow(float64(bytes)/1024, us(service),
+					us(bd.Get(stats.PhasePMAAlloc)), us(bd.Get(stats.PhaseMigrate)), us(bd.Get(stats.PhaseMap)),
+					frac(stats.PhasePMAAlloc), frac(stats.PhaseMigrate), frac(stats.PhaseMap))
+			}, nil
+		})
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }

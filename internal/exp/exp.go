@@ -7,11 +7,13 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"uvmsim/internal/core"
 	"uvmsim/internal/gpusim"
+	"uvmsim/internal/parallel"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
 	"uvmsim/internal/workloads"
@@ -25,6 +27,10 @@ type Scale struct {
 	Seed uint64
 	// Quick shrinks sweeps for benchmarks and smoke tests.
 	Quick bool
+	// Jobs bounds the worker pool fanning independent cells out across
+	// goroutines: 1 runs strictly serially, <= 0 selects NumCPU. Output
+	// is byte-identical at every value (see the queue type).
+	Jobs int
 }
 
 // DefaultScale is 1/128 of the paper's Titan V.
@@ -127,6 +133,56 @@ func runWorkloadCell(cfg core.Config, name string, bytes int64, p workloads.Para
 	return runCell(cfg, func(s *core.System) (*gpusim.Kernel, error) {
 		return builder(s, bytes, p)
 	})
+}
+
+// queue collects an experiment's cells so they can execute across the
+// worker pool while their table rows still land in declaration order.
+//
+// Each added task runs one self-contained cell (own system, engine, RNG)
+// and returns an emit continuation. Tasks run concurrently under
+// sc.Jobs workers; emit continuations run serially, in add order, only
+// after every task has finished — so tables are byte-identical to the
+// serial path no matter how the pool schedules the work.
+type queue struct {
+	jobs   int
+	labels []string
+	tasks  []func() (func(), error)
+}
+
+// newQueue returns an empty cell queue honoring sc.Jobs.
+func (sc Scale) newQueue() *queue { return &queue{jobs: sc.Jobs} }
+
+// add registers one cell. label names the cell's configuration and seed;
+// it prefixes the error when the cell's goroutine panics, turning a
+// worker crash into a replay recipe. task may return a nil emit when the
+// cell only feeds later cells (e.g. aggregation slots).
+func (q *queue) add(label string, task func() (func(), error)) {
+	q.labels = append(q.labels, label)
+	q.tasks = append(q.tasks, task)
+}
+
+// run executes every queued task across the pool, then replays the emit
+// continuations in add order. Task errors are returned verbatim (lowest
+// index first, identical to the serial loop); panics are wrapped with
+// the cell's label.
+func (q *queue) run() error {
+	emits, err := parallel.Map(q.jobs, len(q.tasks), func(i int) (func(), error) {
+		return q.tasks[i]()
+	})
+	if err != nil {
+		var pe *parallel.PanicError
+		if errors.As(err, &pe) && pe.Index < len(q.labels) {
+			return fmt.Errorf("exp: cell %s crashed (rerun serially with -jobs 1 to reproduce): %w",
+				q.labels[pe.Index], err)
+		}
+		return err
+	}
+	for _, emit := range emits {
+		if emit != nil {
+			emit()
+		}
+	}
+	return nil
 }
 
 // ms converts a simulated duration to milliseconds.

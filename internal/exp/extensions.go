@@ -45,6 +45,7 @@ func AblationAccessMode(sc Scale) ([]*stats.Table, error) {
 		{"remote-map", mem.ModeRemoteMap, "density"},
 		{"read-dup", mem.ModeReadDup, "density"},
 	}
+	q := sc.newQueue()
 	for _, pattern := range patterns {
 		builder, err := workloads.Get(pattern)
 		if err != nil {
@@ -52,25 +53,33 @@ func AblationAccessMode(sc Scale) ([]*stats.Table, error) {
 		}
 		for _, f := range fractions {
 			for _, m := range modes {
-				cfg := sc.sysConfig()
-				cfg.PrefetchPolicy = m.pf
-				sys, err := core.NewSystem(cfg)
-				if err != nil {
-					return nil, err
-				}
-				k, err := builder(modeAllocator{sys, m.mode}, int64(f*float64(sc.GPUMemoryBytes)), sc.params())
-				if err != nil {
-					return nil, err
-				}
-				res, err := sys.RunUVM(k)
-				if err != nil {
-					return nil, fmt.Errorf("abl-mode %s/%.2f/%s: %w", pattern, f, m.name, err)
-				}
-				t.AddRow(pattern, pct(f), m.name, ms(res.TotalTime), res.Faults,
-					res.Evictions, res.GPU.RemoteAccesses,
-					mb(res.BytesH2D), mb(res.BytesD2H))
+				q.add(fmt.Sprintf("abl-mode pattern=%s footprint=%.2f mode=%s seed=%d", pattern, f, m.name, sc.Seed),
+					func() (func(), error) {
+						cfg := sc.sysConfig()
+						cfg.PrefetchPolicy = m.pf
+						sys, err := core.NewSystem(cfg)
+						if err != nil {
+							return nil, err
+						}
+						k, err := builder(modeAllocator{sys, m.mode}, int64(f*float64(sc.GPUMemoryBytes)), sc.params())
+						if err != nil {
+							return nil, err
+						}
+						res, err := sys.RunUVM(k)
+						if err != nil {
+							return nil, fmt.Errorf("abl-mode %s/%.2f/%s: %w", pattern, f, m.name, err)
+						}
+						return func() {
+							t.AddRow(pattern, pct(f), m.name, ms(res.TotalTime), res.Faults,
+								res.Evictions, res.GPU.RemoteAccesses,
+								mb(res.BytesH2D), mb(res.BytesD2H))
+						}, nil
+					})
 			}
 		}
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }
@@ -96,18 +105,27 @@ func AblationFaultOrigin(sc Scale) ([]*stats.Table, error) {
 		{"stream", false}, // source erasure: degrades to demand paging
 		{"stream", true},  // the §VI-B hardware extension
 	}
+	q := sc.newQueue()
 	for _, name := range names {
 		for _, c := range cells {
-			cfg := sc.sysConfig()
-			cfg.PrefetchPolicy = c.pf
-			cfg.Driver.FaultOriginInfo = c.origin
-			cell, err := runWorkloadCell(cfg, name, bytes, sc.params())
-			if err != nil {
-				return nil, fmt.Errorf("abl-origin %s/%s: %w", name, c.pf, err)
-			}
-			t.AddRow(name, c.pf, c.origin, ms(cell.res.TotalTime), cell.res.Faults,
-				cell.res.Counters.Get("prefetched_pages"))
+			q.add(fmt.Sprintf("abl-origin workload=%s prefetch=%s origin=%v seed=%d", name, c.pf, c.origin, sc.Seed),
+				func() (func(), error) {
+					cfg := sc.sysConfig()
+					cfg.PrefetchPolicy = c.pf
+					cfg.Driver.FaultOriginInfo = c.origin
+					cell, err := runWorkloadCell(cfg, name, bytes, sc.params())
+					if err != nil {
+						return nil, fmt.Errorf("abl-origin %s/%s: %w", name, c.pf, err)
+					}
+					return func() {
+						t.AddRow(name, c.pf, c.origin, ms(cell.res.TotalTime), cell.res.Faults,
+							cell.res.Counters.Get("prefetched_pages"))
+					}, nil
+				})
 		}
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"uvmsim/internal/core"
 	"uvmsim/internal/gpusim"
 	"uvmsim/internal/stats"
@@ -24,49 +26,63 @@ func Fig1(sc Scale) ([]*stats.Table, error) {
 		"pattern", "size_mb", "oversub_pct", "mode", "total_ms", "us_per_page", "faults", "evictions")
 	t.Note = "explicit rows exist only while the data fits in GPU memory"
 
+	q := sc.newQueue()
 	patterns := []string{"regular", "random"}
 	for _, pattern := range patterns {
 		for _, f := range fractions {
 			bytes := int64(f * float64(sc.GPUMemoryBytes))
-			addRow := func(mode string, totalMs float64, pages int, faults, evictions uint64) {
-				t.AddRow(pattern, mb(bytes), pct(f), mode, totalMs,
-					totalMs*1000/float64(pages), faults, evictions)
+			addRow := func(mode string, totalMs float64, pages int, faults, evictions uint64) func() {
+				return func() {
+					t.AddRow(pattern, mb(bytes), pct(f), mode, totalMs,
+						totalMs*1000/float64(pages), faults, evictions)
+				}
+			}
+			label := func(mode string) string {
+				return fmt.Sprintf("fig1 pattern=%s size=%.0f%% mode=%s seed=%d", pattern, pct(f), mode, sc.Seed)
 			}
 			// Explicit baseline (in-core only).
 			if f <= 1.0 {
-				cfg := sc.sysConfig()
-				sys, err := core.NewSystem(cfg)
-				if err != nil {
-					return nil, err
-				}
-				k, err := buildTouch(sys, pattern, bytes, sc)
-				if err != nil {
-					return nil, err
-				}
-				res, err := sys.RunExplicit(k)
-				if err != nil {
-					return nil, err
-				}
-				addRow("explicit", ms(res.TotalTime), sys.Space().TotalPages(), res.Faults, res.Evictions)
+				q.add(label("explicit"), func() (func(), error) {
+					cfg := sc.sysConfig()
+					sys, err := core.NewSystem(cfg)
+					if err != nil {
+						return nil, err
+					}
+					k, err := buildTouch(sys, pattern, bytes, sc)
+					if err != nil {
+						return nil, err
+					}
+					res, err := sys.RunExplicit(k)
+					if err != nil {
+						return nil, err
+					}
+					return addRow("explicit", ms(res.TotalTime), sys.Space().TotalPages(), res.Faults, res.Evictions), nil
+				})
 			}
 			// UVM without prefetching.
-			cfg := sc.sysConfig()
-			cfg.PrefetchPolicy = "none"
-			cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
-			if err != nil {
-				return nil, err
-			}
-			addRow("uvm", ms(cell.res.TotalTime), cell.sys.Space().TotalPages(),
-				cell.res.Faults, cell.res.Evictions)
+			q.add(label("uvm"), func() (func(), error) {
+				cfg := sc.sysConfig()
+				cfg.PrefetchPolicy = "none"
+				cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+				if err != nil {
+					return nil, err
+				}
+				return addRow("uvm", ms(cell.res.TotalTime), cell.sys.Space().TotalPages(),
+					cell.res.Faults, cell.res.Evictions), nil
+			})
 			// UVM with the default density prefetcher.
-			cfg = sc.sysConfig()
-			cell, err = runWorkloadCell(cfg, pattern, bytes, sc.params())
-			if err != nil {
-				return nil, err
-			}
-			addRow("uvm+prefetch", ms(cell.res.TotalTime), cell.sys.Space().TotalPages(),
-				cell.res.Faults, cell.res.Evictions)
+			q.add(label("uvm+prefetch"), func() (func(), error) {
+				cell, err := runWorkloadCell(sc.sysConfig(), pattern, bytes, sc.params())
+				if err != nil {
+					return nil, err
+				}
+				return addRow("uvm+prefetch", ms(cell.res.TotalTime), cell.sys.Space().TotalPages(),
+					cell.res.Faults, cell.res.Evictions), nil
+			})
 		}
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }

@@ -31,20 +31,29 @@ func FullScaleValidation(sc Scale) ([]*stats.Table, error) {
 	if sc.Quick {
 		sizes = sizes[:2]
 	}
+	q := sc.newQueue()
 	for _, sz := range sizes {
 		for _, mode := range []string{"none", "density"} {
-			cfg := core.DefaultConfig(12 << 30)
-			cfg.Seed = sc.Seed
-			cfg.GPU = gpusim.TitanV()
-			cfg.PrefetchPolicy = mode
-			cell, err := runWorkloadCell(cfg, "regular", sz.bytes, sc.params())
-			if err != nil {
-				return nil, fmt.Errorf("val-full %s/%s: %w", sz.label, mode, err)
-			}
-			pages := cell.sys.Space().TotalPages()
-			t.AddRow(sz.label, "uvm+"+mode, us(cell.res.TotalTime),
-				us(cell.res.TotalTime)/float64(pages), sz.band)
+			q.add(fmt.Sprintf("val-full size=%s prefetch=%s seed=%d", sz.label, mode, sc.Seed),
+				func() (func(), error) {
+					cfg := core.DefaultConfig(12 << 30)
+					cfg.Seed = sc.Seed
+					cfg.GPU = gpusim.TitanV()
+					cfg.PrefetchPolicy = mode
+					cell, err := runWorkloadCell(cfg, "regular", sz.bytes, sc.params())
+					if err != nil {
+						return nil, fmt.Errorf("val-full %s/%s: %w", sz.label, mode, err)
+					}
+					return func() {
+						pages := cell.sys.Space().TotalPages()
+						t.AddRow(sz.label, "uvm+"+mode, us(cell.res.TotalTime),
+							us(cell.res.TotalTime)/float64(pages), sz.band)
+					}, nil
+				})
 		}
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }

@@ -25,21 +25,30 @@ func Fig9(sc Scale) ([]*stats.Table, error) {
 		"pattern", "oversub_pct", "total_ms", "map_us", "evict_us", "replay_us",
 		"faults", "evictions", "h2d_mb", "d2h_mb")
 	t.Note = "map_us merges migration and mapping, matching the figure's 'Map' category"
+	q := sc.newQueue()
 	for _, pattern := range []string{"regular", "random"} {
 		for _, f := range fractions {
-			bytes := int64(f * float64(sc.GPUMemoryBytes))
-			cell, err := runWorkloadCell(sc.sysConfig(), pattern, bytes, sc.params())
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s %.0f%%: %w", pattern, pct(f), err)
-			}
-			bd := cell.res.Breakdown
-			t.AddRow(pattern, pct(f), ms(cell.res.TotalTime),
-				us(bd.Get(stats.PhaseMigrate)+bd.Get(stats.PhaseMap)),
-				us(bd.Get(stats.PhaseEvict)),
-				us(bd.Get(stats.PhaseReplay)),
-				cell.res.Faults, cell.res.Evictions,
-				mb(cell.res.BytesH2D), mb(cell.res.BytesD2H))
+			q.add(fmt.Sprintf("fig9 pattern=%s oversub=%.0f%% seed=%d", pattern, pct(f), sc.Seed),
+				func() (func(), error) {
+					bytes := int64(f * float64(sc.GPUMemoryBytes))
+					cell, err := runWorkloadCell(sc.sysConfig(), pattern, bytes, sc.params())
+					if err != nil {
+						return nil, fmt.Errorf("fig9 %s %.0f%%: %w", pattern, pct(f), err)
+					}
+					return func() {
+						bd := cell.res.Breakdown
+						t.AddRow(pattern, pct(f), ms(cell.res.TotalTime),
+							us(bd.Get(stats.PhaseMigrate)+bd.Get(stats.PhaseMap)),
+							us(bd.Get(stats.PhaseEvict)),
+							us(bd.Get(stats.PhaseReplay)),
+							cell.res.Faults, cell.res.Evictions,
+							mb(cell.res.BytesH2D), mb(cell.res.BytesD2H))
+					}, nil
+				})
 		}
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }
@@ -85,15 +94,23 @@ func runSGEMM(sc Scale, frac float64, traced bool) (*cellResult, int, error) {
 func Fig10(sc Scale) ([]*stats.Table, error) {
 	t := stats.NewTable("Fig 10: sgemm compute rate vs oversubscription",
 		"n", "footprint_pct", "total_ms", "gflops", "faults", "evictions")
+	q := sc.newQueue()
 	for _, f := range sgemmFractions(sc) {
-		cell, n, err := runSGEMM(sc, f, false)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %.0f%%: %w", pct(f), err)
-		}
-		secs := cell.res.TotalTime.Seconds()
-		gflops := 2 * math.Pow(float64(n), 3) / secs / 1e9
-		t.AddRow(n, pct(f), ms(cell.res.TotalTime), gflops,
-			cell.res.Faults, cell.res.Evictions)
+		q.add(fmt.Sprintf("fig10 footprint=%.0f%% seed=%d", pct(f), sc.Seed), func() (func(), error) {
+			cell, n, err := runSGEMM(sc, f, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %.0f%%: %w", pct(f), err)
+			}
+			return func() {
+				secs := cell.res.TotalTime.Seconds()
+				gflops := 2 * math.Pow(float64(n), 3) / secs / 1e9
+				t.AddRow(n, pct(f), ms(cell.res.TotalTime), gflops,
+					cell.res.Faults, cell.res.Evictions)
+			}, nil
+		})
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }
@@ -105,17 +122,25 @@ func Table2(sc Scale) ([]*stats.Table, error) {
 	t := stats.NewTable("Table II: sgemm fault scaling",
 		"n", "footprint_pct", "faults", "pages_evicted", "evictions_per_fault")
 	t.Note = "pages_evicted counts dirty pages explicitly migrated back to the host"
+	q := sc.newQueue()
 	for _, f := range sgemmFractions(sc) {
-		cell, n, err := runSGEMM(sc, f, false)
-		if err != nil {
-			return nil, fmt.Errorf("table2 %.0f%%: %w", pct(f), err)
-		}
-		evictedPages := cell.res.Counters.Get("evicted_pages")
-		perFault := 0.0
-		if cell.res.Faults > 0 {
-			perFault = float64(evictedPages) / float64(cell.res.Faults)
-		}
-		t.AddRow(n, pct(f), cell.res.Faults, evictedPages, perFault)
+		q.add(fmt.Sprintf("table2 footprint=%.0f%% seed=%d", pct(f), sc.Seed), func() (func(), error) {
+			cell, n, err := runSGEMM(sc, f, false)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %.0f%%: %w", pct(f), err)
+			}
+			return func() {
+				evictedPages := cell.res.Counters.Get("evicted_pages")
+				perFault := 0.0
+				if cell.res.Faults > 0 {
+					perFault = float64(evictedPages) / float64(cell.res.Faults)
+				}
+				t.AddRow(n, pct(f), cell.res.Faults, evictedPages, perFault)
+			}, nil
+		})
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/parallel"
+	"uvmsim/internal/stats"
+)
+
+// render serializes every table of an experiment run to CSV bytes.
+func render(t *testing.T, tables []*stats.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// The parallel runner's core promise: experiment output is byte-identical
+// at every worker count. Exercised across experiments covering each
+// queue shape — plain fan-out (fig1, fig3), result-pairing (tab1),
+// aggregation slots (val-seeds), and heterogeneous anchors (val-calib).
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	ids := []string{"fig1", "fig3", "tab1", "abl-policy", "val-seeds", "val-calib"}
+	for _, id := range ids {
+		sc := DefaultScale()
+		sc.GPUMemoryBytes = 32 << 20
+		sc.Quick = true
+		sc.Jobs = 1
+		serialTables, err := Run(id, sc)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		serial := render(t, serialTables)
+		for _, jobs := range []int{4, 8} {
+			sc.Jobs = jobs
+			parTables, err := Run(id, sc)
+			if err != nil {
+				t.Fatalf("%s jobs=%d: %v", id, jobs, err)
+			}
+			if got := render(t, parTables); !bytes.Equal(serial, got) {
+				t.Errorf("%s: output at jobs=%d differs from serial:\n--- serial ---\n%s\n--- jobs=%d ---\n%s",
+					id, jobs, serial, jobs, got)
+			}
+		}
+	}
+}
+
+// A cell that panics must fail the whole experiment with an error naming
+// the offending cell and seed (the replay recipe), wrapping the captured
+// *parallel.PanicError, and must not deadlock the queue.
+func TestQueuePanicBecomesReplayableError(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		q := &queue{jobs: jobs}
+		for i := 0; i < 8; i++ {
+			i := i
+			q.add("cell ok", func() (func(), error) {
+				if i == 5 {
+					panic("invariant violated")
+				}
+				return func() {}, nil
+			})
+		}
+		q.labels[5] = "fig1 pattern=random size=120% mode=uvm seed=7"
+		err := q.run()
+		if err == nil {
+			t.Fatalf("jobs=%d: queue swallowed a worker panic", jobs)
+		}
+		var pe *parallel.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("jobs=%d: error does not wrap *parallel.PanicError: %v", jobs, err)
+		}
+		for _, want := range []string{"seed=7", "pattern=random", "-jobs 1", "invariant violated"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("jobs=%d: error misses %q: %v", jobs, want, err)
+			}
+		}
+	}
+}
+
+// A failing cell must return the same error the serial loop would, at
+// any worker count.
+func TestQueueDeterministicError(t *testing.T) {
+	wantErr := errors.New("cell 3 exploded")
+	for _, jobs := range []int{1, 2, 6} {
+		q := &queue{jobs: jobs}
+		for i := 0; i < 10; i++ {
+			i := i
+			q.add("cell", func() (func(), error) {
+				if i >= 3 {
+					return nil, wantErr
+				}
+				return func() {}, nil
+			})
+		}
+		if err := q.run(); !errors.Is(err, wantErr) {
+			t.Errorf("jobs=%d: err = %v, want %v", jobs, err, wantErr)
+		}
+	}
+}
+
+// Emits must run in add order even when tasks finish out of order, and
+// nil emits (aggregation slots) are skipped.
+func TestQueueEmitOrder(t *testing.T) {
+	q := &queue{jobs: 4}
+	var got []int
+	for i := 0; i < 16; i++ {
+		i := i
+		q.add("cell", func() (func(), error) {
+			if i%3 == 0 {
+				return nil, nil // aggregation-slot shape
+			}
+			return func() { got = append(got, i) }, nil
+		})
+	}
+	if err := q.run(); err != nil {
+		t.Fatal(err)
+	}
+	want := -1
+	for _, v := range got {
+		if v <= want {
+			t.Fatalf("emit order broken: %v", got)
+		}
+		want = v
+	}
+	if len(got) != 10 {
+		t.Fatalf("expected 10 emits, got %d", len(got))
+	}
+}

@@ -23,22 +23,35 @@ func Table1(sc Scale) ([]*stats.Table, error) {
 	if sc.Quick {
 		names = []string{"regular", "random", "stream"}
 	}
+	q := sc.newQueue()
 	for _, name := range names {
-		cfgOff := sc.sysConfig()
-		cfgOff.PrefetchPolicy = "none"
-		off, err := runWorkloadCell(cfgOff, name, bytes, sc.params())
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s (prefetch off): %w", name, err)
-		}
-		on, err := runWorkloadCell(sc.sysConfig(), name, bytes, sc.params())
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s (prefetch on): %w", name, err)
-		}
-		reduction := 0.0
-		if off.res.Faults > 0 {
-			reduction = 1 - float64(on.res.Faults)/float64(off.res.Faults)
-		}
-		t.AddRow(name, off.res.Faults, on.res.Faults, pct(reduction))
+		off := make([]*cellResult, 1)
+		q.add(fmt.Sprintf("tab1 workload=%s prefetch=off seed=%d", name, sc.Seed), func() (func(), error) {
+			cfgOff := sc.sysConfig()
+			cfgOff.PrefetchPolicy = "none"
+			cell, err := runWorkloadCell(cfgOff, name, bytes, sc.params())
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s (prefetch off): %w", name, err)
+			}
+			off[0] = cell
+			return nil, nil
+		})
+		q.add(fmt.Sprintf("tab1 workload=%s prefetch=on seed=%d", name, sc.Seed), func() (func(), error) {
+			on, err := runWorkloadCell(sc.sysConfig(), name, bytes, sc.params())
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s (prefetch on): %w", name, err)
+			}
+			return func() {
+				reduction := 0.0
+				if off[0].res.Faults > 0 {
+					reduction = 1 - float64(on.res.Faults)/float64(off[0].res.Faults)
+				}
+				t.AddRow(name, off[0].res.Faults, on.res.Faults, pct(reduction))
+			}, nil
+		})
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }
@@ -81,18 +94,26 @@ func Fig7(sc Scale) ([]*stats.Table, error) {
 	if sc.Quick {
 		frac = 0.75
 	}
+	q := sc.newQueue()
 	for _, name := range names {
-		sys, res, err := TraceWorkload(sc, name, frac, "none")
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", name, err)
-		}
-		rep, err := analyze.Analyze(sys.Trace(), sys.Space())
-		if err != nil {
-			return nil, err
-		}
-		comp := trace.NewCompressor(sys.Space())
-		t.AddRow(name, len(sys.Space().Ranges()), comp.Total(), res.Faults,
-			rep.OrderPageCorrelation, pct(rep.CoverageFraction))
+		q.add(fmt.Sprintf("fig7 workload=%s seed=%d", name, sc.Seed), func() (func(), error) {
+			sys, res, err := TraceWorkload(sc, name, frac, "none")
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s: %w", name, err)
+			}
+			rep, err := analyze.Analyze(sys.Trace(), sys.Space())
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+				comp := trace.NewCompressor(sys.Space())
+				t.AddRow(name, len(sys.Space().Ranges()), comp.Total(), res.Faults,
+					rep.OrderPageCorrelation, pct(rep.CoverageFraction))
+			}, nil
+		})
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }

@@ -34,24 +34,39 @@ func SeedStability(sc Scale) ([]*stats.Table, error) {
 	if sc.Quick {
 		cells = cells[:2]
 	}
+	q := sc.newQueue()
 	for _, c := range cells {
-		var times, faults []float64
-		for _, seed := range seeds {
-			cfg := sc.sysConfig()
-			cfg.Seed = seed
-			cfg.PrefetchPolicy = c.prefetch
-			p := sc.params()
-			p.Seed = seed + 100
-			cell, err := runWorkloadCell(cfg, c.workload, int64(c.frac*float64(sc.GPUMemoryBytes)), p)
-			if err != nil {
-				return nil, fmt.Errorf("stability %s seed %d: %w", c.name, seed, err)
-			}
-			times = append(times, ms(cell.res.TotalTime))
-			faults = append(faults, float64(cell.res.Faults))
+		// Every (cell, seed) run is an independent task writing into its
+		// own slot; the emit continuation aggregates once all slots are
+		// filled (emits run only after every task finished).
+		times := make([]float64, len(seeds))
+		faults := make([]float64, len(seeds))
+		for i, seed := range seeds {
+			q.add(fmt.Sprintf("val-seeds cell=%s seed=%d", c.name, seed), func() (func(), error) {
+				cfg := sc.sysConfig()
+				cfg.Seed = seed
+				cfg.PrefetchPolicy = c.prefetch
+				p := sc.params()
+				p.Seed = seed + 100
+				cell, err := runWorkloadCell(cfg, c.workload, int64(c.frac*float64(sc.GPUMemoryBytes)), p)
+				if err != nil {
+					return nil, fmt.Errorf("stability %s seed %d: %w", c.name, seed, err)
+				}
+				times[i] = ms(cell.res.TotalTime)
+				faults[i] = float64(cell.res.Faults)
+				return nil, nil
+			})
 		}
-		mt, rt := meanRSD(times)
-		mf, rf := meanRSD(faults)
-		t.AddRow(c.name, len(seeds), mt, rt*100, mf, rf*100)
+		q.add(fmt.Sprintf("val-seeds cell=%s aggregate", c.name), func() (func(), error) {
+			return func() {
+				mt, rt := meanRSD(times)
+				mf, rf := meanRSD(faults)
+				t.AddRow(c.name, len(seeds), mt, rt*100, mf, rf*100)
+			}, nil
+		})
+	}
+	if err := q.run(); err != nil {
+		return nil, err
 	}
 	return []*stats.Table{t}, nil
 }

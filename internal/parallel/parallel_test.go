@@ -1,0 +1,169 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJobsNormalization(t *testing.T) {
+	if Jobs(4) != 4 {
+		t.Errorf("Jobs(4) = %d", Jobs(4))
+	}
+	if Jobs(1) != 1 {
+		t.Errorf("Jobs(1) = %d", Jobs(1))
+	}
+	if got := Jobs(0); got != runtime.NumCPU() {
+		t.Errorf("Jobs(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Jobs(-3); got != runtime.NumCPU() {
+		t.Errorf("Jobs(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+// Results must land at their own index regardless of completion order.
+func TestMapIndexOrdered(t *testing.T) {
+	const n = 64
+	for _, jobs := range []int{1, 2, 7, 16} {
+		got, err := Map(jobs, n, func(i int) (int, error) {
+			if i%3 == 0 {
+				time.Sleep(time.Duration(i%5) * time.Millisecond)
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: result[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+// The returned error must be the lowest failing index's error — the same
+// one the serial loop returns — at every worker count.
+func TestMapDeterministicError(t *testing.T) {
+	const n = 40
+	fail := map[int]bool{11: true, 12: true, 29: true}
+	fn := func(i int) (int, error) {
+		if fail[i] {
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i, nil
+	}
+	want := "task 11 failed"
+	for _, jobs := range []int{1, 3, 8} {
+		_, err := Map(jobs, n, fn)
+		if err == nil || err.Error() != want {
+			t.Errorf("jobs=%d: err = %v, want %q", jobs, err, want)
+		}
+	}
+}
+
+// A panicking task must surface as *PanicError with its index and must
+// not deadlock the pool.
+func TestMapPanicCapture(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		done := make(chan error, 1)
+		go func() {
+			_, err := Map(jobs, 20, func(i int) (int, error) {
+				if i == 7 {
+					panic("boom at seven")
+				}
+				return i, nil
+			})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("jobs=%d: err = %v, want *PanicError", jobs, err)
+			}
+			if pe.Index != 7 {
+				t.Errorf("jobs=%d: panic index = %d, want 7", jobs, pe.Index)
+			}
+			if !strings.Contains(pe.Error(), "boom at seven") {
+				t.Errorf("jobs=%d: error misses panic value: %v", jobs, pe)
+			}
+			if len(pe.Stack) == 0 {
+				t.Errorf("jobs=%d: panic stack not captured", jobs)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("jobs=%d: pool deadlocked after worker panic", jobs)
+		}
+	}
+}
+
+// Concurrency must never exceed the requested worker count.
+func TestMapRespectsJobsBound(t *testing.T) {
+	const jobs, n = 3, 50
+	var cur, max atomic.Int64
+	_, err := Map(jobs, n, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > jobs {
+		t.Errorf("observed %d concurrent tasks, bound is %d", got, jobs)
+	}
+}
+
+// After a failure, no new tasks start; in-flight lower indices finish.
+func TestMapStopsDispatchAfterFailure(t *testing.T) {
+	const n = 1000
+	var ran atomic.Int64
+	_, err := Map(4, n, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 5 {
+			return 0, errors.New("early failure")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got == n {
+		t.Errorf("all %d tasks ran despite early failure; dispatch did not stop", n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	const n = 30
+	hits := make([]int32, n)
+	err := ForEach(4, n, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(8, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map over zero tasks: %v, %v", got, err)
+	}
+}

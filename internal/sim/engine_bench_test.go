@@ -1,0 +1,69 @@
+package sim
+
+import "testing"
+
+// The engine's push/dispatch loop is the simulator's hottest path: every
+// warp step, fault, migration, and replay is at least one event. These
+// microbenchmarks pin its cost per event so regressions (and wins) are
+// measured, not asserted. All report allocs/op; the slab-free heap path
+// should allocate nothing beyond the scheduled closure itself.
+
+// BenchmarkEngineFanOut schedules a batch of independent events and
+// drains them: the fault-storm shape (many events queued at once).
+func BenchmarkEngineFanOut(b *testing.B) {
+	const batch = 1024
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < batch; j++ {
+			e.At(Time(j%97), fn)
+		}
+		e.Run()
+	}
+	b.ReportMetric(float64(batch), "events/op")
+}
+
+// BenchmarkEngineChain runs one self-rescheduling event: the timer-chain
+// shape (queue stays tiny, push/pop alternate).
+func BenchmarkEngineChain(b *testing.B) {
+	const steps = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			if n++; n < steps {
+				e.After(1, tick)
+			}
+		}
+		e.After(1, tick)
+		e.Run()
+	}
+	b.ReportMetric(float64(steps), "events/op")
+}
+
+// BenchmarkEngineMixed interleaves scheduling and dispatch at a steady
+// queue depth, the steady-state shape of a running simulation.
+func BenchmarkEngineMixed(b *testing.B) {
+	const depth, steps = 256, 2048
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		n := 0
+		reschedule := func() {}
+		reschedule = func() {
+			if n++; n < steps {
+				e.After(Duration(1+n%13), reschedule)
+			}
+		}
+		for j := 0; j < depth; j++ {
+			e.At(Time(j), reschedule)
+		}
+		e.Run()
+	}
+}

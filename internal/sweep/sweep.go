@@ -1,0 +1,227 @@
+// Package sweep expands a generic parameter sweep — one workload crossed
+// with prefetch policy, replay policy, eviction policy, fault batch
+// size, VABlock granularity, and footprint fraction — into independent
+// simulation configurations and executes them across the worker pool.
+//
+// The package exists so sweeps behave like first-class experiments:
+// every flag combination is validated before any cell runs (a typo in
+// the last policy name fails in milliseconds, not after minutes of
+// simulation), cells fan out across parallel.Map with index-ordered
+// collection so the emitted table is byte-identical at every worker
+// count, and a crashing cell aborts the sweep with the offending
+// configuration and seed attached.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"uvmsim/internal/core"
+	"uvmsim/internal/driver"
+	"uvmsim/internal/parallel"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/workloads"
+)
+
+// Spec describes a sweep: the cross product of every list field, run on
+// the named workload at the given scale.
+type Spec struct {
+	// Workload names the workload generator every cell runs.
+	Workload string
+	// GPUMemoryBytes is the framebuffer size per cell.
+	GPUMemoryBytes int64
+	// Seed drives all randomness (workload params derive Seed+100, as
+	// the paper-reproduction experiments do).
+	Seed uint64
+	// Footprints are data sizes as fractions of GPU memory.
+	Footprints []float64
+	// Prefetch, Replay, and Evict are policy-name lists.
+	Prefetch []string
+	Replay   []string
+	Evict    []string
+	// Batch lists fault batch sizes; VABlock lists granularities in bytes.
+	Batch   []int
+	VABlock []int64
+	// Jobs bounds the worker pool: 1 is strictly serial, <= 0 NumCPU.
+	Jobs int
+}
+
+// Config is one fully-resolved sweep cell.
+type Config struct {
+	Footprint float64
+	Prefetch  string
+	Replay    driver.ReplayPolicy
+	Evict     string
+	Batch     int
+	VABlock   int64
+}
+
+// Label renders the cell as a replay recipe: every knob plus the seed,
+// enough to rerun exactly this configuration with -jobs 1.
+func (c Config) Label(s *Spec) string {
+	return fmt.Sprintf("workload=%s footprint=%g prefetch=%s replay=%s evict=%s batch=%d vablock=%dKiB seed=%d",
+		s.Workload, c.Footprint, c.Prefetch, c.Replay, c.Evict, c.Batch, c.VABlock>>10, s.Seed)
+}
+
+// Validate resolves every name and bound in the spec up front. Nothing
+// has run yet when it fails.
+func (s *Spec) Validate() error {
+	if _, err := workloads.Get(s.Workload); err != nil {
+		return err
+	}
+	if s.GPUMemoryBytes <= 0 {
+		return fmt.Errorf("sweep: GPU memory %d must be positive", s.GPUMemoryBytes)
+	}
+	if len(s.Footprints) == 0 || len(s.Prefetch) == 0 || len(s.Replay) == 0 ||
+		len(s.Evict) == 0 || len(s.Batch) == 0 || len(s.VABlock) == 0 {
+		return fmt.Errorf("sweep: empty dimension (footprints=%d prefetch=%d replay=%d evict=%d batch=%d vablock=%d)",
+			len(s.Footprints), len(s.Prefetch), len(s.Replay), len(s.Evict), len(s.Batch), len(s.VABlock))
+	}
+	for _, fp := range s.Footprints {
+		if fp <= 0 {
+			return fmt.Errorf("sweep: footprint %g must be positive", fp)
+		}
+	}
+	for _, rp := range s.Replay {
+		if _, err := driver.ParseReplayPolicy(rp); err != nil {
+			return err
+		}
+	}
+	cfg := core.DefaultConfig(s.GPUMemoryBytes)
+	for _, pf := range s.Prefetch {
+		probe := cfg
+		probe.PrefetchPolicy = pf
+		if err := core.ValidatePolicies(probe); err != nil {
+			return err
+		}
+	}
+	for _, ev := range s.Evict {
+		probe := cfg
+		probe.EvictPolicy = ev
+		if err := core.ValidatePolicies(probe); err != nil {
+			return err
+		}
+	}
+	for _, bs := range s.Batch {
+		if bs <= 0 {
+			return fmt.Errorf("sweep: batch size %d must be positive", bs)
+		}
+	}
+	for _, vb := range s.VABlock {
+		if vb <= 0 {
+			return fmt.Errorf("sweep: VABlock size %d must be positive", vb)
+		}
+	}
+	return nil
+}
+
+// Configs expands the cross product in deterministic declaration order:
+// footprint outermost, then prefetch, replay, evict, batch, VABlock —
+// the same nesting the serial CLI always printed.
+func (s *Spec) Configs() ([]Config, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Config, 0,
+		len(s.Footprints)*len(s.Prefetch)*len(s.Replay)*len(s.Evict)*len(s.Batch)*len(s.VABlock))
+	for _, fp := range s.Footprints {
+		for _, pf := range s.Prefetch {
+			for _, rp := range s.Replay {
+				pol, err := driver.ParseReplayPolicy(rp)
+				if err != nil {
+					return nil, err
+				}
+				for _, ev := range s.Evict {
+					for _, bs := range s.Batch {
+						for _, vb := range s.VABlock {
+							out = append(out, Config{
+								Footprint: fp, Prefetch: pf, Replay: pol,
+								Evict: ev, Batch: bs, VABlock: vb,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Headers returns the sweep table's column names.
+func Headers() []string {
+	return []string{
+		"footprint_pct", "prefetch", "replay", "evict", "batch", "vablock_kb",
+		"total_ms", "faults", "evictions", "h2d_mb", "d2h_mb", "stall_ms",
+	}
+}
+
+// runConfig executes one cell. It is a variable so tests can substitute
+// a crashing cell and assert the pool's panic containment.
+var runConfig = func(s *Spec, c Config) ([]interface{}, error) {
+	cfg := core.DefaultConfig(s.GPUMemoryBytes)
+	cfg.Seed = s.Seed
+	cfg.PrefetchPolicy = c.Prefetch
+	cfg.EvictPolicy = c.Evict
+	if strings.Contains(c.Evict, "access-aware") {
+		cfg.GPU.AccessCounters = true
+	}
+	cfg.Driver.Policy = c.Replay
+	cfg.Driver.BatchSize = c.Batch
+	cfg.VABlockSize = c.VABlock
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	builder, err := workloads.Get(s.Workload)
+	if err != nil {
+		return nil, err
+	}
+	p := workloads.DefaultParams()
+	p.Seed = s.Seed + 100
+	k, err := builder(sys, int64(c.Footprint*float64(s.GPUMemoryBytes)), p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.RunUVM(k)
+	if err != nil {
+		return nil, err
+	}
+	return []interface{}{
+		c.Footprint * 100, c.Prefetch, c.Replay.String(), c.Evict, c.Batch, c.VABlock >> 10,
+		float64(res.TotalTime.Micros()) / 1000, res.Faults, res.Evictions,
+		float64(res.BytesH2D) / (1 << 20), float64(res.BytesD2H) / (1 << 20),
+		float64(res.GPU.StallTime.Micros()) / 1000,
+	}, nil
+}
+
+// Run validates the spec, fans the cells out across Jobs workers, and
+// returns the result table with one row per configuration in cross
+// product order. The table is byte-identical at every Jobs value.
+func (s *Spec) Run() (*stats.Table, error) {
+	configs, err := s.Configs()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(fmt.Sprintf("sweep: %s on %d MiB GPU", s.Workload, s.GPUMemoryBytes>>20),
+		Headers()...)
+	rows, err := parallel.Map(s.Jobs, len(configs), func(i int) ([]interface{}, error) {
+		row, err := runConfig(s, configs[i])
+		if err != nil {
+			return nil, fmt.Errorf("sweep cell %s: %w", configs[i].Label(s), err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		var pe *parallel.PanicError
+		if errors.As(err, &pe) && pe.Index < len(configs) {
+			return nil, fmt.Errorf("sweep cell %s crashed (rerun with -jobs 1 to reproduce): %w",
+				configs[pe.Index].Label(s), err)
+		}
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"uvmsim/internal/parallel"
+)
+
+// smallSpec is a 2 footprints × 3 prefetch policies sweep (6 cells) at a
+// tiny scale, the shape the ISSUE's determinism criterion names.
+func smallSpec() *Spec {
+	return &Spec{
+		Workload:       "regular",
+		GPUMemoryBytes: 16 << 20,
+		Seed:           1,
+		Footprints:     []float64{0.5, 1.25},
+		Prefetch:       []string{"none", "density", "adaptive"},
+		Replay:         []string{"batchflush"},
+		Evict:          []string{"lru"},
+		Batch:          []int{256},
+		VABlock:        []int64{2 << 20},
+		Jobs:           1,
+	}
+}
+
+// The sweep table must be byte-identical between -jobs 1 and any
+// parallel worker count.
+func TestSweepDeterministicAcrossJobs(t *testing.T) {
+	s := smallSpec()
+	tb, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial bytes.Buffer
+	if err := tb.WriteCSV(&serial); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tb.Rows); got != 6 {
+		t.Fatalf("2x3 sweep produced %d rows, want 6", got)
+	}
+	for _, jobs := range []int{3, 6} {
+		s := smallSpec()
+		s.Jobs = jobs
+		tb, err := s.Run()
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var par bytes.Buffer
+		if err := tb.WriteCSV(&par); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+			t.Errorf("jobs=%d output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				jobs, serial.String(), par.String())
+		}
+	}
+}
+
+// A bad name anywhere in the cross product must fail validation before
+// any cell has run — including names that the old CLI only rejected
+// mid-sweep, after earlier configurations had already executed.
+func TestSweepFailsFastOnBadNames(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"workload", func(s *Spec) { s.Workload = "nosuch" }},
+		{"replay", func(s *Spec) { s.Replay = []string{"batchflush", "bogus"} }},
+		{"prefetch", func(s *Spec) { s.Prefetch = []string{"density", "bogus"} }},
+		{"evict", func(s *Spec) { s.Evict = []string{"lru", "bogus"} }},
+		{"evict+thrash", func(s *Spec) { s.Evict = []string{"bogus+thrash"} }},
+		{"footprint", func(s *Spec) { s.Footprints = []float64{0.5, -1} }},
+		{"batch", func(s *Spec) { s.Batch = []int{0} }},
+		{"vablock", func(s *Spec) { s.VABlock = []int64{-4096} }},
+		{"empty", func(s *Spec) { s.Prefetch = nil }},
+	}
+	for _, tc := range cases {
+		ran := false
+		old := runConfig
+		runConfig = func(s *Spec, c Config) ([]interface{}, error) {
+			ran = true
+			return old(s, c)
+		}
+		s := smallSpec()
+		tc.mutate(s)
+		_, err := s.Run()
+		runConfig = old
+		if err == nil {
+			t.Errorf("%s: bad spec passed validation", tc.name)
+		}
+		if ran {
+			t.Errorf("%s: cells ran before validation failed", tc.name)
+		}
+	}
+}
+
+// A cell whose run panics must fail the whole sweep with the offending
+// configuration and seed in the error, and must not deadlock the pool.
+func TestSweepWorkerPanicFailsWithReplayRecipe(t *testing.T) {
+	old := runConfig
+	defer func() { runConfig = old }()
+	runConfig = func(s *Spec, c Config) ([]interface{}, error) {
+		if c.Footprint == 1.25 && c.Prefetch == "density" {
+			panic("simulated invariant violation")
+		}
+		return []interface{}{c.Footprint}, nil
+	}
+	for _, jobs := range []int{1, 4} {
+		s := smallSpec()
+		s.Jobs = jobs
+		done := make(chan error, 1)
+		go func() {
+			_, err := s.Run()
+			done <- err
+		}()
+		var err error
+		select {
+		case err = <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("jobs=%d: sweep deadlocked after worker panic", jobs)
+		}
+		if err == nil {
+			t.Fatalf("jobs=%d: panicking cell did not fail the sweep", jobs)
+		}
+		var pe *parallel.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("jobs=%d: error does not wrap *parallel.PanicError: %v", jobs, err)
+		}
+		for _, want := range []string{"footprint=1.25", "prefetch=density", "seed=1", "-jobs 1", "simulated invariant violation"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("jobs=%d: error misses %q:\n%v", jobs, want, err)
+			}
+		}
+	}
+}
+
+// Cross-product expansion must keep the serial CLI's nesting order.
+func TestSweepConfigOrder(t *testing.T) {
+	s := smallSpec()
+	configs, err := s.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) != 6 {
+		t.Fatalf("got %d configs, want 6", len(configs))
+	}
+	wantFoot := []float64{0.5, 0.5, 0.5, 1.25, 1.25, 1.25}
+	wantPf := []string{"none", "density", "adaptive", "none", "density", "adaptive"}
+	for i, c := range configs {
+		if c.Footprint != wantFoot[i] || c.Prefetch != wantPf[i] {
+			t.Errorf("config[%d] = {%g %s}, want {%g %s}",
+				i, c.Footprint, c.Prefetch, wantFoot[i], wantPf[i])
+		}
+	}
+}
