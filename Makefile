@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench chaos clean
+.PHONY: check build vet test race bench allocguard chaos clean
 
-# The full verification gate: compile everything, vet, and run the test
-# suite under the race detector.
-check: build vet race
+# The full verification gate: compile everything, vet, run the test
+# suite under the race detector, and hold the observability layer to its
+# zero-overhead-when-disabled contract.
+check: build vet race allocguard
 
 build:
 	$(GO) build ./...
@@ -23,6 +24,12 @@ race:
 # recorded against EXPERIMENTS.md's "Simulator performance" baselines.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Alloc-guard smoke: the nil-sink tracer/lifecycle fast path must stay
+# allocation-free, and the instrumented end-to-end benchmark must run.
+allocguard:
+	$(GO) test ./internal/obs -run TestNilTracerAllocFree -count=1
+	$(GO) test ./internal/core -bench BenchmarkDriverService -benchtime 2x -benchmem -run=^$$
 
 # Seeded fault-injection campaign across workloads and replay policies;
 # exits non-zero if any cell fails to converge.

@@ -6,6 +6,7 @@
 //	uvmbench -list
 //	uvmbench -exp fig3
 //	uvmbench -exp all -gpu-mem 96 -csv -out results/
+//	uvmbench -exp fig1 -trace fig1.trace.json -metrics fig1.metrics.csv
 package main
 
 import (
@@ -19,20 +20,30 @@ import (
 	"time"
 
 	"uvmsim/internal/exp"
+	"uvmsim/internal/obs"
+	"uvmsim/internal/prof"
 	"uvmsim/internal/stats"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		expID   = flag.String("exp", "", "experiment id to run, or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		gpuMB   = flag.Int64("gpu-mem", 96, "scaled GPU framebuffer size in MiB (paper: 12288)")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		jobs    = flag.Int("jobs", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial); output is identical at every value")
-		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonOut = flag.Bool("json", false, "emit JSON instead of aligned text")
-		outDir  = flag.String("out", "", "write one file per table into this directory instead of stdout")
+		expID      = flag.String("exp", "", "experiment id to run, or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		gpuMB      = flag.Int64("gpu-mem", 96, "scaled GPU framebuffer size in MiB (paper: 12288)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		jobs       = flag.Int("jobs", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial); output is identical at every value")
+		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut    = flag.Bool("json", false, "emit JSON instead of aligned text")
+		outDir     = flag.String("out", "", "write one file per table into this directory instead of stdout")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of every cell to this file (load in Perfetto)")
+		metricsOut = flag.String("metrics", "", "write every cell's metrics registry as CSV to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the host process to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile of the host process to this file on exit")
 	)
 	flag.Parse()
 
@@ -40,13 +51,24 @@ func main() {
 		for _, id := range exp.ExperimentIDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "uvmbench: -exp <id> required (use -list to enumerate)")
-		os.Exit(2)
+		return 2
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uvmbench:", err)
+		return 1
+	}
+	defer stopProf()
+
 	sc := exp.Scale{GPUMemoryBytes: *gpuMB << 20, Seed: *seed, Quick: *quick, Jobs: *jobs}
+	if *traceOut != "" || *metricsOut != "" {
+		sc.Obs = obs.NewCollector()
+		sc.Lifecycle = true
+	}
 
 	ids := []string{*expID}
 	if *expID == "all" {
@@ -57,16 +79,55 @@ func main() {
 		tables, err := exp.Run(id, sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "uvmbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		for i, tb := range tables {
 			if err := emit(tb, id, i, *csvOut, *jsonOut, *outDir); err != nil {
 				fmt.Fprintf(os.Stderr, "uvmbench: %s: %v\n", id, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Fprintf(os.Stderr, "# %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if sc.Obs != nil {
+		if err := exportObs(sc.Obs, *traceOut, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "uvmbench:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// exportObs writes the collected spans and metrics to their destination
+// files (empty path = skip).
+func exportObs(c *obs.Collector, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		if err := writeFile(tracePath, c.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s (%d cells)\n", tracePath, len(c.Cells()))
+	}
+	if metricsPath != "" {
+		if err := writeFile(metricsPath, c.WriteMetricsCSV); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", metricsPath)
+	}
+	return nil
+}
+
+// writeFile creates path, streams write into it, and propagates Close
+// errors so a full disk is reported rather than silently truncating.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func emit(tb *stats.Table, id string, idx int, csv, asJSON bool, outDir string) error {
@@ -104,12 +165,7 @@ func emit(tb *stats.Table, id string, idx int, csv, asJSON bool, outDir string) 
 		name = fmt.Sprintf("%s_%d", id, idx)
 	}
 	path := filepath.Join(outDir, name+"."+ext)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := write(f); err != nil {
+	if err := writeFile(path, write); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "# wrote %s (%s)\n", path, strings.TrimSpace(tb.Title))

@@ -23,10 +23,15 @@ import (
 	"uvmsim/internal/chaos"
 	"uvmsim/internal/driver"
 	"uvmsim/internal/inject"
+	"uvmsim/internal/prof"
 	"uvmsim/internal/sim"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		gpuMB      = flag.Int64("gpu-mem", 32, "GPU framebuffer in MiB")
 		footprint  = flag.Float64("footprint", 0.75, "data footprint as a fraction of GPU memory")
@@ -42,8 +47,16 @@ func main() {
 		evictStall = flag.Float64("evict-stall", 0.1, "eviction stall probability")
 		jobs       = flag.Int("jobs", 0, "worker goroutines fanning cells out (0 = all CPUs, 1 = serial)")
 		verbose    = flag.Bool("v", false, "print per-run detail columns")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the host process to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile of the host process to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return fail(err)
+	}
+	defer stopProf()
 
 	camp := chaos.Campaign{
 		GPUMemoryBytes: *gpuMB << 20,
@@ -66,21 +79,21 @@ func main() {
 	for _, s := range splitList(*policiesF) {
 		p, err := driver.ParseReplayPolicy(s)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		camp.Policies = append(camp.Policies, p)
 	}
 	for _, s := range splitList(*seedsF) {
 		seed, err := strconv.ParseUint(s, 10, 64)
 		if err != nil {
-			fatal(fmt.Errorf("bad seed %q: %w", s, err))
+			return fail(fmt.Errorf("bad seed %q: %w", s, err))
 		}
 		camp.Seeds = append(camp.Seeds, seed)
 	}
 
 	cells, err := chaos.Run(camp)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	fmt.Printf("%-10s %-10s %-5s %8s %9s %9s %7s %7s %7s %7s %6s  %s\n",
@@ -119,8 +132,9 @@ func main() {
 	fmt.Printf("\n%d/%d cells converged (identical serviced page totals, zero invariant violations)\n",
 		len(cells)-failed, len(cells))
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func splitList(s string) []string {
@@ -133,7 +147,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "uvmchaos:", err)
-	os.Exit(1)
+	return 1
 }

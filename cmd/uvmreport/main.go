@@ -67,12 +67,19 @@ func main() {
 	fmt.Printf("total=%v  driver breakdown: %s\n\n", res.TotalTime, res.Breakdown.String())
 
 	if *counters {
-		// Driver event counters, including the fault-buffer health
-		// accounting (faultbuf_drops / faultbuf_flushed): overflow that a
-		// report would otherwise silently absorb.
-		fmt.Println("driver counters:")
-		for _, c := range res.Counters.Sorted() {
-			fmt.Printf("  %-26s %d\n", c.Name, c.Value)
+		// The driver's metrics registry in name order: event counters
+		// (including the fault-buffer health accounting — overflow a report
+		// would otherwise silently absorb), gauges, and the batch-shape
+		// histograms with their percentiles.
+		fmt.Println("driver metrics:")
+		for _, s := range sys.Metrics().Samples() {
+			if s.Hist != nil {
+				fmt.Printf("  %-26s n=%-8d mean=%-10v p50=%-10v p99=%-10v max=%v\n",
+					s.Name, s.Hist.Count(), s.Hist.Mean(),
+					s.Hist.Quantile(0.5), s.Hist.Quantile(0.99), s.Hist.Max())
+				continue
+			}
+			fmt.Printf("  %-26s %d\n", s.Name, s.Value)
 		}
 		fmt.Println()
 	}

@@ -19,14 +19,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"uvmsim/internal/obs"
+	"uvmsim/internal/prof"
 	"uvmsim/internal/sweep"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		workload   = flag.String("workload", "regular", "workload name")
 		gpuMB      = flag.Int64("gpu-mem", 96, "GPU framebuffer in MiB")
@@ -39,20 +46,30 @@ func main() {
 		vablock    = flag.String("vablock", "2048", "comma-separated VABlock sizes in KiB")
 		jobs       = flag.Int("jobs", 0, "worker goroutines fanning configs out (0 = all CPUs, 1 = serial)")
 		csvOut     = flag.Bool("csv", false, "emit CSV")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON with one process per sweep cell (load in Perfetto)")
+		metricsOut = flag.String("metrics", "", "write every cell's metrics registry as CSV to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the host process to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile of the host process to this file on exit")
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return fail(err)
+	}
+	defer stopProf()
+
 	fps, err := parseFloats(*footprints)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	batches, err := parseInts(*batch)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	vablocks, err := parseInts(*vablock)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	vbBytes := make([]int64, len(vablocks))
 	for i, vb := range vablocks {
@@ -71,13 +88,17 @@ func main() {
 		VABlock:        vbBytes,
 		Jobs:           *jobs,
 	}
+	if *traceOut != "" || *metricsOut != "" {
+		s.Obs = obs.NewCollector()
+		s.Lifecycle = true
+	}
 	// Fail fast: reject any bad name or bound before a single cell runs.
 	if err := s.Validate(); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	t, err := s.Run()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *csvOut {
 		err = t.WriteCSV(os.Stdout)
@@ -85,8 +106,37 @@ func main() {
 		err = t.WriteText(os.Stdout)
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
+	if s.Obs != nil {
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, s.Obs.WriteChromeTrace); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "# wrote %s (%d cells)\n", *traceOut, len(s.Obs.Cells()))
+		}
+		if *metricsOut != "" {
+			if err := writeFile(*metricsOut, s.Obs.WriteMetricsCSV); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "# wrote %s\n", *metricsOut)
+		}
+	}
+	return 0
+}
+
+// writeFile creates path, streams write into it, and propagates Close
+// errors so a full disk is reported rather than silently truncating.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func splitList(s string) []string {
@@ -123,7 +173,7 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "uvmsweep:", err)
-	os.Exit(1)
+	return 1
 }

@@ -14,6 +14,7 @@ import (
 	"uvmsim/internal/gpusim"
 	"uvmsim/internal/inject"
 	"uvmsim/internal/mem"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/pma"
 	"uvmsim/internal/prefetch"
 	"uvmsim/internal/sim"
@@ -51,6 +52,10 @@ type Config struct {
 	// events; 0 selects inject.DefaultStride. The checker itself is
 	// always on.
 	InvariantStride int
+	// Obs selects deep runtime instrumentation (span tracing into a
+	// collector cell, fault-lifecycle tracking). The zero value disables
+	// it all; the hot path then takes only nil checks.
+	Obs obs.Options
 
 	GPU    gpusim.Config
 	Driver driver.Config
@@ -93,6 +98,7 @@ type System struct {
 	evictor evict.Policy
 	inj     *inject.Injector // nil when injection is disabled
 	inv     *inject.Invariants
+	cell    *obs.Cell // nil when span tracing is disabled
 }
 
 // NewSystem validates cfg and assembles the system.
@@ -165,9 +171,24 @@ func NewSystem(cfg Config) (*System, error) {
 	if inj != nil {
 		deps.Inject = inj
 	}
+	var cell *obs.Cell
+	if cfg.Obs.Collector != nil {
+		cell = cfg.Obs.Collector.NewCell(cfg.Obs.Label)
+		tr := obs.NewTracer(cell.Sink)
+		deps.Obs = tr
+		gpu.SetTracer(tr)
+		link.SetTracer(tr)
+	}
+	if cfg.Obs.Lifecycle {
+		deps.Life = obs.NewLifecycle()
+		gpu.FaultBuffer().SetLifecycle(deps.Life)
+	}
 	drv, err := driver.New(cfg.Driver, deps)
 	if err != nil {
 		return nil, err
+	}
+	if cell != nil {
+		cell.Bind(drv.Metrics(), deps.Life)
 	}
 	gpu.SetHandler(drv)
 	gpu.SetRemoteLink(link)
@@ -176,7 +197,7 @@ func NewSystem(cfg Config) (*System, error) {
 	return &System{
 		cfg: cfg, eng: eng, rng: rng, space: space,
 		gpu: gpu, drv: drv, pm: pm, link: link, rec: rec, pf: pf, evictor: ev,
-		inj: inj, inv: inv,
+		inj: inj, inv: inv, cell: cell,
 	}, nil
 }
 
@@ -233,6 +254,16 @@ func (s *System) GPU() *gpusim.GPU { return s.gpu }
 
 // Injector exposes the fault-injection layer (nil when disabled).
 func (s *System) Injector() *inject.Injector { return s.inj }
+
+// ObsCell exposes this system's observability capture (nil when span
+// tracing is disabled).
+func (s *System) ObsCell() *obs.Cell { return s.cell }
+
+// Lifecycle exposes the fault-lifecycle collector (nil when disabled).
+func (s *System) Lifecycle() *obs.Lifecycle { return s.drv.Lifecycle() }
+
+// Metrics exposes the driver's typed metrics registry.
+func (s *System) Metrics() *obs.Registry { return s.drv.Metrics() }
 
 // Invariants exposes the always-on runtime invariant checker.
 func (s *System) Invariants() *inject.Invariants { return s.inv }
@@ -342,6 +373,9 @@ func (s *System) RunUVM(k *gpusim.Kernel) (*RunResult, error) {
 			k.Name, s.gpu.BlockedWarps(), s.gpu.FaultBuffer().Len(), s.drv.Idle())
 	}
 	if err := s.inv.Final(); err != nil {
+		return nil, fmt.Errorf("core: kernel %q: %w", k.Name, err)
+	}
+	if err := s.drv.Lifecycle().CheckConservation(); err != nil {
 		return nil, fmt.Errorf("core: kernel %q: %w", k.Name, err)
 	}
 	elapsed := doneAt.Sub(start) + s.cfg.KernelLaunch

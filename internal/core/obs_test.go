@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+
+	"uvmsim/internal/driver"
+	"uvmsim/internal/inject"
+	"uvmsim/internal/obs"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/workloads"
+)
+
+// obsSys builds a system with a fresh collector cell and lifecycle
+// tracking enabled.
+func obsSys(t *testing.T, gpuMem int64, mut ...func(*Config)) (*System, *obs.Collector) {
+	t.Helper()
+	col := obs.NewCollector()
+	withObs := func(c *Config) {
+		c.Obs = obs.Options{Collector: col, Label: "test", Lifecycle: true}
+	}
+	s := newSys(t, gpuMem, append(mut, withObs)...)
+	return s, col
+}
+
+func runWorkload(t *testing.T, s *System, name string, bytes int64) *RunResult {
+	t.Helper()
+	builder, err := workloads.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := builder(s, bytes, workloads.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunUVM(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestObsSpanBreakdownReconciliation is the tentpole invariant: summing
+// span durations grouped by PhaseOf must equal the run's stats.Breakdown
+// exactly — the driver books both from the same charge points.
+func TestObsSpanBreakdownReconciliation(t *testing.T) {
+	cases := []struct {
+		name     string
+		workload string
+		frac     float64 // of GPU memory
+		mut      []func(*Config)
+	}{
+		{"regular-nopf", "regular", 0.5, []func(*Config){noPrefetch}},
+		{"random-prefetch", "random", 0.5, nil},
+		{"random-oversub", "random", 1.25, nil}, // exercises evict spans
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gpuMem := int64(48 << 20)
+			s, _ := obsSys(t, gpuMem, tc.mut...)
+			res := runWorkload(t, s, tc.workload, int64(tc.frac*float64(gpuMem)))
+			spans := s.ObsCell().Sink.Spans()
+			if len(spans) == 0 {
+				t.Fatal("no spans recorded")
+			}
+			got := obs.PhaseTotals(spans)
+			for _, p := range stats.Phases() {
+				if got.Get(p) != res.Breakdown.Get(p) {
+					t.Errorf("phase %v: spans total %v, breakdown %v", p, got.Get(p), res.Breakdown.Get(p))
+				}
+			}
+		})
+	}
+}
+
+// TestObsBatchEnvelope checks that every driver-phase span carries the
+// batch it ran in and that batch envelope spans cover their sub-spans.
+func TestObsBatchEnvelope(t *testing.T) {
+	s, _ := obsSys(t, 48<<20, noPrefetch)
+	runWorkload(t, s, "regular", 8<<20)
+	var batches, fetches int
+	for _, sp := range s.ObsCell().Sink.Spans() {
+		switch sp.Kind {
+		case obs.SpanBatch:
+			batches++
+			if sp.Arg <= 0 {
+				t.Errorf("batch span %d with fault count %d", sp.Batch, sp.Arg)
+			}
+		case obs.SpanFetch:
+			fetches++
+			if sp.Batch == 0 {
+				t.Error("fetch span outside any batch")
+			}
+		}
+	}
+	if batches == 0 || fetches == 0 {
+		t.Fatalf("batches=%d fetches=%d, want both > 0", batches, fetches)
+	}
+	if got := s.Metrics().Histogram("batch_ns").Hist().Count(); got != uint64(batches) {
+		t.Errorf("batch_ns count = %d, span batches = %d", got, batches)
+	}
+}
+
+// TestObsLifecycleConservation asserts the fault-conservation equation
+// (born = replayed + stale + flushed) at end of run for every replay
+// policy, with and without fault-injection perturbations.
+func TestObsLifecycleConservation(t *testing.T) {
+	policies := []driver.ReplayPolicy{
+		driver.ReplayBlock, driver.ReplayBatch, driver.ReplayBatchFlush, driver.ReplayOnce,
+	}
+	for _, injected := range []bool{false, true} {
+		for _, pol := range policies {
+			name := pol.String()
+			if injected {
+				name += "-injected"
+			}
+			t.Run(name, func(t *testing.T) {
+				gpuMem := int64(32 << 20)
+				mut := []func(*Config){noPrefetch, func(c *Config) {
+					c.Driver.Policy = pol
+					if injected {
+						c.Inject = inject.DefaultConfig(7)
+					}
+				}}
+				s, _ := obsSys(t, gpuMem, mut...)
+				runWorkload(t, s, "random", gpuMem/2)
+				life := s.Lifecycle()
+				if err := life.Final(); err != nil {
+					t.Fatal(err)
+				}
+				born, fetched, _, replayed, stale, flushed := life.Counts()
+				if born == 0 {
+					t.Fatal("no faults tracked")
+				}
+				if born != replayed+stale+flushed {
+					t.Errorf("conservation: born=%d != replayed=%d + stale=%d + flushed=%d",
+						born, replayed, stale, flushed)
+				}
+				if fetched != replayed+stale {
+					t.Errorf("fetched=%d != replayed=%d + stale=%d", fetched, replayed, stale)
+				}
+				if life.BirthToReplay().Count() != replayed {
+					t.Errorf("birth_to_replay n=%d, replayed=%d", life.BirthToReplay().Count(), replayed)
+				}
+			})
+		}
+	}
+}
+
+// TestObsDisabledByDefault: a default system must not assemble any
+// instrumentation.
+func TestObsDisabledByDefault(t *testing.T) {
+	s := newSys(t, 32<<20, noPrefetch)
+	if s.ObsCell() != nil {
+		t.Error("cell created without a collector")
+	}
+	if s.Lifecycle().Enabled() {
+		t.Error("lifecycle enabled without opt-in")
+	}
+	runWorkload(t, s, "regular", 4<<20)
+	if got := s.Metrics().Counter("faults_fetched").Get(); got == 0 {
+		t.Error("metrics registry should still count with tracing off")
+	}
+}
+
+// TestObsMetricsMatchLegacyCounters: the registry-backed CounterSet must
+// agree with the run-result counter deltas for a fresh system.
+func TestObsMetricsMatchLegacyCounters(t *testing.T) {
+	s := newSys(t, 32<<20, noPrefetch)
+	res := runWorkload(t, s, "regular", 4<<20)
+	byName := map[string]uint64{}
+	for _, sample := range s.Metrics().Samples() {
+		byName[sample.Name] = sample.Value
+	}
+	for _, c := range res.Counters.Sorted() {
+		if got, ok := byName[c.Name]; !ok || got != c.Value {
+			t.Errorf("metric %s: registry=%d (present=%v) delta=%d", c.Name, got, ok, c.Value)
+		}
+	}
+}
+
+// BenchmarkDriverService measures a small end-to-end UVM run with
+// instrumentation off and fully on. The "off" variant is the alloc
+// guard: tracing must add no allocations when disabled, so off/on
+// allocs/op quantify the observability layer's total overhead.
+func BenchmarkDriverService(b *testing.B) {
+	run := func(b *testing.B, o obs.Options) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := DefaultConfig(32 << 20)
+			cfg.PrefetchPolicy = "none"
+			cfg.Obs = o
+			s, err := NewSystem(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k, err := workloads.PageTouchRegular(s, 2<<20, workloads.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.RunUVM(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("obs-off", func(b *testing.B) { run(b, obs.Options{}) })
+	b.Run("obs-on", func(b *testing.B) {
+		run(b, obs.Options{Collector: obs.NewCollector(), Label: "bench", Lifecycle: true})
+	})
+}

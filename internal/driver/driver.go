@@ -7,6 +7,7 @@ import (
 	"uvmsim/internal/evict"
 	"uvmsim/internal/faultbuf"
 	"uvmsim/internal/mem"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/pma"
 	"uvmsim/internal/prefetch"
 	"uvmsim/internal/sim"
@@ -47,9 +48,18 @@ type Driver struct {
 	replayer Replayer
 
 	breakdown stats.Breakdown
-	counters  *stats.CounterSet
+	m         metrics
 	rec       *trace.Recorder // optional; nil-safe
 	inj       FaultInjector   // optional; nil-safe
+	tr        *obs.Tracer     // optional span tracing; nil-safe
+	life      *obs.Lifecycle  // optional per-fault tracking; nil-safe
+
+	// Batch envelope state for span tracing: one SpanBatch covers first
+	// entry fetched to the moment the next fetch (or pass end) begins.
+	batchSeq    uint64
+	batchStart  sim.Time
+	batchFaults int
+	batchOpen   bool
 
 	idle bool
 	// servicedSinceReplay supports the Once policy: replay fires only
@@ -74,6 +84,8 @@ type Deps struct {
 	Replayer Replayer
 	Trace    *trace.Recorder // optional
 	Inject   FaultInjector   // optional
+	Obs      *obs.Tracer     // optional span tracing
+	Life     *obs.Lifecycle  // optional fault-lifecycle tracking
 }
 
 // New validates and assembles a driver.
@@ -95,9 +107,11 @@ func New(cfg Config, d Deps) (*Driver, error) {
 		policy:   d.Evict,
 		pf:       d.Prefetch,
 		replayer: d.Replayer,
-		counters: stats.NewCounterSet(),
+		m:        newMetrics(),
 		rec:      d.Trace,
 		inj:      d.Inject,
+		tr:       d.Obs,
+		life:     d.Life,
 		idle:     true,
 	}, nil
 }
@@ -105,8 +119,8 @@ func New(cfg Config, d Deps) (*Driver, error) {
 // Breakdown returns the accumulated per-phase time.
 func (d *Driver) Breakdown() *stats.Breakdown { return &d.breakdown }
 
-// Counters returns the driver's event counters.
-func (d *Driver) Counters() *stats.CounterSet { return d.counters }
+// Lifecycle returns the fault-lifecycle collector (nil when disabled).
+func (d *Driver) Lifecycle() *obs.Lifecycle { return d.life }
 
 // Idle reports whether a fault-handling pass is in flight.
 func (d *Driver) Idle() bool { return d.idle }
@@ -118,13 +132,45 @@ func (d *Driver) OnFault() {
 		return
 	}
 	d.idle = false
-	d.counters.Inc("passes", 1)
+	d.m.passes.Inc(1)
 	d.eng.After(d.cfg.InterruptLatency, d.fetchBatch)
 }
 
-// charge books simulated time into a phase.
-func (d *Driver) charge(p stats.Phase, dur sim.Duration) {
-	d.breakdown.Add(p, dur)
+// chargeSpan books simulated time into the span kind's breakdown phase
+// and emits exactly one span covering the charged interval [now, now+dur].
+// Being the single booking point is what makes span totals grouped by
+// obs.PhaseOf reconcile exactly with the Breakdown: they are two views of
+// the same charge.
+func (d *Driver) chargeSpan(k obs.Kind, dur sim.Duration, arg int64) {
+	if p, ok := obs.PhaseOf(k); ok {
+		d.breakdown.Add(p, dur)
+	}
+	if d.tr.Enabled() {
+		now := d.eng.Now()
+		d.tr.Emit(k, now, now.Add(dur), d.batchSeq, arg)
+	}
+}
+
+// beginBatch opens the batch envelope when a batch commits.
+func (d *Driver) beginBatch(faults int) {
+	d.batchSeq++
+	d.batchStart = d.eng.Now()
+	d.batchFaults = faults
+	d.batchOpen = true
+	d.m.batchFaults.Observe(sim.Duration(faults))
+}
+
+// closeBatch closes the envelope for the batch whose pipeline just
+// finished (called as the next fetch begins, or at pass end): it feeds
+// the per-batch latency histogram and emits the SpanBatch envelope.
+func (d *Driver) closeBatch() {
+	if !d.batchOpen {
+		return
+	}
+	d.batchOpen = false
+	now := d.eng.Now()
+	d.m.batchNs.Observe(now.Sub(d.batchStart))
+	d.tr.Emit(obs.SpanBatch, d.batchStart, now, d.batchSeq, int64(d.batchFaults))
 }
 
 // dma schedules a transfer, retrying transient failures with bounded
@@ -141,13 +187,13 @@ func (d *Driver) dma(dir xfer.Direction, bytes int64) sim.Time {
 		if ok {
 			return end
 		}
-		d.counters.Inc("dma_failures", 1)
+		d.m.dmaFailures.Inc(1)
 		if attempt >= d.cfg.DMAMaxRetries {
-			d.counters.Inc("dma_giveups", 1)
+			d.m.dmaGiveups.Inc(1)
 			return d.link.Enqueue(dir, bytes, nil)
 		}
-		d.counters.Inc("dma_retries", 1)
-		d.counters.Inc("dma_backoff_ns", uint64(backoff))
+		d.m.dmaRetries.Inc(1)
+		d.m.dmaBackoffNs.Inc(uint64(backoff))
 		notBefore = end.Add(backoff)
 		backoff *= 2
 		if backoff > d.cfg.DMABackoffMax {
@@ -157,20 +203,30 @@ func (d *Driver) dma(dir xfer.Direction, bytes int64) sim.Time {
 }
 
 // fetchBatch reads the next batch of ready fault entries, or ends the
-// pass when the buffer has drained.
-func (d *Driver) fetchBatch() { d.fetchMore(nil) }
+// pass when the buffer has drained. The previous batch's envelope closes
+// here: its pipeline has fully retired once the next fetch begins.
+func (d *Driver) fetchBatch() {
+	d.closeBatch()
+	d.fetchMore(nil)
+}
 
 // fetchMore accumulates ready entries into the current batch, applying
 // the configured fetch mode when a not-ready entry blocks the head.
 func (d *Driver) fetchMore(acc []faultbuf.Entry) {
-	entries := d.buf.FetchReady(d.cfg.BatchSize-len(acc), d.eng.Now())
+	now := d.eng.Now()
+	entries := d.buf.FetchReady(d.cfg.BatchSize-len(acc), now)
+	if d.life.Enabled() {
+		for _, e := range entries {
+			d.life.Fetched(e.Seq, now)
+		}
+	}
 	acc = append(acc, entries...)
 	headBlocked := d.buf.Len() > 0 && len(acc) < d.cfg.BatchSize
 	if headBlocked && (len(acc) == 0 || d.cfg.Fetch == FetchFillBatch) {
 		// Nothing usable yet, or fill-batch mode wants a full batch:
 		// poll the not-ready head.
-		d.counters.Inc("polls", 1)
-		d.charge(stats.PhasePreprocess, d.cfg.PollInterval)
+		d.m.polls.Inc(1)
+		d.chargeSpan(obs.SpanPoll, d.cfg.PollInterval, 0)
 		acc := acc
 		d.eng.After(d.cfg.PollInterval, func() { d.fetchMore(acc) })
 		return
@@ -179,11 +235,12 @@ func (d *Driver) fetchMore(acc []faultbuf.Entry) {
 		d.endPass()
 		return
 	}
-	d.counters.Inc("batches", 1)
-	d.counters.Inc("faults_fetched", uint64(len(acc)))
+	d.m.batches.Inc(1)
+	d.m.faultsFetched.Inc(uint64(len(acc)))
+	d.beginBatch(len(acc))
 	cost := d.cfg.FetchFixed +
 		sim.Duration(len(acc))*(d.cfg.FetchPerFault+d.cfg.BookkeepPerFault)
-	d.charge(stats.PhasePreprocess, cost)
+	d.chargeSpan(obs.SpanFetch, cost, int64(len(acc)))
 	d.eng.After(cost, func() { d.preprocess(acc) })
 }
 
@@ -193,6 +250,7 @@ type bin struct {
 	demanded *mem.Bitmap // in-block page indexes demanded in this batch
 	writes   *mem.Bitmap // demanded pages with write access
 	sms      map[int]int // page index -> originating SM (origin-info extension)
+	seqs     []uint64    // member fault sequence numbers (lifecycle tracking only)
 }
 
 // preprocess sorts and bins the batch by VABlock, deduplicating repeated
@@ -225,8 +283,13 @@ func (d *Driver) preprocess(entries []faultbuf.Entry) {
 		if b.sms != nil {
 			b.sms[idx] = e.SM
 		}
+		if d.life.Enabled() {
+			// Deduplicated entries stay bin members: their lifecycle ends
+			// with the bin's service and replay like any other.
+			b.seqs = append(b.seqs, e.Seq)
+		}
 	}
-	d.counters.Inc("faults_deduped", dups)
+	d.m.faultsDeduped.Inc(dups)
 	ordered := make([]*bin, 0, len(bins))
 	for _, b := range bins {
 		ordered = append(ordered, b)
@@ -240,14 +303,14 @@ func (d *Driver) preprocess(entries []faultbuf.Entry) {
 	// batch. At real scale (capacity >> bins per batch) this changes
 	// nothing.
 	if n := len(ordered); n > 1 {
-		rot := int(d.counters.Get("batches")) % n
+		rot := int(d.m.batches.Get()) % n
 		rotated := make([]*bin, 0, n)
 		rotated = append(rotated, ordered[rot:]...)
 		rotated = append(rotated, ordered[:rot]...)
 		ordered = rotated
 	}
 	cost := sim.Duration(len(entries)) * d.cfg.SortPerFault
-	d.charge(stats.PhasePreprocess, cost)
+	d.chargeSpan(obs.SpanSort, cost, int64(len(entries)))
 	d.eng.After(cost, func() { d.serviceBlock(ordered, 0) })
 }
 
@@ -278,7 +341,7 @@ func (d *Driver) ensureAlloc(bins []*bin, i int) {
 		block.Allocated = true
 		d.policy.Insert(block)
 		block.Touches++
-		d.charge(stats.PhasePMAAlloc, cost)
+		d.chargeSpan(obs.SpanPMAAlloc, cost, 1)
 		d.eng.After(cost, func() { d.migrate(bins, i) })
 		return
 	}
@@ -288,15 +351,15 @@ func (d *Driver) ensureAlloc(bins []*bin, i int) {
 	if victim == nil {
 		panic("driver: allocation failed with no eviction candidates")
 	}
-	evictCost := d.evictBlock(victim)
-	d.charge(stats.PhaseEvict, cost+evictCost)
+	evictCost, evictedPages := d.evictBlock(victim)
+	d.chargeSpan(obs.SpanEvict, cost+evictCost, int64(evictedPages))
 	d.eng.After(cost+evictCost, func() { d.ensureAlloc(bins, i) })
 }
 
 // evictBlock writes back the victim's dirty pages, unmaps it, and
 // releases its physical backing. It returns the simulated cost (CPU work
-// plus waiting for the write-back DMA).
-func (d *Driver) evictBlock(victim *mem.VABlock) sim.Duration {
+// plus waiting for the write-back DMA) and the resident pages released.
+func (d *Driver) evictBlock(victim *mem.VABlock) (sim.Duration, int) {
 	now := d.eng.Now()
 	resident := victim.Resident.Count()
 	var dirtyPages int
@@ -312,13 +375,13 @@ func (d *Driver) evictBlock(victim *mem.VABlock) sim.Duration {
 	cpu := d.cfg.EvictFixed + sim.Duration(resident)*d.cfg.EvictPerPage + d.alloc.Free()
 	if d.inj != nil {
 		if stall := d.inj.EvictStall(); stall > 0 {
-			d.counters.Inc("evict_stalls", 1)
+			d.m.evictStalls.Inc(1)
 			cpu += stall
 		}
 	}
-	d.counters.Inc("evictions", 1)
-	d.counters.Inc("evicted_pages", uint64(resident))
-	d.counters.Inc("evicted_dirty_pages", uint64(dirtyPages))
+	d.m.evictions.Inc(1)
+	d.m.evictedPages.Inc(uint64(resident))
+	d.m.evictedDirtyPages.Inc(uint64(dirtyPages))
 	d.policy.Remove(victim)
 	victim.Resident.Reset()
 	victim.Dirty.Reset()
@@ -330,7 +393,7 @@ func (d *Driver) evictBlock(victim *mem.VABlock) sim.Duration {
 	if wait := dmaEnd.Sub(now); wait > total {
 		total = wait
 	}
-	return total
+	return total, resident
 }
 
 // migrate plans the fetch set (demand + prefetch), zeroes and stages
@@ -352,9 +415,9 @@ func (d *Driver) migrate(bins []*bin, i int) {
 	if res.Fetch.Count() == 0 {
 		// Every demanded page is already resident (serviced by an earlier
 		// batch); only fixed bookkeeping remains.
-		d.counters.Inc("stale_bins", 1)
+		d.m.staleBins.Inc(1)
 		cost := d.cfg.ServiceFixedPerBlock
-		d.charge(stats.PhaseMigrate, cost)
+		d.chargeSpan(obs.SpanMigrate, cost, 0)
 		d.eng.After(cost, func() { d.afterMap(bins, i, res) })
 		return
 	}
@@ -376,10 +439,10 @@ func (d *Driver) migrate(bins []*bin, i int) {
 	if dmaEnd > mapStart {
 		mapStart = dmaEnd
 	}
-	d.charge(stats.PhaseMigrate, mapStart.Sub(now))
-	d.counters.Inc("migrated_pages", uint64(res.Fetch.Count()))
-	d.counters.Inc("demand_pages", uint64(res.Faulted))
-	d.counters.Inc("prefetched_pages", uint64(res.Prefetched))
+	d.chargeSpan(obs.SpanMigrate, mapStart.Sub(now), int64(res.Fetch.Count()))
+	d.m.migratedPages.Inc(uint64(res.Fetch.Count()))
+	d.m.demandPages.Inc(uint64(res.Faulted))
+	d.m.prefetchedPages.Inc(uint64(res.Prefetched))
 	d.eng.At(mapStart, func() { d.mapBlock(bins, i, res) })
 }
 
@@ -417,7 +480,7 @@ func (d *Driver) mapBlock(bins []*bin, i int, res tree.Result) {
 	first := geom.FirstPage(b.block)
 
 	cost := sim.Duration(mapOps(res.Fetch, b.demanded))*d.cfg.MapPerOp + d.cfg.MembarPerBlock
-	d.charge(stats.PhaseMap, cost)
+	d.chargeSpan(obs.SpanMap, cost, int64(res.Fetch.Count()))
 
 	res.Fetch.ForEachSet(func(idx int) {
 		block.Resident.Set(idx)
@@ -431,7 +494,7 @@ func (d *Driver) mapBlock(bins []*bin, i int, res tree.Result) {
 		// Read-duplication keeps the host copy valid: the migrated pages
 		// are clean duplicates (eviction will release them without
 		// write-back as long as the GPU does not mutate them).
-		d.counters.Inc("readdup_pages", uint64(res.Fetch.Count()))
+		d.m.readdupPages.Inc(uint64(res.Fetch.Count()))
 	}
 	d.servicedSinceReplay++
 	d.eng.After(cost, func() { d.afterMap(bins, i, res) })
@@ -439,7 +502,22 @@ func (d *Driver) mapBlock(bins []*bin, i int, res tree.Result) {
 
 // afterMap applies the per-block replay policy and advances to the next
 // bin.
-func (d *Driver) afterMap(bins []*bin, i int, _ tree.Result) {
+func (d *Driver) afterMap(bins []*bin, i int, res tree.Result) {
+	if d.life.Enabled() {
+		// A stale bin's faults are duplicates: their warps were woken by
+		// an earlier replay and found the pages resident, so service
+		// completion is their terminal state. Live bins' faults wait for
+		// the replay that wakes their still-stalled warps.
+		now := d.eng.Now()
+		stale := res.Fetch.Count() == 0
+		for _, seq := range bins[i].seqs {
+			if stale {
+				d.life.ServicedStale(seq, now)
+			} else {
+				d.life.Serviced(seq, now)
+			}
+		}
+	}
 	if d.cfg.Policy == ReplayBlock {
 		d.issueReplay(func() { d.serviceBlock(bins, i+1) })
 		return
@@ -455,9 +533,9 @@ func (d *Driver) batchEnd() {
 		n := d.buf.Len()
 		flushCost := d.cfg.FlushFixed + sim.Duration(n)*d.cfg.FlushPerEntry
 		discarded := d.buf.Flush()
-		d.counters.Inc("flushes", 1)
-		d.counters.Inc("flush_discarded", uint64(discarded))
-		d.charge(stats.PhaseReplay, flushCost)
+		d.m.flushes.Inc(1)
+		d.m.flushDiscarded.Inc(uint64(discarded))
+		d.chargeSpan(obs.SpanFlush, flushCost, int64(discarded))
 		d.eng.After(flushCost, func() {
 			d.issueReplay(d.fetchBatch)
 		})
@@ -471,13 +549,14 @@ func (d *Driver) batchEnd() {
 // issueReplay charges the replay cost, commands the GPU, and continues
 // with next.
 func (d *Driver) issueReplay(next func()) {
-	d.counters.Inc("replays", 1)
+	d.m.replays.Inc(1)
 	d.servicedSinceReplay = 0
 	// Every replay wakes all stalled warps, so faults dropped before this
 	// point will be re-raised by their warps; no forced replay is owed
 	// for them.
 	d.dropsReplayed = d.buf.Drops()
-	d.charge(stats.PhaseReplay, d.cfg.ReplayIssue)
+	d.chargeSpan(obs.SpanReplay, d.cfg.ReplayIssue, 0)
+	d.life.Replayed(d.eng.Now())
 	d.replayer.Replay()
 	d.eng.After(d.cfg.ReplayIssue, next)
 }
@@ -489,6 +568,7 @@ func (d *Driver) issueReplay(next func()) {
 // it — real hardware's buffer-full degradation. Going idle with unpaid
 // drops would deadlock the warp.
 func (d *Driver) endPass() {
+	d.closeBatch()
 	d.syncBufCounters()
 	if d.cfg.Policy == ReplayOnce && d.servicedSinceReplay > 0 {
 		d.issueReplay(func() {
@@ -498,7 +578,7 @@ func (d *Driver) endPass() {
 		return
 	}
 	if d.buf.Drops() > d.dropsReplayed {
-		d.counters.Inc("forced_replays", 1)
+		d.m.forcedReplays.Inc(1)
 		d.issueReplay(func() {
 			d.idle = true
 			d.rearmIfWork()
@@ -513,13 +593,15 @@ func (d *Driver) endPass() {
 // the driver counter set so overflow is visible in every report instead
 // of silently absorbed.
 func (d *Driver) syncBufCounters() {
-	d.counters.Set("faultbuf_drops", d.buf.Drops())
-	d.counters.Set("faultbuf_flushed", d.buf.Flushed())
+	d.m.reg.Gauge("faultbuf_drops").Set(d.buf.Drops())
+	d.m.reg.Gauge("faultbuf_flushed").Set(d.buf.Flushed())
+	// The injection mirrors register lazily so they appear in reports
+	// only when injection actually fired, as before the registry.
 	if inj := d.buf.InjectedDrops(); inj > 0 {
-		d.counters.Set("faultbuf_injected_drops", inj)
+		d.m.reg.Gauge("faultbuf_injected_drops").Set(inj)
 	}
 	if dups := d.buf.InjectedDups(); dups > 0 {
-		d.counters.Set("faultbuf_injected_dups", dups)
+		d.m.reg.Gauge("faultbuf_injected_dups").Set(dups)
 	}
 }
 

@@ -1,0 +1,88 @@
+package driver
+
+import (
+	"uvmsim/internal/obs"
+	"uvmsim/internal/stats"
+)
+
+// metrics is the driver's typed view of its obs.Registry: every counter
+// the pipeline bumps is a pre-registered handle, so the hot path does a
+// field increment instead of a map probe, while reports iterate the
+// registry's deterministic snapshot. The names are the driver's
+// long-standing counter vocabulary; Counters() renders them through the
+// legacy stats.CounterSet so existing consumers are unaffected.
+type metrics struct {
+	reg *obs.Registry
+
+	passes  *obs.Counter
+	polls   *obs.Counter
+	batches *obs.Counter
+
+	faultsFetched *obs.Counter
+	faultsDeduped *obs.Counter
+	staleBins     *obs.Counter
+
+	dmaFailures  *obs.Counter
+	dmaRetries   *obs.Counter
+	dmaGiveups   *obs.Counter
+	dmaBackoffNs *obs.Counter
+
+	evictions         *obs.Counter
+	evictedPages      *obs.Counter
+	evictedDirtyPages *obs.Counter
+	evictStalls       *obs.Counter
+
+	migratedPages   *obs.Counter
+	demandPages     *obs.Counter
+	prefetchedPages *obs.Counter
+	readdupPages    *obs.Counter
+
+	flushes        *obs.Counter
+	flushDiscarded *obs.Counter
+	replays        *obs.Counter
+	forcedReplays  *obs.Counter
+
+	// batchFaults distributes fault count per batch (the paper's batch
+	// occupancy); batchNs distributes wall time per batch.
+	batchFaults *obs.HistogramMetric
+	batchNs     *obs.HistogramMetric
+}
+
+func newMetrics() metrics {
+	reg := obs.NewRegistry()
+	return metrics{
+		reg:               reg,
+		passes:            reg.Counter("passes"),
+		polls:             reg.Counter("polls"),
+		batches:           reg.Counter("batches"),
+		faultsFetched:     reg.Counter("faults_fetched"),
+		faultsDeduped:     reg.Counter("faults_deduped"),
+		staleBins:         reg.Counter("stale_bins"),
+		dmaFailures:       reg.Counter("dma_failures"),
+		dmaRetries:        reg.Counter("dma_retries"),
+		dmaGiveups:        reg.Counter("dma_giveups"),
+		dmaBackoffNs:      reg.Counter("dma_backoff_ns"),
+		evictions:         reg.Counter("evictions"),
+		evictedPages:      reg.Counter("evicted_pages"),
+		evictedDirtyPages: reg.Counter("evicted_dirty_pages"),
+		evictStalls:       reg.Counter("evict_stalls"),
+		migratedPages:     reg.Counter("migrated_pages"),
+		demandPages:       reg.Counter("demand_pages"),
+		prefetchedPages:   reg.Counter("prefetched_pages"),
+		readdupPages:      reg.Counter("readdup_pages"),
+		flushes:           reg.Counter("flushes"),
+		flushDiscarded:    reg.Counter("flush_discarded"),
+		replays:           reg.Counter("replays"),
+		forcedReplays:     reg.Counter("forced_replays"),
+		batchFaults:       reg.Histogram("batch_faults"),
+		batchNs:           reg.Histogram("batch_ns"),
+	}
+}
+
+// Metrics exposes the driver's registry for uniform consumption
+// (uvmreport, exporters, tests).
+func (d *Driver) Metrics() *obs.Registry { return d.m.reg }
+
+// Counters renders the registry as the legacy counter set. The snapshot
+// is rebuilt per call; mutate metrics through the driver, not this view.
+func (d *Driver) Counters() *stats.CounterSet { return d.m.reg.CounterSet() }

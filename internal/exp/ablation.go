@@ -26,12 +26,13 @@ func AblationReplayPolicy(sc Scale) ([]*stats.Table, error) {
 	q := sc.newQueue()
 	for _, pattern := range patterns {
 		for _, pol := range policies {
-			q.add(fmt.Sprintf("abl-policy pattern=%s policy=%s seed=%d", pattern, pol, sc.Seed),
+			label := fmt.Sprintf("abl-policy pattern=%s policy=%s seed=%d", pattern, pol, sc.Seed)
+			q.add(label,
 				func() (func(), error) {
 					cfg := sc.sysConfig()
 					cfg.PrefetchPolicy = "none"
 					cfg.Driver.Policy = pol
-					cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+					cell, err := runWorkloadCell(sc, label, cfg, pattern, bytes, sc.params())
 					if err != nil {
 						return nil, fmt.Errorf("abl-policy %s/%s: %w", pattern, pol, err)
 					}
@@ -72,11 +73,12 @@ func AblationThreshold(sc Scale) ([]*stats.Table, error) {
 	q := sc.newQueue()
 	for _, name := range names {
 		for _, th := range thresholds {
-			q.add(fmt.Sprintf("abl-thresh workload=%s threshold=%d seed=%d", name, th, sc.Seed),
+			label := fmt.Sprintf("abl-thresh workload=%s threshold=%d seed=%d", name, th, sc.Seed)
+			q.add(label,
 				func() (func(), error) {
 					cfg := sc.sysConfig()
 					cfg.PrefetchPolicy = fmt.Sprintf("density:%d", th)
-					cell, err := runWorkloadCell(cfg, name, bytes, sc.params())
+					cell, err := runWorkloadCell(sc, label, cfg, name, bytes, sc.params())
 					if err != nil {
 						return nil, fmt.Errorf("abl-thresh %s/%d: %w", name, th, err)
 					}
@@ -106,12 +108,13 @@ func AblationBatchSize(sc Scale) ([]*stats.Table, error) {
 	q := sc.newQueue()
 	for _, pattern := range []string{"regular", "random"} {
 		for _, bs := range sizes {
-			q.add(fmt.Sprintf("abl-batch pattern=%s batch=%d seed=%d", pattern, bs, sc.Seed),
+			label := fmt.Sprintf("abl-batch pattern=%s batch=%d seed=%d", pattern, bs, sc.Seed)
+			q.add(label,
 				func() (func(), error) {
 					cfg := sc.sysConfig()
 					cfg.PrefetchPolicy = "none"
 					cfg.Driver.BatchSize = bs
-					cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+					cell, err := runWorkloadCell(sc, label, cfg, pattern, bytes, sc.params())
 					if err != nil {
 						return nil, fmt.Errorf("abl-batch %s/%d: %w", pattern, bs, err)
 					}
@@ -154,7 +157,8 @@ func AblationEviction(sc Scale) ([]*stats.Table, error) {
 	q := sc.newQueue()
 	for _, w := range wls {
 		for _, pol := range policies {
-			q.add(fmt.Sprintf("abl-evict workload=%s policy=%s seed=%d", w.name, pol, sc.Seed),
+			label := fmt.Sprintf("abl-evict workload=%s policy=%s seed=%d", w.name, pol, sc.Seed)
+			q.add(label,
 				func() (func(), error) {
 					cfg := sc.sysConfig()
 					cfg.EvictPolicy = pol
@@ -164,9 +168,9 @@ func AblationEviction(sc Scale) ([]*stats.Table, error) {
 					var cell *cellResult
 					var err error
 					if w.name == "sgemm" {
-						cell, err = runSGEMMWithConfig(cfg, sgemmN(sc, w.frac), sc)
+						cell, err = runSGEMMWithConfig(sc, label, cfg, sgemmN(sc, w.frac))
 					} else {
-						cell, err = runWorkloadCell(cfg, w.name, int64(w.frac*float64(sc.GPUMemoryBytes)), sc.params())
+						cell, err = runWorkloadCell(sc, label, cfg, w.name, int64(w.frac*float64(sc.GPUMemoryBytes)), sc.params())
 					}
 					if err != nil {
 						return nil, fmt.Errorf("abl-evict %s/%s: %w", w.name, pol, err)
@@ -197,10 +201,11 @@ func AblationGranularity(sc Scale) ([]*stats.Table, error) {
 	}
 	q := sc.newQueue()
 	for _, vb := range sizes {
-		q.add(fmt.Sprintf("abl-gran vablock=%d seed=%d", vb, sc.Seed), func() (func(), error) {
+		label := fmt.Sprintf("abl-gran vablock=%d seed=%d", vb, sc.Seed)
+		q.add(label, func() (func(), error) {
 			cfg := sc.sysConfig()
 			cfg.VABlockSize = vb
-			cell, err := runWorkloadCell(cfg, "random", bytes, sc.params())
+			cell, err := runWorkloadCell(sc, label, cfg, "random", bytes, sc.params())
 			if err != nil {
 				return nil, fmt.Errorf("abl-gran %d: %w", vb, err)
 			}
@@ -233,12 +238,13 @@ func AblationAdaptive(sc Scale) ([]*stats.Table, error) {
 	for _, pattern := range patterns {
 		for _, f := range fractions {
 			for _, pf := range prefetchers {
-				q.add(fmt.Sprintf("abl-adapt pattern=%s footprint=%.2f prefetch=%s seed=%d", pattern, f, pf, sc.Seed),
+				label := fmt.Sprintf("abl-adapt pattern=%s footprint=%.2f prefetch=%s seed=%d", pattern, f, pf, sc.Seed)
+				q.add(label,
 					func() (func(), error) {
 						cfg := sc.sysConfig()
 						cfg.PrefetchPolicy = pf
 						bytes := int64(f * float64(sc.GPUMemoryBytes))
-						cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+						cell, err := runWorkloadCell(sc, label, cfg, pattern, bytes, sc.params())
 						if err != nil {
 							return nil, fmt.Errorf("abl-adapt %s/%.2f/%s: %w", pattern, f, pf, err)
 						}

@@ -39,8 +39,9 @@ func CalibrationAnchors(sc Scale) ([]*stats.Table, error) {
 			single >= 20*sim.Microsecond && single <= 120*sim.Microsecond), nil
 	})
 	// Anchor 2: sub-100 KB page-touch total is hundreds of µs.
-	q.add(fmt.Sprintf("val-calib anchor=96kb-touch seed=%d", sc.Seed), func() (func(), error) {
-		cell, err := runWorkloadCell(nopf(), "regular", 96<<10, sc.params())
+	label2 := fmt.Sprintf("val-calib anchor=96kb-touch seed=%d", sc.Seed)
+	q.add(label2, func() (func(), error) {
+		cell, err := runWorkloadCell(sc, label2, nopf(), "regular", 96<<10, sc.params())
 		if err != nil {
 			return nil, err
 		}
@@ -49,8 +50,9 @@ func CalibrationAnchors(sc Scale) ([]*stats.Table, error) {
 			small >= 100*sim.Microsecond && small <= 2*sim.Millisecond), nil
 	})
 	// Anchor 3: explicit transfer beats no-prefetch UVM by >= 4x in-core.
-	q.add(fmt.Sprintf("val-calib anchor=explicit-ratio seed=%d", sc.Seed), func() (func(), error) {
-		uvmCell, err := runWorkloadCell(nopf(), "regular", sc.GPUMemoryBytes/3, sc.params())
+	label3 := fmt.Sprintf("val-calib anchor=explicit-ratio seed=%d", sc.Seed)
+	q.add(label3, func() (func(), error) {
+		uvmCell, err := runWorkloadCell(sc, label3, nopf(), "regular", sc.GPUMemoryBytes/3, sc.params())
 		if err != nil {
 			return nil, err
 		}
@@ -61,12 +63,13 @@ func CalibrationAnchors(sc Scale) ([]*stats.Table, error) {
 		return addRow("UVM/explicit in-core ratio", ">=10x", fmt.Sprintf("%.1fx", ratio), ">=4x", ratio >= 4), nil
 	})
 	// Anchor 4: density prefetching removes most random-pattern faults.
-	q.add(fmt.Sprintf("val-calib anchor=fault-reduction seed=%d", sc.Seed), func() (func(), error) {
-		offCell, err := runWorkloadCell(nopf(), "random", sc.GPUMemoryBytes/3, sc.params())
+	label4 := fmt.Sprintf("val-calib anchor=fault-reduction seed=%d", sc.Seed)
+	q.add(label4, func() (func(), error) {
+		offCell, err := runWorkloadCell(sc, label4+" prefetch=off", nopf(), "random", sc.GPUMemoryBytes/3, sc.params())
 		if err != nil {
 			return nil, err
 		}
-		onCell, err := runWorkloadCell(sc.sysConfig(), "random", sc.GPUMemoryBytes/3, sc.params())
+		onCell, err := runWorkloadCell(sc, label4+" prefetch=on", sc.sysConfig(), "random", sc.GPUMemoryBytes/3, sc.params())
 		if err != nil {
 			return nil, err
 		}
@@ -84,6 +87,7 @@ func singleFaultLatency(sc Scale) (sim.Duration, error) {
 	cfg := sc.sysConfig()
 	cfg.PrefetchPolicy = "none"
 	cfg.KernelLaunch = 0 // isolate the fault path
+	cfg.Obs = sc.obsOptions(fmt.Sprintf("val-calib anchor=single-fault seed=%d", sc.Seed))
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return 0, err
@@ -104,6 +108,7 @@ func singleFaultLatency(sc Scale) (sim.Duration, error) {
 // returns uvmTime / explicitTime.
 func explicitRatio(sc Scale, uvmTime sim.Duration) (float64, error) {
 	cfg := sc.sysConfig()
+	cfg.Obs = sc.obsOptions(fmt.Sprintf("val-calib anchor=explicit-ratio explicit seed=%d", sc.Seed))
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return 0, err

@@ -27,12 +27,13 @@ func costSizes(sc Scale) []int64 {
 func queueBreakdownRows(q *queue, t *stats.Table, sc Scale, pattern string, policy driver.ReplayPolicy) {
 	for _, bytes := range costSizes(sc) {
 		bytes := bytes
-		q.add(fmt.Sprintf("cost pattern=%s size=%d policy=%s seed=%d", pattern, bytes, policy, sc.Seed),
+		label := fmt.Sprintf("cost pattern=%s size=%d policy=%s seed=%d", pattern, bytes, policy, sc.Seed)
+		q.add(label,
 			func() (func(), error) {
 				cfg := sc.sysConfig()
 				cfg.PrefetchPolicy = "none"
 				cfg.Driver.Policy = policy
-				cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+				cell, err := runWorkloadCell(sc, label, cfg, pattern, bytes, sc.params())
 				if err != nil {
 					return nil, err
 				}
@@ -96,10 +97,11 @@ func Fig4(sc Scale) ([]*stats.Table, error) {
 	q := sc.newQueue()
 	for _, bytes := range sizes {
 		bytes := bytes
-		q.add(fmt.Sprintf("fig4 size=%d seed=%d", bytes, sc.Seed), func() (func(), error) {
+		label := fmt.Sprintf("fig4 size=%d seed=%d", bytes, sc.Seed)
+		q.add(label, func() (func(), error) {
 			cfg := sc.sysConfig()
 			cfg.PrefetchPolicy = "none"
-			cell, err := runWorkloadCell(cfg, "regular", bytes, sc.params())
+			cell, err := runWorkloadCell(sc, label, cfg, "regular", bytes, sc.params())
 			if err != nil {
 				return nil, err
 			}

@@ -13,6 +13,7 @@ import (
 
 	"uvmsim/internal/core"
 	"uvmsim/internal/gpusim"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/parallel"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
@@ -31,6 +32,17 @@ type Scale struct {
 	// goroutines: 1 runs strictly serially, <= 0 selects NumCPU. Output
 	// is byte-identical at every value (see the queue type).
 	Jobs int
+	// Obs, when set, captures every cell's spans and metrics under the
+	// cell's label, so exports stay per-cell attributed (and byte-stable)
+	// at any Jobs value.
+	Obs *obs.Collector
+	// Lifecycle enables per-fault birth-to-replay tracking in each cell.
+	Lifecycle bool
+}
+
+// obsOptions stamps the scale's instrumentation selection onto one cell.
+func (sc Scale) obsOptions(label string) obs.Options {
+	return obs.Options{Collector: sc.Obs, Label: label, Lifecycle: sc.Lifecycle}
 }
 
 // DefaultScale is 1/128 of the paper's Titan V.
@@ -108,7 +120,8 @@ type cellResult struct {
 	sys *core.System
 }
 
-func runCell(cfg core.Config, build func(*core.System) (*gpusim.Kernel, error)) (*cellResult, error) {
+func runCell(sc Scale, label string, cfg core.Config, build func(*core.System) (*gpusim.Kernel, error)) (*cellResult, error) {
+	cfg.Obs = sc.obsOptions(label)
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err
@@ -125,12 +138,12 @@ func runCell(cfg core.Config, build func(*core.System) (*gpusim.Kernel, error)) 
 }
 
 // runWorkloadCell runs a named workload at the given footprint.
-func runWorkloadCell(cfg core.Config, name string, bytes int64, p workloads.Params) (*cellResult, error) {
+func runWorkloadCell(sc Scale, label string, cfg core.Config, name string, bytes int64, p workloads.Params) (*cellResult, error) {
 	builder, err := workloads.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return runCell(cfg, func(s *core.System) (*gpusim.Kernel, error) {
+	return runCell(sc, label, cfg, func(s *core.System) (*gpusim.Kernel, error) {
 		return builder(s, bytes, p)
 	})
 }

@@ -53,10 +53,12 @@ func AblationAccessMode(sc Scale) ([]*stats.Table, error) {
 		}
 		for _, f := range fractions {
 			for _, m := range modes {
-				q.add(fmt.Sprintf("abl-mode pattern=%s footprint=%.2f mode=%s seed=%d", pattern, f, m.name, sc.Seed),
+				label := fmt.Sprintf("abl-mode pattern=%s footprint=%.2f mode=%s seed=%d", pattern, f, m.name, sc.Seed)
+				q.add(label,
 					func() (func(), error) {
 						cfg := sc.sysConfig()
 						cfg.PrefetchPolicy = m.pf
+						cfg.Obs = sc.obsOptions(label)
 						sys, err := core.NewSystem(cfg)
 						if err != nil {
 							return nil, err
@@ -108,12 +110,13 @@ func AblationFaultOrigin(sc Scale) ([]*stats.Table, error) {
 	q := sc.newQueue()
 	for _, name := range names {
 		for _, c := range cells {
-			q.add(fmt.Sprintf("abl-origin workload=%s prefetch=%s origin=%v seed=%d", name, c.pf, c.origin, sc.Seed),
+			label := fmt.Sprintf("abl-origin workload=%s prefetch=%s origin=%v seed=%d", name, c.pf, c.origin, sc.Seed)
+			q.add(label,
 				func() (func(), error) {
 					cfg := sc.sysConfig()
 					cfg.PrefetchPolicy = c.pf
 					cfg.Driver.FaultOriginInfo = c.origin
-					cell, err := runWorkloadCell(cfg, name, bytes, sc.params())
+					cell, err := runWorkloadCell(sc, label, cfg, name, bytes, sc.params())
 					if err != nil {
 						return nil, fmt.Errorf("abl-origin %s/%s: %w", name, c.pf, err)
 					}

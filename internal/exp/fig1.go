@@ -44,6 +44,7 @@ func Fig1(sc Scale) ([]*stats.Table, error) {
 			if f <= 1.0 {
 				q.add(label("explicit"), func() (func(), error) {
 					cfg := sc.sysConfig()
+					cfg.Obs = sc.obsOptions(label("explicit"))
 					sys, err := core.NewSystem(cfg)
 					if err != nil {
 						return nil, err
@@ -63,7 +64,7 @@ func Fig1(sc Scale) ([]*stats.Table, error) {
 			q.add(label("uvm"), func() (func(), error) {
 				cfg := sc.sysConfig()
 				cfg.PrefetchPolicy = "none"
-				cell, err := runWorkloadCell(cfg, pattern, bytes, sc.params())
+				cell, err := runWorkloadCell(sc, label("uvm"), cfg, pattern, bytes, sc.params())
 				if err != nil {
 					return nil, err
 				}
@@ -72,7 +73,7 @@ func Fig1(sc Scale) ([]*stats.Table, error) {
 			})
 			// UVM with the default density prefetcher.
 			q.add(label("uvm+prefetch"), func() (func(), error) {
-				cell, err := runWorkloadCell(sc.sysConfig(), pattern, bytes, sc.params())
+				cell, err := runWorkloadCell(sc, label("uvm+prefetch"), sc.sysConfig(), pattern, bytes, sc.params())
 				if err != nil {
 					return nil, err
 				}

@@ -34,13 +34,14 @@ func FullScaleValidation(sc Scale) ([]*stats.Table, error) {
 	q := sc.newQueue()
 	for _, sz := range sizes {
 		for _, mode := range []string{"none", "density"} {
-			q.add(fmt.Sprintf("val-full size=%s prefetch=%s seed=%d", sz.label, mode, sc.Seed),
+			label := fmt.Sprintf("val-full size=%s prefetch=%s seed=%d", sz.label, mode, sc.Seed)
+			q.add(label,
 				func() (func(), error) {
 					cfg := core.DefaultConfig(12 << 30)
 					cfg.Seed = sc.Seed
 					cfg.GPU = gpusim.TitanV()
 					cfg.PrefetchPolicy = mode
-					cell, err := runWorkloadCell(cfg, "regular", sz.bytes, sc.params())
+					cell, err := runWorkloadCell(sc, label, cfg, "regular", sz.bytes, sc.params())
 					if err != nil {
 						return nil, fmt.Errorf("val-full %s/%s: %w", sz.label, mode, err)
 					}

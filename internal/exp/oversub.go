@@ -28,10 +28,11 @@ func Fig9(sc Scale) ([]*stats.Table, error) {
 	q := sc.newQueue()
 	for _, pattern := range []string{"regular", "random"} {
 		for _, f := range fractions {
-			q.add(fmt.Sprintf("fig9 pattern=%s oversub=%.0f%% seed=%d", pattern, pct(f), sc.Seed),
+			label := fmt.Sprintf("fig9 pattern=%s oversub=%.0f%% seed=%d", pattern, pct(f), sc.Seed)
+			q.add(label,
 				func() (func(), error) {
 					bytes := int64(f * float64(sc.GPUMemoryBytes))
-					cell, err := runWorkloadCell(sc.sysConfig(), pattern, bytes, sc.params())
+					cell, err := runWorkloadCell(sc, label, sc.sysConfig(), pattern, bytes, sc.params())
 					if err != nil {
 						return nil, fmt.Errorf("fig9 %s %.0f%%: %w", pattern, pct(f), err)
 					}
@@ -73,13 +74,13 @@ func sgemmFractions(sc Scale) []float64 {
 
 // runSGEMM executes sgemm with the given footprint fraction and tracing
 // switch, returning the cell and dimension.
-func runSGEMM(sc Scale, frac float64, traced bool) (*cellResult, int, error) {
+func runSGEMM(sc Scale, label string, frac float64, traced bool) (*cellResult, int, error) {
 	n := sgemmN(sc, frac)
 	cfg := sc.sysConfig()
 	if traced {
 		cfg.TraceCapacity = -1
 	}
-	cell, err := runCell(cfg, func(s *core.System) (*gpusim.Kernel, error) {
+	cell, err := runCell(sc, label, cfg, func(s *core.System) (*gpusim.Kernel, error) {
 		return workloads.SGEMM(s, n, sc.params())
 	})
 	if err != nil {
@@ -96,8 +97,9 @@ func Fig10(sc Scale) ([]*stats.Table, error) {
 		"n", "footprint_pct", "total_ms", "gflops", "faults", "evictions")
 	q := sc.newQueue()
 	for _, f := range sgemmFractions(sc) {
-		q.add(fmt.Sprintf("fig10 footprint=%.0f%% seed=%d", pct(f), sc.Seed), func() (func(), error) {
-			cell, n, err := runSGEMM(sc, f, false)
+		label := fmt.Sprintf("fig10 footprint=%.0f%% seed=%d", pct(f), sc.Seed)
+		q.add(label, func() (func(), error) {
+			cell, n, err := runSGEMM(sc, label, f, false)
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %.0f%%: %w", pct(f), err)
 			}
@@ -124,8 +126,9 @@ func Table2(sc Scale) ([]*stats.Table, error) {
 	t.Note = "pages_evicted counts dirty pages explicitly migrated back to the host"
 	q := sc.newQueue()
 	for _, f := range sgemmFractions(sc) {
-		q.add(fmt.Sprintf("table2 footprint=%.0f%% seed=%d", pct(f), sc.Seed), func() (func(), error) {
-			cell, n, err := runSGEMM(sc, f, false)
+		label := fmt.Sprintf("table2 footprint=%.0f%% seed=%d", pct(f), sc.Seed)
+		q.add(label, func() (func(), error) {
+			cell, n, err := runSGEMM(sc, label, f, false)
 			if err != nil {
 				return nil, fmt.Errorf("table2 %.0f%%: %w", pct(f), err)
 			}
@@ -151,7 +154,7 @@ func Table2(sc Scale) ([]*stats.Table, error) {
 // statistic — data evicted immediately prior to being paged back in, the
 // worst-case behavior the paper highlights.
 func Fig8(sc Scale) ([]*stats.Table, error) {
-	cell, n, err := runSGEMM(sc, 1.2, true)
+	cell, n, err := runSGEMM(sc, fmt.Sprintf("fig8 footprint=120%% seed=%d", sc.Seed), 1.2, true)
 	if err != nil {
 		return nil, err
 	}

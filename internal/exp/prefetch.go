@@ -26,18 +26,20 @@ func Table1(sc Scale) ([]*stats.Table, error) {
 	q := sc.newQueue()
 	for _, name := range names {
 		off := make([]*cellResult, 1)
-		q.add(fmt.Sprintf("tab1 workload=%s prefetch=off seed=%d", name, sc.Seed), func() (func(), error) {
+		labelOff := fmt.Sprintf("tab1 workload=%s prefetch=off seed=%d", name, sc.Seed)
+		q.add(labelOff, func() (func(), error) {
 			cfgOff := sc.sysConfig()
 			cfgOff.PrefetchPolicy = "none"
-			cell, err := runWorkloadCell(cfgOff, name, bytes, sc.params())
+			cell, err := runWorkloadCell(sc, labelOff, cfgOff, name, bytes, sc.params())
 			if err != nil {
 				return nil, fmt.Errorf("table1 %s (prefetch off): %w", name, err)
 			}
 			off[0] = cell
 			return nil, nil
 		})
-		q.add(fmt.Sprintf("tab1 workload=%s prefetch=on seed=%d", name, sc.Seed), func() (func(), error) {
-			on, err := runWorkloadCell(sc.sysConfig(), name, bytes, sc.params())
+		labelOn := fmt.Sprintf("tab1 workload=%s prefetch=on seed=%d", name, sc.Seed)
+		q.add(labelOn, func() (func(), error) {
+			on, err := runWorkloadCell(sc, labelOn, sc.sysConfig(), name, bytes, sc.params())
 			if err != nil {
 				return nil, fmt.Errorf("table1 %s (prefetch on): %w", name, err)
 			}
@@ -68,7 +70,8 @@ func TraceWorkload(sc Scale, name string, footprintFrac float64, prefetchPolicy 
 		cfg.PrefetchPolicy = prefetchPolicy
 	}
 	bytes := int64(footprintFrac * float64(sc.GPUMemoryBytes))
-	cell, err := runWorkloadCell(cfg, name, bytes, sc.params())
+	label := fmt.Sprintf("trace workload=%s footprint=%.2f prefetch=%s seed=%d", name, footprintFrac, cfg.PrefetchPolicy, sc.Seed)
+	cell, err := runWorkloadCell(sc, label, cfg, name, bytes, sc.params())
 	if err != nil {
 		return nil, nil, err
 	}

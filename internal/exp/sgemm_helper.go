@@ -8,8 +8,8 @@ import (
 
 // runSGEMMWithConfig runs sgemm of dimension n on an explicit system
 // configuration (used by ablations that tweak policies).
-func runSGEMMWithConfig(cfg core.Config, n int, sc Scale) (*cellResult, error) {
-	return runCell(cfg, func(s *core.System) (*gpusim.Kernel, error) {
+func runSGEMMWithConfig(sc Scale, label string, cfg core.Config, n int) (*cellResult, error) {
+	return runCell(sc, label, cfg, func(s *core.System) (*gpusim.Kernel, error) {
 		return workloads.SGEMM(s, n, sc.params())
 	})
 }

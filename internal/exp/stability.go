@@ -42,13 +42,14 @@ func SeedStability(sc Scale) ([]*stats.Table, error) {
 		times := make([]float64, len(seeds))
 		faults := make([]float64, len(seeds))
 		for i, seed := range seeds {
-			q.add(fmt.Sprintf("val-seeds cell=%s seed=%d", c.name, seed), func() (func(), error) {
+			label := fmt.Sprintf("val-seeds cell=%s seed=%d", c.name, seed)
+			q.add(label, func() (func(), error) {
 				cfg := sc.sysConfig()
 				cfg.Seed = seed
 				cfg.PrefetchPolicy = c.prefetch
 				p := sc.params()
 				p.Seed = seed + 100
-				cell, err := runWorkloadCell(cfg, c.workload, int64(c.frac*float64(sc.GPUMemoryBytes)), p)
+				cell, err := runWorkloadCell(sc, label, cfg, c.workload, int64(c.frac*float64(sc.GPUMemoryBytes)), p)
 				if err != nil {
 					return nil, fmt.Errorf("stability %s seed %d: %w", c.name, seed, err)
 				}

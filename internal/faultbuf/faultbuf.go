@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"uvmsim/internal/mem"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
 )
 
@@ -52,7 +53,8 @@ type Buffer struct {
 	cap     int
 	entries []Entry // FIFO; head at index 0 (slices are re-sliced on fetch)
 	seq     uint64
-	perturb Perturber // optional fault injection; nil when disabled
+	perturb Perturber      // optional fault injection; nil when disabled
+	life    *obs.Lifecycle // optional per-fault tracking; nil when disabled
 
 	drops    uint64 // puts rejected because the buffer was full
 	injDrops uint64 // puts rejected by injection (subset of drops)
@@ -73,6 +75,12 @@ func New(capacity int) (*Buffer, error) {
 // SetPerturber installs (or, with nil, removes) a fault-injection layer
 // that sees every Put.
 func (b *Buffer) SetPerturber(p Perturber) { b.perturb = p }
+
+// SetLifecycle installs (or, with nil, removes) the per-fault lifecycle
+// collector. Entries accepted by Put are born; entries rejected (full
+// buffer, injected drop) never existed and are not tracked — that loss
+// is the paper's buffer-full degradation, visible as forced replays.
+func (b *Buffer) SetLifecycle(l *obs.Lifecycle) { b.life = l }
 
 // Cap returns the buffer capacity.
 func (b *Buffer) Cap() int { return b.cap }
@@ -108,6 +116,7 @@ func (b *Buffer) Put(page mem.PageID, write bool, sm int, raised, readyAt sim.Ti
 	b.entries = append(b.entries, Entry{
 		Seq: b.seq, Page: page, Write: write, SM: sm, Raised: raised, ReadyAt: readyAt,
 	})
+	b.life.Born(b.seq, raised)
 	seq := b.seq
 	if act.Duplicate && !b.Full() {
 		b.seq++
@@ -116,6 +125,7 @@ func (b *Buffer) Put(page mem.PageID, write bool, sm int, raised, readyAt sim.Ti
 		b.entries = append(b.entries, Entry{
 			Seq: b.seq, Page: page, Write: write, SM: sm, Raised: raised, ReadyAt: readyAt,
 		})
+		b.life.Born(b.seq, raised)
 	}
 	return seq, true
 }
@@ -150,6 +160,11 @@ func (b *Buffer) HeadReadyAt() (t sim.Time, ok bool) {
 // returns how many were dropped.
 func (b *Buffer) Flush() int {
 	n := len(b.entries)
+	if b.life.Enabled() {
+		for _, e := range b.entries {
+			b.life.Flushed(e.Seq)
+		}
+	}
 	b.entries = nil
 	b.flushed += uint64(n)
 	return n

@@ -5,6 +5,7 @@ import (
 
 	"uvmsim/internal/faultbuf"
 	"uvmsim/internal/mem"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
 	"uvmsim/internal/xfer"
@@ -172,6 +173,7 @@ type GPU struct {
 
 	stats     Stats
 	stallHist stats.Histogram
+	tr        *obs.Tracer // optional span tracing; nil when disabled
 }
 
 // New builds a GPU over the engine, address space, and RNG.
@@ -212,6 +214,10 @@ func (g *GPU) SetHandler(h Handler) { g.handler = h }
 // SetRemoteLink routes remote-mapped access traffic over the given link
 // so it contends with migration DMA for bandwidth.
 func (g *GPU) SetRemoteLink(l *xfer.Link) { g.remoteLink = l }
+
+// SetTracer installs (or, with nil, removes) span tracing of GPU-side
+// events: warp stall windows and µTLB coalesce points.
+func (g *GPU) SetTracer(t *obs.Tracer) { g.tr = t }
 
 // Stats returns the accumulated GPU statistics.
 func (g *GPU) Stats() Stats { return g.stats }
@@ -394,6 +400,7 @@ func (g *GPU) faultGroup(w *warpRun) {
 		if _, dup := sm.outstanding[a.Page]; dup {
 			// µTLB coalescing: an identical fault from this SM is in flight.
 			g.stats.FaultsCoalesced++
+			g.tr.Emit(obs.SpanCoalesce, now, now, 0, int64(a.Page))
 			continue
 		}
 		if len(sm.outstanding) >= g.cfg.MaxOutstandingPerSM {
@@ -452,6 +459,7 @@ func (g *GPU) wake() {
 			stall := now.Sub(w.stalledAt)
 			g.stats.StallTime += stall
 			g.stallHist.Observe(stall)
+			g.tr.Emit(obs.SpanStall, w.stalledAt, now, 0, int64(w.sm))
 			w.stalledAt = -1
 		}
 		w := w

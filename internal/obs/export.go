@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"uvmsim/internal/stats"
+)
+
+// Options selects which instrumentation a system assembles. The zero
+// value disables everything: no collector cell is created, tracer and
+// lifecycle pointers stay nil, and the hot loop takes only nil checks.
+type Options struct {
+	// Collector receives this run's capture as a new cell; nil disables
+	// span tracing.
+	Collector *Collector
+	// Label names the cell (sweep config label, experiment row, ...).
+	Label string
+	// Lifecycle enables per-fault birth-to-replay tracking.
+	Lifecycle bool
+}
+
+// Enabled reports whether any instrumentation is requested.
+func (o Options) Enabled() bool { return o.Collector != nil || o.Lifecycle }
+
+// Collector gathers observability captures from many independent
+// simulation cells (parallel sweep configurations, experiment rows) and
+// exports them with per-cell attribution: each cell becomes one process
+// in the Chrome trace, named by its label. Cells register concurrently
+// from worker goroutines; exports sort by label, so the output is
+// byte-identical at every worker count as long as labels are unique
+// (sweep and experiment labels embed every knob plus the seed, so they
+// are).
+type Collector struct {
+	mu    sync.Mutex
+	cells []*Cell
+}
+
+// Cell is one simulation's capture: its span sink plus the registry and
+// lifecycle bound at system construction.
+type Cell struct {
+	Label string
+	Sink  *MemorySink
+
+	reg  *Registry
+	life *Lifecycle
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// NewCell registers a capture slot under label. Safe for concurrent use.
+func (c *Collector) NewCell(label string) *Cell {
+	cell := &Cell{Label: label, Sink: NewMemorySink()}
+	c.mu.Lock()
+	c.cells = append(c.cells, cell)
+	c.mu.Unlock()
+	return cell
+}
+
+// Bind attaches the cell's metrics registry and lifecycle collector
+// (either may be nil). Called once by system assembly.
+func (cl *Cell) Bind(reg *Registry, life *Lifecycle) {
+	cl.reg = reg
+	cl.life = life
+}
+
+// Registry returns the bound metrics registry (nil before Bind).
+func (cl *Cell) Registry() *Registry { return cl.reg }
+
+// Lifecycle returns the bound lifecycle collector (may be nil).
+func (cl *Cell) Lifecycle() *Lifecycle { return cl.life }
+
+// Cells returns the registered cells sorted by label.
+func (c *Collector) Cells() []*Cell {
+	c.mu.Lock()
+	out := make([]*Cell, len(c.cells))
+	copy(out, c.cells)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// chromeEvent is one Chrome trace-event record. Field order is fixed by
+// the struct, so encoding/json output is deterministic.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  *float64    `json:"dur,omitempty"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args interface{} `json:"args,omitempty"`
+}
+
+type spanArgs struct {
+	Batch uint64 `json:"batch"`
+	Arg   int64  `json:"arg"`
+}
+
+type nameArgs struct {
+	Name string `json:"name"`
+}
+
+// chromeWriter streams a trace-event JSON object without holding every
+// encoded event in memory.
+type chromeWriter struct {
+	w     io.Writer
+	first bool
+	err   error
+}
+
+func (cw *chromeWriter) begin() {
+	cw.first = true
+	cw.write([]byte(`{"traceEvents":[`))
+}
+
+func (cw *chromeWriter) event(ev chromeEvent) {
+	if cw.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		cw.err = err
+		return
+	}
+	if !cw.first {
+		cw.write([]byte(","))
+	}
+	cw.first = false
+	cw.write(b)
+}
+
+func (cw *chromeWriter) end() error {
+	cw.write([]byte(`],"displayTimeUnit":"ns"}` + "\n"))
+	return cw.err
+}
+
+func (cw *chromeWriter) write(b []byte) {
+	if cw.err != nil {
+		return
+	}
+	_, cw.err = cw.w.Write(b)
+}
+
+// usOf converts simulated nanoseconds to the trace format's microsecond
+// timestamps.
+func usOf(ns int64) float64 { return float64(ns) / 1000 }
+
+// writeCellEvents emits one cell's metadata and span events under pid.
+func writeCellEvents(cw *chromeWriter, pid int, label string, spans []Span) {
+	cw.event(chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: nameArgs{Name: label},
+	})
+	seen := [numTracks]bool{}
+	for _, s := range spans {
+		tr := TrackOf(s.Kind)
+		if !seen[tr] {
+			seen[tr] = true
+			cw.event(chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: int(tr),
+				Args: nameArgs{Name: tr.String()},
+			})
+		}
+	}
+	for _, s := range spans {
+		dur := usOf(int64(s.Duration()))
+		cw.event(chromeEvent{
+			Name: s.Kind.String(),
+			Cat:  TrackOf(s.Kind).String(),
+			Ph:   "X",
+			Ts:   usOf(int64(s.Start)),
+			Dur:  &dur,
+			Pid:  pid,
+			Tid:  int(TrackOf(s.Kind)),
+			Args: spanArgs{Batch: s.Batch, Arg: s.Arg},
+		})
+	}
+}
+
+// WriteChromeTrace renders spans from a single run as Chrome trace-event
+// JSON (Perfetto- and chrome://tracing-loadable).
+func WriteChromeTrace(w io.Writer, label string, spans []Span) error {
+	cw := &chromeWriter{w: w}
+	cw.begin()
+	writeCellEvents(cw, 0, label, spans)
+	return cw.end()
+}
+
+// WriteChromeTrace renders every registered cell as one process of a
+// combined Chrome trace, sorted by label for deterministic output.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	cw := &chromeWriter{w: w}
+	cw.begin()
+	for pid, cell := range c.Cells() {
+		writeCellEvents(cw, pid, cell.Label, cell.Sink.Spans())
+	}
+	return cw.end()
+}
+
+// spanCSVHeader is the flat span export schema.
+var spanCSVHeader = []string{"cell", "track", "kind", "start_ns", "end_ns", "dur_ns", "batch", "arg"}
+
+func writeSpanRows(cw *csv.Writer, cell string, spans []Span) error {
+	for _, s := range spans {
+		row := []string{
+			cell,
+			TrackOf(s.Kind).String(),
+			s.Kind.String(),
+			strconv.FormatInt(int64(s.Start), 10),
+			strconv.FormatInt(int64(s.End), 10),
+			strconv.FormatInt(int64(s.Duration()), 10),
+			strconv.FormatUint(s.Batch, 10),
+			strconv.FormatInt(s.Arg, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSpanCSV emits one run's spans as CSV. The csv.Writer error is
+// checked after Flush so short writes are reported, not dropped.
+func WriteSpanCSV(w io.Writer, label string, spans []Span) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(spanCSVHeader); err != nil {
+		return err
+	}
+	if err := writeSpanRows(cw, label, spans); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSpanCSV emits every cell's spans as one CSV, sorted by cell label.
+func (c *Collector) WriteSpanCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(spanCSVHeader); err != nil {
+		return err
+	}
+	for _, cell := range c.Cells() {
+		if err := writeSpanRows(cw, cell.Label, cell.Sink.Spans()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMetricsCSV emits every cell's registry snapshot as one CSV with
+// the cell label in the first column, sorted by (label, metric name).
+func (c *Collector) WriteMetricsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cell", "name", "kind", "value", "mean_ns", "p50_ns", "p99_ns", "max_ns"}); err != nil {
+		return err
+	}
+	for _, cell := range c.Cells() {
+		if cell.reg == nil {
+			continue
+		}
+		for _, s := range cell.reg.Samples() {
+			row := []string{cell.Label, s.Name, s.Kind.String(), strconv.FormatUint(s.Value, 10), "", "", "", ""}
+			if s.Hist != nil {
+				row[4] = strconv.FormatInt(int64(s.Hist.Mean()), 10)
+				row[5] = strconv.FormatInt(int64(s.Hist.Quantile(0.5)), 10)
+				row[6] = strconv.FormatInt(int64(s.Hist.Quantile(0.99)), 10)
+				row[7] = strconv.FormatInt(int64(s.Hist.Max()), 10)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LatencyLine formats a one-line percentile summary of a latency
+// histogram for CLI output.
+func LatencyLine(name string, h *stats.Histogram) string {
+	return fmt.Sprintf("%-18s n=%-8d mean=%-12v p50=%-12v p90=%-12v p99=%-12v max=%v",
+		name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max())
+}

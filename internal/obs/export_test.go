@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpans is a fixed two-cell capture exercising every track, batch
+// attribution, and a point span.
+func goldenCollector() *Collector {
+	c := NewCollector()
+	// Registered out of label order on purpose: exports must sort.
+	b := c.NewCell("pattern=regular policy=once")
+	b.Sink.Span(Span{Kind: SpanFetch, Start: 0, End: 1500, Batch: 1, Arg: 16})
+	b.Sink.Span(Span{Kind: SpanStall, Start: 100, End: 2200, Batch: 0, Arg: 3})
+	a := c.NewCell("pattern=regular policy=batchflush")
+	a.Sink.Span(Span{Kind: SpanFetch, Start: 0, End: 2000, Batch: 1, Arg: 32})
+	a.Sink.Span(Span{Kind: SpanMigrate, Start: 2000, End: 7000, Batch: 1, Arg: 32})
+	a.Sink.Span(Span{Kind: SpanDMAH2D, Start: 2500, End: 6000, Batch: 0, Arg: 131072})
+	a.Sink.Span(Span{Kind: SpanCoalesce, Start: 4000, End: 4000, Batch: 0, Arg: 42})
+	a.Sink.Span(Span{Kind: SpanBatch, Start: 0, End: 8000, Batch: 1, Arg: 32})
+	return c
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenCollector().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden:\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceIsValidJSONWithSortedCells(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenCollector().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Dur  *float64        `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// First process metadata must be the lexically smaller label.
+	var procNames []string
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			var args struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(ev.Args, &args); err != nil {
+				t.Fatal(err)
+			}
+			procNames = append(procNames, args.Name)
+		}
+	}
+	if len(procNames) != 2 || procNames[0] >= procNames[1] {
+		t.Errorf("process names not label-sorted: %v", procNames)
+	}
+	// Every complete event carries a duration and a known pid.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			if ev.Dur == nil {
+				t.Errorf("X event %q without dur", ev.Name)
+			}
+			if ev.Pid != 0 && ev.Pid != 1 {
+				t.Errorf("X event %q pid = %d", ev.Name, ev.Pid)
+			}
+		}
+	}
+}
+
+func TestSpanCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenCollector().WriteSpanCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 7 spans across both cells.
+	if len(lines) != 8 {
+		t.Fatalf("span csv lines = %d, want 8:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "cell,track,kind,start_ns,end_ns,dur_ns,batch,arg" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Cells appear in label order: batchflush rows before once rows.
+	if !strings.Contains(lines[1], "policy=batchflush") {
+		t.Errorf("first data row = %q, want batchflush cell first", lines[1])
+	}
+	if !strings.Contains(lines[6], "policy=once") {
+		t.Errorf("row 6 = %q, want once cell", lines[6])
+	}
+}
+
+func TestMetricsCSVSkipsUnboundCells(t *testing.T) {
+	c := NewCollector()
+	cell := c.NewCell("bound")
+	reg := NewRegistry()
+	reg.Counter("faults_fetched").Inc(9)
+	cell.Bind(reg, nil)
+	c.NewCell("unbound")
+	var buf bytes.Buffer
+	if err := c.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "bound,faults_fetched,counter,9") {
+		t.Errorf("metrics csv missing bound row:\n%s", out)
+	}
+	if strings.Contains(out, "unbound") {
+		t.Errorf("metrics csv should skip cells with no registry:\n%s", out)
+	}
+}
+
+func TestSingleRunChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	spans := []Span{{Kind: SpanFetch, Start: 0, End: 1000, Batch: 1, Arg: 8}}
+	if err := WriteChromeTrace(&buf, "solo", spans); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.Bytes())
+	}
+	if !strings.Contains(buf.String(), `"name":"solo"`) {
+		t.Errorf("missing process label: %s", buf.String())
+	}
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+)
+
+// Lifecycle tracks every fault entry from SM birth to its terminal
+// state, producing the stage-latency distributions the paper's
+// batch-size/latency analysis needs: birth → buffer fetch → service
+// completion → replay. A fault's life is
+//
+//	Born      the GPU wrote the entry into the fault buffer
+//	Fetched   the driver read it in a batch
+//	Serviced  its VABlock's migration and mapping completed
+//	Replayed  a replay notification covered it (terminal: the stalled
+//	          warp wakes and retries)
+//	Stale     service found every demanded page already resident: the
+//	          entry was a duplicate whose warp an earlier replay already
+//	          woke, so service completion is terminal
+//	Flushed   the batch-flush policy discarded it unserviced (terminal:
+//	          the warp wakes on the same replay and re-faults, making a
+//	          *new* entry with its own lifecycle)
+//
+// Faults rejected at Put (buffer full, injected drop) are never born
+// here: they left no entry anywhere, which is exactly the paper's
+// buffer-full degradation. Conservation — born = replayed + stale +
+// flushed + live — is checkable at any time and must close out (live = 0)
+// when a run completes; the fault-conservation test asserts this under
+// every injection class.
+//
+// A nil *Lifecycle is the disabled state: every method returns
+// immediately and allocates nothing.
+type Lifecycle struct {
+	live map[uint64]faultLife // born, not yet terminal
+
+	// pending holds serviced faults awaiting the replay that completes
+	// their lifecycle.
+	pending []pendingFault
+
+	// Stage-latency distributions, in simulated nanoseconds.
+	birthToFetch    stats.Histogram // queueing in the fault buffer
+	fetchToService  stats.Histogram // driver pipeline latency
+	serviceToReplay stats.Histogram // replay-policy holdback
+	birthToReplay   stats.Histogram // end-to-end fault latency
+
+	born, fetched, serviced, replayed, stale, flushed uint64
+}
+
+type faultLife struct {
+	born    sim.Time
+	fetched sim.Time
+}
+
+type pendingFault struct {
+	seq           uint64
+	born, fetched sim.Time
+	servicedAt    sim.Time
+}
+
+// NewLifecycle returns an empty collector.
+func NewLifecycle() *Lifecycle {
+	return &Lifecycle{live: make(map[uint64]faultLife)}
+}
+
+// Enabled reports whether lifecycle tracking is on.
+func (l *Lifecycle) Enabled() bool { return l != nil }
+
+// Born records a fault entry accepted into the buffer at time at.
+func (l *Lifecycle) Born(seq uint64, at sim.Time) {
+	if l == nil {
+		return
+	}
+	l.born++
+	l.live[seq] = faultLife{born: at}
+}
+
+// Fetched records the driver reading the entry in a batch.
+func (l *Lifecycle) Fetched(seq uint64, at sim.Time) {
+	if l == nil {
+		return
+	}
+	f, ok := l.live[seq]
+	if !ok {
+		return // born before tracking started (mid-run attach)
+	}
+	f.fetched = at
+	l.live[seq] = f
+	l.fetched++
+	l.birthToFetch.Observe(at.Sub(f.born))
+}
+
+// Serviced records the entry's VABlock completing service; the fault now
+// waits only for a replay.
+func (l *Lifecycle) Serviced(seq uint64, at sim.Time) {
+	if l == nil {
+		return
+	}
+	f, ok := l.live[seq]
+	if !ok {
+		return
+	}
+	l.serviced++
+	l.fetchToService.Observe(at.Sub(f.fetched))
+	l.pending = append(l.pending, pendingFault{
+		seq: seq, born: f.born, fetched: f.fetched, servicedAt: at,
+	})
+}
+
+// ServicedStale records the entry's bin completing service with nothing
+// to migrate: the fault was a duplicate (its warp was already woken by
+// an earlier replay and found the pages resident), so this is terminal.
+func (l *Lifecycle) ServicedStale(seq uint64, at sim.Time) {
+	if l == nil {
+		return
+	}
+	f, ok := l.live[seq]
+	if !ok {
+		return
+	}
+	l.serviced++
+	l.stale++
+	l.fetchToService.Observe(at.Sub(f.fetched))
+	delete(l.live, seq)
+}
+
+// Replayed records a replay notification at time at: every serviced
+// fault awaiting it completes its lifecycle.
+func (l *Lifecycle) Replayed(at sim.Time) {
+	if l == nil {
+		return
+	}
+	for _, p := range l.pending {
+		l.replayed++
+		l.serviceToReplay.Observe(at.Sub(p.servicedAt))
+		l.birthToReplay.Observe(at.Sub(p.born))
+		delete(l.live, p.seq)
+	}
+	l.pending = l.pending[:0]
+}
+
+// Flushed records the entry discarded unserviced by a buffer flush
+// (terminal: its warp re-faults after the flush's replay).
+func (l *Lifecycle) Flushed(seq uint64) {
+	if l == nil {
+		return
+	}
+	if _, ok := l.live[seq]; !ok {
+		return
+	}
+	l.flushed++
+	delete(l.live, seq)
+}
+
+// Counts returns the cumulative stage totals.
+func (l *Lifecycle) Counts() (born, fetched, serviced, replayed, stale, flushed uint64) {
+	if l == nil {
+		return 0, 0, 0, 0, 0, 0
+	}
+	return l.born, l.fetched, l.serviced, l.replayed, l.stale, l.flushed
+}
+
+// Live returns how many born faults have not reached a terminal state.
+func (l *Lifecycle) Live() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.live)
+}
+
+// BirthToFetch returns the buffer-queueing latency distribution.
+func (l *Lifecycle) BirthToFetch() *stats.Histogram { return &l.birthToFetch }
+
+// FetchToService returns the driver-pipeline latency distribution.
+func (l *Lifecycle) FetchToService() *stats.Histogram { return &l.fetchToService }
+
+// ServiceToReplay returns the replay-policy holdback distribution.
+func (l *Lifecycle) ServiceToReplay() *stats.Histogram { return &l.serviceToReplay }
+
+// BirthToReplay returns the end-to-end fault latency distribution.
+func (l *Lifecycle) BirthToReplay() *stats.Histogram { return &l.birthToReplay }
+
+// CheckConservation validates that no fault has been lost mid-flight:
+// born = replayed + stale + flushed + live. It holds at every instant,
+// not just at the end of a run.
+func (l *Lifecycle) CheckConservation() error {
+	if l == nil {
+		return nil
+	}
+	if got := l.replayed + l.stale + l.flushed + uint64(len(l.live)); got != l.born {
+		return fmt.Errorf("obs: fault conservation broken: born %d != replayed %d + stale %d + flushed %d + live %d",
+			l.born, l.replayed, l.stale, l.flushed, len(l.live))
+	}
+	return nil
+}
+
+// Final validates the end-of-run contract: conservation holds and every
+// born fault reached a terminal state (replayed, stale, or flushed).
+func (l *Lifecycle) Final() error {
+	if l == nil {
+		return nil
+	}
+	if err := l.CheckConservation(); err != nil {
+		return err
+	}
+	if len(l.live) != 0 {
+		return fmt.Errorf("obs: %d faults never reached a terminal state (replayed=%d stale=%d flushed=%d born=%d)",
+			len(l.live), l.replayed, l.stale, l.flushed, l.born)
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+// Package obs is the deep runtime instrumentation layer: span tracing on
+// the simulated clock, fault-lifecycle latency tracking, and a typed
+// metrics registry. The source paper is itself an instrumentation study —
+// Allen & Ge timed the UVM driver's internal phases to explain where
+// fault cost goes — so the simulator must be introspectable the same way
+// its real counterpart was measured: not just *how much* time a phase
+// consumed in aggregate, but *when* each batch ran and how long each
+// fault waited from SM birth to replay.
+//
+// The layer has a strict overhead contract: every hook is reached through
+// a possibly-nil *Tracer or *Lifecycle whose methods are nil-safe and
+// return before touching any state, so the simulation hot loop stays
+// allocation-free and branch-cheap when instrumentation is off (asserted
+// by TestNilTracerAllocFree and the BenchmarkDriverService alloc guard).
+package obs
+
+import (
+	"fmt"
+
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+)
+
+// Kind classifies a span. Driver-phase kinds map onto the paper's cost
+// categories via PhaseOf so span totals reconcile exactly with
+// stats.Breakdown; device and interconnect kinds live on their own
+// tracks and carry no phase charge.
+type Kind uint8
+
+// Span kinds.
+const (
+	// SpanBatch covers one whole driver batch: first entry fetched to the
+	// moment the next fetch (or pass end) begins. Arg is the fault count.
+	SpanBatch Kind = iota
+	// SpanPoll is a wait for a not-ready fault-buffer head entry.
+	SpanPoll
+	// SpanFetch is reading a batch of fault entries from the buffer.
+	// Arg is the number of entries fetched.
+	SpanFetch
+	// SpanSort is VABlock binning/sorting of a fetched batch.
+	SpanSort
+	// SpanPMAAlloc is a physical-memory-allocator call for one VABlock.
+	SpanPMAAlloc
+	// SpanMigrate covers prefetch planning, staging, zeroing, and waiting
+	// on migration DMA for one VABlock. Arg is pages migrated.
+	SpanMigrate
+	// SpanMap is page-table writes and membars for one VABlock. Arg is
+	// pages mapped.
+	SpanMap
+	// SpanFlush is a fault-buffer flush (batch-flush replay policy).
+	// Arg is the number of entries discarded.
+	SpanFlush
+	// SpanReplay is issuing one replay notification to the GPU.
+	SpanReplay
+	// SpanEvict covers victim selection, dirty write-back, and the
+	// faulting-path restart for one eviction. Arg is pages evicted.
+	SpanEvict
+
+	// SpanDMAH2D and SpanDMAD2H are interconnect transactions; Arg is
+	// bytes moved. SpanDMAFailed is an aborted descriptor (transient
+	// failure), occupying the channel for its setup latency.
+	SpanDMAH2D
+	SpanDMAD2H
+	SpanDMAFailed
+
+	// SpanStall is one warp's stall window, fault raise to replay wake.
+	// Arg is the originating SM.
+	SpanStall
+	// SpanCoalesce marks a fault absorbed by µTLB coalescing (a point
+	// span). Arg is the faulting page.
+	SpanCoalesce
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"batch", "poll", "fetch", "sort", "pma_alloc", "migrate", "map",
+	"flush", "replay", "evict", "dma_h2d", "dma_d2h", "dma_failed",
+	"warp_stall", "utlb_coalesce",
+}
+
+// String returns the snake_case kind name used by exporters.
+func (k Kind) String() string {
+	if int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// kindPhases maps driver-phase kinds to the breakdown category their
+// duration is charged to; -1 marks kinds that carry no phase charge.
+var kindPhases = [numKinds]stats.Phase{
+	SpanBatch:     -1,
+	SpanPoll:      stats.PhasePreprocess,
+	SpanFetch:     stats.PhasePreprocess,
+	SpanSort:      stats.PhasePreprocess,
+	SpanPMAAlloc:  stats.PhasePMAAlloc,
+	SpanMigrate:   stats.PhaseMigrate,
+	SpanMap:       stats.PhaseMap,
+	SpanFlush:     stats.PhaseReplay,
+	SpanReplay:    stats.PhaseReplay,
+	SpanEvict:     stats.PhaseEvict,
+	SpanDMAH2D:    -1,
+	SpanDMAD2H:    -1,
+	SpanDMAFailed: -1,
+	SpanStall:     -1,
+	SpanCoalesce:  -1,
+}
+
+// PhaseOf returns the stats.Phase a span kind's duration is charged to,
+// and false for kinds outside the driver breakdown (batch envelopes, DMA,
+// GPU-side spans). Summing span durations grouped by PhaseOf reconciles
+// exactly with stats.Breakdown: the driver emits exactly one span per
+// breakdown charge.
+func PhaseOf(k Kind) (stats.Phase, bool) {
+	if int(k) >= len(kindPhases) || kindPhases[k] < 0 {
+		return 0, false
+	}
+	return kindPhases[k], true
+}
+
+// Track groups kinds into exporter threads: driver pipeline, interconnect,
+// and GPU device.
+type Track uint8
+
+// Exporter tracks.
+const (
+	TrackDriver Track = iota
+	TrackDMA
+	TrackGPU
+	numTracks
+)
+
+var trackNames = [numTracks]string{"driver", "dma", "gpu"}
+
+// String names the track.
+func (t Track) String() string {
+	if int(t) >= len(trackNames) {
+		return fmt.Sprintf("track(%d)", int(t))
+	}
+	return trackNames[t]
+}
+
+// TrackOf returns the track a span kind renders on.
+func TrackOf(k Kind) Track {
+	switch k {
+	case SpanDMAH2D, SpanDMAD2H, SpanDMAFailed:
+		return TrackDMA
+	case SpanStall, SpanCoalesce:
+		return TrackGPU
+	default:
+		return TrackDriver
+	}
+}
+
+// Span is one completed interval on the simulated clock. Spans are
+// emitted whole (begin and end known at emission) because every simulated
+// cost is scheduled as "charge d, continue at now+d"; there is no
+// open-span state to keep on the hot path.
+type Span struct {
+	Kind  Kind
+	Start sim.Time
+	End   sim.Time
+	// Batch is the driver batch sequence number the span belongs to
+	// (0 when the span is outside any batch).
+	Batch uint64
+	// Arg carries the kind-specific magnitude: entries fetched, pages
+	// migrated, bytes transferred, originating SM, ...
+	Arg int64
+}
+
+// Duration returns the span's extent.
+func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// Sink consumes spans as they are emitted. Implementations are called
+// from the single-threaded simulation loop and need no locking.
+type Sink interface {
+	Span(Span)
+}
+
+// Tracer emits spans into a sink. A nil *Tracer is the disabled state:
+// every method returns immediately, allocates nothing, and the compiler
+// can inline the nil check, so components carry an optional tracer
+// without call-site guards.
+type Tracer struct {
+	sink Sink
+	n    uint64
+}
+
+// NewTracer returns a tracer over sink; a nil sink yields a nil tracer
+// so the disabled fast path is uniform.
+func NewTracer(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink}
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emitted returns the number of spans emitted.
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Emit records one completed span. Safe on a nil receiver (no-op). All
+// arguments are scalars so the disabled path allocates nothing.
+func (t *Tracer) Emit(kind Kind, start, end sim.Time, batch uint64, arg int64) {
+	if t == nil {
+		return
+	}
+	t.n++
+	t.sink.Span(Span{Kind: kind, Start: start, End: end, Batch: batch, Arg: arg})
+}
+
+// MemorySink accumulates spans in emission order.
+type MemorySink struct {
+	spans []Span
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Span implements Sink.
+func (m *MemorySink) Span(s Span) { m.spans = append(m.spans, s) }
+
+// Spans returns the recorded spans in emission order.
+func (m *MemorySink) Spans() []Span { return m.spans }
+
+// PhaseTotals sums span durations grouped by PhaseOf. The result
+// reconciles exactly with the driver's stats.Breakdown for the same run.
+func PhaseTotals(spans []Span) stats.Breakdown {
+	var b stats.Breakdown
+	for _, s := range spans {
+		if p, ok := PhaseOf(s.Kind); ok {
+			b.Add(p, s.Duration())
+		}
+	}
+	return b
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+)
+
+func TestNilTracerAllocFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(SpanFetch, 10, 20, 1, 64)
+	}); n != 0 {
+		t.Errorf("nil tracer Emit allocates %v per call, want 0", n)
+	}
+	var life *Lifecycle
+	if life.Enabled() {
+		t.Fatal("nil lifecycle reports enabled")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		life.Born(1, 10)
+		life.Fetched(1, 20)
+		life.Serviced(1, 30)
+		life.ServicedStale(1, 30)
+		life.Replayed(40)
+		life.Flushed(1)
+	}); n != 0 {
+		t.Errorf("nil lifecycle hooks allocate %v per call, want 0", n)
+	}
+}
+
+func TestNewTracerNilSink(t *testing.T) {
+	if tr := NewTracer(nil); tr != nil {
+		t.Error("NewTracer(nil) should return a nil tracer")
+	}
+}
+
+func TestTracerEmitOrderAndCount(t *testing.T) {
+	sink := NewMemorySink()
+	tr := NewTracer(sink)
+	tr.Emit(SpanFetch, 0, 5, 1, 32)
+	tr.Emit(SpanSort, 5, 8, 1, 32)
+	tr.Emit(SpanDMAH2D, 8, 20, 0, 4096)
+	if got := tr.Emitted(); got != 3 {
+		t.Errorf("Emitted = %d, want 3", got)
+	}
+	spans := sink.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	want := []Kind{SpanFetch, SpanSort, SpanDMAH2D}
+	for i, s := range spans {
+		if s.Kind != want[i] {
+			t.Errorf("span %d kind = %v, want %v", i, s.Kind, want[i])
+		}
+	}
+	if d := spans[2].Duration(); d != 12 {
+		t.Errorf("duration = %v, want 12", d)
+	}
+}
+
+func TestEveryKindHasNameTrackAndPhaseRule(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		tr := TrackOf(k)
+		if strings.HasPrefix(tr.String(), "track(") {
+			t.Errorf("kind %v maps to unnamed track %d", k, int(tr))
+		}
+		if p, ok := PhaseOf(k); ok {
+			if tr != TrackDriver {
+				t.Errorf("kind %v charges phase %v but renders off the driver track", k, p)
+			}
+			if p < 0 || p >= stats.Phase(len(stats.Phases())) {
+				t.Errorf("kind %v charges out-of-range phase %d", k, int(p))
+			}
+		}
+	}
+	// DMA and GPU kinds never charge the driver breakdown.
+	for _, k := range []Kind{SpanBatch, SpanDMAH2D, SpanDMAD2H, SpanDMAFailed, SpanStall, SpanCoalesce} {
+		if _, ok := PhaseOf(k); ok {
+			t.Errorf("kind %v should not carry a phase charge", k)
+		}
+	}
+}
+
+func TestPhaseTotals(t *testing.T) {
+	spans := []Span{
+		{Kind: SpanFetch, Start: 0, End: 10},
+		{Kind: SpanPoll, Start: 10, End: 12},
+		{Kind: SpanSort, Start: 12, End: 15},
+		{Kind: SpanPMAAlloc, Start: 15, End: 19},
+		{Kind: SpanMigrate, Start: 19, End: 40},
+		{Kind: SpanMap, Start: 40, End: 47},
+		{Kind: SpanFlush, Start: 47, End: 50},
+		{Kind: SpanReplay, Start: 50, End: 52},
+		{Kind: SpanEvict, Start: 52, End: 60},
+		{Kind: SpanBatch, Start: 0, End: 60},   // no charge
+		{Kind: SpanDMAH2D, Start: 20, End: 30}, // no charge
+		{Kind: SpanStall, Start: 0, End: 55},   // no charge
+	}
+	b := PhaseTotals(spans)
+	wants := map[stats.Phase]sim.Duration{
+		stats.PhasePreprocess: 15,
+		stats.PhasePMAAlloc:   4,
+		stats.PhaseMigrate:    21,
+		stats.PhaseMap:        7,
+		stats.PhaseReplay:     5,
+		stats.PhaseEvict:      8,
+	}
+	for p, want := range wants {
+		if got := b.Get(p); got != want {
+			t.Errorf("phase %v = %v, want %v", p, got, want)
+		}
+	}
+	if b.Total() != 60 {
+		t.Errorf("total = %v, want 60", b.Total())
+	}
+}
+
+func TestRegistryHandlesAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("zeta")
+	c.Inc(3)
+	if r.Counter("zeta") != c {
+		t.Error("re-registering a counter should return the same handle")
+	}
+	g := r.Gauge("alpha")
+	g.Set(7)
+	h := r.Histogram("mid")
+	h.Observe(100)
+	h.Observe(300)
+
+	samples := r.Samples()
+	names := make([]string, len(samples))
+	for i, s := range samples {
+		names[i] = s.Name
+	}
+	if names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Errorf("snapshot order = %v, want name-sorted", names)
+	}
+	if samples[2].Value != 3 || samples[2].Kind != KindCounter {
+		t.Errorf("counter sample = %+v", samples[2])
+	}
+	if samples[1].Value != 2 || samples[1].Hist == nil {
+		t.Errorf("histogram sample = %+v", samples[1])
+	}
+
+	set := r.CounterSet()
+	if set.Get("zeta") != 3 || set.Get("alpha") != 7 {
+		t.Errorf("CounterSet: zeta=%d alpha=%d", set.Get("zeta"), set.Get("alpha"))
+	}
+}
+
+func TestRegistryCrossKindPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering gauge over counter name should panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestRegistryWriteCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("faults").Inc(5)
+	r.Histogram("batch_ns").Observe(1000)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 rows:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "name,kind,value,mean_ns,p50_ns,p99_ns,max_ns" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "batch_ns,histogram,1,1000,") {
+		t.Errorf("histogram row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "faults,counter,5,") {
+		t.Errorf("counter row = %q", lines[2])
+	}
+}
+
+func TestLifecycleConservationPaths(t *testing.T) {
+	l := NewLifecycle()
+	// Fault 1: full path, replayed.
+	l.Born(1, 0)
+	l.Fetched(1, 10)
+	l.Serviced(1, 30)
+	// Fault 2: stale duplicate, terminal at service.
+	l.Born(2, 5)
+	l.Fetched(2, 10)
+	l.ServicedStale(2, 30)
+	// Fault 3: discarded by a buffer flush.
+	l.Born(3, 8)
+	l.Flushed(3)
+	l.Replayed(50)
+
+	born, fetched, serviced, replayed, stale, flushed := l.Counts()
+	if born != 3 || fetched != 2 || serviced != 2 || replayed != 1 || stale != 1 || flushed != 1 {
+		t.Errorf("counts: born=%d fetched=%d serviced=%d replayed=%d stale=%d flushed=%d",
+			born, fetched, serviced, replayed, stale, flushed)
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Errorf("conservation: %v", err)
+	}
+	if err := l.Final(); err != nil {
+		t.Errorf("final: %v", err)
+	}
+	if got := l.BirthToReplay().Count(); got != 1 {
+		t.Errorf("birth_to_replay count = %d, want 1", got)
+	}
+	if got := l.BirthToReplay().Max(); got != 50 {
+		t.Errorf("birth_to_replay max = %v, want 50", got)
+	}
+	if got := l.FetchToService().Count(); got != 2 {
+		t.Errorf("fetch_to_service count = %d, want 2 (includes stale)", got)
+	}
+}
+
+func TestLifecycleFinalRejectsLiveFaults(t *testing.T) {
+	l := NewLifecycle()
+	l.Born(1, 0)
+	if err := l.CheckConservation(); err != nil {
+		t.Errorf("one live fault still conserves: %v", err)
+	}
+	if err := l.Final(); err == nil {
+		t.Error("Final should reject a still-live fault")
+	}
+}
+
+func TestLatencyLine(t *testing.T) {
+	var h stats.Histogram
+	h.Observe(1000)
+	line := LatencyLine("birth_to_replay", &h)
+	if !strings.Contains(line, "birth_to_replay") || !strings.Contains(line, "n=1") {
+		t.Errorf("latency line = %q", line)
+	}
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+)
+
+// The metrics registry replaces the ad-hoc string-keyed counter map the
+// driver grew organically (dma_*, forced_replays, faultbuf_*): metrics
+// are registered once, held as typed handles, and updated by direct
+// field increment — cheaper than a map probe on the simulation hot path
+// — while every consumer iterates one deterministic, name-sorted
+// snapshot.
+
+// MetricKind distinguishes registry entry types.
+type MetricKind uint8
+
+// Registry entry types.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the metric kind for exports.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metrickind(%d)", int(k))
+	}
+}
+
+// Counter is a monotonically increasing count. Update via the handle;
+// no lookup happens after registration.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds delta.
+func (c *Counter) Inc(delta uint64) { c.v += delta }
+
+// Get returns the current value.
+func (c *Counter) Get() uint64 { return c.v }
+
+// Gauge is an absolute value mirrored from another component (e.g. the
+// fault buffer's cumulative drop tally) or a level that can move both
+// ways.
+type Gauge struct {
+	name string
+	v    uint64
+}
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v uint64) { g.v = v }
+
+// Get returns the current value.
+func (g *Gauge) Get() uint64 { return g.v }
+
+// HistogramMetric is a named latency/size distribution.
+type HistogramMetric struct {
+	name string
+	h    stats.Histogram
+}
+
+// Name returns the registered name.
+func (h *HistogramMetric) Name() string { return h.name }
+
+// Observe records one observation.
+func (h *HistogramMetric) Observe(d sim.Duration) { h.h.Observe(d) }
+
+// Hist exposes the underlying distribution.
+func (h *HistogramMetric) Hist() *stats.Histogram { return &h.h }
+
+// Registry holds named typed metrics with deterministic iteration order
+// (sorted by name at snapshot time). Names must be unique across all
+// three kinds; re-registering a name returns the existing handle so
+// components can share metrics without coordination.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*HistogramMetric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*HistogramMetric),
+	}
+}
+
+// Counter registers (or returns the existing) counter with this name.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.mustBeFree(name, KindCounter)
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge with this name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.mustBeFree(name, KindGauge)
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram with this name.
+func (r *Registry) Histogram(name string) *HistogramMetric {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.mustBeFree(name, KindHistogram)
+	h := &HistogramMetric{name: name}
+	r.hists[name] = h
+	return h
+}
+
+// mustBeFree panics when name is already registered under another kind:
+// a metric changing type between call sites is a programming bug that
+// would silently split its data.
+func (r *Registry) mustBeFree(name string, want MetricKind) {
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.hists[name]
+	if c || g || h {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v", name, want))
+	}
+}
+
+// Sample is one snapshot row.
+type Sample struct {
+	Name  string
+	Kind  MetricKind
+	Value uint64           // counter/gauge value; histogram count
+	Hist  *stats.Histogram // set for histograms only
+}
+
+// Samples returns a deterministic snapshot: every metric, sorted by name.
+func (r *Registry) Samples() []Sample {
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, c := range r.counters {
+		out = append(out, Sample{Name: c.name, Kind: KindCounter, Value: c.v})
+	}
+	for _, g := range r.gauges {
+		out = append(out, Sample{Name: g.name, Kind: KindGauge, Value: g.v})
+	}
+	for _, h := range r.hists {
+		out = append(out, Sample{Name: h.name, Kind: KindHistogram, Value: h.h.Count(), Hist: &h.h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CounterSet renders counters and gauges as the legacy stats.CounterSet
+// so existing consumers (run-result deltas, experiment tables, chaos
+// verdicts) keep working unchanged during the migration.
+func (r *Registry) CounterSet() *stats.CounterSet {
+	set := stats.NewCounterSet()
+	for _, c := range r.counters {
+		set.Set(c.name, c.v)
+	}
+	for _, g := range r.gauges {
+		set.Set(g.name, g.v)
+	}
+	return set
+}
+
+// WriteCSV emits the snapshot as "name,kind,value,mean_ns,p50_ns,p99_ns,
+// max_ns" rows (distribution columns empty for scalars). The csv.Writer
+// error is checked after Flush so a failed underlying write surfaces
+// instead of being dropped.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "kind", "value", "mean_ns", "p50_ns", "p99_ns", "max_ns"}); err != nil {
+		return err
+	}
+	for _, s := range r.Samples() {
+		row := []string{s.Name, s.Kind.String(), strconv.FormatUint(s.Value, 10), "", "", "", ""}
+		if s.Hist != nil {
+			row[3] = strconv.FormatInt(int64(s.Hist.Mean()), 10)
+			row[4] = strconv.FormatInt(int64(s.Hist.Quantile(0.5)), 10)
+			row[5] = strconv.FormatInt(int64(s.Hist.Quantile(0.99)), 10)
+			row[6] = strconv.FormatInt(int64(s.Hist.Max()), 10)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,64 @@
+// Package prof attaches runtime/pprof CPU and heap profiling to the
+// CLIs behind uniform -cpuprofile/-memprofile flags.
+//
+// Usage:
+//
+//	stop, err := prof.Start(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+//
+// The returned stop function is idempotent and reports its own errors
+// to stderr, so it is safe in defer position even on error paths.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (if non-empty) and arranges
+// for a heap profile to be written to memPath (if non-empty) when the
+// returned stop function runs. Empty paths disable the corresponding
+// profile; Start("", "") returns a no-op stop.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			runtime.GC() // materialize recent allocations in the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

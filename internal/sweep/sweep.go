@@ -19,6 +19,7 @@ import (
 
 	"uvmsim/internal/core"
 	"uvmsim/internal/driver"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/parallel"
 	"uvmsim/internal/stats"
 	"uvmsim/internal/workloads"
@@ -45,6 +46,11 @@ type Spec struct {
 	VABlock []int64
 	// Jobs bounds the worker pool: 1 is strictly serial, <= 0 NumCPU.
 	Jobs int
+	// Obs, when non-nil, collects per-cell spans and metrics. Each cell
+	// registers under its Label, so exports sort identically at every
+	// Jobs value. Lifecycle additionally tracks per-fault latencies.
+	Obs       *obs.Collector
+	Lifecycle bool
 }
 
 // Config is one fully-resolved sweep cell.
@@ -169,6 +175,7 @@ var runConfig = func(s *Spec, c Config) ([]interface{}, error) {
 	cfg.Driver.Policy = c.Replay
 	cfg.Driver.BatchSize = c.Batch
 	cfg.VABlockSize = c.VABlock
+	cfg.Obs = obs.Options{Collector: s.Obs, Label: c.Label(s), Lifecycle: s.Lifecycle}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err

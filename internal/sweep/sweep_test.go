@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"uvmsim/internal/obs"
 	"uvmsim/internal/parallel"
 )
 
@@ -154,6 +155,48 @@ func TestSweepConfigOrder(t *testing.T) {
 		if c.Footprint != wantFoot[i] || c.Prefetch != wantPf[i] {
 			t.Errorf("config[%d] = {%g %s}, want {%g %s}",
 				i, c.Footprint, c.Prefetch, wantFoot[i], wantPf[i])
+		}
+	}
+}
+
+// Observability exports must also be byte-identical at every worker
+// count: cells register with the collector in completion order, but
+// exports sort by label.
+func TestSweepObsDeterministicAcrossJobs(t *testing.T) {
+	capture := func(jobs int) (trace, spans, metrics []byte) {
+		s := smallSpec()
+		s.Jobs = jobs
+		s.Obs = obs.NewCollector()
+		s.Lifecycle = true
+		if _, err := s.Run(); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var tr, sp, me bytes.Buffer
+		if err := s.Obs.WriteChromeTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Obs.WriteSpanCSV(&sp); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Obs.WriteMetricsCSV(&me); err != nil {
+			t.Fatal(err)
+		}
+		return tr.Bytes(), sp.Bytes(), me.Bytes()
+	}
+	trace1, spans1, metrics1 := capture(1)
+	if len(trace1) == 0 || len(spans1) == 0 || len(metrics1) == 0 {
+		t.Fatal("empty exports from serial sweep")
+	}
+	for _, jobs := range []int{4, 8} {
+		traceN, spansN, metricsN := capture(jobs)
+		if !bytes.Equal(trace1, traceN) {
+			t.Errorf("jobs=%d chrome trace differs from serial", jobs)
+		}
+		if !bytes.Equal(spans1, spansN) {
+			t.Errorf("jobs=%d span CSV differs from serial", jobs)
+		}
+		if !bytes.Equal(metrics1, metricsN) {
+			t.Errorf("jobs=%d metrics CSV differs from serial", jobs)
 		}
 	}
 }

@@ -8,6 +8,7 @@ package xfer
 import (
 	"fmt"
 
+	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
 )
 
@@ -57,6 +58,7 @@ type Link struct {
 	cfg   LinkConfig
 	free  [2]sim.Time // earliest time each direction is idle
 	fault FaultHook   // optional transient-failure injection
+	tr    *obs.Tracer // optional span tracing; nil when disabled
 
 	// Totals for reporting.
 	bytes    [2]int64
@@ -90,6 +92,18 @@ func (l *Link) TransferTime(bytes int64) sim.Duration {
 // failure injector consulted by Attempt.
 func (l *Link) SetFaultHook(h FaultHook) { l.fault = h }
 
+// SetTracer installs (or, with nil, removes) span tracing of every
+// transaction on the link's DMA track.
+func (l *Link) SetTracer(t *obs.Tracer) { l.tr = t }
+
+// spanKind maps a direction to its DMA span kind.
+func spanKind(dir Direction) obs.Kind {
+	if dir == HostToDevice {
+		return obs.SpanDMAH2D
+	}
+	return obs.SpanDMAD2H
+}
+
 // Attempt tries to schedule a transfer of size bytes in direction dir,
 // starting no earlier than notBefore. When the fault hook fails the
 // attempt, the channel is still occupied for the transaction setup
@@ -109,6 +123,7 @@ func (l *Link) Attempt(dir Direction, bytes int64, attempt int, notBefore sim.Ti
 		l.free[dir] = end
 		l.busy[dir] += l.cfg.TransactionLatency
 		l.failures[dir]++
+		l.tr.Emit(obs.SpanDMAFailed, start, end, 0, bytes)
 		return end, false
 	}
 	d := l.TransferTime(bytes)
@@ -117,6 +132,7 @@ func (l *Link) Attempt(dir Direction, bytes int64, attempt int, notBefore sim.Ti
 	l.bytes[dir] += bytes
 	l.txns[dir]++
 	l.busy[dir] += d
+	l.tr.Emit(spanKind(dir), start, end, 0, bytes)
 	return end, true
 }
 
@@ -134,6 +150,7 @@ func (l *Link) Enqueue(dir Direction, bytes int64, done func(at sim.Time)) sim.T
 	l.bytes[dir] += bytes
 	l.txns[dir]++
 	l.busy[dir] += d
+	l.tr.Emit(spanKind(dir), start, end, 0, bytes)
 	if done != nil {
 		l.eng.At(end, func() { done(end) })
 	}
@@ -156,6 +173,7 @@ func (l *Link) EnqueueStream(dir Direction, bytes int64) sim.Time {
 	l.bytes[dir] += bytes
 	l.txns[dir]++
 	l.busy[dir] += d
+	l.tr.Emit(spanKind(dir), start, end, 0, bytes)
 	return end
 }
 
