@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench allocguard chaos clean
+.PHONY: check build vet test race bench allocguard chaos resumecheck clean
 
 # The full verification gate: compile everything, vet, run the test
 # suite under the race detector, and hold the observability layer to its
@@ -14,10 +14,10 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 15m ./...
 
 # Every benchmark with allocation counts: paper-artifact regeneration
 # benches at the repo root plus the engine/microbenchmarks. Numbers are
@@ -35,6 +35,11 @@ allocguard:
 # exits non-zero if any cell fails to converge.
 chaos:
 	$(GO) run ./cmd/uvmchaos
+
+# Kill-and-resume gate: SIGINT uvmsweep mid-run, resume from its journal,
+# diff against an uninterrupted run at -jobs 1/4/8.
+resumecheck:
+	sh scripts/resume_check.sh
 
 clean:
 	$(GO) clean ./...

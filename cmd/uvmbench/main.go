@@ -19,7 +19,9 @@ import (
 	"strings"
 	"time"
 
+	"uvmsim/internal/atomicio"
 	"uvmsim/internal/exp"
+	"uvmsim/internal/govern"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/prof"
 	"uvmsim/internal/stats"
@@ -45,6 +47,8 @@ func run() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the host process to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the host process to this file on exit")
 	)
+	var gf govern.Flags
+	gf.Register()
 	flag.Parse()
 
 	if *list {
@@ -55,7 +59,7 @@ func run() int {
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "uvmbench: -exp <id> required (use -list to enumerate)")
-		return 2
+		return govern.ExitUsage
 	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -64,22 +68,25 @@ func run() int {
 	}
 	defer stopProf()
 
-	sc := exp.Scale{GPUMemoryBytes: *gpuMB << 20, Seed: *seed, Quick: *quick, Jobs: *jobs}
+	sc := exp.Scale{GPUMemoryBytes: *gpuMB << 20, Seed: *seed, Quick: *quick, Jobs: *jobs, Budget: gf.Budget()}
 	if *traceOut != "" || *metricsOut != "" {
 		sc.Obs = obs.NewCollector()
 		sc.Lifecycle = true
 	}
 
+	ctx, stop := gf.Context()
+	defer stop()
 	ids := []string{*expID}
 	if *expID == "all" {
 		ids = exp.ExperimentIDs()
 	}
 	for _, id := range ids {
 		start := time.Now()
-		tables, err := exp.Run(id, sc)
+		tables, err := exp.RunContext(ctx, id, sc)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uvmbench: %s: %v\n", id, err)
-			return 1
+			st := govern.StatusOf(err)
+			fmt.Fprintf(os.Stderr, "uvmbench: %s: %s: %v\n", id, st.State, err)
+			return govern.ExitCode(st.State)
 		}
 		for i, tb := range tables {
 			if err := emit(tb, id, i, *csvOut, *jsonOut, *outDir); err != nil {
@@ -99,35 +106,22 @@ func run() int {
 }
 
 // exportObs writes the collected spans and metrics to their destination
-// files (empty path = skip).
+// files (empty path = skip). Writes are atomic: an existing export is
+// never left truncated by a crash mid-write.
 func exportObs(c *obs.Collector, tracePath, metricsPath string) error {
 	if tracePath != "" {
-		if err := writeFile(tracePath, c.WriteChromeTrace); err != nil {
+		if err := atomicio.WriteFile(tracePath, c.WriteChromeTrace); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "# wrote %s (%d cells)\n", tracePath, len(c.Cells()))
 	}
 	if metricsPath != "" {
-		if err := writeFile(metricsPath, c.WriteMetricsCSV); err != nil {
+		if err := atomicio.WriteFile(metricsPath, c.WriteMetricsCSV); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "# wrote %s\n", metricsPath)
 	}
 	return nil
-}
-
-// writeFile creates path, streams write into it, and propagates Close
-// errors so a full disk is reported rather than silently truncating.
-func writeFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func emit(tb *stats.Table, id string, idx int, csv, asJSON bool, outDir string) error {
@@ -165,7 +159,7 @@ func emit(tb *stats.Table, id string, idx int, csv, asJSON bool, outDir string) 
 		name = fmt.Sprintf("%s_%d", id, idx)
 	}
 	path := filepath.Join(outDir, name+"."+ext)
-	if err := writeFile(path, write); err != nil {
+	if err := atomicio.WriteFile(path, write); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "# wrote %s (%s)\n", path, strings.TrimSpace(tb.Title))

@@ -22,6 +22,7 @@ import (
 
 	"uvmsim/internal/chaos"
 	"uvmsim/internal/driver"
+	"uvmsim/internal/govern"
 	"uvmsim/internal/inject"
 	"uvmsim/internal/prof"
 	"uvmsim/internal/sim"
@@ -50,6 +51,8 @@ func run() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the host process to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the host process to this file on exit")
 	)
+	var gf govern.Flags
+	gf.Register()
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
@@ -63,6 +66,7 @@ func run() int {
 		FootprintFrac:  *footprint,
 		Workloads:      splitList(*workloadsF),
 		Jobs:           *jobs,
+		Budget:         gf.Budget(),
 		Inject: inject.Config{
 			Enabled:        true,
 			DropProb:       *drop,
@@ -91,18 +95,28 @@ func run() int {
 		camp.Seeds = append(camp.Seeds, seed)
 	}
 
-	cells, err := chaos.Run(camp)
+	ctx, stop := gf.Context()
+	defer stop()
+	cells, err := chaos.RunContext(ctx, camp)
 	if err != nil {
-		return fail(err)
+		st := govern.StatusOf(err)
+		fmt.Fprintf(os.Stderr, "uvmchaos: %s: %v\n", st.State, err)
+		return govern.ExitCode(st.State)
 	}
 
 	fmt.Printf("%-10s %-10s %-5s %8s %9s %9s %7s %7s %7s %7s %6s  %s\n",
 		"workload", "policy", "seed", "pages", "base_flt", "inj_flt",
 		"drops", "dups", "dma", "forced", "slow", "verdict")
-	failed := 0
+	failed, budgeted := 0, 0
 	for _, c := range cells {
 		verdict := "ok"
-		if !c.Converged {
+		switch {
+		case c.Status == govern.StateDeadline || c.Status == govern.StateLivelock:
+			// Stopped by a run budget, not a convergence failure: report
+			// the governance verdict instead of a misleading FAIL.
+			verdict = string(c.Status)
+			budgeted++
+		case !c.Converged:
 			verdict = "FAIL"
 			failed++
 		}
@@ -130,11 +144,15 @@ func run() int {
 		}
 	}
 	fmt.Printf("\n%d/%d cells converged (identical serviced page totals, zero invariant violations)\n",
-		len(cells)-failed, len(cells))
+		len(cells)-failed-budgeted, len(cells))
 	if failed > 0 {
-		return 1
+		return govern.ExitFailure
 	}
-	return 0
+	if budgeted > 0 {
+		fmt.Fprintf(os.Stderr, "uvmchaos: %d cells stopped by budget\n", budgeted)
+		return govern.ExitBudget
+	}
+	return govern.ExitOK
 }
 
 func splitList(s string) []string {

@@ -18,12 +18,17 @@ import (
 
 	"uvmsim/internal/analyze"
 	"uvmsim/internal/core"
+	"uvmsim/internal/govern"
 	"uvmsim/internal/plot"
 	"uvmsim/internal/trace"
 	"uvmsim/internal/workloads"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		workload  = flag.String("workload", "regular", "workload name")
 		gpuMB     = flag.Int64("gpu-mem", 96, "GPU framebuffer in MiB")
@@ -36,30 +41,37 @@ func main() {
 		noChart   = flag.Bool("no-chart", false, "skip the ASCII scatter")
 		counters  = flag.Bool("counters", true, "print the driver event counters")
 	)
+	var gf govern.Flags
+	gf.Register()
 	flag.Parse()
+
+	ctx, stop := gf.Context()
+	defer stop()
 
 	cfg := core.DefaultConfig(*gpuMB << 20)
 	cfg.Seed = *seed
 	cfg.PrefetchPolicy = *prefetch
 	cfg.EvictPolicy = *evictPol
 	cfg.TraceCapacity = -1
+	cfg.Cancel = govern.WatchContext(ctx)
+	cfg.Budget = gf.Budget()
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	builder, err := workloads.Get(*workload)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	p := workloads.DefaultParams()
 	p.Seed = *seed + 100
 	k, err := builder(sys, int64(*footprint*float64(*gpuMB<<20)), p)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	res, err := sys.RunUVM(k)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	fmt.Printf("%s: %.0f%% of %d MiB GPU, prefetch=%s, evict=%s\n",
@@ -86,14 +98,14 @@ func main() {
 
 	rep, err := analyze.Analyze(sys.Trace(), sys.Space())
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if err := rep.Table("workload analysis").WriteText(os.Stdout); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	fmt.Println()
 	if err := rep.RangeTable().WriteText(os.Stdout); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	hot := analyze.HotBlocks(sys.Trace(), 5)
@@ -108,6 +120,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(scatter(sys, *width, *height))
 	}
+	return govern.ExitOK
 }
 
 // scatter renders the Fig. 7/8-style access pattern: fault occurrence
@@ -147,7 +160,10 @@ func maxInt(a, b int) int {
 	return b
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "uvmreport:", err)
-	os.Exit(1)
+// fatal classifies err through the governance taxonomy: a SIGINT exits
+// 130 and a tripped budget exits 3 instead of a generic 1.
+func fatal(err error) int {
+	st := govern.StatusOf(err)
+	fmt.Fprintf(os.Stderr, "uvmreport: %s: %v\n", st.State, err)
+	return govern.ExitCode(st.State)
 }

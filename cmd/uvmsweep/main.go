@@ -19,11 +19,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"uvmsim/internal/atomicio"
+	"uvmsim/internal/govern"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/prof"
 	"uvmsim/internal/sweep"
@@ -48,11 +49,20 @@ func run() int {
 		csvOut     = flag.Bool("csv", false, "emit CSV")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON with one process per sweep cell (load in Perfetto)")
 		metricsOut = flag.String("metrics", "", "write every cell's metrics registry as CSV to this file")
+		journalF   = flag.String("journal", "", "append every cell's outcome to this crash-safe JSONL journal")
+		resume     = flag.Bool("resume", false, "replay -journal before running: completed cells are skipped, unfinished cells run")
+		retries    = flag.Int("retries", 0, "retries per transiently-failed cell (bounded exponential backoff)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the host process to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the host process to this file on exit")
 	)
+	var gf govern.Flags
+	gf.Register()
 	flag.Parse()
 
+	if *resume && *journalF == "" {
+		fmt.Fprintln(os.Stderr, "uvmsweep: -resume requires -journal")
+		return govern.ExitUsage
+	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return fail(err)
@@ -87,6 +97,10 @@ func run() int {
 		Batch:          batches,
 		VABlock:        vbBytes,
 		Jobs:           *jobs,
+		Budget:         gf.Budget(),
+		Retries:        *retries,
+		Journal:        *journalF,
+		Resume:         *resume,
 	}
 	if *traceOut != "" || *metricsOut != "" {
 		s.Obs = obs.NewCollector()
@@ -96,47 +110,70 @@ func run() int {
 	if err := s.Validate(); err != nil {
 		return fail(err)
 	}
-	t, err := s.Run()
-	if err != nil {
-		return fail(err)
-	}
-	if *csvOut {
-		err = t.WriteCSV(os.Stdout)
-	} else {
-		err = t.WriteText(os.Stdout)
-	}
-	if err != nil {
-		return fail(err)
-	}
-	if s.Obs != nil {
-		if *traceOut != "" {
-			if err := writeFile(*traceOut, s.Obs.WriteChromeTrace); err != nil {
-				return fail(err)
-			}
-			fmt.Fprintf(os.Stderr, "# wrote %s (%d cells)\n", *traceOut, len(s.Obs.Cells()))
-		}
-		if *metricsOut != "" {
-			if err := writeFile(*metricsOut, s.Obs.WriteMetricsCSV); err != nil {
-				return fail(err)
-			}
-			fmt.Fprintf(os.Stderr, "# wrote %s\n", *metricsOut)
+
+	ctx, stop := gf.Context()
+	defer stop()
+	res, runErr := s.RunContext(ctx)
+	// Flush everything that finished even when the sweep was stopped: the
+	// journal already holds the cell outcomes, and partial artifacts are
+	// what -resume builds on.
+	if res != nil {
+		if err := flush(res, s, *csvOut, *traceOut, *metricsOut); err != nil {
+			return fail(err)
 		}
 	}
-	return 0
+	if runErr != nil {
+		st := govern.StatusOf(runErr)
+		fmt.Fprintf(os.Stderr, "uvmsweep: %s: %v\n", st.State, runErr)
+		if st.State == govern.StateCancelled && *journalF != "" {
+			fmt.Fprintf(os.Stderr, "uvmsweep: resume with: -resume -journal %s\n", *journalF)
+		}
+		return govern.ExitCode(st.State)
+	}
+	counts := res.Counts()
+	if n := counts[govern.StateDeadline] + counts[govern.StateLivelock]; n > 0 {
+		fmt.Fprintf(os.Stderr, "uvmsweep: %d cells stopped by budget (deadline=%d livelock=%d)\n",
+			n, counts[govern.StateDeadline], counts[govern.StateLivelock])
+		return govern.ExitBudget
+	}
+	return govern.ExitOK
 }
 
-// writeFile creates path, streams write into it, and propagates Close
-// errors so a full disk is reported rather than silently truncating.
-func writeFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
+// flush writes the result table to stdout and the observability exports
+// to their files atomically, restricting exports to completed cells so
+// partial captures from stopped or retried attempts never pollute them.
+func flush(res *sweep.Result, s *sweep.Spec, csvOut bool, traceOut, metricsOut string) error {
+	var err error
+	if csvOut {
+		err = res.Table.WriteCSV(os.Stdout)
+	} else {
+		err = res.Table.WriteText(os.Stdout)
+	}
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
+	if res.Reused > 0 || res.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "# %d cells reused from journal, %d skipped\n", res.Reused, res.Skipped)
 	}
-	return f.Close()
+	if s.Obs == nil {
+		return nil
+	}
+	done := s.Obs.Filter(func(c *obs.Cell) bool {
+		return c.Status() == string(govern.StateCompleted)
+	})
+	if traceOut != "" {
+		if err := atomicio.WriteFile(traceOut, done.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s (%d cells)\n", traceOut, len(done.Cells()))
+	}
+	if metricsOut != "" {
+		if err := atomicio.WriteFile(metricsOut, done.WriteMetricsCSV); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", metricsOut)
+	}
+	return nil
 }
 
 func splitList(s string) []string {

@@ -19,13 +19,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"sort"
 	"strings"
 
+	"uvmsim/internal/atomicio"
 	"uvmsim/internal/core"
 	"uvmsim/internal/driver"
+	"uvmsim/internal/govern"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/prof"
 	"uvmsim/internal/sim"
@@ -51,6 +52,8 @@ func run() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the host process to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile of the host process to this file on exit")
 	)
+	var gf govern.Flags
+	gf.Register()
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
@@ -68,27 +71,34 @@ func run() int {
 		policies = append(policies, p)
 	}
 
+	ctx, stop := gf.Context()
+	defer stop()
+	gov := governance{cancel: govern.WatchContext(ctx), budget: gf.Budget()}
+
 	collector := obs.NewCollector()
 	for _, pol := range policies {
-		if err := traceOne(collector, *workload, *gpuMB<<20, *footprint, *prefetch, pol, *seed); err != nil {
-			return fail(err)
+		if err := ctx.Err(); err != nil {
+			return failGoverned(err)
+		}
+		if err := traceOne(collector, gov, *workload, *gpuMB<<20, *footprint, *prefetch, pol, *seed); err != nil {
+			return failGoverned(err)
 		}
 	}
 
 	if *traceOut != "" {
-		if err := writeFile(*traceOut, collector.WriteChromeTrace); err != nil {
+		if err := atomicio.WriteFile(*traceOut, collector.WriteChromeTrace); err != nil {
 			return fail(err)
 		}
 		fmt.Printf("wrote %s (%d cells; load in Perfetto or chrome://tracing)\n", *traceOut, len(collector.Cells()))
 	}
 	if *spanCSV != "" {
-		if err := writeFile(*spanCSV, collector.WriteSpanCSV); err != nil {
+		if err := atomicio.WriteFile(*spanCSV, collector.WriteSpanCSV); err != nil {
 			return fail(err)
 		}
 		fmt.Printf("wrote %s\n", *spanCSV)
 	}
 	if *metricsOut != "" {
-		if err := writeFile(*metricsOut, collector.WriteMetricsCSV); err != nil {
+		if err := atomicio.WriteFile(*metricsOut, collector.WriteMetricsCSV); err != nil {
 			return fail(err)
 		}
 		fmt.Printf("wrote %s\n", *metricsOut)
@@ -96,15 +106,24 @@ func run() int {
 	return 0
 }
 
+// governance bundles the cancellation flag and run budget stamped onto
+// every traced system.
+type governance struct {
+	cancel *sim.Cancel
+	budget sim.Budget
+}
+
 // traceOne runs the workload once under pol with full instrumentation,
 // prints the timeline and latency summary, and verifies the span stream
 // against the driver's phase breakdown.
-func traceOne(collector *obs.Collector, workload string, gpuBytes int64, footprint float64, prefetch string, pol driver.ReplayPolicy, seed uint64) error {
+func traceOne(collector *obs.Collector, gov governance, workload string, gpuBytes int64, footprint float64, prefetch string, pol driver.ReplayPolicy, seed uint64) error {
 	label := fmt.Sprintf("workload=%s policy=%s footprint=%g seed=%d", workload, pol, footprint, seed)
 	cfg := core.DefaultConfig(gpuBytes)
 	cfg.Seed = seed
 	cfg.PrefetchPolicy = prefetch
 	cfg.Driver.Policy = pol
+	cfg.Cancel = gov.cancel
+	cfg.Budget = gov.budget
 	cfg.Obs = obs.Options{Collector: collector, Label: label, Lifecycle: true}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
@@ -191,21 +210,15 @@ func reconcile(spans []obs.Span, want stats.Breakdown) error {
 	return nil
 }
 
-// writeFile creates path, streams write into it, and propagates Close
-// errors so a full disk is reported rather than silently truncating.
-func writeFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
 func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "uvmtrace:", err)
 	return 1
+}
+
+// failGoverned classifies err through the governance taxonomy so a
+// SIGINT exits 130 and a tripped budget exits 3 instead of a generic 1.
+func failGoverned(err error) int {
+	st := govern.StatusOf(err)
+	fmt.Fprintf(os.Stderr, "uvmtrace: %s: %v\n", st.State, err)
+	return govern.ExitCode(st.State)
 }

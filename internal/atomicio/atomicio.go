@@ -1,0 +1,55 @@
+// Package atomicio writes files so that a crash, SIGKILL, or full disk
+// can never leave a truncated or half-written artifact at the target
+// path: content goes to a temporary file in the same directory, is
+// synced to stable storage, and is renamed over the destination only
+// once it is complete. Readers therefore see either the previous file
+// or the whole new one, never a prefix.
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile streams write into path atomically. On any error the
+// temporary file is removed and the previous content of path (if any)
+// is left untouched. Close and Sync errors are propagated so a full
+// disk is reported rather than silently truncating.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	// CreateTemp creates 0600; published artifacts get the conventional
+	// umask-independent file mode.
+	if err = f.Chmod(0o644); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WriteFileBytes is WriteFile for in-memory content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -10,10 +10,12 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 
 	"uvmsim/internal/core"
 	"uvmsim/internal/driver"
+	"uvmsim/internal/govern"
 	"uvmsim/internal/gpusim"
 	"uvmsim/internal/inject"
 	"uvmsim/internal/mem"
@@ -45,6 +47,13 @@ type Campaign struct {
 	// 1 runs strictly serially, <= 0 selects NumCPU. Each cell owns its
 	// systems and RNG streams, so results are identical at every value.
 	Jobs int
+	// Budget bounds each run's engine in simulated time, event count,
+	// and forward progress; a tripped run fails its cell with a
+	// deadline/livelock status instead of hanging the campaign.
+	Budget sim.Budget
+
+	// cancel is set by RunContext and polled by every run's engine.
+	cancel *sim.Cancel
 }
 
 // DefaultCampaign returns a small all-layers campaign: three workloads
@@ -103,6 +112,10 @@ type Cell struct {
 	// same accesses over the same page set as the baseline, and tripped
 	// zero invariants.
 	Converged bool
+	// Status is the cell's terminal governance state (completed even for
+	// divergence failures — the runs finished; cancelled/deadline/
+	// livelock when governance stopped a run).
+	Status govern.State
 	// Err holds the failure (deadlock, invariant violation, divergence).
 	Err error
 }
@@ -111,6 +124,14 @@ type Cell struct {
 // returned error is non-nil only for setup problems; per-cell failures
 // land in Cell.Err with Converged=false.
 func Run(c Campaign) ([]Cell, error) {
+	return RunContext(context.Background(), c)
+}
+
+// RunContext is Run under a cancellation context: once ctx is cancelled
+// no further cell starts, in-flight runs stop at their next engine poll
+// with Status cancelled, and the cells that finished are returned
+// alongside ctx's error.
+func RunContext(ctx context.Context, c Campaign) ([]Cell, error) {
 	if c.GPUMemoryBytes <= 0 {
 		return nil, fmt.Errorf("chaos: GPUMemoryBytes %d must be positive", c.GPUMemoryBytes)
 	}
@@ -143,10 +164,12 @@ func Run(c Campaign) ([]Cell, error) {
 	// collected by index, so campaign output is deterministic at every
 	// worker count. runCell converts its own panics (invariant
 	// violations) into Cell.Err, so the pool only ever sees success.
-	return parallel.Map(c.Jobs, len(specs), func(i int) (Cell, error) {
+	c.cancel = govern.WatchContext(ctx)
+	cells, _, err := parallel.MapCtx(ctx, c.Jobs, len(specs), func(i int) (Cell, error) {
 		s := specs[i]
 		return runCell(c, s.workload, s.policy, s.seed, inj), nil
 	})
+	return cells, err
 }
 
 // Failures returns the cells that did not converge.
@@ -169,8 +192,10 @@ func runCell(c Campaign, workload string, policy driver.ReplayPolicy, seed uint6
 		if r := recover(); r != nil {
 			if v, ok := r.(*inject.Violation); ok {
 				cell.Err = v
+				cell.Status = govern.StateFailed
 			} else {
 				cell.Err = fmt.Errorf("chaos: cell panicked: %v", r)
+				cell.Status = govern.StatePanicked
 			}
 			cell.Converged = false
 		}
@@ -180,6 +205,7 @@ func runCell(c Campaign, workload string, policy driver.ReplayPolicy, seed uint6
 	baseSys, baseRun, basePages, baseAcc, err := runOne(c, workload, policy, seed, inject.Config{}, bytes)
 	if err != nil {
 		cell.Err = fmt.Errorf("baseline: %w", err)
+		cell.Status = govern.StatusOf(err).State
 		return cell
 	}
 	if injCfg.Seed == 0 {
@@ -190,6 +216,7 @@ func runCell(c Campaign, workload string, policy driver.ReplayPolicy, seed uint6
 	injSys, injRun, injPages, injAcc, err := runOne(c, workload, policy, seed, injCfg, bytes)
 	if err != nil {
 		cell.Err = fmt.Errorf("injected: %w", err)
+		cell.Status = govern.StatusOf(err).State
 		return cell
 	}
 
@@ -211,6 +238,8 @@ func runCell(c Campaign, workload string, policy driver.ReplayPolicy, seed uint6
 	default:
 		cell.Converged = true
 	}
+	// Both runs finished; divergence is a verdict, not a governance stop.
+	cell.Status = govern.StateCompleted
 	return cell
 }
 
@@ -222,6 +251,8 @@ func runOne(c Campaign, workload string, policy driver.ReplayPolicy, seed uint64
 	cfg.Seed = seed
 	cfg.Driver.Policy = policy
 	cfg.Inject = injCfg
+	cfg.Cancel = c.cancel
+	cfg.Budget = c.Budget
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, nil, 0, 0, err

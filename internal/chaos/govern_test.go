@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"uvmsim/internal/govern"
+	"uvmsim/internal/sim"
+)
+
+func quickCampaign() Campaign {
+	c := DefaultCampaign()
+	c.Workloads = []string{"regular"}
+	c.Seeds = []uint64{1}
+	c.Jobs = 1
+	return c
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cells, err := RunContext(ctx, quickCampaign())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, c := range cells {
+		if c.Status != "" {
+			t.Fatalf("cell ran under a cancelled context: %+v", c)
+		}
+	}
+}
+
+// Budget-starved campaign cells must fail with a deadline status rather
+// than hanging; the campaign itself still returns every cell.
+func TestCampaignBudgetTrip(t *testing.T) {
+	c := quickCampaign()
+	c.Budget = sim.Budget{MaxEvents: 50}
+	cells, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		if cell.Converged {
+			t.Fatalf("budget-starved cell converged: %+v", cell)
+		}
+		if cell.Status != govern.StateDeadline {
+			t.Fatalf("cell status = %v, want deadline", cell.Status)
+		}
+	}
+}
+
+// Converged cells must report a completed status.
+func TestCampaignCompletedStatus(t *testing.T) {
+	cells, err := Run(quickCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		if !cell.Converged {
+			t.Fatalf("cell did not converge: %v", cell.Err)
+		}
+		if cell.Status != govern.StateCompleted {
+			t.Fatalf("cell status = %v, want completed", cell.Status)
+		}
+	}
+}

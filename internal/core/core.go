@@ -56,6 +56,12 @@ type Config struct {
 	// collector cell, fault-lifecycle tracking). The zero value disables
 	// it all; the hot path then takes only nil checks.
 	Obs obs.Options
+	// Cancel, when non-nil, is polled by the engine's dispatch loop so a
+	// host-side signal or context can stop the run between events.
+	Cancel *sim.Cancel
+	// Budget bounds the run in simulated time, event count, and forward
+	// progress; the zero value imposes no bounds.
+	Budget sim.Budget
 
 	GPU    gpusim.Config
 	Driver driver.Config
@@ -114,6 +120,12 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine()
+	if cfg.Cancel != nil {
+		eng.SetCancel(cfg.Cancel)
+	}
+	if cfg.Budget.Active() {
+		eng.SetBudget(cfg.Budget)
+	}
 	rng := sim.NewRNG(cfg.Seed)
 	space := mem.NewAddressSpace(geom)
 
@@ -356,6 +368,21 @@ func (s *System) delta(before snapshot, kernelTime, totalTime sim.Duration) *Run
 	return res
 }
 
+// stopErr converts a tripped engine governor into the run's error,
+// stamping a cancel point-span into the capture so a truncated trace
+// carries its own explanation. Nil when no governor tripped.
+func (s *System) stopErr() error {
+	reason := s.eng.StopReason()
+	if reason == sim.StopNone {
+		return nil
+	}
+	now := s.eng.Now()
+	if s.cell != nil {
+		s.cell.Sink.Span(obs.Span{Kind: obs.SpanCancel, Start: now, End: now, Arg: int64(reason)})
+	}
+	return &sim.StopError{Reason: reason, Now: now, Executed: s.eng.Executed()}
+}
+
 // RunUVM executes k under demand paging and returns its measurements.
 func (s *System) RunUVM(k *gpusim.Kernel) (*RunResult, error) {
 	before := s.snap()
@@ -368,6 +395,9 @@ func (s *System) RunUVM(k *gpusim.Kernel) (*RunResult, error) {
 	}
 	s.eng.At(start, launch)
 	s.eng.Run()
+	if err := s.stopErr(); err != nil {
+		return nil, fmt.Errorf("core: kernel %q: %w", k.Name, err)
+	}
 	if doneAt < 0 {
 		return nil, fmt.Errorf("core: kernel %q deadlocked: %d warps blocked, %d buffered faults, driver idle=%v",
 			k.Name, s.gpu.BlockedWarps(), s.gpu.FaultBuffer().Len(), s.drv.Idle())
@@ -424,6 +454,9 @@ func (s *System) Prestage() (sim.Duration, error) {
 		}
 	}
 	s.eng.RunUntil(end)
+	if err := s.stopErr(); err != nil {
+		return 0, fmt.Errorf("core: prestage: %w", err)
+	}
 	return end.Sub(start), nil
 }
 
@@ -443,6 +476,9 @@ func (s *System) RunExplicit(k *gpusim.Kernel) (*RunResult, error) {
 		}
 	})
 	s.eng.Run()
+	if err := s.stopErr(); err != nil {
+		return nil, fmt.Errorf("core: explicit kernel %q: %w", k.Name, err)
+	}
 	if doneAt < 0 {
 		return nil, fmt.Errorf("core: explicit kernel %q did not finish (faulted on unstaged page?)", k.Name)
 	}
@@ -492,5 +528,8 @@ func (s *System) HostRead(r *mem.Range) (sim.Duration, error) {
 		s.evictor.Remove(blk)
 	}
 	s.eng.RunUntil(end)
+	if err := s.stopErr(); err != nil {
+		return 0, fmt.Errorf("core: HostRead(%q): %w", r.Label, err)
+	}
 	return end.Sub(start), nil
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"uvmsim/internal/obs"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/workloads"
+)
+
+// A run whose event budget trips must surface a *sim.StopError instead
+// of hanging or misreporting a deadlock.
+func TestRunUVMStopsOnEventBudget(t *testing.T) {
+	s := newSys(t, 64<<20, noPrefetch, func(c *Config) {
+		c.Budget = sim.Budget{MaxEvents: 500}
+	})
+	k, err := workloads.PageTouchRegular(s, 8<<20, workloads.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.RunUVM(k)
+	var stop *sim.StopError
+	if !errors.As(err, &stop) {
+		t.Fatalf("err = %v, want *sim.StopError", err)
+	}
+	if stop.Reason != sim.StopEventBudget {
+		t.Fatalf("reason = %v, want event budget", stop.Reason)
+	}
+	if s.Engine().Executed() != 500 {
+		t.Fatalf("executed %d events, budget was 500", s.Engine().Executed())
+	}
+}
+
+// Cancellation set before the run starts must stop it within the polling
+// cadence and stamp a cancel span into the capture.
+func TestRunUVMCancelStampsSpan(t *testing.T) {
+	cancel := &sim.Cancel{}
+	col := obs.NewCollector()
+	s := newSys(t, 64<<20, noPrefetch, func(c *Config) {
+		c.Cancel = cancel
+		c.Obs = obs.Options{Collector: col, Label: "cancelled-cell"}
+	})
+	k, err := workloads.PageTouchRegular(s, 8<<20, workloads.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel.Set()
+	_, err = s.RunUVM(k)
+	var stop *sim.StopError
+	if !errors.As(err, &stop) || stop.Reason != sim.StopCancelled {
+		t.Fatalf("err = %v, want cancelled StopError", err)
+	}
+	spans := s.ObsCell().Sink.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans captured")
+	}
+	last := spans[len(spans)-1]
+	if last.Kind != obs.SpanCancel || last.Arg != int64(sim.StopCancelled) {
+		t.Fatalf("last span = %+v, want cancel marker", last)
+	}
+}
+
+// A simulated-time budget must stop the run without the clock passing
+// the deadline.
+func TestRunUVMSimDeadline(t *testing.T) {
+	deadline := sim.Time(50 * sim.Microsecond)
+	s := newSys(t, 64<<20, noPrefetch, func(c *Config) {
+		c.Budget = sim.Budget{SimDeadline: deadline}
+	})
+	k, err := workloads.PageTouchRegular(s, 8<<20, workloads.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.RunUVM(k)
+	var stop *sim.StopError
+	if !errors.As(err, &stop) || stop.Reason != sim.StopSimBudget {
+		t.Fatalf("err = %v, want sim-budget StopError", err)
+	}
+	if s.Engine().Now() > deadline {
+		t.Fatalf("clock %v passed the deadline %v", s.Engine().Now(), deadline)
+	}
+}
+
+// An ungoverned system must be entirely unaffected by the new fields.
+func TestUngovernedRunUnchanged(t *testing.T) {
+	s := newSys(t, 64<<20, noPrefetch)
+	res := runRegular(t, s, 8<<20)
+	if res.Faults == 0 {
+		t.Fatal("run did not execute")
+	}
+	if s.Engine().StopReason() != sim.StopNone {
+		t.Fatalf("stop reason = %v on ungoverned run", s.Engine().StopReason())
+	}
+}

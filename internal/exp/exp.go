@@ -7,11 +7,13 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"uvmsim/internal/core"
+	"uvmsim/internal/govern"
 	"uvmsim/internal/gpusim"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/parallel"
@@ -38,6 +40,14 @@ type Scale struct {
 	Obs *obs.Collector
 	// Lifecycle enables per-fault birth-to-replay tracking in each cell.
 	Lifecycle bool
+	// Budget bounds every cell's engine in simulated time, event count,
+	// and forward progress; the zero value imposes no bounds.
+	Budget sim.Budget
+
+	// ctx and cancel carry RunContext's cancellation into each cell's
+	// pool dequeue check and engine polling respectively.
+	ctx    context.Context
+	cancel *sim.Cancel
 }
 
 // obsOptions stamps the scale's instrumentation selection onto one cell.
@@ -92,10 +102,20 @@ func ExperimentIDs() []string {
 
 // Run executes the named experiment.
 func Run(id string, sc Scale) ([]*stats.Table, error) {
+	return RunContext(context.Background(), id, sc)
+}
+
+// RunContext executes the named experiment under ctx: cancellation stops
+// the cell pool from dequeuing further cells and is polled by every
+// in-flight cell's engine, so a SIGINT tears an experiment down in at
+// most one event's worth of work per worker.
+func RunContext(ctx context.Context, id string, sc Scale) ([]*stats.Table, error) {
 	e, ok := Registry()[id]
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
+	sc.ctx = ctx
+	sc.cancel = govern.WatchContext(ctx)
 	return e(sc)
 }
 
@@ -103,6 +123,8 @@ func Run(id string, sc Scale) ([]*stats.Table, error) {
 func (sc Scale) sysConfig() core.Config {
 	cfg := core.DefaultConfig(sc.GPUMemoryBytes)
 	cfg.Seed = sc.Seed
+	cfg.Cancel = sc.cancel
+	cfg.Budget = sc.Budget
 	return cfg
 }
 
@@ -122,6 +144,14 @@ type cellResult struct {
 
 func runCell(sc Scale, label string, cfg core.Config, build func(*core.System) (*gpusim.Kernel, error)) (*cellResult, error) {
 	cfg.Obs = sc.obsOptions(label)
+	// Experiments that assemble configs without sysConfig still inherit
+	// the scale's governance.
+	if cfg.Cancel == nil {
+		cfg.Cancel = sc.cancel
+	}
+	if !cfg.Budget.Active() {
+		cfg.Budget = sc.Budget
+	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err
@@ -158,12 +188,14 @@ func runWorkloadCell(sc Scale, label string, cfg core.Config, name string, bytes
 // serial path no matter how the pool schedules the work.
 type queue struct {
 	jobs   int
+	ctx    context.Context
 	labels []string
 	tasks  []func() (func(), error)
 }
 
-// newQueue returns an empty cell queue honoring sc.Jobs.
-func (sc Scale) newQueue() *queue { return &queue{jobs: sc.Jobs} }
+// newQueue returns an empty cell queue honoring sc.Jobs and the scale's
+// cancellation context.
+func (sc Scale) newQueue() *queue { return &queue{jobs: sc.Jobs, ctx: sc.ctx} }
 
 // add registers one cell. label names the cell's configuration and seed;
 // it prefixes the error when the cell's goroutine panics, turning a
@@ -179,7 +211,7 @@ func (q *queue) add(label string, task func() (func(), error)) {
 // index first, identical to the serial loop); panics are wrapped with
 // the cell's label.
 func (q *queue) run() error {
-	emits, err := parallel.Map(q.jobs, len(q.tasks), func(i int) (func(), error) {
+	emits, _, err := parallel.MapCtx(q.ctx, q.jobs, len(q.tasks), func(i int) (func(), error) {
 		return q.tasks[i]()
 	})
 	if err != nil {

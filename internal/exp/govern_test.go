@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"uvmsim/internal/govern"
+	"uvmsim/internal/sim"
+)
+
+// A pre-cancelled context must stop an experiment before any cell runs.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := DefaultScale()
+	sc.Quick = true
+	_, err := RunContext(ctx, "fig1", sc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A tight event budget must stop an experiment's cells with a
+// structured StopError rather than hanging or panicking.
+func TestRunContextEventBudgetTrips(t *testing.T) {
+	sc := DefaultScale()
+	sc.Quick = true
+	sc.Budget = sim.Budget{MaxEvents: 100}
+	_, err := RunContext(context.Background(), "fig1", sc)
+	if err == nil {
+		t.Fatal("budget-starved experiment succeeded")
+	}
+	if st := govern.StatusOf(err); st.State != govern.StateDeadline {
+		t.Fatalf("status = %v (%v), want deadline", st.State, err)
+	}
+}
+
+// Run (no context) must behave exactly as before governance existed.
+func TestRunUngovernedUnchanged(t *testing.T) {
+	sc := DefaultScale()
+	sc.Quick = true
+	tables, err := Run("fig1", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		t.Fatal("empty result tables")
+	}
+}

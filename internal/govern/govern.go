@@ -1,0 +1,146 @@
+// Package govern classifies how governed runs terminate and bridges the
+// host world (contexts, signals, CLI flags) to the simulator's
+// cooperative cancellation and budget machinery in internal/sim. Every
+// run in the stack — an experiment cell, a sweep cell, a chaos run —
+// ends with a structured RunStatus instead of an ambiguous error, so
+// sweeps can journal outcomes, retries can distinguish transient
+// failures from deterministic budget trips, and CLIs can exit with
+// meaningful codes.
+package govern
+
+import (
+	"context"
+	"errors"
+
+	"uvmsim/internal/parallel"
+	"uvmsim/internal/sim"
+)
+
+// State is a run's terminal state.
+type State string
+
+// Terminal run states.
+const (
+	// StateCompleted: the run finished normally.
+	StateCompleted State = "completed"
+	// StateCancelled: the run was stopped by SIGINT/SIGTERM, a context,
+	// or the run-level wall-clock deadline.
+	StateCancelled State = "cancelled"
+	// StateDeadline: a deterministic per-run budget (simulated time or
+	// event count) tripped.
+	StateDeadline State = "deadline"
+	// StateLivelock: the no-forward-progress detector tripped.
+	StateLivelock State = "livelock"
+	// StatePanicked: the run's goroutine panicked and was recovered.
+	StatePanicked State = "panicked"
+	// StateFailed: the run returned an ordinary error.
+	StateFailed State = "failed"
+)
+
+// Code returns a stable numeric encoding for metric export.
+func (s State) Code() uint64 {
+	switch s {
+	case StateCompleted:
+		return 0
+	case StateCancelled:
+		return 1
+	case StateDeadline:
+		return 2
+	case StateLivelock:
+		return 3
+	case StatePanicked:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// Retryable reports whether re-running can plausibly change the
+// outcome. Budget trips and livelocks are deterministic functions of
+// the configuration — rerunning reproduces them — and cancellation is
+// an external decision; only panics and ordinary failures may be
+// transient (host OOM, exhausted descriptors) and earn a retry.
+func (s State) Retryable() bool {
+	return s == StatePanicked || s == StateFailed
+}
+
+// RunStatus is the structured outcome every governed run terminates
+// with.
+type RunStatus struct {
+	State State  `json:"state"`
+	Err   string `json:"err,omitempty"`
+}
+
+// StatusOf classifies a run error into a RunStatus. nil is a completed
+// run; engine stop errors map onto cancelled/deadline/livelock; pool
+// panics map to panicked; context cancellation maps to cancelled;
+// everything else is failed.
+func StatusOf(err error) RunStatus {
+	if err == nil {
+		return RunStatus{State: StateCompleted}
+	}
+	var stop *sim.StopError
+	if errors.As(err, &stop) {
+		switch stop.Reason {
+		case sim.StopCancelled:
+			return RunStatus{State: StateCancelled, Err: err.Error()}
+		case sim.StopLivelock:
+			return RunStatus{State: StateLivelock, Err: err.Error()}
+		default:
+			return RunStatus{State: StateDeadline, Err: err.Error()}
+		}
+	}
+	var pe *parallel.PanicError
+	if errors.As(err, &pe) {
+		return RunStatus{State: StatePanicked, Err: err.Error()}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return RunStatus{State: StateCancelled, Err: err.Error()}
+	}
+	return RunStatus{State: StateFailed, Err: err.Error()}
+}
+
+// WatchContext returns a sim.Cancel that is Set when ctx is cancelled,
+// bridging host-side cancellation (signals, deadlines) into every
+// engine polling the flag. A nil or never-cancellable context returns a
+// flag that never fires without spawning a goroutine.
+func WatchContext(ctx context.Context) *sim.Cancel {
+	c := &sim.Cancel{}
+	if ctx == nil || ctx.Done() == nil {
+		return c
+	}
+	if ctx.Err() != nil {
+		c.Set()
+		return c
+	}
+	go func() {
+		<-ctx.Done()
+		c.Set()
+	}()
+	return c
+}
+
+// Exit codes for governed CLIs. Cancellation exits with the
+// conventional 128+SIGINT so wrapping scripts can distinguish "user
+// stopped it" (resumable) from "it failed".
+const (
+	ExitOK        = 0
+	ExitFailure   = 1
+	ExitUsage     = 2
+	ExitBudget    = 3
+	ExitCancelled = 130
+)
+
+// ExitCode maps a terminal state to the CLI exit code contract.
+func ExitCode(s State) int {
+	switch s {
+	case StateCompleted:
+		return ExitOK
+	case StateCancelled:
+		return ExitCancelled
+	case StateDeadline, StateLivelock:
+		return ExitBudget
+	default:
+		return ExitFailure
+	}
+}

@@ -1,0 +1,164 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rec(hash, status string, row []string) Record {
+	r := Record{Label: "label-" + hash, Hash: hash, Seed: 1, Status: status, Attempt: 1, Row: row}
+	if row != nil {
+		r.Digest = RowDigest(row)
+	}
+	return r
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		rec("aaaa", "completed", []string{"50", "none", "1.5"}),
+		rec("bbbb", "deadline", nil),
+		rec("cccc", "completed", []string{"125", "density", "2.75"}),
+	}
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Hash != want[i].Hash || got[i].Status != want[i].Status {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// A crash mid-append tears the final line; Load must return every
+// record before it and silently drop the tail.
+func TestLoadToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, _ := Create(path)
+	w.Append(rec("aaaa", "completed", []string{"1"}))
+	w.Append(rec("bbbb", "completed", []string{"2"}))
+	w.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"label":"torn","hash":"cc`) // no closing brace, no newline
+	f.Close()
+
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d records from torn journal, want 2", len(got))
+	}
+}
+
+// A completed record whose row was damaged on disk must be dropped so
+// the cell reruns instead of emitting corrupt output.
+func TestLoadRejectsBadDigest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, _ := Create(path)
+	good := rec("aaaa", "completed", []string{"1", "2"})
+	bad := rec("bbbb", "completed", []string{"3", "4"})
+	bad.Digest = "0000000000000000"
+	w.Append(good)
+	w.Append(bad)
+	w.Close()
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Hash != "aaaa" {
+		t.Fatalf("Load kept %v, want only the intact record", got)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	got, err := Load(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || got != nil {
+		t.Fatalf("missing journal: %v, %v; want nil, nil", got, err)
+	}
+}
+
+// Open must append to an existing journal (the resume path), and Latest
+// must fold retries last-record-wins.
+func TestOpenAppendsAndLatestWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, _ := Create(path)
+	w.Append(rec("aaaa", "failed", nil))
+	w.Close()
+	w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Append(rec("aaaa", "completed", []string{"ok"}))
+	w2.Append(rec("bbbb", "completed", []string{"ok2"}))
+	w2.Close()
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(recs))
+	}
+	m := Latest(recs)
+	if m["aaaa"].Status != "completed" {
+		t.Errorf("Latest kept %q for retried cell, want the completed retry", m["aaaa"].Status)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, _ := Create(path)
+	w.Append(rec("aaaa", "failed", nil))
+	w.Append(rec("aaaa", "completed", []string{"1"}))
+	w.Close()
+	recs, _ := Load(path)
+	kept := make([]Record, 0, 1)
+	for _, r := range Latest(recs) {
+		kept = append(kept, r)
+	}
+	if err := Compact(path, kept); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Status != "completed" {
+		t.Fatalf("compacted journal = %v", recs)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	if Hash("x") != Hash("x") {
+		t.Error("Hash not deterministic")
+	}
+	if Hash("x") == Hash("y") {
+		t.Error("distinct labels collide")
+	}
+	if len(Hash("x")) != 16 {
+		t.Errorf("hash length %d, want 16", len(Hash("x")))
+	}
+	if RowDigest([]string{"ab", "c"}) == RowDigest([]string{"a", "bc"}) {
+		t.Error("RowDigest must be injective over cell boundaries")
+	}
+}

@@ -47,8 +47,9 @@ type Cell struct {
 	Label string
 	Sink  *MemorySink
 
-	reg  *Registry
-	life *Lifecycle
+	reg    *Registry
+	life   *Lifecycle
+	status string
 }
 
 // NewCollector returns an empty collector.
@@ -76,6 +77,19 @@ func (cl *Cell) Registry() *Registry { return cl.reg }
 // Lifecycle returns the bound lifecycle collector (may be nil).
 func (cl *Cell) Lifecycle() *Lifecycle { return cl.life }
 
+// SetStatus records the run's terminal governance state on the cell and,
+// when a registry is bound, mirrors its numeric code into a run_status
+// gauge so metric exports carry every cell's outcome.
+func (cl *Cell) SetStatus(state string, code uint64) {
+	cl.status = state
+	if cl.reg != nil {
+		cl.reg.Gauge("run_status").Set(code)
+	}
+}
+
+// Status returns the terminal state set by SetStatus ("" until then).
+func (cl *Cell) Status() string { return cl.status }
+
 // Cells returns the registered cells sorted by label.
 func (c *Collector) Cells() []*Cell {
 	c.mu.Lock()
@@ -84,6 +98,46 @@ func (c *Collector) Cells() []*Cell {
 	c.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Label < out[j].Label })
 	return out
+}
+
+// LastCell returns the most recently registered cell with this label
+// (nil when none). Retried cells re-register under the same label; the
+// newest registration is the authoritative attempt.
+func (c *Collector) LastCell(label string) *Cell {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.cells) - 1; i >= 0; i-- {
+		if c.cells[i].Label == label {
+			return c.cells[i]
+		}
+	}
+	return nil
+}
+
+// Filter returns a new collector holding only the cells keep accepts.
+// Resume uses it to export only completed cells: a cancelled cell's
+// partial capture must not pollute exports that claim to describe whole
+// runs.
+func (c *Collector) Filter(keep func(*Cell) bool) *Collector {
+	out := NewCollector()
+	c.mu.Lock()
+	for _, cell := range c.cells {
+		if keep(cell) {
+			out.cells = append(out.cells, cell)
+		}
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// Adopt registers already-built cells (typically filtered out of another
+// collector) so a resumed sweep can merge the killed run's completed
+// captures with its own before exporting. Exports sort by label, so the
+// merged output is identical to an uninterrupted run's.
+func (c *Collector) Adopt(cells ...*Cell) {
+	c.mu.Lock()
+	c.cells = append(c.cells, cells...)
+	c.mu.Unlock()
 }
 
 // chromeEvent is one Chrome trace-event record. Field order is fixed by

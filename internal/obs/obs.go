@@ -70,13 +70,19 @@ const (
 	// span). Arg is the faulting page.
 	SpanCoalesce
 
+	// SpanCancel is a point span marking where run governance stopped the
+	// engine (cancellation, budget trip, livelock). Arg is the
+	// sim.StopReason code, so a truncated trace carries its own
+	// explanation.
+	SpanCancel
+
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"batch", "poll", "fetch", "sort", "pma_alloc", "migrate", "map",
 	"flush", "replay", "evict", "dma_h2d", "dma_d2h", "dma_failed",
-	"warp_stall", "utlb_coalesce",
+	"warp_stall", "utlb_coalesce", "cancel",
 }
 
 // String returns the snake_case kind name used by exporters.
@@ -105,6 +111,7 @@ var kindPhases = [numKinds]stats.Phase{
 	SpanDMAFailed: -1,
 	SpanStall:     -1,
 	SpanCoalesce:  -1,
+	SpanCancel:    -1,
 }
 
 // PhaseOf returns the stats.Phase a span kind's duration is charged to,

@@ -23,6 +23,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -52,29 +53,64 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
 }
 
+// Outcome reports which tasks a pool invocation actually ran. Ran[i] is
+// true iff fn(i) was invoked (whether or not it succeeded); Skipped
+// counts tasks never dequeued because a failure or cancellation stopped
+// the pool first. The slice is written strictly before workers exit and
+// read only after the pool joins, so the accounting is race-free and
+// always satisfies Skipped == n - countTrue(Ran).
+type Outcome struct {
+	Ran     []bool
+	Skipped int
+}
+
 // Map runs fn(0) … fn(n-1) on at most jobs workers and returns the
 // results indexed by task. On failure it returns the lowest-index error;
 // tasks not yet started when a failure is observed are skipped (their
 // results stay zero), matching the serial loop's stop-at-first-error
 // behavior.
 func Map[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	results, _, err := MapCtx[T](nil, jobs, n, fn)
+	return results, err
+}
+
+// MapCtx is Map with cooperative cancellation and skipped-task
+// accounting. Workers check ctx before every dequeue: once ctx is
+// cancelled (or any task fails) no further task starts, in-flight tasks
+// drain to completion, and the Outcome records exactly which indexes
+// ran. The error is the lowest-index task error when one exists,
+// otherwise the context's error. A nil ctx never cancels.
+func MapCtx[T any](ctx context.Context, jobs, n int, fn func(i int) (T, error)) ([]T, Outcome, error) {
 	results := make([]T, n)
+	out := Outcome{Ran: make([]bool, n)}
 	if n == 0 {
-		return results, nil
+		return results, out, nil
 	}
 	jobs = Jobs(jobs)
 	if jobs > n {
 		jobs = n
 	}
+	ctxErr := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
 	if jobs == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctxErr(); err != nil {
+				out.Skipped = n - i
+				return results, out, err
+			}
+			out.Ran[i] = true
 			r, err := call(i, fn)
 			if err != nil {
-				return results, err
+				out.Skipped = n - i - 1
+				return results, out, err
 			}
 			results[i] = r
 		}
-		return results, nil
+		return results, out, nil
 	}
 
 	errs := make([]error, n)
@@ -87,9 +123,10 @@ func Map[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctxErr() != nil {
 					return
 				}
+				out.Ran[i] = true
 				r, err := call(i, fn)
 				if err != nil {
 					errs[i] = err
@@ -101,12 +138,17 @@ func Map[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, err
+	for _, ran := range out.Ran {
+		if !ran {
+			out.Skipped++
 		}
 	}
-	return results, nil
+	for _, err := range errs {
+		if err != nil {
+			return results, out, err
+		}
+	}
+	return results, out, ctxErr()
 }
 
 // ForEach runs fn(0) … fn(n-1) on at most jobs workers with the same
@@ -116,6 +158,14 @@ func ForEach(jobs, n int, fn func(i int) error) error {
 		return struct{}{}, fn(i)
 	})
 	return err
+}
+
+// ForEachCtx is ForEach with MapCtx's cancellation and accounting.
+func ForEachCtx(ctx context.Context, jobs, n int, fn func(i int) error) (Outcome, error) {
+	_, out, err := MapCtx(ctx, jobs, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return out, err
 }
 
 // call invokes fn(i), converting a panic into a *PanicError.

@@ -97,6 +97,13 @@ type Engine struct {
 	// observer, when set, runs after every dispatched event (the
 	// invariant checker's hook).
 	observer func(now Time)
+	// Run governance (see govern.go). governed mirrors "cancel != nil ||
+	// budget.Active()" so the ungoverned hot path pays one bool test.
+	governed    bool
+	cancel      *Cancel
+	budget      Budget
+	stop        StopReason
+	lastAdvance uint64 // executed count when the clock last advanced
 }
 
 // defaultHeapCap is the pending-queue capacity preallocated by NewEngine;
@@ -194,10 +201,20 @@ func (e *Engine) After(d Duration, fn func()) {
 }
 
 // Step dispatches the single earliest event. It reports whether an event
-// was available.
+// was available. A governed engine (SetCancel/SetBudget) additionally
+// refuses to dispatch once a budget trips or cancellation is observed;
+// StopReason then explains why.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
+	}
+	if e.governed {
+		if e.checkGovern() {
+			return false
+		}
+		if e.events[0].at > e.now {
+			e.lastAdvance = e.executed
+		}
 	}
 	ev := e.pop()
 	e.now = ev.at
@@ -222,7 +239,9 @@ func (e *Engine) Run() Time {
 // queued.
 func (e *Engine) RunUntil(t Time) {
 	for len(e.events) > 0 && e.events[0].at <= t {
-		e.Step()
+		if !e.Step() {
+			return // governance stop: the queue is non-empty but frozen
+		}
 	}
 	if e.now < t {
 		e.now = t

@@ -46,6 +46,33 @@ func BenchmarkEngineChain(b *testing.B) {
 	b.ReportMetric(float64(steps), "events/op")
 }
 
+// BenchmarkEngineGoverned is BenchmarkEngineMixed with full governance
+// armed (cancel flag + every budget) — the cost ceiling of the
+// cancellation/watchdog checks on the dispatch hot path. Must stay
+// within a few percent of Mixed and at the same allocs/op.
+func BenchmarkEngineGoverned(b *testing.B) {
+	const depth, steps = 256, 2048
+	c := &Cancel{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		e.SetCancel(c)
+		e.SetBudget(Budget{SimDeadline: MaxTime - 1, MaxEvents: 1 << 40, LivelockWindow: 1 << 40})
+		n := 0
+		reschedule := func() {}
+		reschedule = func() {
+			if n++; n < steps {
+				e.After(Duration(1+n%13), reschedule)
+			}
+		}
+		for j := 0; j < depth; j++ {
+			e.At(Time(j), reschedule)
+		}
+		e.Run()
+	}
+}
+
 // BenchmarkEngineMixed interleaves scheduling and dispatch at a steady
 // queue depth, the steady-state shape of a running simulation.
 func BenchmarkEngineMixed(b *testing.B) {

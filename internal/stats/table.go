@@ -22,6 +22,13 @@ func NewTable(title string, headers ...string) *Table {
 
 // AddRow appends a row; cells are rendered with %v.
 func (t *Table) AddRow(cells ...interface{}) {
+	t.Rows = append(t.Rows, RenderCells(cells...))
+}
+
+// RenderCells renders heterogeneous cells to the strings AddRow would
+// store, so callers (the sweep journal) can persist a row and replay it
+// byte-for-byte later.
+func RenderCells(cells ...interface{}) []string {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -33,6 +40,15 @@ func (t *Table) AddRow(cells ...interface{}) {
 			row[i] = fmt.Sprintf("%v", c)
 		}
 	}
+	return row
+}
+
+// AddRenderedRow appends a row whose cells are already rendered strings.
+// The sweep journal stores rendered rows, so replaying a journal on
+// resume reconstructs the table byte-for-byte.
+func (t *Table) AddRenderedRow(cells []string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
 	t.Rows = append(t.Rows, row)
 }
 

@@ -13,14 +13,14 @@
 package sweep
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"strings"
 
 	"uvmsim/internal/core"
 	"uvmsim/internal/driver"
 	"uvmsim/internal/obs"
-	"uvmsim/internal/parallel"
+	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
 	"uvmsim/internal/workloads"
 )
@@ -51,6 +51,24 @@ type Spec struct {
 	// Jobs value. Lifecycle additionally tracks per-fault latencies.
 	Obs       *obs.Collector
 	Lifecycle bool
+	// Budget bounds every cell in simulated time, event count, and
+	// forward progress; a tripped cell journals deadline/livelock and the
+	// sweep continues without its row.
+	Budget sim.Budget
+	// Retries is how many times a transiently-failed cell (panic or
+	// ordinary error) is re-run with bounded exponential backoff before
+	// the sweep aborts. Budget trips are deterministic and never retried.
+	Retries int
+	// Journal, when set, appends every cell's terminal outcome to this
+	// crash-safe JSONL file as the sweep runs.
+	Journal string
+	// Resume replays Journal before running: completed cells reuse their
+	// journaled rows, budget-tripped cells stay skipped, and only
+	// unfinished cells execute.
+	Resume bool
+
+	// cancel is set by RunContext and polled by every cell's engine.
+	cancel *sim.Cancel
 }
 
 // Config is one fully-resolved sweep cell.
@@ -176,6 +194,8 @@ var runConfig = func(s *Spec, c Config) ([]interface{}, error) {
 	cfg.Driver.BatchSize = c.Batch
 	cfg.VABlockSize = c.VABlock
 	cfg.Obs = obs.Options{Collector: s.Obs, Label: c.Label(s), Lifecycle: s.Lifecycle}
+	cfg.Cancel = s.cancel
+	cfg.Budget = s.Budget
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err
@@ -206,29 +226,9 @@ var runConfig = func(s *Spec, c Config) ([]interface{}, error) {
 // returns the result table with one row per configuration in cross
 // product order. The table is byte-identical at every Jobs value.
 func (s *Spec) Run() (*stats.Table, error) {
-	configs, err := s.Configs()
+	res, err := s.RunContext(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	t := stats.NewTable(fmt.Sprintf("sweep: %s on %d MiB GPU", s.Workload, s.GPUMemoryBytes>>20),
-		Headers()...)
-	rows, err := parallel.Map(s.Jobs, len(configs), func(i int) ([]interface{}, error) {
-		row, err := runConfig(s, configs[i])
-		if err != nil {
-			return nil, fmt.Errorf("sweep cell %s: %w", configs[i].Label(s), err)
-		}
-		return row, nil
-	})
-	if err != nil {
-		var pe *parallel.PanicError
-		if errors.As(err, &pe) && pe.Index < len(configs) {
-			return nil, fmt.Errorf("sweep cell %s crashed (rerun with -jobs 1 to reproduce): %w",
-				configs[pe.Index].Label(s), err)
-		}
-		return nil, err
-	}
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
-	return t, nil
+	return res.Table, nil
 }
