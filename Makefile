@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench allocguard chaos resumecheck clean
+.PHONY: check build vet test race bench allocguard chaos resumecheck servecheck clean
 
 # The full verification gate: compile everything, vet, run the test
-# suite under the race detector, and hold the observability layer to its
-# zero-overhead-when-disabled contract.
-check: build vet race allocguard
+# suite under the race detector, hold the observability layer to its
+# zero-overhead-when-disabled contract, and smoke the serving layer
+# end-to-end.
+check: build vet race allocguard servecheck
 
 build:
 	$(GO) build ./...
@@ -22,6 +23,11 @@ race:
 # Every benchmark with allocation counts: paper-artifact regeneration
 # benches at the repo root plus the engine/microbenchmarks. Numbers are
 # recorded against EXPERIMENTS.md's "Simulator performance" baselines.
+# For serving-layer throughput (cold vs warm cache), run uvmload twice
+# with the same seed against a running uvmserved — see EXPERIMENTS.md
+# "Serving layer":
+#   go run ./cmd/uvmserved -addr :8844 &
+#   go run ./cmd/uvmload -url http://localhost:8844 -n 200 -c 8
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
@@ -40,6 +46,12 @@ chaos:
 # diff against an uninterrupted run at -jobs 1/4/8.
 resumecheck:
 	sh scripts/resume_check.sh
+
+# Serving-layer e2e smoke: start uvmserved, prove cached re-submission
+# is byte-identical and faster, force 429 backpressure under a tiny
+# queue with uvmload, and SIGTERM-drain expecting exit 0.
+servecheck:
+	sh scripts/serve_check.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,176 @@
+// Command uvmload drives a running uvmserved with a seeded request mix
+// and reports throughput, latency percentiles, and cache behaviour.
+//
+// The generator draws single-cell requests from a bounded configuration
+// space (-distinct), so a run naturally mixes cold misses, warm cache
+// hits, and coalesced duplicates — the exact traffic shape the serving
+// layer exists for. The draw sequence is a pure function of -seed:
+// identical invocations issue identical request streams.
+//
+// 429 rejections are expected output under overload (that is the
+// admission contract), so they are counted and reported, not treated as
+// failures. Transport errors are failures.
+//
+// Usage:
+//
+//	uvmload -url http://127.0.0.1:8844 -n 200 -c 8
+//	uvmload -n 500 -c 16 -distinct 8 -gpu-mem 32 -max-events 2000000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"uvmsim/internal/serve"
+	"uvmsim/internal/serve/client"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// sample is one completed request's accounting.
+type sample struct {
+	latency time.Duration
+	status  int
+	source  serve.Source
+	err     error
+}
+
+func run() int {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8844", "uvmserved base URL")
+		n        = flag.Int("n", 200, "total requests")
+		conc     = flag.Int("c", 8, "concurrent workers")
+		seed     = flag.Int64("seed", 1, "request-mix seed")
+		distinct = flag.Int("distinct", 16, "distinct configurations in the mix (smaller = hotter cache)")
+		gpuMB    = flag.Int64("gpu-mem", 32, "GPU framebuffer per request in MiB")
+		events   = flag.Uint64("max-events", 0, "per-request event budget (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request timeout")
+	)
+	flag.Parse()
+	if *n < 1 || *conc < 1 || *distinct < 1 {
+		fmt.Fprintln(os.Stderr, "uvmload: -n, -c, and -distinct must be >= 1")
+		return 2
+	}
+
+	// Build the configuration space, then draw the request stream from it
+	// deterministically. Knob lists are small and cheap per cell so the
+	// load exercises the server, not the simulator.
+	prefetch := []string{"none", "density", "adaptive"}
+	footprints := []float64{0.25, 0.5, 0.75}
+	batches := []int{128, 256}
+	space := make([]serve.SimRequest, *distinct)
+	rng := rand.New(rand.NewSource(*seed))
+	for i := range space {
+		space[i] = serve.SimRequest{
+			Workload:  "regular",
+			GPUMemMiB: *gpuMB,
+			Seed:      uint64(rng.Intn(4) + 1),
+			Footprint: footprints[rng.Intn(len(footprints))],
+			Prefetch:  prefetch[rng.Intn(len(prefetch))],
+			Batch:     batches[rng.Intn(len(batches))],
+			Budget:    serve.BudgetRequest{MaxEvents: *events},
+			TimeoutMs: timeout.Milliseconds(),
+		}
+	}
+	stream := make([]serve.SimRequest, *n)
+	for i := range stream {
+		stream[i] = space[rng.Intn(len(space))]
+	}
+
+	c := client.New(*url, nil)
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "uvmload: server not healthy at %s: %v\n", *url, err)
+		return 1
+	}
+
+	samples := make([]sample, *n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(stream) {
+					return
+				}
+				res, err := c.Sim(ctx, stream[i])
+				if err != nil {
+					samples[i] = sample{err: err}
+					continue
+				}
+				samples[i] = sample{latency: res.Latency, status: res.Status, source: res.Source}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(samples, elapsed, *conc)
+	for _, s := range samples {
+		if s.err != nil {
+			return 1
+		}
+	}
+	return 0
+}
+
+// percentile returns the p-quantile of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func report(samples []sample, elapsed time.Duration, conc int) {
+	var ok, busy, other, failed int
+	bySource := map[serve.Source][]time.Duration{}
+	var all []time.Duration
+	for _, s := range samples {
+		switch {
+		case s.err != nil:
+			failed++
+			continue
+		case s.status >= 200 && s.status < 300:
+			ok++
+		case s.status == 429:
+			busy++
+		default:
+			other++
+		}
+		all = append(all, s.latency)
+		bySource[s.source] = append(bySource[s.source], s.latency)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	fmt.Printf("uvmload: %d requests, concurrency %d, %.2fs wall, %.1f req/s\n",
+		len(samples), conc, elapsed.Seconds(), float64(len(samples))/elapsed.Seconds())
+	fmt.Printf("  ok %d   busy(429) %d   other %d   transport-failed %d\n", ok, busy, other, failed)
+	fmt.Printf("  latency p50 %s  p90 %s  p99 %s  max %s\n",
+		percentile(all, 0.50), percentile(all, 0.90), percentile(all, 0.99), percentile(all, 1.0))
+	for _, src := range []serve.Source{serve.SourceMiss, serve.SourceHit, serve.SourceCoalesced} {
+		lats := bySource[src]
+		if len(lats) == 0 {
+			continue
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("  %-9s %5d   p50 %-12s p99 %s\n", src, len(lats), percentile(lats, 0.50), percentile(lats, 0.99))
+	}
+}

@@ -1,0 +1,131 @@
+// Command uvmserved serves the UVM simulator over HTTP/JSON:
+// simulation-as-a-service with a content-addressed result cache and
+// admission control. Because every simulation is a pure function of its
+// configuration, identical requests are answered byte-for-byte from a
+// bounded LRU cache, concurrent identical requests coalesce into one
+// run, and new configurations pass through a bounded admission queue
+// that answers 429 (with Retry-After) under overload instead of
+// accumulating unbounded work.
+//
+// Endpoints:
+//
+//	POST /v1/sim            one cell        POST /v1/sweep   cross product
+//	POST /v1/jobs           async sweep     GET  /v1/jobs/{id}[/result]
+//	GET  /v1/experiments    list papers     POST /v1/exp/{id}
+//	GET  /metrics           Prometheus      GET  /healthz
+//
+// SIGTERM/SIGINT drains gracefully: /healthz flips to 503, in-flight
+// runs finish (up to -drain-grace), async jobs settle, and the process
+// exits 0. A second signal forces immediate cancellation.
+//
+// Usage:
+//
+//	uvmserved -addr :8844
+//	uvmserved -addr :8844 -cache 1024 -queue 64 -runs 8 -max-events 50000000
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uvmsim/internal/serve"
+	"uvmsim/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8844", "listen address")
+		cacheN     = flag.Int("cache", 512, "result-cache entries (-1 disables storage, keeps coalescing)")
+		queueN     = flag.Int("queue", 64, "admission queue slots (queued+running); full queue answers 429")
+		runsN      = flag.Int("runs", 0, "concurrent simulations (0 = all CPUs)")
+		sweepJobs  = flag.Int("sweep-jobs", 1, "worker goroutines inside each sweep")
+		maxJobs    = flag.Int("max-jobs", 16, "live async jobs")
+		maxCells   = flag.Int("max-cells", 4096, "cells per request")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		defTimeout = flag.Duration("default-timeout", 0, "timeout applied to requests that set none (0 = none)")
+		maxTimeout = flag.Duration("max-timeout", 0, "cap on per-request timeouts (0 = uncapped)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight runs before force-cancelling")
+
+		simBudget = flag.Duration("sim-budget", 0, "default simulated-time budget per run (0 = unlimited)")
+		maxEvents = flag.Uint64("max-events", 0, "default event-count budget per run (0 = unlimited)")
+		livelock  = flag.Uint64("livelock-events", 0, "default livelock window in events (0 = disabled)")
+		capBudget = flag.Duration("cap-sim-budget", 0, "hard cap on any request's simulated-time budget")
+		capEvents = flag.Uint64("cap-max-events", 0, "hard cap on any request's event budget")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		CacheEntries: *cacheN,
+		QueueSlots:   *queueN,
+		RunSlots:     *runsN,
+		SweepJobs:    *sweepJobs,
+		MaxJobs:      *maxJobs,
+		MaxCells:     *maxCells,
+		RetryAfter:   *retryAfter,
+		DefaultBudget: sim.Budget{
+			SimDeadline:    sim.Time(simBudget.Nanoseconds()),
+			MaxEvents:      *maxEvents,
+			LivelockWindow: *livelock,
+		},
+		BudgetCap: sim.Budget{
+			SimDeadline: sim.Time(capBudget.Nanoseconds()),
+			MaxEvents:   *capEvents,
+		},
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// First signal: graceful drain. Restoring default handling via stop
+	// makes a second signal kill the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("uvmserved: listening on %s (cache=%d queue=%d runs=%d)", *addr, *cacheN, *queueN, *runsN)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "uvmserved: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("uvmserved: draining (grace %s)", *drainGrace)
+	srv.BeginDrain()
+	grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(grace) // stop accepting, finish in-flight handlers
+	drainErr := srv.Drain(grace)           // wait for async jobs; force-cancel at the deadline
+	srv.Close()
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "uvmserved: shutdown: %v\n", shutdownErr)
+		return 1
+	}
+	if drainErr != nil {
+		log.Printf("uvmserved: drain grace expired; in-flight runs were cancelled (not cached)")
+	}
+	log.Printf("uvmserved: drained cleanly")
+	return 0
+}

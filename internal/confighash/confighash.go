@@ -1,0 +1,39 @@
+// Package confighash is the one canonical content address for
+// simulation configurations and their results. A cell's full replay
+// recipe (every knob plus the seed, rendered as a label string) hashes
+// to a short stable key; because the simulator is deterministic
+// (DESIGN.md §7), equal keys mean equal results, which is what lets the
+// sweep journal match records to cells across crashes and the serving
+// layer return one cached simulation to every request that asks for the
+// same configuration.
+//
+// The format is pinned: first 16 hex characters (8 bytes) of SHA-256.
+// Journals and caches persist these keys, so changing the format
+// silently orphans every existing record — the cross-package tests hold
+// both producers to the same bytes.
+package confighash
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Sum derives the configuration key for a label: the first 16 hex
+// characters of its SHA-256. Labels embed every knob plus the seed, so
+// equal keys mean "this exact configuration".
+func Sum(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Rows hashes a rendered result row with length-prefixed cells, so
+// consumers (the sweep journal) can reject rows whose bytes were
+// damaged after they were persisted.
+func Rows(row []string) string {
+	h := sha256.New()
+	for _, cell := range row {
+		fmt.Fprintf(h, "%d:%s|", len(cell), cell)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}

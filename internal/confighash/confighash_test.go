@@ -1,0 +1,64 @@
+package confighash_test
+
+import (
+	"regexp"
+	"testing"
+
+	"uvmsim/internal/confighash"
+	"uvmsim/internal/journal"
+)
+
+// TestPinnedFormat pins the on-disk hash format to exact bytes.
+// Journals and serving-layer caches persist these keys: if one of these
+// vectors changes, every existing journal record and cached result is
+// silently orphaned, so a failure here means "migration", not "update
+// the constant".
+func TestPinnedFormat(t *testing.T) {
+	cases := []struct{ label, want string }{
+		{"workload=random footprint=0.5 prefetch=density replay=batch-flush evict=lru batch=256 vablock=2048KiB seed=1",
+			"47255690bde20390"},
+		{"", "e3b0c44298fc1c14"},
+	}
+	for _, c := range cases {
+		if got := confighash.Sum(c.label); got != c.want {
+			t.Errorf("Sum(%q) = %q, want %q", c.label, got, c.want)
+		}
+	}
+	if got, want := confighash.Rows([]string{"50", "density", "batch-flush", "1.2345"}), "f2e8fc8086cb3c56"; got != want {
+		t.Errorf("Rows = %q, want %q", got, want)
+	}
+	if got, want := confighash.Rows(nil), "e3b0c44298fc1c14"; got != want {
+		t.Errorf("Rows(nil) = %q, want %q", got, want)
+	}
+}
+
+// TestJournalUsesCanonicalHash holds internal/journal to the shared
+// format: the sweep journal and the serve cache must address the same
+// configuration with the same key, or resume and cache hits diverge.
+func TestJournalUsesCanonicalHash(t *testing.T) {
+	labels := []string{
+		"workload=sgemm footprint=1.2 prefetch=none replay=batch evict=lru batch=64 vablock=64KiB seed=7",
+		"x", "",
+	}
+	for _, l := range labels {
+		if journal.Hash(l) != confighash.Sum(l) {
+			t.Fatalf("journal.Hash(%q) = %q diverged from confighash.Sum = %q",
+				l, journal.Hash(l), confighash.Sum(l))
+		}
+	}
+	row := []string{"a", "bb", "c,c"}
+	if journal.RowDigest(row) != confighash.Rows(row) {
+		t.Fatalf("journal.RowDigest diverged from confighash.Rows")
+	}
+}
+
+// TestShape pins the key shape itself: 16 lowercase hex characters,
+// always, for any input.
+func TestShape(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for _, l := range []string{"", "a", "some long label with spaces and = signs"} {
+		if got := confighash.Sum(l); !re.MatchString(got) {
+			t.Errorf("Sum(%q) = %q, want 16 lowercase hex chars", l, got)
+		}
+	}
+}

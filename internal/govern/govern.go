@@ -11,6 +11,7 @@ package govern
 import (
 	"context"
 	"errors"
+	"net/http"
 
 	"uvmsim/internal/parallel"
 	"uvmsim/internal/sim"
@@ -118,6 +119,26 @@ func WatchContext(ctx context.Context) *sim.Cancel {
 		c.Set()
 	}()
 	return c
+}
+
+// HTTPStatus maps a terminal state onto the serving layer's response
+// code contract. Completed runs are 200. Cancelled runs are 503: the
+// server was told to stop (drain, request timeout), which is not the
+// configuration's fault — the same request can succeed later.
+// Deterministic budget trips are 422: the configuration can never
+// complete under its budget, so retrying is pointless. Panics and
+// ordinary failures are 500.
+func HTTPStatus(s State) int {
+	switch s {
+	case StateCompleted:
+		return http.StatusOK
+	case StateCancelled:
+		return http.StatusServiceUnavailable
+	case StateDeadline, StateLivelock:
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // Exit codes for governed CLIs. Cancellation exits with the

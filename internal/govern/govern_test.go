@@ -68,6 +68,22 @@ func TestExitCodes(t *testing.T) {
 	}
 }
 
+func TestHTTPStatus(t *testing.T) {
+	cases := map[State]int{
+		StateCompleted: 200,
+		StateCancelled: 503,
+		StateDeadline:  422,
+		StateLivelock:  422,
+		StatePanicked:  500,
+		StateFailed:    500,
+	}
+	for s, want := range cases {
+		if got := HTTPStatus(s); got != want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", s, got, want)
+		}
+	}
+}
+
 func TestStateCodesDistinct(t *testing.T) {
 	seen := map[uint64]State{}
 	for _, s := range []State{StateCompleted, StateCancelled, StateDeadline, StateLivelock, StatePanicked, StateFailed} {

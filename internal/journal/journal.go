@@ -25,15 +25,13 @@ package journal
 import (
 	"bufio"
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
-	"fmt"
 	"io"
 	"os"
 	"sync"
 
 	"uvmsim/internal/atomicio"
+	"uvmsim/internal/confighash"
 )
 
 // Record is one journal line: the terminal status of one cell attempt.
@@ -60,23 +58,15 @@ type Record struct {
 	Digest string `json:"digest,omitempty"`
 }
 
-// Hash derives the configuration key for a cell label: the first 16 hex
-// characters of its SHA-256. Labels embed every knob plus the seed, so
-// equal hashes mean "this exact cell".
-func Hash(label string) string {
-	sum := sha256.Sum256([]byte(label))
-	return hex.EncodeToString(sum[:8])
-}
+// Hash derives the configuration key for a cell label via the shared
+// confighash format (first 16 hex characters of SHA-256), so journal
+// records and the serving layer's result cache address identical
+// configurations with identical keys.
+func Hash(label string) string { return confighash.Sum(label) }
 
 // RowDigest hashes a rendered result row so Load can reject records
 // whose row bytes were damaged after the append.
-func RowDigest(row []string) string {
-	h := sha256.New()
-	for _, cell := range row {
-		fmt.Fprintf(h, "%d:%s|", len(cell), cell)
-	}
-	return hex.EncodeToString(h.Sum(nil)[:8])
-}
+func RowDigest(row []string) string { return confighash.Rows(row) }
 
 // Writer appends records to a journal file. Safe for concurrent use by
 // sweep workers.

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"testing"
+
+	"uvmsim/internal/sim"
+)
+
+// TestAbsorb: counters and gauges add, histograms merge, and the prefix
+// keeps absorbed names from colliding with the target's own metrics.
+func TestAbsorb(t *testing.T) {
+	run1 := NewRegistry()
+	run1.Counter("faults").Inc(10)
+	run1.Gauge("drops").Set(3)
+	run1.Histogram("batch_ns").Observe(1000)
+	run1.Histogram("batch_ns").Observe(3000)
+
+	run2 := NewRegistry()
+	run2.Counter("faults").Inc(5)
+	run2.Gauge("drops").Set(2)
+	run2.Histogram("batch_ns").Observe(2000)
+
+	cum := NewRegistry()
+	cum.Counter("sim_faults").Inc(1) // pre-existing: absorb adds to it
+	cum.Absorb("sim_", run1.Samples())
+	cum.Absorb("sim_", run2.Samples())
+
+	if got := cum.Counter("sim_faults").Get(); got != 16 {
+		t.Errorf("absorbed counter = %d, want 16", got)
+	}
+	if got := cum.Gauge("sim_drops").Get(); got != 5 {
+		t.Errorf("absorbed gauge = %d, want 5 (per-run totals add)", got)
+	}
+	h := cum.Histogram("sim_batch_ns").Hist()
+	if got := h.Count(); got != 3 {
+		t.Errorf("merged histogram count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != sim.Duration(6000) {
+		t.Errorf("merged histogram sum = %v, want 6000", got)
+	}
+	// Source registries are untouched.
+	if got := run1.Counter("faults").Get(); got != 10 {
+		t.Errorf("source counter mutated: %d", got)
+	}
+}

@@ -178,6 +178,31 @@ func (r *Registry) Samples() []Sample {
 	return out
 }
 
+// Absorb folds a snapshot (typically another registry's Samples) into r
+// under a name prefix: counters and gauges add their values — a
+// per-run total becomes part of a cumulative served total — and
+// histograms merge their distributions. The serving layer uses it to
+// aggregate every completed simulation's metrics into one long-lived
+// registry without touching the per-run registries' lock-free hot path.
+// Like all Registry methods, Absorb is not safe for concurrent use;
+// callers that share a registry across goroutines serialize access.
+func (r *Registry) Absorb(prefix string, samples []Sample) {
+	for _, s := range samples {
+		name := prefix + s.Name
+		switch s.Kind {
+		case KindCounter:
+			r.Counter(name).Inc(s.Value)
+		case KindGauge:
+			g := r.Gauge(name)
+			g.Set(g.Get() + s.Value)
+		case KindHistogram:
+			if s.Hist != nil {
+				r.Histogram(name).Hist().Merge(s.Hist)
+			}
+		}
+	}
+}
+
 // CounterSet renders counters and gauges as the legacy stats.CounterSet
 // so existing consumers (run-result deltas, experiment tables, chaos
 // verdicts) keep working unchanged during the migration.

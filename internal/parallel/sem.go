@@ -1,0 +1,65 @@
+package parallel
+
+import "context"
+
+// Sem is a counting semaphore with context-aware acquisition. The
+// worker pool bounds CPU-shaped work by task index; Sem bounds
+// request-shaped work — the serving layer's admission queue and run
+// slots — where callers arrive from arbitrary goroutines and must
+// either wait cancellably or be turned away immediately.
+type Sem struct {
+	slots chan struct{}
+}
+
+// NewSem returns a semaphore with n slots. n < 1 is treated as 1: a
+// zero-capacity gate would deadlock every caller, which is never what a
+// misconfigured flag means.
+func NewSem(n int) *Sem {
+	if n < 1 {
+		n = 1
+	}
+	return &Sem{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot without blocking and reports whether it got
+// one. The backpressure path: a full semaphore means "reject now", not
+// "wait".
+func (s *Sem) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire blocks until a slot frees or ctx is done, returning ctx's
+// error in the latter case. A nil ctx waits indefinitely.
+func (s *Sem) Acquire(ctx context.Context) error {
+	if ctx == nil {
+		s.slots <- struct{}{}
+		return nil
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot. Releasing more than was acquired panics — that
+// is a bookkeeping bug, not a runtime condition to tolerate.
+func (s *Sem) Release() {
+	select {
+	case <-s.slots:
+	default:
+		panic("parallel: Sem.Release without matching Acquire")
+	}
+}
+
+// InUse returns the number of currently held slots.
+func (s *Sem) InUse() int { return len(s.slots) }
+
+// Cap returns the slot capacity.
+func (s *Sem) Cap() int { return cap(s.slots) }

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSemTryAcquireBounds(t *testing.T) {
+	s := NewSem(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("first two TryAcquire must succeed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("third TryAcquire must fail at capacity 2")
+	}
+	if got := s.InUse(); got != 2 {
+		t.Fatalf("InUse = %d, want 2", got)
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire after Release must succeed")
+	}
+}
+
+func TestSemAcquireCancellable(t *testing.T) {
+	s := NewSem(1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Acquire(ctx) }()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("Acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Acquire did not return")
+	}
+}
+
+func TestSemConcurrentNeverExceedsCap(t *testing.T) {
+	const capacity, workers = 3, 32
+	s := NewSem(capacity)
+	var mu sync.Mutex
+	inUse, peak := 0, 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Acquire(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				inUse++
+				if inUse > peak {
+					peak = inUse
+				}
+				mu.Unlock()
+				mu.Lock()
+				inUse--
+				mu.Unlock()
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > capacity {
+		t.Fatalf("peak concurrent holders %d exceeded capacity %d", peak, capacity)
+	}
+}
+
+func TestSemReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire must panic")
+		}
+	}()
+	NewSem(1).Release()
+}
+
+func TestSemZeroCapacityClamped(t *testing.T) {
+	s := NewSem(0)
+	if s.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", s.Cap())
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"errors"
+
+	"uvmsim/internal/parallel"
+)
+
+// ErrBusy is returned when the admission queue is full. Handlers map it
+// to HTTP 429 with a Retry-After hint.
+var ErrBusy = errors.New("serve: admission queue full")
+
+// Gate is the admission controller: a bounded queue in front of a
+// bounded set of run slots. A simulation request first claims a queue
+// slot without blocking — a full queue is an immediate rejection, which
+// is the backpressure contract: under overload the server answers 429
+// in microseconds instead of accumulating unbounded queued work. An
+// admitted request then waits (cancellably) for one of the run slots
+// that bound concurrent simulations to what the host can actually
+// execute. Cache hits and coalesced requests never enter the gate:
+// shedding load is exactly what the cache is for.
+type Gate struct {
+	queue *parallel.Sem // queued + running: total admitted requests
+	run   *parallel.Sem // actively simulating
+}
+
+// NewGate returns a gate admitting at most queueSlots concurrent
+// requests, of which at most runSlots simulate at once. queueSlots is
+// clamped up to runSlots — a queue smaller than the run width would
+// idle run slots.
+func NewGate(queueSlots, runSlots int) *Gate {
+	if runSlots < 1 {
+		runSlots = 1
+	}
+	if queueSlots < runSlots {
+		queueSlots = runSlots
+	}
+	return &Gate{queue: parallel.NewSem(queueSlots), run: parallel.NewSem(runSlots)}
+}
+
+// Enter claims a queue slot, or fails immediately with ErrBusy. Every
+// successful Enter must be paired with Leave.
+func (g *Gate) Enter() error {
+	if !g.queue.TryAcquire() {
+		return ErrBusy
+	}
+	return nil
+}
+
+// Leave releases the queue slot claimed by Enter.
+func (g *Gate) Leave() { g.queue.Release() }
+
+// Run waits for a run slot, honoring ctx (a drained server cancels
+// queued waiters). Every successful Run must be paired with EndRun.
+func (g *Gate) Run(ctx context.Context) error { return g.run.Acquire(ctx) }
+
+// EndRun releases the run slot claimed by Run.
+func (g *Gate) EndRun() { g.run.Release() }
+
+// Depth is the number of admitted requests (queued + running).
+func (g *Gate) Depth() int { return g.queue.InUse() }
+
+// Running is the number of requests holding run slots.
+func (g *Gate) Running() int { return g.run.InUse() }
+
+// QueueCap and RunCap report the configured bounds.
+func (g *Gate) QueueCap() int { return g.queue.Cap() }
+
+// RunCap reports the run-slot bound.
+func (g *Gate) RunCap() int { return g.run.Cap() }

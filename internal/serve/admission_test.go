@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGateEnterBounds(t *testing.T) {
+	g := NewGate(2, 1)
+	if err := g.Enter(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Enter(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Enter(); !errors.Is(err, ErrBusy) {
+		t.Fatalf("third Enter = %v, want ErrBusy", err)
+	}
+	if g.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", g.Depth())
+	}
+	g.Leave()
+	if err := g.Enter(); err != nil {
+		t.Fatalf("Enter after Leave: %v", err)
+	}
+	g.Leave()
+	g.Leave()
+}
+
+func TestGateRunIsCancellable(t *testing.T) {
+	g := NewGate(4, 1)
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Run(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Run = %v, want deadline", err)
+	}
+	g.EndRun()
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatalf("Run after EndRun: %v", err)
+	}
+	g.EndRun()
+}
+
+func TestGateQueueClampedToRunWidth(t *testing.T) {
+	g := NewGate(1, 4)
+	if g.QueueCap() != 4 || g.RunCap() != 4 {
+		t.Fatalf("caps = %d/%d, want queue clamped up to 4", g.QueueCap(), g.RunCap())
+	}
+	g = NewGate(0, 0)
+	if g.QueueCap() != 1 || g.RunCap() != 1 {
+		t.Fatalf("zero caps = %d/%d, want 1/1", g.QueueCap(), g.RunCap())
+	}
+}

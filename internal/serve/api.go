@@ -1,0 +1,309 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON
+// front end that turns the deterministic simulator into a shared,
+// cacheable compute service. Because every run is a pure function of
+// its configuration (DESIGN.md §7), results are content-addressed by
+// the same confighash keys the sweep journal uses: identical requests
+// hit a bounded LRU cache byte-for-byte, concurrent identical requests
+// coalesce into one simulation, and only genuinely new configurations
+// pay for compute — which is admitted through a bounded queue with
+// backpressure so the server degrades by rejecting, never by melting.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"uvmsim/internal/confighash"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/sweep"
+)
+
+// BudgetRequest carries the deterministic per-run budgets a request may
+// set. Zero fields inherit the server's defaults; the server's caps
+// bound every field, so a request can tighten its budget but never
+// escape the operator's.
+type BudgetRequest struct {
+	SimBudgetMs    int64  `json:"sim_budget_ms,omitempty"`
+	MaxEvents      uint64 `json:"max_events,omitempty"`
+	LivelockEvents uint64 `json:"livelock_events,omitempty"`
+}
+
+// budget resolves the request against server default and cap: a zero
+// request field takes the default, and when a cap is set the effective
+// value never exceeds it (an unlimited request under a cap becomes the
+// cap).
+func (b BudgetRequest) budget(def, cap sim.Budget) sim.Budget {
+	eff := sim.Budget{
+		SimDeadline:    sim.Time(b.SimBudgetMs) * sim.Time(time.Millisecond),
+		MaxEvents:      b.MaxEvents,
+		LivelockWindow: b.LivelockEvents,
+	}
+	if eff.SimDeadline == 0 {
+		eff.SimDeadline = def.SimDeadline
+	}
+	if eff.MaxEvents == 0 {
+		eff.MaxEvents = def.MaxEvents
+	}
+	if eff.LivelockWindow == 0 {
+		eff.LivelockWindow = def.LivelockWindow
+	}
+	if cap.SimDeadline > 0 && (eff.SimDeadline == 0 || eff.SimDeadline > cap.SimDeadline) {
+		eff.SimDeadline = cap.SimDeadline
+	}
+	if cap.MaxEvents > 0 && (eff.MaxEvents == 0 || eff.MaxEvents > cap.MaxEvents) {
+		eff.MaxEvents = cap.MaxEvents
+	}
+	if cap.LivelockWindow > 0 && (eff.LivelockWindow == 0 || eff.LivelockWindow > cap.LivelockWindow) {
+		eff.LivelockWindow = cap.LivelockWindow
+	}
+	return eff
+}
+
+// SimRequest asks for one single-cell simulation. Zero-valued knobs
+// take the same defaults the uvmsweep CLI uses; Seed 0 is a real seed,
+// not a default.
+type SimRequest struct {
+	Workload   string        `json:"workload"`
+	GPUMemMiB  int64         `json:"gpu_mem_mib,omitempty"`
+	Seed       uint64        `json:"seed,omitempty"`
+	Footprint  float64       `json:"footprint,omitempty"`
+	Prefetch   string        `json:"prefetch,omitempty"`
+	Replay     string        `json:"replay,omitempty"`
+	Evict      string        `json:"evict,omitempty"`
+	Batch      int           `json:"batch,omitempty"`
+	VABlockKiB int64         `json:"vablock_kib,omitempty"`
+	Budget     BudgetRequest `json:"budget,omitempty"`
+	// TimeoutMs bounds the request on the host clock. It is not part of
+	// the cache key: a timed-out run is cancelled and never cached.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// sweepRequest lifts the single cell into a singleton sweep so both
+// endpoints share one validation, execution, and caching path.
+func (r SimRequest) sweepRequest() SweepRequest {
+	return SweepRequest{
+		Workload:   r.Workload,
+		GPUMemMiB:  r.GPUMemMiB,
+		Seed:       r.Seed,
+		Footprints: []float64{r.Footprint},
+		Prefetch:   []string{r.Prefetch},
+		Replay:     []string{r.Replay},
+		Evict:      []string{r.Evict},
+		Batch:      []int{r.Batch},
+		VABlockKiB: []int64{r.VABlockKiB},
+		Budget:     r.Budget,
+		TimeoutMs:  r.TimeoutMs,
+	}
+}
+
+// SweepRequest asks for a full parameter sweep: the cross product of
+// every list, exactly as uvmsweep expands it. Empty lists take the CLI
+// defaults.
+type SweepRequest struct {
+	Workload   string        `json:"workload"`
+	GPUMemMiB  int64         `json:"gpu_mem_mib,omitempty"`
+	Seed       uint64        `json:"seed,omitempty"`
+	Footprints []float64     `json:"footprints,omitempty"`
+	Prefetch   []string      `json:"prefetch,omitempty"`
+	Replay     []string      `json:"replay,omitempty"`
+	Evict      []string      `json:"evict,omitempty"`
+	Batch      []int         `json:"batch,omitempty"`
+	VABlockKiB []int64       `json:"vablock_kib,omitempty"`
+	Budget     BudgetRequest `json:"budget,omitempty"`
+	TimeoutMs  int64         `json:"timeout_ms,omitempty"`
+}
+
+// Request defaults, matching the uvmsweep CLI flag defaults.
+const (
+	DefaultWorkload   = "regular"
+	DefaultGPUMemMiB  = 96
+	DefaultFootprint  = 0.5
+	DefaultPrefetch   = "density"
+	DefaultReplay     = "batchflush"
+	DefaultEvict      = "lru"
+	DefaultBatch      = 256
+	DefaultVABlockKiB = 2048
+)
+
+// withDefaults fills every empty dimension. Mutating a copy keeps the
+// fingerprint canonical: two requests that spell the default
+// differently ("" vs explicit) hash identically.
+func (r SweepRequest) withDefaults() SweepRequest {
+	if r.Workload == "" {
+		r.Workload = DefaultWorkload
+	}
+	if r.GPUMemMiB == 0 {
+		r.GPUMemMiB = DefaultGPUMemMiB
+	}
+	fill := func(s []string, def string) []string {
+		if len(s) == 0 {
+			return []string{def}
+		}
+		out := make([]string, len(s))
+		for i, v := range s {
+			if v == "" {
+				v = def
+			}
+			out[i] = v
+		}
+		return out
+	}
+	if len(r.Footprints) == 0 {
+		r.Footprints = []float64{DefaultFootprint}
+	} else {
+		fp := make([]float64, len(r.Footprints))
+		for i, v := range r.Footprints {
+			if v == 0 {
+				v = DefaultFootprint
+			}
+			fp[i] = v
+		}
+		r.Footprints = fp
+	}
+	r.Prefetch = fill(r.Prefetch, DefaultPrefetch)
+	r.Replay = fill(r.Replay, DefaultReplay)
+	r.Evict = fill(r.Evict, DefaultEvict)
+	if len(r.Batch) == 0 {
+		r.Batch = []int{DefaultBatch}
+	} else {
+		b := make([]int, len(r.Batch))
+		for i, v := range r.Batch {
+			if v == 0 {
+				v = DefaultBatch
+			}
+			b[i] = v
+		}
+		r.Batch = b
+	}
+	if len(r.VABlockKiB) == 0 {
+		r.VABlockKiB = []int64{DefaultVABlockKiB}
+	} else {
+		vb := make([]int64, len(r.VABlockKiB))
+		for i, v := range r.VABlockKiB {
+			if v == 0 {
+				v = DefaultVABlockKiB
+			}
+			vb[i] = v
+		}
+		r.VABlockKiB = vb
+	}
+	return r
+}
+
+// spec converts the defaulted request into a validated sweep spec under
+// the server's budget policy. The caller owns Jobs, Obs, and hooks.
+func (r SweepRequest) spec(def, cap sim.Budget) *sweep.Spec {
+	vb := make([]int64, len(r.VABlockKiB))
+	for i, v := range r.VABlockKiB {
+		vb[i] = v << 10
+	}
+	return &sweep.Spec{
+		Workload:       r.Workload,
+		GPUMemoryBytes: r.GPUMemMiB << 20,
+		Seed:           r.Seed,
+		Footprints:     r.Footprints,
+		Prefetch:       r.Prefetch,
+		Replay:         r.Replay,
+		Evict:          r.Evict,
+		Batch:          r.Batch,
+		VABlock:        vb,
+		Budget:         r.Budget.budget(def, cap),
+	}
+}
+
+// fingerprint renders the canonical cache identity of a defaulted
+// request: every knob that can change the response body, in fixed
+// order, budget included (a different budget can trip differently).
+// TimeoutMs and worker counts are excluded — wall-clock limits and
+// parallelism never change a completed run's bytes (§7 determinism).
+// The shape prefix keeps a singleton sweep from colliding with the
+// single-cell endpoint, whose response shape differs.
+func (r SweepRequest) fingerprint(shape string, eff sim.Budget) string {
+	return fmt.Sprintf("serve/v1/%s workload=%s gpumem=%d seed=%d fp=%v pf=%v rp=%v ev=%v batch=%v vb=%v budget=%d/%d/%d",
+		shape, r.Workload, r.GPUMemMiB, r.Seed, r.Footprints, r.Prefetch, r.Replay, r.Evict, r.Batch, r.VABlockKiB,
+		int64(eff.SimDeadline), eff.MaxEvents, eff.LivelockWindow)
+}
+
+// SimResponse is the single-cell result. Bodies are cached verbatim:
+// a hit returns exactly these bytes.
+type SimResponse struct {
+	Hash    string   `json:"hash"`
+	Label   string   `json:"label"`
+	Status  string   `json:"status"`
+	Error   string   `json:"error,omitempty"`
+	Headers []string `json:"headers,omitempty"`
+	Row     []string `json:"row,omitempty"`
+}
+
+// CellFailure describes one cell that did not complete.
+type CellFailure struct {
+	Label string `json:"label"`
+	State string `json:"state"`
+	Err   string `json:"err,omitempty"`
+}
+
+// SweepResponse is the full-sweep result: one row per completed cell in
+// cross-product order, plus the terminal-state census.
+type SweepResponse struct {
+	Hash    string         `json:"hash"`
+	Status  string         `json:"status"`
+	Cells   int            `json:"cells"`
+	States  map[string]int `json:"states"`
+	Headers []string       `json:"headers"`
+	Rows    [][]string     `json:"rows"`
+	Failed  []CellFailure  `json:"failed,omitempty"`
+}
+
+// ExpRequest runs one named paper experiment (exp.Registry) at a scale.
+type ExpRequest struct {
+	GPUMemMiB int64         `json:"gpu_mem_mib,omitempty"`
+	Seed      uint64        `json:"seed,omitempty"`
+	Quick     bool          `json:"quick,omitempty"`
+	Budget    BudgetRequest `json:"budget,omitempty"`
+	TimeoutMs int64         `json:"timeout_ms,omitempty"`
+}
+
+// fingerprint is the experiment cache identity; the experiment id is
+// the shape.
+func (r ExpRequest) fingerprint(id string, eff sim.Budget) string {
+	return fmt.Sprintf("serve/v1/exp/%s gpumem=%d seed=%d quick=%t budget=%d/%d/%d",
+		id, r.GPUMemMiB, r.Seed, r.Quick,
+		int64(eff.SimDeadline), eff.MaxEvents, eff.LivelockWindow)
+}
+
+// ExpResponse carries a named experiment's tables.
+type ExpResponse struct {
+	ID     string         `json:"id"`
+	Hash   string         `json:"hash"`
+	Status string         `json:"status"`
+	Error  string         `json:"error,omitempty"`
+	Tables []*stats.Table `json:"tables,omitempty"`
+}
+
+// JobInfo is the polled view of an async job.
+type JobInfo struct {
+	ID    string `json:"id"`
+	Hash  string `json:"hash"`
+	State string `json:"state"` // queued | running | done | failed
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+}
+
+// Async job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// ErrorResponse is the JSON error envelope for every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// hashOf addresses a fingerprint through the shared confighash format,
+// the same keys the sweep journal writes.
+func hashOf(fingerprint string) string { return confighash.Sum(fingerprint) }

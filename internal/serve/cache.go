@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Source classifies how a response body was obtained.
+type Source string
+
+// Body sources, exported to clients in the X-Uvmsim-Cache header.
+const (
+	// SourceMiss: this request ran the simulation.
+	SourceMiss Source = "miss"
+	// SourceHit: the body came from the cache.
+	SourceHit Source = "hit"
+	// SourceCoalesced: an identical request was already in flight; this
+	// one waited for its result instead of simulating again.
+	SourceCoalesced Source = "coalesced"
+)
+
+// CacheStats is a point-in-time census of cache activity.
+type CacheStats struct {
+	Hits, Misses, Coalesced, Evictions uint64
+	Entries                            int
+}
+
+// entry is one cached response: the exact bytes (and status) the miss
+// returned, replayed verbatim on every hit.
+type entry struct {
+	key    string
+	body   []byte
+	status int
+}
+
+// flight is one in-progress computation that concurrent identical
+// requests wait on.
+type flight struct {
+	done   chan struct{}
+	body   []byte
+	status int
+	err    error
+}
+
+// Cache is the content-addressed result cache: completed response
+// bodies keyed by config hash, bounded LRU, with singleflight
+// coalescing. Determinism makes this sound — a key's value can never go
+// stale, so eviction is purely a capacity decision and a hit is
+// byte-identical to the miss that populated it.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *entry
+	entries  map[string]*list.Element
+	flights  map[string]*flight
+	stats    CacheStats
+}
+
+// NewCache returns a cache bounded to capacity entries. Capacity 0
+// disables storage but keeps singleflight coalescing: concurrent
+// identical requests still cost one simulation.
+func NewCache(capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// Do returns the response body for key, computing it at most once
+// across all concurrent callers. compute reports whether its result may
+// be cached (only fully-completed runs are; a drained or failed run
+// must never leave a partial entry). ctx bounds only the waiting of a
+// coalesced caller — the computation itself runs under whatever context
+// compute closed over, so an impatient rider cannot cancel the shared
+// run.
+func (c *Cache) Do(ctx context.Context, key string, compute func() (body []byte, status int, cacheable bool, err error)) ([]byte, int, Source, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*entry)
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.body, e.status, SourceHit, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.body, fl.status, SourceCoalesced, fl.err
+		case <-ctx.Done():
+			return nil, 0, SourceCoalesced, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	body, status, cacheable, err := runCompute(compute)
+	fl.body, fl.status, fl.err = body, status, err
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil && cacheable {
+		c.insertLocked(key, body, status)
+	}
+	c.mu.Unlock()
+	// Waiters wake only after the entry is visible, so a hit observed by
+	// any later request is the same bytes the coalesced riders got.
+	close(fl.done)
+	return body, status, SourceMiss, err
+}
+
+// runCompute shields the flight from a panicking computation: waiters
+// must always be released, and a panic becomes an error on every
+// coalesced caller instead of a deadlock.
+func runCompute(compute func() ([]byte, int, bool, error)) (body []byte, status int, cacheable bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			body, status, cacheable = nil, 0, false
+			err = fmt.Errorf("serve: compute panicked: %v", r)
+		}
+	}()
+	return compute()
+}
+
+// insertLocked stores the entry and evicts from the LRU tail past
+// capacity. Caller holds c.mu.
+func (c *Cache) insertLocked(key string, body []byte, status int) {
+	if c.capacity == 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		// A racing Do may have stored this key already; refresh recency.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, body: body, status: status})
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Get returns the cached body for key without counting a hit or
+// refreshing recency — the async job result path, which must not let
+// polling distort eviction order.
+func (c *Cache) Get(key string) ([]byte, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		return e.body, e.status, true
+	}
+	return nil, 0, false
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of cache activity.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.lru.Len()
+	return st
+}

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// okCompute returns a compute function that records invocations and
+// produces a distinct cacheable body per key.
+func okCompute(calls *atomic.Int64, body string) func() ([]byte, int, bool, error) {
+	return func() ([]byte, int, bool, error) {
+		calls.Add(1)
+		return []byte(body), 200, true, nil
+	}
+}
+
+func TestCacheHitIsByteIdenticalToMiss(t *testing.T) {
+	c := NewCache(8)
+	var calls atomic.Int64
+	miss, status, src, err := c.Do(context.Background(), "k1", okCompute(&calls, "body-1\n"))
+	if err != nil || status != 200 || src != SourceMiss {
+		t.Fatalf("first Do = (%q, %d, %s, %v), want miss", miss, status, src, err)
+	}
+	hit, status, src, err := c.Do(context.Background(), "k1", okCompute(&calls, "DIFFERENT\n"))
+	if err != nil || status != 200 {
+		t.Fatalf("second Do err=%v status=%d", err, status)
+	}
+	if src != SourceHit {
+		t.Fatalf("second Do source = %s, want hit", src)
+	}
+	if !bytes.Equal(miss, hit) {
+		t.Fatalf("hit body %q differs from miss body %q", hit, miss)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	var calls atomic.Int64
+	mustDo := func(key string) {
+		t.Helper()
+		if _, _, _, err := c.Do(context.Background(), key, okCompute(&calls, "b-"+key)); err != nil {
+			t.Fatalf("Do(%s): %v", key, err)
+		}
+	}
+	mustDo("a")
+	mustDo("b")
+	mustDo("a") // touch a: b is now least recently used
+	mustDo("c") // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want capacity 2", c.Len())
+	}
+	if _, _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be cached")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	// Re-requesting b is a fresh miss: compute runs again.
+	before := calls.Load()
+	mustDo("b")
+	if calls.Load() != before+1 {
+		t.Fatal("evicted key should recompute")
+	}
+}
+
+func TestCacheCoalescesConcurrentIdenticalRequests(t *testing.T) {
+	c := NewCache(8)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+
+	compute := func() ([]byte, int, bool, error) {
+		calls.Add(1)
+		once.Do(func() { close(started) })
+		<-release
+		return []byte("shared\n"), 200, true, nil
+	}
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	bodies := make([][]byte, waiters)
+	sources := make([]Source, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bodies[i], _, sources[i], errs[i] = c.Do(context.Background(), "k", compute)
+		}(i)
+	}
+	<-started // the flight is in progress; everyone else must coalesce
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times for %d concurrent requests, want 1", calls.Load(), waiters)
+	}
+	var miss, coalesced, hit int
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], []byte("shared\n")) {
+			t.Fatalf("waiter %d body %q", i, bodies[i])
+		}
+		switch sources[i] {
+		case SourceMiss:
+			miss++
+		case SourceCoalesced:
+			coalesced++
+		case SourceHit:
+			hit++ // raced in after the flight settled
+		}
+	}
+	if miss != 1 {
+		t.Fatalf("misses = %d, want exactly 1", miss)
+	}
+	if coalesced+hit != waiters-1 {
+		t.Fatalf("coalesced %d + hit %d != %d", coalesced, hit, waiters-1)
+	}
+}
+
+func TestCacheDoesNotCacheFailuresOrNonCacheable(t *testing.T) {
+	c := NewCache(8)
+	var calls atomic.Int64
+
+	boom := errors.New("boom")
+	if _, _, _, err := c.Do(context.Background(), "err", func() ([]byte, int, bool, error) {
+		calls.Add(1)
+		return nil, 0, false, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Cancelled/failed outcome: compute succeeds but is not cacheable.
+	if _, _, _, err := c.Do(context.Background(), "nc", func() ([]byte, int, bool, error) {
+		calls.Add(1)
+		return []byte("cancelled"), 503, false, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries, want 0 (nothing cacheable ran)", c.Len())
+	}
+	// Both keys recompute on retry.
+	c.Do(context.Background(), "err", okCompute(&calls, "now-ok"))
+	c.Do(context.Background(), "nc", okCompute(&calls, "now-ok"))
+	if calls.Load() != 4 {
+		t.Fatalf("compute calls = %d, want 4 (no spurious caching)", calls.Load())
+	}
+}
+
+func TestCachePanicInComputeDoesNotDeadlockWaiters(t *testing.T) {
+	c := NewCache(8)
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	first := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Do(context.Background(), "p", func() ([]byte, int, bool, error) {
+			close(started)
+			<-release
+			panic("kaboom")
+		})
+		first <- err
+	}()
+	<-started
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Do(context.Background(), "p", func() ([]byte, int, bool, error) {
+			return []byte("x"), 200, true, nil
+		})
+		done <- err
+	}()
+	// Only release the flight once the second caller is provably riding it.
+	for c.Stats().Coalesced == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	if err := <-first; err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("computing caller err = %v, want compute-panicked error", err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("waiter on a panicked flight should get an error, not nil")
+	}
+	if c.Len() != 0 {
+		t.Fatal("panicked flight must not be cached")
+	}
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := NewCache(8)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), "slow", func() ([]byte, int, bool, error) {
+			close(started)
+			<-release
+			return []byte("late"), 200, true, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := c.Do(ctx, "slow", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestCacheZeroCapacityStillCoalesces(t *testing.T) {
+	c := NewCache(0)
+	var calls atomic.Int64
+	c.Do(context.Background(), "k", okCompute(&calls, "b"))
+	c.Do(context.Background(), "k", okCompute(&calls, "b"))
+	if calls.Load() != 2 {
+		t.Fatalf("capacity 0 must not store entries; compute ran %d times, want 2", calls.Load())
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestCacheManyKeysConcurrent(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", i%24) // more keys than capacity: constant eviction
+				body, _, _, err := c.Do(context.Background(), key, func() ([]byte, int, bool, error) {
+					return []byte("body-" + key), 200, true, nil
+				})
+				if err != nil {
+					t.Errorf("Do(%s): %v", key, err)
+					return
+				}
+				if string(body) != "body-"+key {
+					t.Errorf("Do(%s) body = %q", key, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+}

@@ -1,0 +1,127 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"uvmsim/internal/serve"
+)
+
+func testClient(t *testing.T) *Client {
+	t.Helper()
+	s := serve.New(serve.Config{QueueSlots: 4, RunSlots: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return New(ts.URL, nil)
+}
+
+func TestClientSimRoundTrip(t *testing.T) {
+	c := testClient(t)
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	req := serve.SimRequest{Workload: "regular", GPUMemMiB: 16, Footprint: 0.25}
+	miss, err := c.Sim(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !miss.OK() || miss.Source != serve.SourceMiss || miss.Hash == "" {
+		t.Fatalf("miss = status %d source %q hash %q", miss.Status, miss.Source, miss.Hash)
+	}
+	var resp serve.SimResponse
+	if err := miss.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "completed" {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	hit, err := c.Sim(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Source != serve.SourceHit || !bytes.Equal(hit.Body, miss.Body) {
+		t.Fatalf("hit source %q, bodies equal: %v", hit.Source, bytes.Equal(hit.Body, miss.Body))
+	}
+	if hit.Latency <= 0 {
+		t.Fatal("latency not measured")
+	}
+}
+
+func TestClientJobFlow(t *testing.T) {
+	c := testClient(t)
+	ctx := context.Background()
+	req := serve.SweepRequest{Workload: "regular", GPUMemMiB: 16, Footprints: []float64{0.25, 0.5}}
+	info, res, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v (res %+v)", err, res)
+	}
+	if info.ID == "" {
+		t.Fatal("no job id")
+	}
+	final, err := c.WaitJob(ctx, info.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serve.JobDone {
+		t.Fatalf("final = %+v", final)
+	}
+	jr, err := c.JobResult(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr serve.SweepResponse
+	if err := jr.Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cells != 2 || sr.Status != "completed" {
+		t.Fatalf("sweep response = %+v", sr)
+	}
+
+	// The sync path must agree byte-for-byte.
+	sync, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sync.Body, jr.Body) {
+		t.Fatal("sync sweep and job result bodies differ")
+	}
+}
+
+func TestClientErrorEnvelope(t *testing.T) {
+	c := testClient(t)
+	res, err := c.Sim(context.Background(), serve.SimRequest{Workload: "no-such-workload"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Err() == nil {
+		t.Fatalf("expected error envelope, got status %d", res.Status)
+	}
+	if !strings.Contains(res.Err().Error(), "HTTP 400") {
+		t.Fatalf("err = %v", res.Err())
+	}
+}
+
+func TestClientMetricsAndExperiments(t *testing.T) {
+	c := testClient(t)
+	ctx := context.Background()
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "uvmserved_requests_total") {
+		t.Fatalf("metrics missing server counters:\n%s", text)
+	}
+	ids, err := c.Experiments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("no experiments listed")
+	}
+}

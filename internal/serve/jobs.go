@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// job is one async sweep: submitted with 202, polled for progress,
+// redeemed for the same content-addressed body a synchronous request
+// would have produced.
+type job struct {
+	id   string
+	hash string
+
+	mu     sync.Mutex
+	state  string
+	done   int
+	total  int
+	body   []byte
+	status int
+	errMsg string
+}
+
+// info snapshots the job for the status endpoint.
+func (j *job) info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobInfo{ID: j.id, Hash: j.hash, State: j.state, Done: j.done, Total: j.total, Error: j.errMsg}
+}
+
+// progress records settled-cell counts from the sweep's Progress hook.
+func (j *job) progress(done, total int) {
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.state = JobRunning
+	}
+	j.done, j.total = done, total
+	j.mu.Unlock()
+}
+
+// start marks the job running with its planned cell count.
+func (j *job) start(total int) {
+	j.mu.Lock()
+	j.state, j.total = JobRunning, total
+	j.mu.Unlock()
+}
+
+// finish records the terminal body (or error).
+func (j *job) finish(body []byte, status int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.state, j.errMsg, j.status = JobFailed, err.Error(), status
+		return
+	}
+	j.state, j.body, j.status = JobDone, body, status
+	j.done = j.total
+}
+
+// result returns the terminal body once done.
+func (j *job) result() (body []byte, status int, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone {
+		return nil, 0, false
+	}
+	return j.body, j.status, true
+}
+
+// jobStore owns every job and bounds how many may be live (not yet
+// done/failed) at once — the async arm of admission control.
+type jobStore struct {
+	mu      sync.Mutex
+	seq     int
+	jobs    map[string]*job
+	live    int
+	maxLive int
+}
+
+func newJobStore(maxLive int) *jobStore {
+	if maxLive < 1 {
+		maxLive = 1
+	}
+	return &jobStore{jobs: make(map[string]*job), maxLive: maxLive}
+}
+
+// create registers a new queued job for hash, or fails with ErrBusy
+// when the live-job bound is reached.
+func (s *jobStore) create(hash string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.live >= s.maxLive {
+		return nil, ErrBusy
+	}
+	s.seq++
+	j := &job{id: fmt.Sprintf("job-%d-%s", s.seq, hash), hash: hash, state: JobQueued}
+	s.jobs[j.id] = j
+	s.live++
+	return j, nil
+}
+
+// settle marks a live job terminal, freeing its admission slot.
+func (s *jobStore) settle() {
+	s.mu.Lock()
+	if s.live > 0 {
+		s.live--
+	}
+	s.mu.Unlock()
+}
+
+// get looks a job up by id.
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// active returns the number of live (queued or running) jobs.
+func (s *jobStore) active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}

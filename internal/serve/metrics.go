@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"io"
+	"sync"
+
+	"uvmsim/internal/obs"
+)
+
+// Server-level metric names. Counters carry the Prometheus _total
+// suffix convention; gauges are instantaneous levels sampled at render
+// time.
+const (
+	mRequests  = "uvmserved_requests_total"
+	mRejected  = "uvmserved_rejected_total"
+	mErrors    = "uvmserved_errors_total"
+	mJobs      = "uvmserved_jobs_total"
+	mCells     = "uvmserved_cells_total"
+	mHits      = "uvmserved_cache_hits_total"
+	mMisses    = "uvmserved_cache_misses_total"
+	mCoalesced = "uvmserved_cache_coalesced_total"
+	mEvicted   = "uvmserved_cache_evictions_total"
+	mEntries   = "uvmserved_cache_entries"
+	mDepth     = "uvmserved_queue_depth"
+	mRunning   = "uvmserved_running"
+	mJobsLive  = "uvmserved_jobs_active"
+)
+
+// simPrefix namespaces absorbed per-run simulator metrics so they can
+// never collide with the server's own.
+const simPrefix = "sim_"
+
+// metrics wraps one long-lived obs.Registry behind a mutex. Per-run
+// registries stay lock-free on the simulation hot path; only the
+// cumulative server-side fold pays for synchronization, once per
+// completed cell.
+type metrics struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+}
+
+func newMetrics() *metrics {
+	m := &metrics{reg: obs.NewRegistry()}
+	// Pre-register the request counters so /metrics exposes a complete,
+	// stable schema from the first scrape, before any traffic.
+	for _, name := range []string{mRequests, mRejected, mErrors, mJobs, mCells} {
+		m.reg.Counter(name)
+	}
+	return m
+}
+
+// add increments a named counter by d.
+func (m *metrics) add(name string, d uint64) {
+	m.mu.Lock()
+	m.reg.Counter(name).Inc(d)
+	m.mu.Unlock()
+}
+
+// inc increments a named counter by one.
+func (m *metrics) inc(name string) { m.add(name, 1) }
+
+// absorb folds a completed run's registry snapshot into the cumulative
+// registry under the sim_ prefix.
+func (m *metrics) absorb(samples []obs.Sample) {
+	m.mu.Lock()
+	m.reg.Absorb(simPrefix, samples)
+	m.mu.Unlock()
+}
+
+// write renders the cumulative registry plus the dynamic server samples
+// as Prometheus text exposition. Held under the lock so a concurrent
+// absorb cannot tear a histogram mid-render.
+func (m *metrics) write(w io.Writer, dynamic []obs.Sample) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	samples := append(m.reg.Samples(), dynamic...)
+	return WritePrometheus(w, samples)
+}

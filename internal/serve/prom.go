@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+
+	"uvmsim/internal/obs"
+)
+
+// Prometheus text exposition (version 0.0.4) for the obs registry.
+// Counters and gauges render as their kind; histograms render as
+// summaries with fixed quantiles, since the registry's log-bucketed
+// histograms expose quantiles, not cumulative buckets. Output is fully
+// deterministic: samples sort by name, every value is an integer
+// (nanoseconds for durations), and a golden test pins the bytes.
+
+// promNameRE is the valid Prometheus metric-name grammar.
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// ValidPromName reports whether name needs no sanitization.
+func ValidPromName(name string) bool { return promNameRE.MatchString(name) }
+
+// PromName sanitizes a registry metric name into a valid Prometheus
+// identifier: every invalid rune becomes '_', and a leading digit gains
+// a '_' prefix. Registry names are already clean snake_case (a test
+// pins that), so in practice this is the identity — the sanitizer
+// exists so a future metric with a dash or dot degrades to a renamed
+// series instead of a scrape error.
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	if ValidPromName(name) {
+		return name
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// summary quantiles rendered for every histogram metric.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// WritePrometheus renders samples as Prometheus text exposition,
+// sorted by (sanitized) name so the output is byte-stable for any
+// sample order in the input.
+func WritePrometheus(w io.Writer, samples []obs.Sample) error {
+	sorted := make([]obs.Sample, len(samples))
+	copy(sorted, samples)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return PromName(sorted[i].Name) < PromName(sorted[j].Name)
+	})
+	var b strings.Builder
+	for _, s := range sorted {
+		name := PromName(s.Name)
+		switch s.Kind {
+		case obs.KindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Value)
+		case obs.KindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, s.Value)
+		case obs.KindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+			if s.Hist != nil {
+				for _, q := range summaryQuantiles {
+					fmt.Fprintf(&b, "%s{quantile=\"%g\"} %d\n", name, q, int64(s.Hist.Quantile(q)))
+				}
+				fmt.Fprintf(&b, "%s_sum %d\n", name, int64(s.Hist.Sum()))
+			}
+			fmt.Fprintf(&b, "%s_count %d\n", name, s.Value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

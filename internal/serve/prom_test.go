@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uvmsim/internal/obs"
+	"uvmsim/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func TestPromNameValidity(t *testing.T) {
+	cases := map[string]bool{
+		"uvmserved_requests_total": true,
+		"sim_batch_ns":             true,
+		"a:b_c":                    true,
+		"_leading":                 true,
+		"":                         false,
+		"9leads":                   false,
+		"has-dash":                 false,
+		"has.dot":                  false,
+		"has space":                false,
+	}
+	for name, want := range cases {
+		if got := ValidPromName(name); got != want {
+			t.Errorf("ValidPromName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestPromNameSanitizer(t *testing.T) {
+	cases := map[string]string{
+		"already_valid":  "already_valid",
+		"has-dash":       "has_dash",
+		"has.dot.parts":  "has_dot_parts",
+		"9leads":         "_9leads",
+		"mixed-9.ok":     "mixed_9_ok",
+		"":               "_",
+		"uvmsim/metrics": "uvmsim_metrics",
+	}
+	for in, want := range cases {
+		got := PromName(in)
+		if got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+		if !ValidPromName(got) {
+			t.Errorf("PromName(%q) = %q is not itself valid", in, got)
+		}
+	}
+}
+
+// TestRegistryNamesAreValidProm pins that every metric the simulator
+// registers today scrapes without sanitization. A run exercising every
+// subsystem would be slow here; instead this checks the server-side
+// names plus a representative absorbed set.
+func TestRegistryNamesAreValidProm(t *testing.T) {
+	for _, name := range []string{
+		mRequests, mRejected, mErrors, mJobs, mCells,
+		mHits, mMisses, mCoalesced, mEvicted,
+		mEntries, mDepth, mRunning, mJobsLive,
+	} {
+		if !ValidPromName(name) {
+			t.Errorf("server metric %q is not a valid Prometheus name", name)
+		}
+	}
+}
+
+// golden builds a fixed sample set covering all three kinds and
+// compares the rendered exposition against testdata/metrics.golden.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("sim_faults_fetched").Inc(1234)
+	reg.Counter("uvmserved_requests_total").Inc(42)
+	reg.Gauge("uvmserved_queue_depth").Set(3)
+	h := reg.Histogram("sim_batch_ns")
+	for _, d := range []sim.Duration{1000, 2000, 4000, 8000, 16000} {
+		h.Observe(d)
+	}
+	samples := append(reg.Samples(),
+		obs.Sample{Name: "uvmserved_cache_hits_total", Kind: obs.KindCounter, Value: 7},
+		obs.Sample{Name: "uvmserved_running", Kind: obs.KindGauge, Value: 2},
+	)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusDeterministic pins byte-stability across sample
+// orderings — scrape output must not depend on map iteration or
+// registration order.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	samples := []obs.Sample{
+		{Name: "b_total", Kind: obs.KindCounter, Value: 2},
+		{Name: "a_total", Kind: obs.KindCounter, Value: 1},
+		{Name: "z_gauge", Kind: obs.KindGauge, Value: 9},
+	}
+	reversed := []obs.Sample{samples[2], samples[1], samples[0]}
+
+	var fwd, rev bytes.Buffer
+	if err := WritePrometheus(&fwd, samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&rev, reversed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fwd.Bytes(), rev.Bytes()) {
+		t.Errorf("output depends on sample order:\n%s\nvs\n%s", fwd.Bytes(), rev.Bytes())
+	}
+}

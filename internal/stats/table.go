@@ -7,12 +7,14 @@ import (
 )
 
 // Table is a simple column-aligned results table used by the experiment
-// harness to print the paper's tables and figure series.
+// harness to print the paper's tables and figure series. The JSON tags
+// fix the serving layer's wire shape: cached response bodies must stay
+// byte-identical across builds, so field names are part of the API.
 type Table struct {
-	Title   string
-	Note    string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable returns a table with the given title and column headers.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"uvmsim/internal/govern"
@@ -153,7 +154,13 @@ func (s *Spec) RunContext(ctx context.Context) (*Result, error) {
 	s.cancel = govern.WatchContext(ctx)
 
 	statuses := make([]CellStatus, len(configs))
+	var settled atomic.Int64
 	run := func(i int) ([]string, error) {
+		// Every run invocation settles exactly one cell (reused, tripped,
+		// completed, or aborting the sweep); pool-skipped cells never enter.
+		if s.Progress != nil {
+			defer func() { s.Progress(int(settled.Add(1)), len(configs)) }()
+		}
 		c := configs[i]
 		label := c.Label(s)
 		st := &statuses[i]

@@ -66,6 +66,17 @@ type Spec struct {
 	// journaled rows, budget-tripped cells stay skipped, and only
 	// unfinished cells execute.
 	Resume bool
+	// Progress, when non-nil, is invoked after each cell settles (any
+	// terminal state, including cells reused from the resume journal)
+	// with the number of settled cells and the total. It runs on worker
+	// goroutines and must be safe for concurrent use; the serving layer
+	// wires it to async-job progress polling.
+	Progress func(done, total int)
+	// OnMetrics, when non-nil, receives each completed cell's
+	// metrics-registry snapshot right after its run finishes. It runs on
+	// worker goroutines and must be safe for concurrent use; the serving
+	// layer folds the snapshots into its cumulative /metrics registry.
+	OnMetrics func(c Config, samples []obs.Sample)
 
 	// cancel is set by RunContext and polled by every cell's engine.
 	cancel *sim.Cancel
@@ -213,6 +224,9 @@ var runConfig = func(s *Spec, c Config) ([]interface{}, error) {
 	res, err := sys.RunUVM(k)
 	if err != nil {
 		return nil, err
+	}
+	if s.OnMetrics != nil {
+		s.OnMetrics(c, sys.Metrics().Samples())
 	}
 	return []interface{}{
 		c.Footprint * 100, c.Prefetch, c.Replay.String(), c.Evict, c.Batch, c.VABlock >> 10,

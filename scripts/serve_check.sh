@@ -1,0 +1,170 @@
+#!/bin/sh
+# End-to-end smoke for the serving layer: start uvmserved, submit a
+# fig3 cell, prove the cached re-submission is byte-identical (and
+# observably a hit), force 429 backpressure under a deliberately tiny
+# queue with uvmload, and SIGTERM-drain the server expecting exit 0.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT
+
+# The server runs race-instrumented: the load phase below doubles as a
+# data-race hunt over the cache/admission/metrics paths.
+go build -race -o "$tmp/uvmserved" ./cmd/uvmserved
+go build -o "$tmp/uvmload" ./cmd/uvmload
+
+ADDR=127.0.0.1:18844
+URL="http://$ADDR"
+
+# curl is not guaranteed in minimal CI images; a tiny Go fetcher keeps
+# this script dependency-free. It prints the status code on line 1, the
+# X-Uvmsim-Cache header on line 2, then the body.
+cat >"$tmp/fetch.go" <<'EOF'
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	method, url := os.Args[1], os.Args[2]
+	var body io.Reader
+	if len(os.Args) > 3 {
+		body = strings.NewReader(os.Args[3])
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	fmt.Println(resp.StatusCode)
+	fmt.Println(resp.Header.Get("X-Uvmsim-Cache"))
+	os.Stdout.Write(b)
+}
+EOF
+go build -o "$tmp/fetch" "$tmp/fetch.go"
+fetch() { "$tmp/fetch" "$@"; }
+
+# --- start the server (tiny queue so overload is reachable) -----------
+"$tmp/uvmserved" -addr "$ADDR" -queue 2 -runs 1 -drain-grace 30s >"$tmp/served.log" 2>&1 &
+pid=$!
+
+for i in $(seq 1 100); do
+    if out=$(fetch GET "$URL/healthz" 2>/dev/null) && [ "$(echo "$out" | head -1)" = "200" ]; then
+        break
+    fi
+    if [ "$i" = 100 ]; then
+        echo "serve-check: server never became healthy" >&2
+        cat "$tmp/served.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "serve-check: healthz ok"
+
+# --- fig3 quick: cold, then cached byte-identical re-submit -----------
+# Full (non-quick) fig3 at 1/384 scale: tens of ms cold, sub-ms warm —
+# enough separation to assert the cached path is measurably faster.
+EXP_REQ='{"gpu_mem_mib":64,"quick":false}'
+
+t0=$(date +%s%N 2>/dev/null || date +%s)
+fetch POST "$URL/v1/exp/fig3" "$EXP_REQ" >"$tmp/cold.out"
+t1=$(date +%s%N 2>/dev/null || date +%s)
+
+status=$(head -1 "$tmp/cold.out"); src=$(sed -n 2p "$tmp/cold.out")
+if [ "$status" != "200" ] || [ "$src" != "miss" ]; then
+    echo "serve-check: cold fig3 = status $status source '$src', want 200 miss" >&2
+    sed -n '3,8p' "$tmp/cold.out" >&2
+    exit 1
+fi
+
+t2=$(date +%s%N 2>/dev/null || date +%s)
+fetch POST "$URL/v1/exp/fig3" "$EXP_REQ" >"$tmp/warm.out"
+t3=$(date +%s%N 2>/dev/null || date +%s)
+
+status=$(head -1 "$tmp/warm.out"); src=$(sed -n 2p "$tmp/warm.out")
+if [ "$status" != "200" ] || [ "$src" != "hit" ]; then
+    echo "serve-check: warm fig3 = status $status source '$src', want 200 hit" >&2
+    exit 1
+fi
+
+# The cache contract: hit and miss bodies are byte-identical.
+sed -n '3,$p' "$tmp/cold.out" >"$tmp/cold.body"
+sed -n '3,$p' "$tmp/warm.out" >"$tmp/warm.body"
+if ! cmp -s "$tmp/cold.body" "$tmp/warm.body"; then
+    echo "serve-check: cached fig3 body differs from cold body" >&2
+    diff "$tmp/cold.body" "$tmp/warm.body" >&2 || true
+    exit 1
+fi
+
+cold_ms=$(( (t1 - t0) / 1000000 )); warm_ms=$(( (t3 - t2) / 1000000 )) 2>/dev/null || { cold_ms=-1; warm_ms=-1; }
+# Only hold the timing claim when the cold run was slow enough for
+# millisecond timing to be meaningful (it simulates a full sweep; the
+# hit is pure IO).
+if [ "$cold_ms" -ge 5 ] && [ "$warm_ms" -ge "$cold_ms" ]; then
+    echo "serve-check: cached request (${warm_ms}ms) not faster than cold (${cold_ms}ms)" >&2
+    exit 1
+fi
+echo "serve-check: fig3 cached re-submit byte-identical (cold ${cold_ms}ms, warm ${warm_ms}ms)"
+
+# --- overload: tiny queue must shed with 429 --------------------------
+# Pin the single run slot with a long serial sweep submitted as an async
+# job (48 cells, ~1s). With the queue bound at 2, concurrent uvmload
+# misses deterministically overflow it while the job runs.
+JOB_REQ='{"workload":"regular","gpu_mem_mib":96,"footprints":[0.5,0.75,1.0,1.25],"prefetch":["none","density","adaptive"],"batch":[64,128,256,512]}'
+fetch POST "$URL/v1/jobs" "$JOB_REQ" >"$tmp/job.out"
+if [ "$(head -1 "$tmp/job.out")" != "202" ]; then
+    echo "serve-check: job submit failed:" >&2
+    cat "$tmp/job.out" >&2
+    exit 1
+fi
+
+"$tmp/uvmload" -url "$URL" -n 200 -c 8 -distinct 24 -gpu-mem 96 >"$tmp/load.out"
+cat "$tmp/load.out"
+busy=$(sed -n 's/.*busy(429) \([0-9]*\).*/\1/p' "$tmp/load.out")
+failed=$(sed -n 's/.*transport-failed \([0-9]*\).*/\1/p' "$tmp/load.out")
+if [ "${failed:-1}" != "0" ]; then
+    echo "serve-check: uvmload saw transport failures" >&2
+    exit 1
+fi
+if [ "${busy:-0}" = "0" ]; then
+    echo "serve-check: expected 429 backpressure under -queue 2 -runs 1, saw none" >&2
+    exit 1
+fi
+
+# Cross-check the server's own accounting.
+fetch GET "$URL/metrics" >"$tmp/metrics.out"
+rejected=$(sed -n 's/^uvmserved_rejected_total \([0-9]*\)$/\1/p' "$tmp/metrics.out")
+if [ "${rejected:-0}" != "$busy" ]; then
+    echo "serve-check: uvmserved_rejected_total=$rejected but clients saw $busy rejections" >&2
+    exit 1
+fi
+echo "serve-check: backpressure ok ($busy rejections, metrics agree)"
+
+# --- SIGTERM drain must exit 0 ----------------------------------------
+kill -TERM "$pid"
+wait "$pid" && status=0 || status=$?
+pid=
+if [ "$status" -ne 0 ]; then
+    echo "serve-check: drained server exited $status, want 0" >&2
+    cat "$tmp/served.log" >&2
+    exit 1
+fi
+if grep -q "DATA RACE" "$tmp/served.log"; then
+    echo "serve-check: race detector fired in the server:" >&2
+    cat "$tmp/served.log" >&2
+    exit 1
+fi
+echo "serve-check: SIGTERM drain exited 0, no data races"
+echo "serve-check: all ok"
