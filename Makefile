@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench allocguard chaos resumecheck servecheck clean
+.PHONY: check build vet test race bench allocguard chaos resumecheck servecheck distcheck clean
 
 # The full verification gate: compile everything, vet, run the test
 # suite under the race detector, hold the observability layer to its
-# zero-overhead-when-disabled contract, and smoke the serving layer
-# end-to-end.
-check: build vet race allocguard servecheck
+# zero-overhead-when-disabled contract, smoke the serving layer
+# end-to-end, and kill-and-recover the distributed sweep fabric.
+check: build vet race allocguard servecheck distcheck
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,12 @@ resumecheck:
 # queue with uvmload, and SIGTERM-drain expecting exit 0.
 servecheck:
 	sh scripts/serve_check.sh
+
+# Distributed-fabric gate: coordinator + 3 workers under -race, kill -9
+# one worker mid-sweep, inject a duplicate completion, require the
+# merged output byte-identical to a serial run and exit 0.
+distcheck:
+	sh scripts/dist_check.sh
 
 clean:
 	$(GO) clean ./...

@@ -40,6 +40,7 @@ type sample struct {
 	latency time.Duration
 	status  int
 	source  serve.Source
+	retries int
 	err     error
 }
 
@@ -53,6 +54,7 @@ func run() int {
 		gpuMB    = flag.Int64("gpu-mem", 32, "GPU framebuffer per request in MiB")
 		events   = flag.Uint64("max-events", 0, "per-request event budget (0 = unlimited)")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request timeout")
+		retries  = flag.Int("retries", 0, "client retries per request on 429/transport errors (capped backoff honoring Retry-After)")
 	)
 	flag.Parse()
 	if *n < 1 || *conc < 1 || *distinct < 1 {
@@ -86,6 +88,9 @@ func run() int {
 	}
 
 	c := client.New(*url, nil)
+	if *retries > 0 {
+		c = c.WithRetry(client.RetryPolicy{MaxRetries: *retries})
+	}
 	ctx := context.Background()
 	if err := c.Healthz(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "uvmload: server not healthy at %s: %v\n", *url, err)
@@ -111,10 +116,14 @@ func run() int {
 				}
 				res, err := c.Sim(ctx, stream[i])
 				if err != nil {
-					samples[i] = sample{err: err}
+					s := sample{err: err}
+					if res != nil {
+						s.retries = res.Retries
+					}
+					samples[i] = s
 					continue
 				}
-				samples[i] = sample{latency: res.Latency, status: res.Status, source: res.Source}
+				samples[i] = sample{latency: res.Latency, status: res.Status, source: res.Source, retries: res.Retries}
 			}
 		}()
 	}
@@ -140,10 +149,14 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 func report(samples []sample, elapsed time.Duration, conc int) {
-	var ok, busy, other, failed int
+	var ok, busy, other, failed, retried, retries int
 	bySource := map[serve.Source][]time.Duration{}
 	var all []time.Duration
 	for _, s := range samples {
+		if s.retries > 0 {
+			retried++
+			retries += s.retries
+		}
 		switch {
 		case s.err != nil:
 			failed++
@@ -163,6 +176,7 @@ func report(samples []sample, elapsed time.Duration, conc int) {
 	fmt.Printf("uvmload: %d requests, concurrency %d, %.2fs wall, %.1f req/s\n",
 		len(samples), conc, elapsed.Seconds(), float64(len(samples))/elapsed.Seconds())
 	fmt.Printf("  ok %d   busy(429) %d   other %d   transport-failed %d\n", ok, busy, other, failed)
+	fmt.Printf("  retries %d across %d requests\n", retries, retried)
 	fmt.Printf("  latency p50 %s  p90 %s  p99 %s  max %s\n",
 		percentile(all, 0.50), percentile(all, 0.90), percentile(all, 0.99), percentile(all, 1.0))
 	for _, src := range []serve.Source{serve.SourceMiss, serve.SourceHit, serve.SourceCoalesced} {

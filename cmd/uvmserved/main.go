@@ -58,6 +58,10 @@ func run() int {
 		maxTimeout = flag.Duration("max-timeout", 0, "cap on per-request timeouts (0 = uncapped)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight runs before force-cancelling")
 
+		readTimeout  = flag.Duration("read-timeout", time.Minute, "max time to read a full request (headers+body); 0 disables")
+		writeTimeout = flag.Duration("write-timeout", 15*time.Minute, "max time from end-of-request-read to end-of-response-write; must exceed the longest simulation you serve; 0 disables")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests on one connection; 0 disables")
+
 		simBudget = flag.Duration("sim-budget", 0, "default simulated-time budget per run (0 = unlimited)")
 		maxEvents = flag.Uint64("max-events", 0, "default event-count budget per run (0 = unlimited)")
 		livelock  = flag.Uint64("livelock-events", 0, "default livelock window in events (0 = disabled)")
@@ -87,10 +91,17 @@ func run() int {
 		MaxTimeout:     *maxTimeout,
 	})
 
+	// A stalled or malicious peer must not be able to pin a connection
+	// forever: bound every phase of the exchange. WriteTimeout covers
+	// the whole handler, so its default is sized for long simulations
+	// (and above the typed client's 10-minute overall timeout).
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	// First signal: graceful drain. Restoring default handling via stop

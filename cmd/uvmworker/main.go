@@ -1,0 +1,84 @@
+// Command uvmworker is one stateless worker of the distributed sweep
+// fabric. It attaches to a coordinator (uvmsweep -listen), leases sweep
+// cells one at a time, runs each through the in-process engine while
+// heartbeating the lease, and reports the govern verdict back. Workers
+// hold no sweep state: killing one at any instant degrades to "its
+// leased cell is not yet completed" — the coordinator reassigns the
+// cell after the lease expires, and a worker that finishes after its
+// lease was reassigned delivers a harmless duplicate (rows are
+// deterministic, so the coordinator deduplicates by confighash).
+//
+// With -serve, the worker consults a uvmserved result cache before
+// simulating, so identical cells across the fleet are answered from the
+// shared content-addressed tier. The cache is an accelerator only: any
+// miss or server trouble falls back to the local engine.
+//
+// Usage:
+//
+//	uvmworker -coordinator http://127.0.0.1:9933
+//	uvmworker -coordinator http://127.0.0.1:9933 -name w2 -serve http://127.0.0.1:8844
+//
+// The -inject-dup and -slow flags are chaos hooks for the dist_check
+// gate: they force a duplicate completion report and widen the held-
+// lease window a kill -9 must land in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"uvmsim/internal/dist"
+	"uvmsim/internal/govern"
+	"uvmsim/internal/serve/client"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		coord     = flag.String("coordinator", "http://127.0.0.1:9933", "coordinator base URL")
+		name      = flag.String("name", "", "worker identity for coordinator audit logs (default host PID)")
+		serveURL  = flag.String("serve", "", "optional uvmserved base URL consulted as a shared result cache before simulating")
+		retries   = flag.Int("serve-retries", 2, "client retries against -serve (capped backoff honoring Retry-After)")
+		quiet     = flag.Bool("quiet", false, "suppress per-lease progress lines")
+		injectDup = flag.Bool("inject-dup", false, "chaos hook: re-send the first completion report (dedup exercise)")
+		slow      = flag.Duration("slow", 0, "chaos hook: pause after acquiring each lease before running")
+	)
+	var gf govern.Flags
+	gf.Register()
+	flag.Parse()
+
+	if *name == "" {
+		*name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	cfg := dist.WorkerConfig{
+		Coordinator:       *coord,
+		Name:              *name,
+		InjectDupComplete: *injectDup,
+		SlowStart:         *slow,
+	}
+	if !*quiet {
+		cfg.Log = log.New(os.Stderr, "uvmworker["+*name+"]: ", log.LstdFlags|log.Lmsgprefix)
+	}
+	if *serveURL != "" {
+		sc := client.New(*serveURL, nil).WithRetry(client.RetryPolicy{
+			MaxRetries: *retries,
+			Base:       200 * time.Millisecond,
+		})
+		cfg.Runner = dist.ServeRunner(sc, dist.LocalRunner)
+	}
+
+	ctx, stop := gf.Context()
+	defer stop()
+	if err := dist.NewWorker(cfg).Run(ctx); err != nil {
+		st := govern.StatusOf(err)
+		fmt.Fprintf(os.Stderr, "uvmworker: %s: %v\n", st.State, err)
+		return govern.ExitCode(st.State)
+	}
+	return govern.ExitOK
+}

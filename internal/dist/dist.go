@@ -1,0 +1,226 @@
+// Package dist is the crash-tolerant distributed sweep fabric: a
+// coordinator that shards sweep cells across N stateless workers using
+// lease-based assignment, built so that any process death degrades to
+// "cells not yet completed" — never to lost or corrupt results.
+//
+// The fabric's contract mirrors the single-process sweep exactly:
+//
+//   - Every cell is handed out under a lease with a deadline; workers
+//     renew the lease via heartbeats while the cell runs. An expired
+//     lease (worker death, partition, stall) returns the cell to the
+//     queue for reassignment after capped exponential backoff.
+//   - Each cell carries a retry budget across all its lease grants. A
+//     poison cell — one that keeps killing or failing workers — is
+//     quarantined and reported after the budget is spent, not retried
+//     forever.
+//   - Completed cells are deduplicated by their confighash key: a slow
+//     worker finishing after its lease was reassigned delivers a
+//     harmless no-op (the simulator is deterministic, so both rows are
+//     identical bytes).
+//   - The coordinator journals every grant, expiry, and terminal
+//     outcome through the crash-safe sweep journal, so a coordinator
+//     crash resumes mid-sweep with completed rows replayed from disk.
+//   - The merged output is assembled in cross-product index order from
+//     rendered rows, making it byte-identical to a single-process
+//     `-jobs 1` run regardless of worker deaths, restarts, or duplicate
+//     completions.
+//
+// Lease and retry outcomes map onto the govern outcome taxonomy:
+// completed/deadline/livelock verdicts from workers are terminal
+// exactly as in-process runs are, failed/panicked verdicts and lease
+// expiries consume the retry budget, and budget exhaustion yields
+// govern.StateQuarantined.
+package dist
+
+import (
+	"time"
+
+	"uvmsim/internal/driver"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/sweep"
+)
+
+// Journal audit statuses written by the coordinator alongside the
+// govern terminal states. They are not govern states: on a
+// single-process resume they fall through the status switch and the
+// cell simply reruns, which is the correct recovery for a cell that was
+// only ever leased.
+const (
+	// StatusLeased records a lease grant (cell handed to a worker).
+	StatusLeased = "leased"
+	// StatusExpired records a lease deadline passing without completion.
+	StatusExpired = "expired"
+)
+
+// CellSpec is the self-contained wire form of one sweep cell: every
+// knob a stateless worker needs to run the cell locally and reproduce
+// the coordinator's label byte-for-byte.
+type CellSpec struct {
+	Workload       string  `json:"workload"`
+	GPUMemoryBytes int64   `json:"gpu_mem_bytes"`
+	Seed           uint64  `json:"seed"`
+	Footprint      float64 `json:"footprint"`
+	Prefetch       string  `json:"prefetch"`
+	Replay         string  `json:"replay"`
+	Evict          string  `json:"evict"`
+	Batch          int     `json:"batch"`
+	VABlockBytes   int64   `json:"vablock_bytes"`
+	// Deterministic per-cell budgets (see sim.Budget); part of the spec
+	// because a budget trip is a property of the cell, not the worker.
+	SimDeadlineNs  int64  `json:"sim_deadline_ns,omitempty"`
+	MaxEvents      uint64 `json:"max_events,omitempty"`
+	LivelockWindow uint64 `json:"livelock_window,omitempty"`
+}
+
+// cellSpecOf flattens one resolved cell of a sweep into its wire form.
+func cellSpecOf(s *sweep.Spec, c sweep.Config) CellSpec {
+	return CellSpec{
+		Workload:       s.Workload,
+		GPUMemoryBytes: s.GPUMemoryBytes,
+		Seed:           s.Seed,
+		Footprint:      c.Footprint,
+		Prefetch:       c.Prefetch,
+		Replay:         c.Replay.String(),
+		Evict:          c.Evict,
+		Batch:          c.Batch,
+		VABlockBytes:   c.VABlock,
+		SimDeadlineNs:  int64(s.Budget.SimDeadline),
+		MaxEvents:      s.Budget.MaxEvents,
+		LivelockWindow: s.Budget.LivelockWindow,
+	}
+}
+
+// Spec lifts the cell back into a singleton sweep spec, the worker-side
+// execution form. Rendering a singleton sweep reuses the exact
+// validation, governance, and row-rendering path the single-process
+// sweep runs, which is what makes distributed rows byte-identical.
+func (cs CellSpec) Spec() *sweep.Spec {
+	return &sweep.Spec{
+		Workload:       cs.Workload,
+		GPUMemoryBytes: cs.GPUMemoryBytes,
+		Seed:           cs.Seed,
+		Footprints:     []float64{cs.Footprint},
+		Prefetch:       []string{cs.Prefetch},
+		Replay:         []string{cs.Replay},
+		Evict:          []string{cs.Evict},
+		Batch:          []int{cs.Batch},
+		VABlock:        []int64{cs.VABlockBytes},
+		Jobs:           1,
+		Budget: sim.Budget{
+			SimDeadline:    sim.Time(cs.SimDeadlineNs),
+			MaxEvents:      cs.MaxEvents,
+			LivelockWindow: cs.LivelockWindow,
+		},
+	}
+}
+
+// Label recomputes the cell's replay recipe. Workers verify it against
+// the coordinator's label so a protocol or version skew is caught
+// before any simulation runs under the wrong identity.
+func (cs CellSpec) Label() (string, error) {
+	pol, err := driver.ParseReplayPolicy(cs.Replay)
+	if err != nil {
+		return "", err
+	}
+	s := cs.Spec()
+	c := sweep.Config{
+		Footprint: cs.Footprint, Prefetch: cs.Prefetch, Replay: pol,
+		Evict: cs.Evict, Batch: cs.Batch, VABlock: cs.VABlockBytes,
+	}
+	return c.Label(s), nil
+}
+
+// ---- wire messages ----
+
+// LeaseRequest asks the coordinator for one cell to run.
+type LeaseRequest struct {
+	// Worker is a self-chosen worker identity, used for audit only.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse carries a lease grant, a backoff hint, or the
+// end-of-sweep signal.
+type LeaseResponse struct {
+	// Done tells the worker the sweep has settled; it should exit.
+	Done bool `json:"done,omitempty"`
+	// WaitMs, when no cell is leasable right now (all leased out or
+	// backing off), hints when to poll again.
+	WaitMs int64 `json:"wait_ms,omitempty"`
+
+	LeaseID string    `json:"lease_id,omitempty"`
+	Cell    *CellSpec `json:"cell,omitempty"`
+	// Index is the cell's cross-product position; Label its replay
+	// recipe; Hash its confighash key (the dedup and journal key).
+	Index int    `json:"index"`
+	Label string `json:"label,omitempty"`
+	Hash  string `json:"hash,omitempty"`
+	// Attempt counts lease grants for this cell, 1-based.
+	Attempt int `json:"attempt,omitempty"`
+	// TTLMs is the lease deadline; the worker must renew within it.
+	TTLMs int64 `json:"ttl_ms,omitempty"`
+}
+
+// RenewRequest is the heartbeat extending a held lease.
+type RenewRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// RenewResponse acknowledges a heartbeat. A renew against an expired or
+// reassigned lease answers HTTP 410 instead.
+type RenewResponse struct {
+	OK bool `json:"ok"`
+}
+
+// CompleteRequest reports one cell's terminal outcome. Completion is
+// keyed by Hash, not LeaseID: a deterministic row is accepted even from
+// a worker whose lease has already expired — it is the same bytes the
+// reassigned worker would produce.
+type CompleteRequest struct {
+	LeaseID string `json:"lease_id,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+	Hash    string `json:"hash"`
+	// Status is the govern.State verdict of the run.
+	Status string `json:"status"`
+	Err    string `json:"err,omitempty"`
+	// Row is the rendered result row for completed cells.
+	Row []string `json:"row,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion report.
+type CompleteResponse struct {
+	// Duplicate marks a report for a cell that had already settled; the
+	// report was a no-op.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// Status is the coordinator's progress snapshot.
+type Status struct {
+	Total       int `json:"total"`
+	Pending     int `json:"pending"`
+	Leased      int `json:"leased"`
+	Completed   int `json:"completed"`
+	Skipped     int `json:"skipped"` // deterministic budget trips
+	Quarantined int `json:"quarantined"`
+	Reused      int `json:"reused"` // completed rows replayed from the resume journal
+}
+
+// Settled reports whether every cell is terminal.
+func (st Status) Settled() bool {
+	return st.Completed+st.Skipped+st.Quarantined == st.Total
+}
+
+// Backoff is the capped exponential reassignment backoff: attempt n
+// (1-based count of grants already consumed) waits base<<(n-1), capped.
+func Backoff(n int, base, cap time.Duration) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	d := base
+	for i := 1; i < n && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}

@@ -36,6 +36,12 @@ const (
 	StatePanicked State = "panicked"
 	// StateFailed: the run returned an ordinary error.
 	StateFailed State = "failed"
+	// StateQuarantined: the distributed sweep fabric exhausted a cell's
+	// retry budget (repeated worker deaths or failures on the same cell)
+	// and removed the cell from scheduling. A quarantined cell is a
+	// poison verdict about the cell, not the fleet: the sweep continues
+	// without its row and reports the quarantine.
+	StateQuarantined State = "quarantined"
 )
 
 // Code returns a stable numeric encoding for metric export.
@@ -51,8 +57,10 @@ func (s State) Code() uint64 {
 		return 3
 	case StatePanicked:
 		return 4
-	default:
+	case StateFailed:
 		return 5
+	default: // quarantined and any future state
+		return 6
 	}
 }
 

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -68,6 +69,80 @@ func TestLoadToleratesTornTail(t *testing.T) {
 	}
 	if len(got) != 2 {
 		t.Fatalf("loaded %d records from torn journal, want 2", len(got))
+	}
+}
+
+// Interior corruption (flipped bytes mid-file, not a torn tail) ends
+// the scan at the damaged line: everything before it loads, everything
+// after it is discarded. This is deliberate, not accidental — once a
+// middle line is damaged, append ordering can no longer be trusted, so
+// recovery degrades to re-running the later cells rather than replaying
+// rows whose provenance is suspect. This test pins that contract.
+func TestLoadStopsAtInteriorCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, _ := Create(path)
+	w.Append(rec("aaaa", "completed", []string{"1"}))
+	w.Append(rec("bbbb", "completed", []string{"2"}))
+	w.Append(rec("cccc", "completed", []string{"3"}))
+	w.Append(rec("dddd", "completed", []string{"4"}))
+	w.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes in the middle of the second line so it is not valid
+	// JSON. Lines 1 stays intact; lines 3 and 4 are intact on disk but
+	// sit after the damage.
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("journal has %d lines, want >= 4", len(lines))
+	}
+	mid := len(lines[1]) / 2
+	lines[1][mid], lines[1][mid+1] = 0xff, 0x00
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Hash != "aaaa" {
+		hashes := make([]string, len(got))
+		for i, r := range got {
+			hashes[i] = r.Hash
+		}
+		t.Fatalf("interior corruption: loaded %v, want only [aaaa] (records after the damage must be discarded)", hashes)
+	}
+	// Latest over the survivors plans a resume that reruns every cell at
+	// or after the damage — never one that trusts a post-damage row.
+	m := Latest(got)
+	for _, h := range []string{"bbbb", "cccc", "dddd"} {
+		if _, ok := m[h]; ok {
+			t.Errorf("cell %s survived interior corruption; it must rerun", h)
+		}
+	}
+}
+
+// A corrupt interior line that still parses as JSON but fails its row
+// digest is dropped individually — the scan continues, because the line
+// framing itself was intact.
+func TestLoadInteriorBadDigestDropsOnlyThatRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	w, _ := Create(path)
+	mangled := rec("bbbb", "completed", []string{"2"})
+	mangled.Digest = "0000000000000000"
+	w.Append(rec("aaaa", "completed", []string{"1"}))
+	w.Append(mangled)
+	w.Append(rec("cccc", "completed", []string{"3"}))
+	w.Close()
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Hash != "aaaa" || got[1].Hash != "cccc" {
+		t.Fatalf("digest-damaged interior record: loaded %v, want [aaaa cccc]", got)
 	}
 }
 

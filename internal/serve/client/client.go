@@ -32,8 +32,12 @@ type Result struct {
 	Body []byte
 	// RetryAfter is the parsed backpressure hint on 429 responses.
 	RetryAfter time.Duration
-	// Latency is the client-observed round-trip time.
+	// Latency is the client-observed round-trip time, summed across
+	// every attempt (excluding backoff waits) when retrying.
 	Latency time.Duration
+	// Retries counts the retry attempts this call consumed (0 when the
+	// first attempt settled, or when no RetryPolicy is configured).
+	Retries int
 }
 
 // OK reports whether the response carried a 2xx status.
@@ -59,8 +63,9 @@ func (r *Result) Err() error {
 
 // Client talks to one uvmserved base URL.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // New returns a client for base (e.g. "http://127.0.0.1:8844"). A nil
@@ -73,8 +78,35 @@ func New(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
-// do issues one request and packages the response.
+// do issues a request under the retry policy: transport errors and 429
+// rejections retry up to MaxRetries times with capped jittered backoff,
+// honoring the server's Retry-After hint; every other outcome returns
+// immediately. With no policy configured this is a single attempt.
 func (c *Client) do(ctx context.Context, method, path string, payload interface{}) (*Result, error) {
+	var latency time.Duration
+	for retries := 0; ; retries++ {
+		res, err := c.once(ctx, method, path, payload)
+		if res != nil {
+			latency += res.Latency
+			res.Latency = latency
+			res.Retries = retries
+		}
+		transient := err != nil || res.Busy()
+		if !transient || retries >= c.retry.MaxRetries || ctx.Err() != nil {
+			return res, err
+		}
+		var hint time.Duration
+		if res != nil {
+			hint = res.RetryAfter
+		}
+		if serr := c.retry.sleep(ctx, c.retry.wait(retries+1, hint)); serr != nil {
+			return res, err // cancelled mid-backoff: surface the last outcome
+		}
+	}
+}
+
+// once issues one request and packages the response.
+func (c *Client) once(ctx context.Context, method, path string, payload interface{}) (*Result, error) {
 	var body io.Reader
 	if payload != nil {
 		b, err := json.Marshal(payload)

@@ -1,0 +1,109 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy is the client's opt-in retry behaviour for transient
+// outcomes: transport errors and 429 admission rejections. The server's
+// Retry-After hint on 429 is honored as the wait (capped by
+// MaxRetryAfter); transport errors and hint-less rejections wait a
+// capped exponential backoff. Jitter decorrelates a fleet of clients
+// retrying into the same admission queue.
+//
+// Retrying is safe for this API because every simulation endpoint is a
+// pure function of its request — a retried request is answered from the
+// content-addressed cache or coalesced into the in-flight run, never
+// computed twice with different results.
+type RetryPolicy struct {
+	// MaxRetries is how many retries follow the first attempt; 0
+	// disables retrying entirely.
+	MaxRetries int
+	// Base is the first backoff pause (default 100ms); Cap bounds the
+	// exponential growth (default 5s).
+	Base, Cap time.Duration
+	// MaxRetryAfter caps how long a server Retry-After hint is honored
+	// (default 30s) — a misconfigured server cannot park a client
+	// forever.
+	MaxRetryAfter time.Duration
+	// Jitter is the fraction of each wait added uniformly at random
+	// (default 0.25; negative disables jitter).
+	Jitter float64
+
+	// sleep and randFloat are test seams.
+	sleep     func(ctx context.Context, d time.Duration) error
+	randFloat func() float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 5 * time.Second
+	}
+	if p.MaxRetryAfter <= 0 {
+		p.MaxRetryAfter = 30 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.25
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.sleep == nil {
+		p.sleep = sleepCtx
+	}
+	if p.randFloat == nil {
+		p.randFloat = rand.Float64 // the global source is goroutine-safe
+	}
+	return p
+}
+
+// backoff is the capped exponential pause before retry n (1-based).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.Base
+	for i := 1; i < n && d < p.Cap; i++ {
+		d *= 2
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// wait picks the pause before retry n: the server's hint when one was
+// sent (capped), the backoff otherwise, jittered either way.
+func (p RetryPolicy) wait(n int, retryAfter time.Duration) time.Duration {
+	d := p.backoff(n)
+	if retryAfter > 0 {
+		d = retryAfter
+		if d > p.MaxRetryAfter {
+			d = p.MaxRetryAfter
+		}
+	}
+	if p.Jitter > 0 {
+		d += time.Duration(p.randFloat() * p.Jitter * float64(d))
+	}
+	return d
+}
+
+// WithRetry enables the retry policy on the client and returns it. The
+// zero policy (MaxRetries 0) leaves behaviour unchanged: one attempt,
+// the caller sees every 429.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p.withDefaults()
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

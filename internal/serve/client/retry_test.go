@@ -1,0 +1,176 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyWait(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Cap: time.Second, MaxRetryAfter: 10 * time.Second, Jitter: -1}.withDefaults()
+	for _, tc := range []struct {
+		n    int
+		hint time.Duration
+		want time.Duration
+	}{
+		{1, 0, 100 * time.Millisecond},
+		{2, 0, 200 * time.Millisecond},
+		{3, 0, 400 * time.Millisecond},
+		{4, 0, 800 * time.Millisecond},
+		{5, 0, time.Second},                   // capped backoff
+		{20, 0, time.Second},                  // stays capped
+		{1, 3 * time.Second, 3 * time.Second}, // hint wins over backoff
+		{1, time.Minute, 10 * time.Second},    // hint capped by MaxRetryAfter
+	} {
+		if got := p.wait(tc.n, tc.hint); got != tc.want {
+			t.Errorf("wait(%d, %s) = %s, want %s", tc.n, tc.hint, got, tc.want)
+		}
+	}
+}
+
+func TestRetryPolicyJitterBounded(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Jitter: 0.5, randFloat: func() float64 { return 1.0 }}.withDefaults()
+	if got, want := p.wait(1, 0), 150*time.Millisecond; got != want {
+		t.Errorf("full-jitter wait = %s, want %s", got, want)
+	}
+	p.randFloat = func() float64 { return 0 }
+	if got, want := p.wait(1, 0), 100*time.Millisecond; got != want {
+		t.Errorf("zero-jitter wait = %s, want %s", got, want)
+	}
+}
+
+// A client with retries configured rides out transient 429s: the waits
+// honor the server's Retry-After hint and the final success reports how
+// many retries it consumed.
+func TestClientRetriesThrough429(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	var waits []time.Duration
+	c := New(ts.URL, nil).WithRetry(RetryPolicy{MaxRetries: 5, Jitter: -1})
+	c.retry.sleep = func(ctx context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return nil
+	}
+	res, err := c.do(context.Background(), http.MethodGet, "/whatever", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Retries != 2 {
+		t.Fatalf("result = status %d retries %d, want 200 after 2 retries", res.Status, res.Retries)
+	}
+	if len(waits) != 2 || waits[0] != 7*time.Second || waits[1] != 7*time.Second {
+		t.Fatalf("waits = %v, want two 7s Retry-After honors", waits)
+	}
+}
+
+// With the budget exhausted the last 429 is surfaced, not an error:
+// admission rejection stays a reportable outcome, as uvmload expects.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil).WithRetry(RetryPolicy{MaxRetries: 3, Jitter: -1})
+	c.retry.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	res, err := c.do(context.Background(), http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Busy() || res.Retries != 3 {
+		t.Fatalf("result = status %d retries %d, want 429 with 3 retries", res.Status, res.Retries)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d attempts, want 4 (1 + 3 retries)", got)
+	}
+}
+
+// Transport errors retry like 429s; a server that recovers mid-budget
+// turns a would-be failure into a success.
+func TestClientRetriesTransportError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Hijack and sever the connection mid-response.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("recorder not hijackable")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil).WithRetry(RetryPolicy{MaxRetries: 2, Jitter: -1})
+	c.retry.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	res, err := c.do(context.Background(), http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatalf("retry did not absorb the transport error: %v", err)
+	}
+	if !res.OK() || res.Retries != 1 {
+		t.Fatalf("result = status %d retries %d, want 200 after 1 retry", res.Status, res.Retries)
+	}
+}
+
+// Without WithRetry the client is single-attempt: existing callers see
+// every 429 exactly as before.
+func TestClientNoRetryByDefault(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	res, err := New(ts.URL, nil).do(context.Background(), http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Busy() || res.Retries != 0 || calls.Load() != 1 {
+		t.Fatalf("default client: status %d retries %d calls %d, want one 429 attempt", res.Status, res.Retries, calls.Load())
+	}
+}
+
+// Cancellation mid-backoff surfaces the last outcome promptly instead
+// of sleeping out the budget.
+func TestClientRetryCancelledMidBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", strconv.Itoa(3600))
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL, nil).WithRetry(RetryPolicy{MaxRetries: 10, Jitter: -1})
+	c.retry.sleep = func(sctx context.Context, d time.Duration) error {
+		cancel()
+		return sctx.Err()
+	}
+	res, err := c.do(ctx, http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Busy() || res.Retries != 0 {
+		t.Fatalf("cancelled retry = status %d retries %d, want the first 429", res.Status, res.Retries)
+	}
+}

@@ -1,0 +1,140 @@
+#!/bin/sh
+# Kill-and-recover gate for the distributed sweep fabric: run a sweep
+# through a coordinator plus three external workers, kill -9 one worker
+# while it provably holds a lease, inject a duplicate completion from
+# another, and require the merged output to be byte-identical to a
+# serial -jobs 1 run with the coordinator exiting 0. A second leg
+# exercises the self-spawning path (-workers N) end to end.
+#
+# Everything runs race-instrumented: the lease/heartbeat/dedup paths are
+# exactly where a data race would hide.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"
+      [ -n "${cpid:-}" ] && kill "$cpid" 2>/dev/null || true
+      [ -n "${wpids:-}" ] && kill $wpids 2>/dev/null || true' EXIT
+
+go build -race -o "$tmp/uvmsweep" ./cmd/uvmsweep
+go build -race -o "$tmp/uvmworker" ./cmd/uvmworker
+
+# The fig3 shape: footprint sweep crossed with prefetch and replay
+# policies (24 cells), the same sweep the resume gate uses.
+SWEEP="-workload random -footprints 0.5,0.75,1.0,1.25 -prefetch none,density,adaptive -replay batch,batchflush -csv"
+ADDR=127.0.0.1:19484
+URL="http://$ADDR"
+
+# --- serial reference -------------------------------------------------
+"$tmp/uvmsweep" $SWEEP -jobs 1 >"$tmp/serial.csv" 2>/dev/null
+
+# --- coordinator + 3 external workers, one killed mid-sweep -----------
+# Short lease TTL so the killed worker's cell is reassigned quickly.
+"$tmp/uvmsweep" $SWEEP -listen "$ADDR" -journal "$tmp/dist.jsonl" \
+    -lease-ttl 1s -cell-retries 3 >"$tmp/dist.csv" 2>"$tmp/coord.log" &
+cpid=$!
+
+for i in $(seq 1 100); do
+    grep -q "coordinator listening" "$tmp/coord.log" 2>/dev/null && break
+    if [ "$i" = 100 ]; then
+        echo "dist-check: coordinator never came up" >&2
+        cat "$tmp/coord.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$tmp/uvmworker" -coordinator "$URL" -name steady >"$tmp/w1.log" 2>&1 &
+w1=$!
+"$tmp/uvmworker" -coordinator "$URL" -name dup -inject-dup >"$tmp/w2.log" 2>&1 &
+w2=$!
+# The victim pauses 2s after acquiring each lease, before its first
+# heartbeat — so the kill below is guaranteed to land on a held lease
+# that then expires at the coordinator.
+"$tmp/uvmworker" -coordinator "$URL" -name victim -slow 2s >"$tmp/w3.log" 2>&1 &
+w3=$!
+wpids="$w1 $w2 $w3"
+
+for i in $(seq 1 200); do
+    grep -q "lease " "$tmp/w3.log" 2>/dev/null && break
+    if [ "$i" = 200 ]; then
+        echo "dist-check: victim never acquired a lease" >&2
+        cat "$tmp/w3.log" "$tmp/coord.log" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -9 "$w3" 2>/dev/null || true
+echo "dist-check: victim killed -9 while holding a lease"
+
+wait "$cpid" && status=0 || status=$?
+cpid=
+if [ "$status" -ne 0 ]; then
+    echo "dist-check: coordinator exited $status, want 0" >&2
+    cat "$tmp/coord.log" >&2
+    exit 1
+fi
+wait "$w1" && w1s=0 || w1s=$?
+wait "$w2" && w2s=0 || w2s=$?
+wpids=
+if [ "$w1s" -ne 0 ] || [ "$w2s" -ne 0 ]; then
+    echo "dist-check: surviving workers exited $w1s/$w2s, want 0/0" >&2
+    cat "$tmp/w1.log" "$tmp/w2.log" >&2
+    exit 1
+fi
+
+if ! diff "$tmp/serial.csv" "$tmp/dist.csv"; then
+    echo "dist-check: merged distributed output differs from serial run" >&2
+    exit 1
+fi
+echo "dist-check: merged output byte-identical to serial run"
+
+# The fabric must have actually seen the chaos: the victim's lease
+# expired and was re-granted, and the injected duplicate was absorbed.
+summary=$(grep "# dist:" "$tmp/coord.log" || true)
+echo "dist-check: $summary"
+expired=$(echo "$summary" | sed -n 's/.*expired=\([0-9]*\).*/\1/p')
+retries=$(echo "$summary" | sed -n 's/.*retries=\([0-9]*\).*/\1/p')
+dups=$(echo "$summary" | sed -n 's/.*duplicates=\([0-9]*\).*/\1/p')
+quarantined=$(echo "$summary" | sed -n 's/.*quarantined=\([0-9]*\).*/\1/p')
+if [ "${expired:-0}" -lt 1 ] || [ "${retries:-0}" -lt 1 ]; then
+    echo "dist-check: expected >=1 lease expiry and retry after kill -9 (expired=$expired retries=$retries)" >&2
+    exit 1
+fi
+if [ "${dups:-0}" -lt 1 ]; then
+    echo "dist-check: injected duplicate completion was not observed (duplicates=$dups)" >&2
+    exit 1
+fi
+if [ "${quarantined:-1}" -ne 0 ]; then
+    echo "dist-check: healthy cells were quarantined (quarantined=$quarantined)" >&2
+    exit 1
+fi
+
+if grep -q "DATA RACE" "$tmp/coord.log" "$tmp/w1.log" "$tmp/w2.log" "$tmp/w3.log"; then
+    echo "dist-check: race detector fired:" >&2
+    grep -A20 "DATA RACE" "$tmp"/*.log >&2
+    exit 1
+fi
+echo "dist-check: kill-and-recover ok (expired=$expired retries=$retries duplicates=$dups)"
+
+# --- self-spawning mode: uvmsweep -workers N --------------------------
+# A smaller sweep (6 cells) through coordinator-spawned local workers;
+# uvmworker is found as a sibling of the uvmsweep binary.
+SMALL="-workload random -footprints 0.5,1.25 -prefetch none,density,adaptive -csv"
+"$tmp/uvmsweep" $SMALL -jobs 1 >"$tmp/small-serial.csv" 2>/dev/null
+"$tmp/uvmsweep" $SMALL -workers 2 >"$tmp/small-dist.csv" 2>"$tmp/spawn.log" && status=0 || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "dist-check: -workers 2 sweep exited $status, want 0" >&2
+    cat "$tmp/spawn.log" >&2
+    exit 1
+fi
+if ! diff "$tmp/small-serial.csv" "$tmp/small-dist.csv"; then
+    echo "dist-check: -workers 2 output differs from serial run" >&2
+    exit 1
+fi
+if grep -q "DATA RACE" "$tmp/spawn.log"; then
+    echo "dist-check: race detector fired in spawn leg:" >&2
+    cat "$tmp/spawn.log" >&2
+    exit 1
+fi
+echo "dist-check: -workers 2 spawn mode byte-identical to serial run"
+echo "dist-check: all ok"
