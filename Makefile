@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race bench allocguard chaos resumecheck servecheck distcheck clean
+.PHONY: check build vet test race bench benchall bench_baseline benchcheck allocguard chaos resumecheck servecheck distcheck clean
 
 # The full verification gate: compile everything, vet, run the test
-# suite under the race detector, hold the observability layer to its
-# zero-overhead-when-disabled contract, smoke the serving layer
-# end-to-end, and kill-and-recover the distributed sweep fabric.
-check: build vet race allocguard servecheck distcheck
+# suite under the race detector, hold the observability layer and hot
+# paths to their zero-alloc contracts, gate benchmark regressions
+# against the committed baseline, smoke the serving layer end-to-end,
+# and kill-and-recover the distributed sweep fabric.
+check: build vet race allocguard benchcheck servecheck distcheck
 
 build:
 	$(GO) build ./...
@@ -20,21 +21,48 @@ test:
 race:
 	$(GO) test -race -timeout 15m ./...
 
-# Every benchmark with allocation counts: paper-artifact regeneration
-# benches at the repo root plus the engine/microbenchmarks. Numbers are
-# recorded against EXPERIMENTS.md's "Simulator performance" baselines.
-# For serving-layer throughput (cold vs warm cache), run uvmload twice
-# with the same seed against a running uvmserved — see EXPERIMENTS.md
-# "Serving layer":
+# The curated benchmark suite: engine/driver/tree/mem microbenchmarks
+# plus the Fig. 1 macro suite, all with allocation counts and fixed
+# seeds, written machine-readable to results/bench_<date>.json (raw
+# text on stderr). Numbers are recorded against EXPERIMENTS.md's
+# "Simulator performance" baselines.
+bench:
+	mkdir -p results
+	{ $(GO) test -bench=. -benchmem -run=^$$ -count=1 \
+	      ./internal/sim ./internal/mem ./internal/tree ./internal/driver ./internal/core ; \
+	  $(GO) test -bench 'BenchmarkFig1AccessLatency' -benchtime 1x -benchmem -run=^$$ -count=1 . ; } \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson -o results/bench_$$(date +%Y%m%d).json
+
+# Everything with a Benchmark function, including the full paper-artifact
+# regeneration benches at the repo root (slow). For serving-layer
+# throughput (cold vs warm cache), run uvmload twice with the same seed
+# against a running uvmserved — see EXPERIMENTS.md "Serving layer":
 #   go run ./cmd/uvmserved -addr :8844 &
 #   go run ./cmd/uvmload -url http://localhost:8844 -n 200 -c 8
-bench:
+benchall:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# Alloc-guard smoke: the nil-sink tracer/lifecycle fast path must stay
-# allocation-free, and the instrumented end-to-end benchmark must run.
+# Benchmark regression gate: rerun the guarded suite and compare against
+# the committed results/bench_baseline.json. >10% alloc/op growth on a
+# guarded benchmark fails (deterministic, strict); ns/op is a noise-aware
+# backstop (default 30%, BENCH_TIME_TOL=10 on quiet hardware).
+benchcheck:
+	sh scripts/bench_check.sh
+
+# Regenerate the committed baseline after an intentional perf change.
+bench_baseline:
+	sh scripts/bench_check.sh --update-baseline
+
+# Alloc-guard: the nil-sink tracer/lifecycle fast path, the driver's
+# batch preprocess, the prefetch planner, the bitmap word-scan
+# primitives, and LRU churn must all stay allocation-free in steady
+# state, and the instrumented end-to-end benchmark must run.
 allocguard:
 	$(GO) test ./internal/obs -run TestNilTracerAllocFree -count=1
+	$(GO) test ./internal/driver -run 'TestPreprocessSteadyStateAllocFree|TestFetchSteadyStateAllocFree' -count=1
+	$(GO) test ./internal/tree -run TestPlanSteadyStateAllocFree -count=1
+	$(GO) test ./internal/mem -run TestBitmapWordPrimitivesAllocFree -count=1
+	$(GO) test ./internal/evict -run TestLRUChurnAllocFree -count=1
 	$(GO) test ./internal/core -bench BenchmarkDriverService -benchtime 2x -benchmem -run=^$$
 
 # Seeded fault-injection campaign across workloads and replay policies;

@@ -1,0 +1,136 @@
+package driver
+
+import (
+	"testing"
+
+	"uvmsim/internal/faultbuf"
+	"uvmsim/internal/mem"
+)
+
+// batchEntries builds a batch touching several VABlocks with interleaved,
+// duplicated pages — the shape preprocess sees under parallel fault
+// arrival.
+func batchEntries(geom mem.Geometry, blocks, perBlock int) []faultbuf.Entry {
+	entries := make([]faultbuf.Entry, 0, blocks*perBlock)
+	seq := uint64(0)
+	for p := 0; p < perBlock; p++ {
+		for b := blocks - 1; b >= 0; b-- {
+			seq++
+			entries = append(entries, faultbuf.Entry{
+				Seq:   seq,
+				Page:  mem.PageID(b*geom.PagesPerVABlock + p*3%geom.PagesPerVABlock),
+				Write: p%2 == 0,
+				SM:    b % 4,
+			})
+		}
+	}
+	return entries
+}
+
+// TestPreprocessSteadyStateAllocFree pins the batch-scoped scratch arena
+// (DESIGN.md §12): once the bin pool is warm, grouping and ordering a
+// batch allocates nothing.
+func TestPreprocessSteadyStateAllocFree(t *testing.T) {
+	h := newHarness(t, 64<<20, 16<<20)
+	entries := batchEntries(h.space.Geometry(), 6, 40)
+	h.drv.binBatch(entries) // warm the bin pool and index
+	if n := testing.AllocsPerRun(100, func() {
+		h.drv.binBatch(entries)
+	}); n != 0 {
+		t.Errorf("binBatch allocates %v times per batch in steady state, want 0", n)
+	}
+}
+
+// TestFetchSteadyStateAllocFree pins the fetch accumulation scratch: a
+// warm driver pulls a full batch out of the ring buffer without
+// allocating.
+func TestFetchSteadyStateAllocFree(t *testing.T) {
+	h := newHarness(t, 64<<20, 16<<20)
+	d := h.drv
+	d.acc = d.acc[:0]
+	d.acc = append(d.acc, faultbuf.Entry{Seq: 1})[:0] // warm capacity retention path
+	fill := func() {
+		for i := 0; i < d.cfg.BatchSize; i++ {
+			if _, ok := h.buf.Put(mem.PageID(i), false, 0, 0, 0); !ok {
+				t.Fatal("fault buffer full while filling")
+			}
+		}
+	}
+	fill()
+	d.acc = h.buf.AppendReady(d.acc[:0], d.cfg.BatchSize, 0)
+	if n := testing.AllocsPerRun(20, func() {
+		fill()
+		d.acc = h.buf.AppendReady(d.acc[:0], d.cfg.BatchSize, 0)
+	}); n != 0 {
+		t.Errorf("batch fetch allocates %v times per batch in steady state, want 0", n)
+	}
+}
+
+// TestBinBatchOrderedUniqueBlocks is the ordering regression test: the
+// bins come out strictly ascending by block ID (modulo the batch
+// rotation, zero here) with every block exactly once, and the demanded
+// sets contain exactly the batch's pages.
+func TestBinBatchOrderedUniqueBlocks(t *testing.T) {
+	h := newHarness(t, 64<<20, 16<<20)
+	geom := h.space.Geometry()
+	entries := batchEntries(geom, 6, 40)
+	for range 3 { // repeat to cover pooled-bin reuse
+		ordered := h.drv.binBatch(entries)
+		if len(ordered) != 6 {
+			t.Fatalf("got %d bins, want 6", len(ordered))
+		}
+		want := make(map[mem.VABlockID]map[int]bool)
+		for _, e := range entries {
+			id := geom.BlockOf(e.Page)
+			if want[id] == nil {
+				want[id] = make(map[int]bool)
+			}
+			want[id][geom.PageIndex(e.Page)] = true
+		}
+		for i, b := range ordered {
+			if i > 0 && b.block <= ordered[i-1].block {
+				t.Fatalf("bins not strictly ascending: block %d at %d after %d",
+					b.block, i, ordered[i-1].block)
+			}
+			if b.demanded.Count() != len(want[b.block]) {
+				t.Errorf("block %d: demanded %d pages, want %d",
+					b.block, b.demanded.Count(), len(want[b.block]))
+			}
+			b.demanded.ForEachSet(func(idx int) {
+				if !want[b.block][idx] {
+					t.Errorf("block %d: stale demanded page %d (pool reuse leak)", b.block, idx)
+				}
+			})
+		}
+	}
+}
+
+func TestAssertUniqueBlocksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate block IDs did not panic")
+		}
+	}()
+	assertUniqueBlocks([]*bin{{block: 3}, {block: 3}})
+}
+
+func TestRotateLeft(t *testing.T) {
+	for _, tc := range []struct {
+		in   []int
+		rot  int
+		want []int
+	}{
+		{[]int{1, 2, 3, 4, 5}, 2, []int{3, 4, 5, 1, 2}},
+		{[]int{1, 2, 3}, 0, []int{1, 2, 3}},
+		{[]int{1, 2}, 1, []int{2, 1}},
+	} {
+		got := append([]int(nil), tc.in...)
+		rotateLeft(got, tc.rot)
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("rotateLeft(%v, %d) = %v, want %v", tc.in, tc.rot, got, tc.want)
+				break
+			}
+		}
+	}
+}

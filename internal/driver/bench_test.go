@@ -1,0 +1,44 @@
+package driver
+
+import (
+	"testing"
+
+	"uvmsim/internal/mem"
+)
+
+// BenchmarkBinBatch measures the preprocess hot path in isolation:
+// grouping, deduplicating, ordering, and rotating one full batch. The
+// alloc gate (scripts/bench_check.sh) holds it at zero allocs/op.
+func BenchmarkBinBatch(b *testing.B) {
+	h := newHarness(b, 64<<20, 16<<20)
+	entries := batchEntries(h.space.Geometry(), 6, 40)
+	h.drv.binBatch(entries)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.drv.binBatch(entries)
+	}
+}
+
+// BenchmarkMapOps measures the PTE-counting walk over a fragmented
+// fetch set (alternating big-page-able chunks and partial runs).
+func BenchmarkMapOps(b *testing.B) {
+	pages := mem.DefaultGeometry().PagesPerVABlock
+	fetch := mem.NewBitmap(pages)
+	demanded := mem.NewBitmap(pages)
+	for p := 0; p < pages; p += 48 {
+		hi := p + 40
+		if hi > pages {
+			hi = pages
+		}
+		fetch.SetRange(p, hi)
+		demanded.Set(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += mapOps(fetch, demanded)
+	}
+	_ = sink
+}

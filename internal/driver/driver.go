@@ -2,7 +2,7 @@ package driver
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"uvmsim/internal/evict"
 	"uvmsim/internal/faultbuf"
@@ -70,6 +70,18 @@ type Driver struct {
 	// drops outrun the last replay, endPass must force one or those warps
 	// would never re-fault (graceful buffer-full degradation).
 	dropsReplayed uint64
+
+	// Batch-scoped scratch arena (DESIGN.md §12). All of it is owned by
+	// exactly one in-flight batch at a time: the pipeline is a strictly
+	// serial event chain (fetch → preprocess → service… → batchEnd →
+	// next fetch), so the arena is reclaimed at the next preprocess,
+	// after the previous batch has fully retired. Reuse never crosses a
+	// batch boundary mid-flight and never leaks state: every field is
+	// reset before use.
+	acc      []faultbuf.Entry      // fetch accumulation, cap BatchSize
+	bins     []*bin                // current batch's bins, sorted by block
+	binIndex map[mem.VABlockID]int // block -> index into bins; cleared per batch
+	binFree  []*bin                // recycled bins with retained bitmaps/maps
 }
 
 // Deps bundles the driver's collaborators.
@@ -113,6 +125,8 @@ func New(cfg Config, d Deps) (*Driver, error) {
 		tr:       d.Obs,
 		life:     d.Life,
 		idle:     true,
+		acc:      make([]faultbuf.Entry, 0, cfg.BatchSize),
+		binIndex: make(map[mem.VABlockID]int),
 	}, nil
 }
 
@@ -204,23 +218,28 @@ func (d *Driver) dma(dir xfer.Direction, bytes int64) sim.Time {
 
 // fetchBatch reads the next batch of ready fault entries, or ends the
 // pass when the buffer has drained. The previous batch's envelope closes
-// here: its pipeline has fully retired once the next fetch begins.
+// here: its pipeline has fully retired once the next fetch begins, which
+// is also what makes the accumulation scratch safe to reclaim.
 func (d *Driver) fetchBatch() {
 	d.closeBatch()
-	d.fetchMore(nil)
+	d.fetchMore(d.acc[:0])
 }
 
 // fetchMore accumulates ready entries into the current batch, applying
-// the configured fetch mode when a not-ready entry blocks the head.
+// the configured fetch mode when a not-ready entry blocks the head. acc
+// is the driver's batch-scoped scratch slice (or a poll continuation of
+// it); entries are appended in place, so a steady-state fetch performs
+// no allocations.
 func (d *Driver) fetchMore(acc []faultbuf.Entry) {
 	now := d.eng.Now()
-	entries := d.buf.FetchReady(d.cfg.BatchSize-len(acc), now)
+	prev := len(acc)
+	acc = d.buf.AppendReady(acc, d.cfg.BatchSize-len(acc), now)
+	d.acc = acc // retain any capacity growth for the next batch
 	if d.life.Enabled() {
-		for _, e := range entries {
+		for _, e := range acc[prev:] {
 			d.life.Fetched(e.Seq, now)
 		}
 	}
-	acc = append(acc, entries...)
 	headBlocked := d.buf.Len() > 0 && len(acc) < d.cfg.BatchSize
 	if headBlocked && (len(acc) == 0 || d.cfg.Fetch == FetchFillBatch) {
 		// Nothing usable yet, or fill-batch mode wants a full batch:
@@ -244,7 +263,9 @@ func (d *Driver) fetchMore(acc []faultbuf.Entry) {
 	d.eng.After(cost, func() { d.preprocess(acc) })
 }
 
-// bin is the per-VABlock grouping of one batch's faults.
+// bin is the per-VABlock grouping of one batch's faults. Bins live in
+// the driver's batch-scoped pool: their bitmaps (and origin map, when
+// enabled) are allocated once and reset on reuse.
 type bin struct {
 	block    mem.VABlockID
 	demanded *mem.Bitmap // in-block page indexes demanded in this batch
@@ -253,26 +274,53 @@ type bin struct {
 	seqs     []uint64    // member fault sequence numbers (lifecycle tracking only)
 }
 
-// preprocess sorts and bins the batch by VABlock, deduplicating repeated
-// pages (the "basic bookkeeping and logical checks").
-func (d *Driver) preprocess(entries []faultbuf.Entry) {
+// getBin returns a reset bin for block id, reusing a pooled one when
+// available.
+func (d *Driver) getBin(id mem.VABlockID, geom mem.Geometry) *bin {
+	if n := len(d.binFree); n > 0 {
+		b := d.binFree[n-1]
+		d.binFree = d.binFree[:n-1]
+		b.block = id
+		b.demanded.Reset()
+		b.writes.Reset()
+		if b.sms != nil {
+			clear(b.sms)
+		}
+		b.seqs = b.seqs[:0]
+		return b
+	}
+	b := &bin{
+		block:    id,
+		demanded: mem.NewBitmap(geom.PagesPerVABlock),
+		writes:   mem.NewBitmap(geom.PagesPerVABlock),
+	}
+	if d.cfg.FaultOriginInfo {
+		b.sms = make(map[int]int)
+	}
+	return b
+}
+
+// binBatch groups the batch's entries into per-VABlock bins, sorted by
+// ascending block ID and rotated across batches. It reclaims the
+// previous batch's bins first — safe because the pipeline is strictly
+// serial, so by the time the next batch reaches preprocess the previous
+// one has fully retired (batchEnd ran before this fetch). Steady state
+// allocates nothing (pinned by TestPreprocessSteadyStateAllocFree).
+func (d *Driver) binBatch(entries []faultbuf.Entry) []*bin {
 	geom := d.space.Geometry()
-	bins := make(map[mem.VABlockID]*bin)
+	d.binFree = append(d.binFree, d.bins...)
+	d.bins = d.bins[:0]
+	clear(d.binIndex)
 	var dups uint64
 	for _, e := range entries {
 		id := geom.BlockOf(e.Page)
-		b := bins[id]
-		if b == nil {
-			b = &bin{
-				block:    id,
-				demanded: mem.NewBitmap(geom.PagesPerVABlock),
-				writes:   mem.NewBitmap(geom.PagesPerVABlock),
-			}
-			if d.cfg.FaultOriginInfo {
-				b.sms = make(map[int]int)
-			}
-			bins[id] = b
+		i, ok := d.binIndex[id]
+		if !ok {
+			i = len(d.bins)
+			d.bins = append(d.bins, d.getBin(id, geom))
+			d.binIndex[id] = i
 		}
+		b := d.bins[i]
 		idx := geom.PageIndex(e.Page)
 		if !b.demanded.Set(idx) {
 			dups++
@@ -290,11 +338,22 @@ func (d *Driver) preprocess(entries []faultbuf.Entry) {
 		}
 	}
 	d.m.faultsDeduped.Inc(dups)
-	ordered := make([]*bin, 0, len(bins))
-	for _, b := range bins {
-		ordered = append(ordered, b)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].block < ordered[j].block })
+	ordered := d.bins
+	slices.SortFunc(ordered, func(a, b *bin) int {
+		switch {
+		case a.block < b.block:
+			return -1
+		case a.block > b.block:
+			return 1
+		default:
+			return 0
+		}
+	})
+	// The service order must be fully determined by the batch contents:
+	// block IDs are unique within a batch (the index map guarantees it),
+	// so the sort has no ties and no order instability to hide behind.
+	// assertUniqueBlocks keeps that invariant explicit.
+	assertUniqueBlocks(ordered)
 	// Rotate the service order across batches. When a batch spans more
 	// VABlocks than the framebuffer holds, a fixed order would make the
 	// allocation of the batch's tail bins always evict the same
@@ -303,12 +362,35 @@ func (d *Driver) preprocess(entries []faultbuf.Entry) {
 	// batch. At real scale (capacity >> bins per batch) this changes
 	// nothing.
 	if n := len(ordered); n > 1 {
-		rot := int(d.m.batches.Get()) % n
-		rotated := make([]*bin, 0, n)
-		rotated = append(rotated, ordered[rot:]...)
-		rotated = append(rotated, ordered[:rot]...)
-		ordered = rotated
+		rotateLeft(ordered, int(d.m.batches.Get())%n)
 	}
+	return ordered
+}
+
+// assertUniqueBlocks panics when two bins share a block ID. Duplicate
+// bins would make the service order depend on sort-internal tie
+// handling and double-service a block's faults; the binning index makes
+// them impossible, and this assertion keeps it that way.
+func assertUniqueBlocks(ordered []*bin) {
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].block <= ordered[i-1].block {
+			panic(fmt.Sprintf("driver: duplicate bin for block %d in one batch", ordered[i].block))
+		}
+	}
+}
+
+// rotateLeft rotates s in place so s[rot] becomes the first element
+// (three-reversal rotation, no scratch slice).
+func rotateLeft[T any](s []T, rot int) {
+	slices.Reverse(s[:rot])
+	slices.Reverse(s[rot:])
+	slices.Reverse(s)
+}
+
+// preprocess sorts and bins the batch by VABlock, deduplicating repeated
+// pages (the "basic bookkeeping and logical checks").
+func (d *Driver) preprocess(entries []faultbuf.Entry) {
+	ordered := d.binBatch(entries)
 	cost := sim.Duration(len(entries)) * d.cfg.SortPerFault
 	d.chargeSpan(obs.SpanSort, cost, int64(len(entries)))
 	d.eng.After(cost, func() { d.serviceBlock(ordered, 0) })
@@ -454,16 +536,28 @@ func (d *Driver) migrate(bins []*bin, i int) {
 func mapOps(fetch, demanded *mem.Bitmap) int {
 	ops := 0
 	fetch.Runs(func(lo, hi int) {
+		// Walk the run one 64 KB chunk at a time instead of page by page:
+		// a chunk is either fully inside the run (one popcount decides big
+		// vs. small PTEs) or partial (always small PTEs, counted
+		// arithmetically).
 		for p := lo; p < hi; {
-			base := mem.BigPageBase(p)
-			if p == base && p+mem.PagesPerBigPage <= hi &&
-				demanded.CountRange(p, p+mem.PagesPerBigPage) < mem.PagesPerBigPage {
+			next := mem.BigPageBase(p) + mem.PagesPerBigPage
+			switch {
+			case p != mem.BigPageBase(p) || next > hi:
+				// Partial chunk: individual 4 KB PTEs.
+				if next > hi {
+					next = hi
+				}
+				ops += next - p
+			case demanded.CountRange(p, next) < mem.PagesPerBigPage:
+				// Full chunk with at least one prefetched page: the
+				// big-page upgrade enables a single 64 KB PTE.
 				ops++
-				p += mem.PagesPerBigPage
-				continue
+			default:
+				// Full chunk, purely demanded: 16 individual PTEs.
+				ops += mem.PagesPerBigPage
 			}
-			ops++
-			p++
+			p = next
 		}
 	})
 	return ops

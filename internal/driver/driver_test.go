@@ -66,7 +66,7 @@ func withPrefetcher(name string) harnessOpt {
 	}
 }
 
-func newHarness(t *testing.T, gpuMemBytes, allocBytes int64, opts ...harnessOpt) *harness {
+func newHarness(t testing.TB, gpuMemBytes, allocBytes int64, opts ...harnessOpt) *harness {
 	t.Helper()
 	h := &harness{eng: sim.NewEngine(), gpu: &fakeGPU{}, rec: trace.New()}
 	h.space = mem.NewAddressSpace(mem.DefaultGeometry())
@@ -89,7 +89,7 @@ func newHarness(t *testing.T, gpuMemBytes, allocBytes int64, opts ...harnessOpt)
 		t.Fatal(err)
 	}
 	cfg := DefaultConfig()
-	h.prefetcher = prefetch.None{}
+	h.prefetcher = &prefetch.None{}
 	for _, o := range opts {
 		o(&cfg, h)
 	}

@@ -57,9 +57,15 @@ type lruNode struct {
 
 // LRU is the driver's default policy: victims come from the tail; Touch
 // moves a block to the head. Only fault servicing calls Touch.
+//
+// Removed nodes go to an intrusive free list instead of the garbage
+// collector: under oversubscription every serviced bin can evict and
+// re-insert a block, so the steady-state Insert/Remove churn reuses a
+// bounded set of nodes and allocates nothing.
 type LRU struct {
 	head, tail *lruNode // head = most recently touched
 	nodes      map[mem.VABlockID]*lruNode
+	free       *lruNode // singly linked (via next) recycled nodes
 }
 
 // NewLRU returns an empty LRU policy.
@@ -105,7 +111,14 @@ func (l *LRU) Insert(b *mem.VABlock) {
 	if _, ok := l.nodes[b.ID]; ok {
 		panic(fmt.Sprintf("evict: duplicate insert of block %d", b.ID))
 	}
-	n := &lruNode{block: b}
+	n := l.free
+	if n != nil {
+		l.free = n.next
+		n.next = nil
+		n.block = b
+	} else {
+		n = &lruNode{block: b}
+	}
 	l.nodes[b.ID] = n
 	l.pushFront(n)
 }
@@ -131,6 +144,9 @@ func (l *LRU) Remove(b *mem.VABlock) {
 	}
 	l.unlink(n)
 	delete(l.nodes, b.ID)
+	n.block = nil // drop the block reference while pooled
+	n.next = l.free
+	l.free = n
 }
 
 // Victim implements Policy: the least recently touched block.

@@ -48,10 +48,14 @@ type Perturber interface {
 }
 
 // Buffer is the circular fault buffer. It is a passive data structure
-// driven by GPU puts and driver fetches.
+// driven by GPU puts and driver fetches. Storage is a true ring of the
+// hardware capacity, allocated once at construction — the hot put/fetch
+// path never allocates or releases memory, exactly like the fixed
+// on-device buffer it models.
 type Buffer struct {
-	cap     int
-	entries []Entry // FIFO; head at index 0 (slices are re-sliced on fetch)
+	ring    []Entry // fixed ring storage, len == capacity
+	head    int     // index of the oldest entry
+	n       int     // occupied slots
 	seq     uint64
 	perturb Perturber      // optional fault injection; nil when disabled
 	life    *obs.Lifecycle // optional per-fault tracking; nil when disabled
@@ -69,7 +73,18 @@ func New(capacity int) (*Buffer, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("faultbuf: capacity %d must be positive", capacity)
 	}
-	return &Buffer{cap: capacity}, nil
+	return &Buffer{ring: make([]Entry, capacity)}, nil
+}
+
+// at returns a pointer to the i-th buffered entry (0 = oldest).
+func (b *Buffer) at(i int) *Entry {
+	return &b.ring[(b.head+i)%len(b.ring)]
+}
+
+// push appends an entry at the tail. The caller must have checked Full.
+func (b *Buffer) push(e Entry) {
+	b.ring[(b.head+b.n)%len(b.ring)] = e
+	b.n++
 }
 
 // SetPerturber installs (or, with nil, removes) a fault-injection layer
@@ -83,13 +98,13 @@ func (b *Buffer) SetPerturber(p Perturber) { b.perturb = p }
 func (b *Buffer) SetLifecycle(l *obs.Lifecycle) { b.life = l }
 
 // Cap returns the buffer capacity.
-func (b *Buffer) Cap() int { return b.cap }
+func (b *Buffer) Cap() int { return len(b.ring) }
 
 // Len returns the number of buffered entries (ready or not).
-func (b *Buffer) Len() int { return len(b.entries) }
+func (b *Buffer) Len() int { return b.n }
 
 // Full reports whether a Put would be rejected.
-func (b *Buffer) Full() bool { return len(b.entries) >= b.cap }
+func (b *Buffer) Full() bool { return b.n >= len(b.ring) }
 
 // Put appends a fault entry. It returns the assigned sequence number and
 // false when the buffer was full (the fault is dropped; the warp will
@@ -113,7 +128,7 @@ func (b *Buffer) Put(page mem.PageID, write bool, sm int, raised, readyAt sim.Ti
 	readyAt = readyAt.Add(act.ExtraReadyDelay)
 	b.seq++
 	b.total++
-	b.entries = append(b.entries, Entry{
+	b.push(Entry{
 		Seq: b.seq, Page: page, Write: write, SM: sm, Raised: raised, ReadyAt: readyAt,
 	})
 	b.life.Born(b.seq, raised)
@@ -122,7 +137,7 @@ func (b *Buffer) Put(page mem.PageID, write bool, sm int, raised, readyAt sim.Ti
 		b.seq++
 		b.total++
 		b.injDups++
-		b.entries = append(b.entries, Entry{
+		b.push(Entry{
 			Seq: b.seq, Page: page, Write: write, SM: sm, Raised: raised, ReadyAt: readyAt,
 		})
 		b.life.Born(b.seq, raised)
@@ -130,42 +145,54 @@ func (b *Buffer) Put(page mem.PageID, write bool, sm int, raised, readyAt sim.Ti
 	return seq, true
 }
 
-// FetchReady pops up to max entries from the head whose ready flag is
-// visible at time now. It stops early at the first not-ready entry,
-// mirroring the driver's fetch loop.
+// AppendReady pops up to max entries from the head whose ready flag is
+// visible at time now, appending them to dst and returning the extended
+// slice. It stops early at the first not-ready entry, mirroring the
+// driver's fetch loop. The driver passes its batch-scoped scratch slice,
+// so a steady-state fetch copies entries without allocating.
+func (b *Buffer) AppendReady(dst []Entry, max int, now sim.Time) []Entry {
+	popped := 0
+	for popped < b.n && popped < max {
+		e := b.at(popped)
+		if e.ReadyAt > now {
+			break
+		}
+		dst = append(dst, *e)
+		popped++
+	}
+	b.head = (b.head + popped) % len(b.ring)
+	b.n -= popped
+	b.fetched += uint64(popped)
+	return dst
+}
+
+// FetchReady pops up to max ready entries into a freshly allocated
+// slice. Tests and tools use it; the driver's hot path uses AppendReady
+// with a reused scratch slice instead.
 func (b *Buffer) FetchReady(max int, now sim.Time) []Entry {
-	n := 0
-	for n < len(b.entries) && n < max && b.entries[n].ReadyAt <= now {
-		n++
-	}
-	out := b.entries[:n:n]
-	b.entries = b.entries[n:]
-	b.fetched += uint64(n)
-	if len(b.entries) == 0 {
-		b.entries = nil // release backing array once drained
-	}
-	return out
+	return b.AppendReady(nil, max, now)
 }
 
 // HeadReadyAt returns when the head entry becomes ready. ok is false when
 // the buffer is empty.
 func (b *Buffer) HeadReadyAt() (t sim.Time, ok bool) {
-	if len(b.entries) == 0 {
+	if b.n == 0 {
 		return 0, false
 	}
-	return b.entries[0].ReadyAt, true
+	return b.at(0).ReadyAt, true
 }
 
 // Flush discards every buffered entry (the batch-flush replay policy) and
 // returns how many were dropped.
 func (b *Buffer) Flush() int {
-	n := len(b.entries)
+	n := b.n
 	if b.life.Enabled() {
-		for _, e := range b.entries {
-			b.life.Flushed(e.Seq)
+		for i := 0; i < n; i++ {
+			b.life.Flushed(b.at(i).Seq)
 		}
 	}
-	b.entries = nil
+	b.head = 0
+	b.n = 0
 	b.flushed += uint64(n)
 	return n
 }
@@ -195,17 +222,17 @@ func (b *Buffer) Total() uint64 { return b.total }
 // accepted entry is buffered, fetched, or flushed — none lost). The
 // runtime invariant checker calls it after simulation events.
 func (b *Buffer) CheckConsistency() error {
-	if len(b.entries) > b.cap {
-		return fmt.Errorf("faultbuf: %d entries exceed capacity %d", len(b.entries), b.cap)
+	if b.n > len(b.ring) {
+		return fmt.Errorf("faultbuf: %d entries exceed capacity %d", b.n, len(b.ring))
 	}
-	if got := b.fetched + b.flushed + uint64(len(b.entries)); got != b.total {
+	if got := b.fetched + b.flushed + uint64(b.n); got != b.total {
 		return fmt.Errorf("faultbuf: conservation broken: accepted %d != fetched %d + flushed %d + buffered %d",
-			b.total, b.fetched, b.flushed, len(b.entries))
+			b.total, b.fetched, b.flushed, b.n)
 	}
-	for i := 1; i < len(b.entries); i++ {
-		if b.entries[i].Seq <= b.entries[i-1].Seq {
+	for i := 1; i < b.n; i++ {
+		if b.at(i).Seq <= b.at(i-1).Seq {
 			return fmt.Errorf("faultbuf: FIFO order broken at index %d: seq %d after %d",
-				i, b.entries[i].Seq, b.entries[i-1].Seq)
+				i, b.at(i).Seq, b.at(i-1).Seq)
 		}
 	}
 	return nil

@@ -140,13 +140,13 @@ func TestCheckConsistencyDetectsCorruption(t *testing.T) {
 	}
 	b.total--
 	// FIFO order break.
-	b.entries[1].Seq = b.entries[0].Seq
+	b.at(1).Seq = b.at(0).Seq
 	if err := b.CheckConsistency(); err == nil {
 		t.Error("sequence order break undetected")
 	}
-	b.entries[1].Seq = b.entries[0].Seq + 1
-	// Over capacity.
-	b.cap = 1
+	b.at(1).Seq = b.at(0).Seq + 1
+	// Over capacity: shrink the ring under the occupied count.
+	b.ring = b.ring[:1]
 	if err := b.CheckConsistency(); err == nil {
 		t.Error("over-capacity undetected")
 	}

@@ -131,8 +131,21 @@ type blockRun struct {
 type smState struct {
 	freeSlots int
 	// outstanding is the µTLB view: pages with an in-flight fault from
-	// this SM. Duplicate accesses coalesce onto the existing fault.
-	outstanding map[mem.PageID]struct{}
+	// this SM. Duplicate accesses coalesce onto the existing fault. It is
+	// a flat slice scanned linearly: the MSHR budget caps it at
+	// MaxOutstandingPerSM (64) entries, where a scan beats map hashing
+	// and the storage is reused across the whole run.
+	outstanding []mem.PageID
+}
+
+// hasOutstanding reports whether page already has an in-flight fault.
+func (sm *smState) hasOutstanding(page mem.PageID) bool {
+	for _, p := range sm.outstanding {
+		if p == page {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats aggregates GPU-side measurements for one run.
@@ -160,6 +173,12 @@ type GPU struct {
 	sms     []*smState
 	pending []*blockRun
 	blocked []*warpRun
+
+	// Run-state pools: block and warp runs recycled at block drain. A
+	// multi-kernel workload (or one with more blocks than SM slots) reuses
+	// the same bounded set of runs instead of allocating per launch.
+	freeBlocks []*blockRun
+	freeWarps  []*warpRun
 
 	// remoteLink, when set, charges remote-mapped accesses for
 	// interconnect bandwidth (pipelined, contending with DMA traffic).
@@ -199,7 +218,7 @@ func New(eng *sim.Engine, cfg Config, space *mem.AddressSpace, rng *sim.RNG) (*G
 	for i := range g.sms {
 		g.sms[i] = &smState{
 			freeSlots:   cfg.WarpSlotsPerSM,
-			outstanding: make(map[mem.PageID]struct{}),
+			outstanding: make([]mem.PageID, 0, cfg.MaxOutstandingPerSM),
 		}
 	}
 	return g, nil
@@ -255,14 +274,44 @@ func (g *GPU) Launch(k *Kernel, done func(at sim.Time)) error {
 	g.running = true
 	g.pending = g.pending[:0]
 	for i := range k.Blocks {
-		br := &blockRun{id: i, remaining: len(k.Blocks[i].Warps)}
+		br := g.getBlockRun(i, len(k.Blocks[i].Warps))
 		for _, wp := range k.Blocks[i].Warps {
-			br.warps = append(br.warps, &warpRun{prog: wp, block: br, stalledAt: -1})
+			br.warps = append(br.warps, g.getWarpRun(wp, br))
 		}
 		g.pending = append(g.pending, br)
 	}
 	g.dispatch()
 	return nil
+}
+
+// getBlockRun returns a reset block run, reusing a pooled one when
+// available.
+func (g *GPU) getBlockRun(id, warps int) *blockRun {
+	var br *blockRun
+	if n := len(g.freeBlocks); n > 0 {
+		br = g.freeBlocks[n-1]
+		g.freeBlocks = g.freeBlocks[:n-1]
+		br.warps = br.warps[:0]
+	} else {
+		br = &blockRun{}
+	}
+	br.id = id
+	br.remaining = warps
+	return br
+}
+
+// getWarpRun returns a reset warp run for br, reusing a pooled one when
+// available.
+func (g *GPU) getWarpRun(prog WarpProgram, br *blockRun) *warpRun {
+	var w *warpRun
+	if n := len(g.freeWarps); n > 0 {
+		w = g.freeWarps[n-1]
+		g.freeWarps = g.freeWarps[:n-1]
+	} else {
+		w = &warpRun{}
+	}
+	*w = warpRun{prog: prog, block: br, stalledAt: -1}
+	return w
 }
 
 // dispatch fills free SM slots with pending blocks in ascending block-id
@@ -397,7 +446,7 @@ func (g *GPU) faultGroup(w *warpRun) {
 		if g.space.IsResident(a.Page) {
 			continue
 		}
-		if _, dup := sm.outstanding[a.Page]; dup {
+		if sm.hasOutstanding(a.Page) {
 			// µTLB coalescing: an identical fault from this SM is in flight.
 			g.stats.FaultsCoalesced++
 			g.tr.Emit(obs.SpanCoalesce, now, now, 0, int64(a.Page))
@@ -409,15 +458,16 @@ func (g *GPU) faultGroup(w *warpRun) {
 			g.stats.FaultsThrottled++
 			break
 		}
-		sm.outstanding[a.Page] = struct{}{}
+		sm.outstanding = append(sm.outstanding, a.Page)
 		ready := now.Add(g.cfg.FaultIssue + g.jitter(g.cfg.FaultReadyDelay))
 		if _, ok := g.buf.Put(a.Page, a.Write, w.sm, now, ready); !ok {
 			g.stats.FaultsDropped++
 			anyDropped = true
-			// The fault left no buffer entry; clear the µTLB slot so the
+			// The fault left no buffer entry; clear the µTLB slot (the
+			// page was just appended, so it is the last element) so the
 			// retry after the recovery replay re-raises it instead of
 			// coalescing onto a fault that does not exist.
-			delete(sm.outstanding, a.Page)
+			sm.outstanding = sm.outstanding[:len(sm.outstanding)-1]
 			continue
 		}
 		g.stats.FaultsRaised++
@@ -444,12 +494,13 @@ func (g *GPU) wake() {
 		return
 	}
 	now := g.eng.Now()
+	// The woken view aliases g.blocked's storage; that is safe because the
+	// loop below only schedules events (no warp steps synchronously), so
+	// nothing appends to g.blocked until wake returns.
 	woken := g.blocked
-	g.blocked = nil
+	g.blocked = g.blocked[:0]
 	for _, sm := range g.sms {
-		for p := range sm.outstanding {
-			delete(sm.outstanding, p)
-		}
+		sm.outstanding = sm.outstanding[:0]
 	}
 	if debugLog != nil {
 		debugLog("t=%v WAKE %d warps", now, len(woken))
@@ -476,6 +527,10 @@ func (g *GPU) retire(w *warpRun) {
 		return
 	}
 	g.sms[w.sm].freeSlots += len(br.warps)
+	// The block has fully drained: every warp (including w) has retired
+	// and holds no pending events, so its runs recycle into the pools.
+	g.freeWarps = append(g.freeWarps, br.warps...)
+	g.freeBlocks = append(g.freeBlocks, br)
 	g.doneBlocks++
 	if g.doneBlocks == g.totalBlocks {
 		g.running = false

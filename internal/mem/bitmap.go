@@ -56,6 +56,103 @@ func (b *Bitmap) Reset() {
 	b.count = 0
 }
 
+// SetRange sets every bit in [lo, hi) word-at-a-time and returns how
+// many were previously clear. It is the bulk primitive behind big-page
+// upgrades, dense-region fills, and eager residency marking.
+func (b *Bitmap) SetRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	added := 0
+	for i := lo; i < hi; {
+		w := i >> 6
+		span := 64 - i&63
+		if i+span > hi {
+			span = hi - i
+		}
+		var m uint64
+		if span == 64 {
+			m = ^uint64(0)
+		} else {
+			m = ((uint64(1) << uint(span)) - 1) << uint(i&63)
+		}
+		newBits := m &^ b.words[w]
+		b.words[w] |= newBits
+		added += bits.OnesCount64(newBits)
+		i += span
+	}
+	b.count += added
+	return added
+}
+
+// CopyFrom overwrites the bitmap with other's contents. The bitmaps
+// must have equal capacity. It exists so scratch bitmaps can be refilled
+// without allocating (the retained-scratch analogue of Clone).
+func (b *Bitmap) CopyFrom(other *Bitmap) {
+	if b.n != other.n {
+		panic("mem: CopyFrom capacity mismatch")
+	}
+	copy(b.words, other.words)
+	b.count = other.count
+}
+
+// AndNotFrom overwrites the bitmap with a &^ c (bits set in a but not
+// in c), word-at-a-time. All three bitmaps must have equal capacity.
+func (b *Bitmap) AndNotFrom(a, c *Bitmap) {
+	if b.n != a.n || b.n != c.n {
+		panic("mem: AndNotFrom capacity mismatch")
+	}
+	count := 0
+	for i := range b.words {
+		w := a.words[i] &^ c.words[i]
+		b.words[i] = w
+		count += bits.OnesCount64(w)
+	}
+	b.count = count
+}
+
+// DiffCount returns the number of bits in [lo, hi) that are set in b
+// but clear in other, without materializing the difference. The bitmaps
+// must have equal capacity.
+func (b *Bitmap) DiffCount(other *Bitmap, lo, hi int) int {
+	if b.n != other.n {
+		panic("mem: DiffCount capacity mismatch")
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	n := 0
+	for i := lo; i < hi; {
+		w := i >> 6
+		word := (b.words[w] &^ other.words[w]) >> uint(i&63)
+		span := 64 - i&63
+		if i+span > hi {
+			span = hi - i
+			word &= (1 << uint(span)) - 1
+		}
+		n += bits.OnesCount64(word)
+		i += span
+	}
+	return n
+}
+
+// ForEachSetWord calls fn for every word with at least one set bit,
+// passing the word index (bit base = w<<6) and the word's bits. It is
+// the raw word-scan primitive the prefetch tree builds on.
+func (b *Bitmap) ForEachSetWord(fn func(w int, bits uint64)) {
+	for w, word := range b.words {
+		if word != 0 {
+			fn(w, word)
+		}
+	}
+}
+
 // CountRange returns the number of set bits in [lo, hi).
 func (b *Bitmap) CountRange(lo, hi int) int {
 	if lo < 0 {
@@ -92,12 +189,42 @@ func (b *Bitmap) ForEachSet(fn func(i int)) {
 }
 
 // NextClear returns the first clear bit at or after i, or -1 when all
-// remaining bits are set.
+// remaining bits are set. Word-scan: whole set words are skipped with a
+// single inversion + trailing-zeros step.
 func (b *Bitmap) NextClear(i int) int {
-	for ; i < b.n; i++ {
-		if !b.Get(i) {
-			return i
+	if i < 0 {
+		i = 0
+	}
+	for i < b.n {
+		w := i >> 6
+		// Invert and mask off bits below i: the first remaining set bit
+		// of the inverted word is the first clear bit of the original.
+		word := ^b.words[w] >> uint(i&63)
+		if word != 0 {
+			j := i + bits.TrailingZeros64(word)
+			if j >= b.n {
+				return -1
+			}
+			return j
 		}
+		i = (w + 1) << 6
+	}
+	return -1
+}
+
+// NextSet returns the first set bit at or after i, or -1 when none
+// remains.
+func (b *Bitmap) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for i < b.n {
+		w := i >> 6
+		word := b.words[w] >> uint(i&63)
+		if word != 0 {
+			return i + bits.TrailingZeros64(word)
+		}
+		i = (w + 1) << 6
 	}
 	return -1
 }
@@ -120,18 +247,18 @@ func (b *Bitmap) Clone() *Bitmap {
 }
 
 // Runs calls fn for each maximal run [lo, hi) of set bits, in order. It is
-// used to coalesce contiguous pages into single DMA transfers.
+// used to coalesce contiguous pages into single DMA transfers. Word-scan:
+// run boundaries are found with trailing-zeros steps, so fully set or
+// fully clear words cost one iteration instead of 64.
 func (b *Bitmap) Runs(fn func(lo, hi int)) {
-	i := 0
-	for i < b.n {
-		if !b.Get(i) {
-			i++
-			continue
+	i := b.NextSet(0)
+	for i >= 0 {
+		end := b.NextClear(i + 1)
+		if end < 0 {
+			fn(i, b.n)
+			return
 		}
-		lo := i
-		for i < b.n && b.Get(i) {
-			i++
-		}
-		fn(lo, i)
+		fn(i, end)
+		i = b.NextSet(end + 1)
 	}
 }

@@ -1,0 +1,193 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refBitmap builds a bitmap plus a naive reference set from raw indexes.
+func refBitmap(n int, setBits []uint16) (*Bitmap, map[int]bool) {
+	b := NewBitmap(n)
+	ref := make(map[int]bool)
+	for _, s := range setBits {
+		i := int(s) % n
+		b.Set(i)
+		ref[i] = true
+	}
+	return b, ref
+}
+
+func TestBitmapSetRange(t *testing.T) {
+	b := NewBitmap(512)
+	b.Set(70)
+	if got := b.SetRange(64, 128); got != 63 {
+		t.Errorf("SetRange(64,128) added %d, want 63 (bit 70 pre-set)", got)
+	}
+	if b.Count() != 64 {
+		t.Errorf("Count = %d, want 64", b.Count())
+	}
+	if b.SetRange(64, 128) != 0 {
+		t.Error("re-setting the range added bits")
+	}
+	// Clamping: out-of-range bounds shrink to the bitmap.
+	if got := b.SetRange(-5, 600); got != 512-64 {
+		t.Errorf("clamped SetRange added %d, want %d", got, 512-64)
+	}
+	if b.Count() != 512 {
+		t.Errorf("Count = %d, want 512", b.Count())
+	}
+}
+
+func TestBitmapSetRangeProperty(t *testing.T) {
+	f := func(setBits []uint16, loRaw, hiRaw uint16) bool {
+		b, ref := refBitmap(512, setBits)
+		lo, hi := int(loRaw)%513, int(hiRaw)%513
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		wantAdded := 0
+		for i := lo; i < hi; i++ {
+			if !ref[i] {
+				wantAdded++
+				ref[i] = true
+			}
+		}
+		if b.SetRange(lo, hi) != wantAdded {
+			return false
+		}
+		for i := 0; i < 512; i++ {
+			if b.Get(i) != ref[i] {
+				return false
+			}
+		}
+		return b.Count() == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapCopyAndNotDiff(t *testing.T) {
+	f := func(aBits, cBits []uint16, loRaw, hiRaw uint16) bool {
+		a, aRef := refBitmap(512, aBits)
+		c, cRef := refBitmap(512, cBits)
+
+		cp := NewBitmap(512)
+		cp.CopyFrom(a)
+		for i := 0; i < 512; i++ {
+			if cp.Get(i) != aRef[i] {
+				return false
+			}
+		}
+		if cp.Count() != a.Count() {
+			return false
+		}
+
+		dst := NewBitmap(512)
+		dst.Set(3) // stale content must be overwritten
+		dst.AndNotFrom(a, c)
+		wantCount := 0
+		for i := 0; i < 512; i++ {
+			want := aRef[i] && !cRef[i]
+			if dst.Get(i) != want {
+				return false
+			}
+			if want {
+				wantCount++
+			}
+		}
+		if dst.Count() != wantCount {
+			return false
+		}
+
+		lo, hi := int(loRaw)%513, int(hiRaw)%513
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		wantDiff := 0
+		for i := lo; i < hi; i++ {
+			if aRef[i] && !cRef[i] {
+				wantDiff++
+			}
+		}
+		return a.DiffCount(c, lo, hi) == wantDiff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapNextSetNextClear(t *testing.T) {
+	f := func(setBits []uint16, fromRaw uint16) bool {
+		b, ref := refBitmap(200, setBits) // odd size: last word is partial
+		from := int(fromRaw) % 205
+		wantSet, wantClear := -1, -1
+		for i := from; i < 200; i++ {
+			if i < 0 {
+				continue
+			}
+			if ref[i] && wantSet < 0 {
+				wantSet = i
+			}
+			if !ref[i] && wantClear < 0 {
+				wantClear = i
+			}
+		}
+		return b.NextSet(from) == wantSet && b.NextClear(from) == wantClear
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// The clear scan must not report the dead bits past Len in the last
+	// word.
+	b := NewBitmap(65)
+	b.SetRange(0, 65)
+	if got := b.NextClear(0); got != -1 {
+		t.Errorf("NextClear on full bitmap = %d, want -1", got)
+	}
+	if got := b.NextSet(64); got != 64 {
+		t.Errorf("NextSet(64) = %d, want 64", got)
+	}
+}
+
+func TestBitmapForEachSetWord(t *testing.T) {
+	b := NewBitmap(192)
+	for _, i := range []int{0, 63, 130} {
+		b.Set(i)
+	}
+	var words []int
+	var payload []uint64
+	b.ForEachSetWord(func(w int, bits uint64) {
+		words = append(words, w)
+		payload = append(payload, bits)
+	})
+	if len(words) != 2 || words[0] != 0 || words[1] != 2 {
+		t.Fatalf("words = %v, want [0 2]", words)
+	}
+	if payload[0] != 1|1<<63 || payload[1] != 1<<2 {
+		t.Errorf("payload = %x", payload)
+	}
+}
+
+// TestBitmapWordPrimitivesAllocFree pins the word-scan primitives the
+// driver hot path depends on at zero allocations.
+func TestBitmapWordPrimitivesAllocFree(t *testing.T) {
+	a, b, dst := NewBitmap(512), NewBitmap(512), NewBitmap(512)
+	a.SetRange(10, 300)
+	b.SetRange(200, 400)
+	sink := 0
+	if n := testing.AllocsPerRun(100, func() {
+		dst.CopyFrom(a)
+		dst.AndNotFrom(a, b)
+		sink += dst.SetRange(0, 64)
+		sink += a.DiffCount(b, 0, 512)
+		sink += a.CountRange(5, 500)
+		sink += a.NextSet(0) + a.NextClear(0)
+		a.ForEachSetWord(func(w int, bits uint64) { sink += w })
+		a.Runs(func(lo, hi int) { sink += hi - lo })
+		dst.Reset()
+	}); n != 0 {
+		t.Errorf("word primitives allocate %v times per run, want 0", n)
+	}
+	_ = sink
+}

@@ -48,13 +48,13 @@ type Prefetcher interface {
 func New(name string) (Prefetcher, error) {
 	switch name {
 	case "none":
-		return None{}, nil
+		return &None{}, nil
 	case "density", "":
 		return NewDensity(tree.DefaultThreshold), nil
 	case "aggressive":
 		return NewDensity(1), nil
 	case "adaptive":
-		return &Adaptive{Under: NewDensity(1), Over: None{}}, nil
+		return &Adaptive{Under: NewDensity(1), Over: &None{}}, nil
 	case "stream":
 		return NewStream(8), nil
 	}
@@ -68,21 +68,25 @@ func New(name string) (Prefetcher, error) {
 	return nil, fmt.Errorf("prefetch: unknown policy %q", name)
 }
 
-// demandOnly returns the fetch set containing exactly the non-resident
-// demanded pages.
-func demandOnly(ctx *Context) tree.Result {
-	pl := tree.Planner{Threshold: 0, BigPages: false}
+// demandOnly computes the fetch set containing exactly the non-resident
+// demanded pages, using pl's retained scratch (a zero-valued planner
+// plans demand-only). Each prefetcher owns its demand planner so
+// steady-state planning stays allocation-free.
+func demandOnly(pl *tree.Planner, ctx *Context) tree.Result {
 	return pl.Plan(ctx.Geom, ctx.Block.Resident, ctx.Faulted, ctx.Valid)
 }
 
-// None disables prefetching entirely.
-type None struct{}
+// None disables prefetching entirely. The zero value is ready to use;
+// the embedded planner scratch materializes on first Plan.
+type None struct {
+	planner tree.Planner // zero value: threshold 0, big pages off
+}
 
 // Name implements Prefetcher.
-func (None) Name() string { return "none" }
+func (*None) Name() string { return "none" }
 
 // Plan implements Prefetcher.
-func (None) Plan(ctx *Context) tree.Result { return demandOnly(ctx) }
+func (n *None) Plan(ctx *Context) tree.Result { return demandOnly(&n.planner, ctx) }
 
 // Density is the production two-stage prefetcher.
 type Density struct {
@@ -135,6 +139,7 @@ type Stream struct {
 	maxDepth int
 	lastPage map[int]mem.PageID // SM -> last faulted global page
 	depth    map[int]int        // SM -> current prefetch depth
+	planner  tree.Planner       // demand-only planner with retained scratch
 }
 
 // NewStream returns a stream prefetcher with the given maximum depth.
@@ -154,7 +159,7 @@ func (s *Stream) Name() string { return fmt.Sprintf("stream:%d", s.maxDepth) }
 
 // Plan implements Prefetcher.
 func (s *Stream) Plan(ctx *Context) tree.Result {
-	res := demandOnly(ctx)
+	res := demandOnly(&s.planner, ctx)
 	if ctx.FaultSMs == nil {
 		return res // source erasure: nothing to correlate
 	}

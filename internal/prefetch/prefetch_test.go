@@ -24,7 +24,7 @@ func ctxWith(t *testing.T, faulted ...int) *Context {
 
 func TestNoneFetchesOnlyDemanded(t *testing.T) {
 	ctx := ctxWith(t, 5, 100)
-	res := None{}.Plan(ctx)
+	res := (&None{}).Plan(ctx)
 	if res.Fetch.Count() != 2 || res.Prefetched != 0 {
 		t.Fatalf("none fetched %d (prefetched %d)", res.Fetch.Count(), res.Prefetched)
 	}
@@ -47,7 +47,7 @@ func TestAggressiveFetchesWholeBlock(t *testing.T) {
 }
 
 func TestAdaptiveSwitchesOnPressure(t *testing.T) {
-	a := &Adaptive{Under: NewDensity(1), Over: None{}}
+	a := &Adaptive{Under: NewDensity(1), Over: &None{}}
 	ctx := ctxWith(t, 5)
 	if n := a.Plan(ctx).Fetch.Count(); n != 512 {
 		t.Fatalf("undersubscribed adaptive fetched %d, want 512", n)
@@ -137,7 +137,7 @@ func TestPlanNeverFetchesResident(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		ctx.Block.Resident.Set(i)
 	}
-	for _, p := range []Prefetcher{None{}, NewDensity(51), NewDensity(1), NewStream(4)} {
+	for _, p := range []Prefetcher{&None{}, NewDensity(51), NewDensity(1), NewStream(4)} {
 		res := p.Plan(ctx)
 		res.Fetch.ForEachSet(func(i int) {
 			if ctx.Block.Resident.Get(i) {

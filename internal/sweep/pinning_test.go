@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uvmsim/internal/obs"
+)
+
+// updateGolden regenerates the pinned sweep artifacts. Run once per
+// intentional behavior change:
+//
+//	go test ./internal/sweep -run TestPinnedSweepArtifacts -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the pinned sweep table and Chrome trace")
+
+// pinnedSpec is the golden configuration: every replay policy, an
+// undersubscribed and an oversubscribed footprint, span tracing and
+// lifecycle tracking on. It deliberately crosses the whole driver batch
+// pipeline (fetch, preprocess, migrate, map, replay, evict) so any
+// behavioral drift in those paths shows up as a byte diff.
+func pinnedSpec(jobs int) (*Spec, *obs.Collector) {
+	col := obs.NewCollector()
+	return &Spec{
+		Workload:       "regular",
+		GPUMemoryBytes: 32 << 20,
+		Seed:           7,
+		Footprints:     []float64{0.5, 1.2},
+		Prefetch:       []string{"density"},
+		Replay:         []string{"block", "batch", "batchflush", "once"},
+		Evict:          []string{"lru"},
+		Batch:          []int{256},
+		VABlock:        []int64{2 << 20},
+		Jobs:           jobs,
+		Obs:            col,
+		Lifecycle:      true,
+	}, col
+}
+
+// renderPinned runs the pinned sweep at the given parallelism and
+// renders the two guarded artifacts: the sweep table CSV and the
+// combined Chrome trace.
+func renderPinned(t *testing.T, jobs int) (table, trace []byte) {
+	t.Helper()
+	spec, col := pinnedSpec(jobs)
+	tb, err := spec.Run()
+	if err != nil {
+		t.Fatalf("jobs=%d: %v", jobs, err)
+	}
+	var tbuf, cbuf bytes.Buffer
+	if err := tb.WriteCSV(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WriteChromeTrace(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	return tbuf.Bytes(), cbuf.Bytes()
+}
+
+// TestPinnedSweepArtifacts pins the sweep table and Chrome trace for the
+// golden configuration byte-for-byte against committed files, at -jobs
+// 1, 4, and 8. This is the regression gate for hot-path optimizations:
+// scratch-arena reuse, pooled bins, word-at-a-time bitmaps, and any
+// future batch-pipeline change must leave simulated behavior (and so
+// these bytes) untouched at every parallelism.
+func TestPinnedSweepArtifacts(t *testing.T) {
+	tablePath := filepath.Join("testdata", "pinned_sweep_table.csv")
+	tracePath := filepath.Join("testdata", "pinned_trace.json")
+
+	table1, trace1 := renderPinned(t, 1)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tablePath, table1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tracePath, trace1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes) and %s (%d bytes)", tablePath, len(table1), tracePath, len(trace1))
+	}
+	wantTable, err := os.ReadFile(tablePath)
+	if err != nil {
+		t.Fatalf("missing golden (generate with -update-golden): %v", err)
+	}
+	wantTrace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("missing golden (generate with -update-golden): %v", err)
+	}
+	for _, jobs := range []int{1, 4, 8} {
+		table, trace := table1, trace1
+		if jobs != 1 {
+			table, trace = renderPinned(t, jobs)
+		}
+		if !bytes.Equal(table, wantTable) {
+			t.Errorf("jobs=%d: sweep table drifted from golden:\n--- want ---\n%s\n--- got ---\n%s",
+				jobs, wantTable, table)
+		}
+		if !bytes.Equal(trace, wantTrace) {
+			t.Errorf("jobs=%d: Chrome trace drifted from golden (%d bytes want, %d bytes got)",
+				jobs, len(wantTrace), len(trace))
+		}
+	}
+}

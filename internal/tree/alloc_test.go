@@ -1,0 +1,61 @@
+package tree
+
+import (
+	"testing"
+
+	"uvmsim/internal/mem"
+)
+
+// TestPlanSteadyStateAllocFree pins the planner's retained-scratch
+// contract (package comment): after the first call sizes the scratch,
+// Plan performs no allocations regardless of threshold or big-page
+// configuration.
+func TestPlanSteadyStateAllocFree(t *testing.T) {
+	g := mem.DefaultGeometry()
+	pages := g.PagesPerVABlock
+	resident := mem.NewBitmap(pages)
+	resident.SetRange(0, pages/2)
+	faulted := mem.NewBitmap(pages)
+	for i := pages / 2; i < pages; i += 7 {
+		faulted.Set(i)
+	}
+	for _, tc := range []struct {
+		name string
+		pl   *Planner
+	}{
+		{"density", NewPlanner(DefaultThreshold)},
+		{"aggressive", NewPlanner(1)},
+		{"demand-only", &Planner{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.pl.Plan(g, resident, faulted, pages) // warm the scratch
+			if n := testing.AllocsPerRun(100, func() {
+				tc.pl.Plan(g, resident, faulted, pages)
+			}); n != 0 {
+				t.Errorf("Plan allocates %v times per call in steady state, want 0", n)
+			}
+		})
+	}
+}
+
+// A geometry change (different block size mid-life) must resize the
+// scratch instead of corrupting it.
+func TestPlanScratchResizesOnGeometryChange(t *testing.T) {
+	small, err := mem.NewGeometry(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := mem.DefaultGeometry()
+	pl := NewPlanner(DefaultThreshold)
+
+	res := pl.Plan(small, mem.NewBitmap(16), bitmapOf(16, 3), 16)
+	if res.Fetch.Len() != 16 {
+		t.Fatalf("small-geometry fetch capacity = %d, want 16", res.Fetch.Len())
+	}
+	faulted := mem.NewBitmap(big.PagesPerVABlock)
+	faulted.Set(0)
+	res = pl.Plan(big, mem.NewBitmap(big.PagesPerVABlock), faulted, big.PagesPerVABlock)
+	if res.Fetch.Len() != big.PagesPerVABlock {
+		t.Fatalf("big-geometry fetch capacity = %d, want %d", res.Fetch.Len(), big.PagesPerVABlock)
+	}
+}

@@ -1,0 +1,28 @@
+package tree
+
+import (
+	"testing"
+
+	"uvmsim/internal/mem"
+)
+
+// BenchmarkPlan measures one density-prefetch planning pass over a
+// half-resident block with scattered faults — the per-bin work of the
+// driver's migrate step. The alloc gate holds it at zero allocs/op.
+func BenchmarkPlan(b *testing.B) {
+	g := mem.DefaultGeometry()
+	pages := g.PagesPerVABlock
+	resident := mem.NewBitmap(pages)
+	resident.SetRange(0, pages/2)
+	faulted := mem.NewBitmap(pages)
+	for i := pages / 2; i < pages; i += 7 {
+		faulted.Set(i)
+	}
+	pl := NewPlanner(DefaultThreshold)
+	pl.Plan(g, resident, faulted, pages)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Plan(g, resident, faulted, pages)
+	}
+}

@@ -14,9 +14,21 @@
 // chosen region are flagged for fetching, which feeds back into the
 // counts seen by later faults in the same batch — the cascade effect the
 // paper highlights.
+//
+// Plan is on the driver's batch hot path (once per bin per batch), so
+// the planner retains all of its working state — the occupancy mask,
+// the per-level subtree counts, and the result bitmap — as scratch
+// across calls: steady-state planning performs no allocations (pinned
+// by TestPlanSteadyStateAllocFree). The scratch is run-scoped: a
+// planner belongs to one driver and Plan overwrites every scratch word
+// before use, so no state leaks between blocks, batches, or runs.
 package tree
 
-import "uvmsim/internal/mem"
+import (
+	"math/bits"
+
+	"uvmsim/internal/mem"
+)
 
 // DefaultThreshold is the driver's default density threshold (percent).
 const DefaultThreshold = 51
@@ -25,7 +37,10 @@ const DefaultThreshold = 51
 // one fault batch.
 type Result struct {
 	// Fetch marks every non-resident page that must be migrated: the
-	// faulted pages themselves plus all prefetched pages.
+	// faulted pages themselves plus all prefetched pages. The bitmap is
+	// planner-owned scratch: it is valid until the planner's next Plan
+	// call, which the driver's strictly serial batch pipeline guarantees
+	// comes only after the previous bin's service fully retires.
 	Fetch *mem.Bitmap
 	// Faulted is the number of distinct demanded pages that need
 	// migration.
@@ -37,6 +52,8 @@ type Result struct {
 
 // Planner plans prefetch regions for VABlocks of a fixed geometry.
 // A zero threshold disables stage 2; BigPages disables stage 1 when false.
+// The zero value is valid (demand-only planning); scratch state
+// materializes lazily on first use and is retained thereafter.
 type Planner struct {
 	// Threshold is the density threshold in percent (1-100). The driver
 	// default is 51; 1 produces the aggressive mode §IV-C reports as
@@ -44,12 +61,28 @@ type Planner struct {
 	Threshold int
 	// BigPages enables the 64 KB upgrade stage.
 	BigPages bool
+
+	// Retained scratch (see package comment). Sized to the geometry of
+	// the first Plan call and resized only if the geometry changes.
+	scratch counts
+	mask    *mem.Bitmap
+	fetch   *mem.Bitmap
 }
 
 // NewPlanner returns a planner with the given threshold and big-page
 // upgrading enabled.
 func NewPlanner(threshold int) *Planner {
 	return &Planner{Threshold: threshold, BigPages: true}
+}
+
+// ensureScratch (re)sizes the retained scratch for a block of pages
+// leaves. It allocates only on the first call or a geometry change.
+func (pl *Planner) ensureScratch(pages int) {
+	if pl.mask == nil || pl.mask.Len() != pages {
+		pl.mask = mem.NewBitmap(pages)
+		pl.fetch = mem.NewBitmap(pages)
+		pl.scratch.init(pages)
+	}
 }
 
 // Plan computes the fetch set for one VABlock.
@@ -64,34 +97,54 @@ func (pl *Planner) Plan(g mem.Geometry, resident, faulted *mem.Bitmap, valid int
 	if valid > pages {
 		valid = pages
 	}
-	// mask holds resident | demanded | flagged-for-prefetch leaves.
-	mask := resident.Clone()
-	faulted.ForEachSet(func(i int) {
-		if i < valid {
-			mask.Set(i)
-		}
-	})
+	pl.ensureScratch(pages)
 
-	// Stage 1: big-page upgrade.
-	if pl.BigPages {
+	// mask holds resident | demanded | flagged-for-prefetch leaves.
+	mask := pl.mask
+	mask.CopyFrom(resident)
+	if valid == pages {
+		mask.Or(faulted)
+	} else {
 		faulted.ForEachSet(func(i int) {
-			if i >= valid {
+			if i < valid {
+				mask.Set(i)
+			}
+		})
+	}
+
+	// Stage 1: big-page upgrade, word-at-a-time: every 16-bit big-page
+	// lane of a faulted word with at least one fault upgrades whole.
+	if pl.BigPages {
+		faulted.ForEachSetWord(func(w int, bits uint64) {
+			base := w << 6
+			if base >= valid {
 				return
 			}
-			base := mem.BigPageBase(i)
-			end := base + mem.PagesPerBigPage
-			if end > valid {
-				end = valid
+			if base+64 > valid {
+				// Faults beyond the valid prefix never upgrade.
+				bits &= (uint64(1) << uint(valid-base)) - 1
 			}
-			for p := base; p < end; p++ {
-				mask.Set(p)
+			for lane := 0; lane < 64; lane += mem.PagesPerBigPage {
+				if bits&(bigPageLane<<uint(lane)) == 0 {
+					continue
+				}
+				lo := base + lane
+				if lo >= valid {
+					break
+				}
+				hi := lo + mem.PagesPerBigPage
+				if hi > valid {
+					hi = valid
+				}
+				mask.SetRange(lo, hi)
 			}
 		})
 	}
 
 	// Stage 2: density tree.
 	if pl.Threshold > 0 && pl.Threshold < 100 {
-		t := newCounts(pages, mask, valid)
+		t := &pl.scratch
+		t.build(mask, valid)
 		faulted.ForEachSet(func(i int) {
 			if i >= valid {
 				return
@@ -114,20 +167,15 @@ func (pl *Planner) Plan(g mem.Geometry, resident, faulted *mem.Bitmap, valid int
 	}
 
 	// Fetch = mask minus already-resident pages.
-	res := Result{Fetch: mem.NewBitmap(pages)}
-	mask.ForEachSet(func(i int) {
-		if !resident.Get(i) {
-			res.Fetch.Set(i)
-		}
-	})
-	faulted.ForEachSet(func(i int) {
-		if i < valid && !resident.Get(i) {
-			res.Faulted++
-		}
-	})
+	res := Result{Fetch: pl.fetch}
+	res.Fetch.AndNotFrom(mask, resident)
+	res.Faulted = faulted.DiffCount(resident, 0, valid)
 	res.Prefetched = res.Fetch.Count() - res.Faulted
 	return res
 }
+
+// bigPageLane is a mask covering one 64 KB big page's 16 leaf bits.
+const bigPageLane = (uint64(1) << mem.PagesPerBigPage) - 1
 
 // counts holds the per-level subtree occupancy of one block's tree.
 // Level 0 is the leaf level; level L has pages>>L nodes of span 1<<L.
@@ -135,20 +183,64 @@ type counts struct {
 	levels [][]int
 }
 
-func newCounts(pages int, mask *mem.Bitmap, valid int) *counts {
+// init sizes the level arrays for a block of pages leaves, reusing one
+// backing array for all levels.
+func (t *counts) init(pages int) {
 	nlevels := 1
 	for 1<<uint(nlevels-1) < pages {
 		nlevels++
 	}
-	t := &counts{levels: make([][]int, nlevels)}
-	for l := range t.levels {
-		t.levels[l] = make([]int, pages>>uint(l))
+	// One contiguous backing array: levels are slices into it, so init
+	// performs exactly two allocations regardless of depth.
+	total := 0
+	for l := 0; l < nlevels; l++ {
+		total += pages >> uint(l)
 	}
-	for i := 0; i < valid; i++ {
-		if mask.Get(i) {
-			t.add(i)
+	backing := make([]int, total)
+	t.levels = make([][]int, nlevels)
+	for l := 0; l < nlevels; l++ {
+		n := pages >> uint(l)
+		t.levels[l], backing = backing[:n:n], backing[n:]
+	}
+}
+
+// build refills the counts from mask, considering only leaves below
+// valid: the leaf level comes from a word scan of the mask, each upper
+// level from pairwise sums of the one below — O(2·pages) integer ops
+// instead of per-set-bit ancestor walks.
+func (t *counts) build(mask *mem.Bitmap, valid int) {
+	leaves := t.levels[0]
+	for i := range leaves {
+		leaves[i] = 0
+	}
+	mask.ForEachSetWord(func(w int, word uint64) {
+		base := w << 6
+		if base >= valid {
+			return
+		}
+		if base+64 > valid {
+			word &= (uint64(1) << uint(valid-base)) - 1
+		}
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			leaves[base+tz] = 1
+			word &= word - 1
+		}
+	})
+	for l := 1; l < len(t.levels); l++ {
+		lower, cur := t.levels[l-1], t.levels[l]
+		for n := range cur {
+			cur[n] = lower[2*n] + lower[2*n+1]
 		}
 	}
+}
+
+// newCounts builds a freshly allocated tree for mask (Snapshot and
+// white-box tests; the planner hot path reuses its scratch instead).
+func newCounts(pages int, mask *mem.Bitmap, valid int) *counts {
+	t := &counts{}
+	t.init(pages)
+	t.build(mask, valid)
 	return t
 }
 

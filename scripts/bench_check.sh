@@ -1,0 +1,71 @@
+#!/bin/sh
+# bench_check.sh — continuous benchmark regression gate.
+#
+# Runs the guarded benchmark suite (driver/tree/mem/engine micro
+# benchmarks plus the instrumented end-to-end DriverService bench),
+# converts the output to JSON with cmd/benchjson, and compares it
+# against the committed baseline results/bench_baseline.json.
+#
+# The alloc/op gate is the strict contract: allocation counts are
+# deterministic, so any growth beyond BENCH_ALLOC_TOL (default 10%) on a
+# guarded benchmark fails the build — including the zero-alloc hot paths,
+# where a single new alloc/op is an infinite regression. The ns/op gate
+# is a backstop over the micro benchmarks only: scheduler noise on
+# shared/virtualized hosts reaches ±20% even on min-of-3 runs, so the
+# default BENCH_TIME_TOL is 30% — loose enough not to flake, tight
+# enough to trip on real hot-path regressions (reverting any one of the
+# scratch-arena optimizations costs 45%+ on its benchmark). On quiet
+# dedicated hardware run with BENCH_TIME_TOL=10 for the strict gate.
+#
+# Regenerate the baseline (only when a perf change is intentional):
+#   make bench_baseline
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=${BASELINE:-results/bench_baseline.json}
+ALLOC_TOL=${BENCH_ALLOC_TOL:-10}
+TIME_TOL=${BENCH_TIME_TOL:-30}
+# Guarded sets: allocs are gated everywhere the baseline measures them;
+# timing only on the hot-path micro benchmarks (macro runs are too short
+# to time stably in a gate).
+ALLOC_GUARD='BenchmarkBinBatch|BenchmarkMapOps|BenchmarkPlan|BenchmarkBitmapWordScan|BenchmarkDriverService|BenchmarkEngineChain'
+TIME_GUARD='BenchmarkBinBatch|BenchmarkMapOps|BenchmarkPlan|BenchmarkBitmapWordScan'
+
+mode=${1:-check}
+if [ "$mode" != check ] && [ "$mode" != --update-baseline ]; then
+    echo "usage: bench_check.sh [--update-baseline]" >&2
+    exit 2
+fi
+if [ "$mode" = check ] && [ ! -f "$BASELINE" ]; then
+    echo "bench_check: missing baseline $BASELINE (run: make bench_baseline)" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# -count=3 with a time-based benchtime: benchjson keeps the minimum
+# ns/op of the three runs (least scheduler noise) and the maximum
+# allocs/op (conservative for the alloc gate).
+go test -bench 'BenchmarkBinBatch|BenchmarkMapOps|BenchmarkPlan|BenchmarkBitmapWordScan|BenchmarkEngineChain' \
+    -benchmem -benchtime 0.2s -run '^$' -count=3 \
+    ./internal/driver ./internal/tree ./internal/mem ./internal/sim >"$tmp/raw.txt"
+go test -bench BenchmarkDriverService -benchmem -benchtime 2x -run '^$' -count=3 \
+    ./internal/core >>"$tmp/raw.txt"
+
+if [ "$mode" = --update-baseline ]; then
+    mkdir -p "$(dirname "$BASELINE")"
+    go run ./cmd/benchjson -o "$BASELINE" <"$tmp/raw.txt"
+    echo "bench_check: baseline updated: $BASELINE"
+    exit 0
+fi
+
+go run ./cmd/benchjson -o "$tmp/current.json" <"$tmp/raw.txt"
+
+echo "bench_check: comparing against $BASELINE (alloc tol ${ALLOC_TOL}%, time tol ${TIME_TOL}%)"
+go run ./cmd/benchjson -compare \
+    -alloc-guard "$ALLOC_GUARD" -alloc-tol "$ALLOC_TOL" \
+    -time-guard "$TIME_GUARD" -time-tol "$TIME_TOL" \
+    "$BASELINE" "$tmp/current.json"
+echo "bench_check: OK"
