@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test race bench benchall bench_baseline benchcheck allocguard chaos resumecheck servecheck distcheck clean
+.PHONY: check build vet test race bench benchall bench_baseline benchcheck allocguard chaos resumecheck servecheck distcheck logcheck clean
 
 # The full verification gate: compile everything, vet, run the test
 # suite under the race detector, hold the observability layer and hot
 # paths to their zero-alloc contracts, gate benchmark regressions
 # against the committed baseline, smoke the serving layer end-to-end,
-# and kill-and-recover the distributed sweep fabric.
-check: build vet race allocguard benchcheck servecheck distcheck
+# kill-and-recover the distributed sweep fabric, and validate the
+# fleet's structured telemetry against its schema.
+check: build vet race allocguard benchcheck servecheck distcheck logcheck
 
 build:
 	$(GO) build ./...
@@ -83,9 +84,17 @@ servecheck:
 
 # Distributed-fabric gate: coordinator + 3 workers under -race, kill -9
 # one worker mid-sweep, inject a duplicate completion, require the
-# merged output byte-identical to a serial run and exit 0.
+# merged output byte-identical to a serial run and exit 0. A telemetry
+# leg traces one ID through coordinator, worker, and serve tier and
+# validates the flight dump an injected failure produces.
 distcheck:
 	sh scripts/dist_check.sh
+
+# Telemetry-schema gate: every structured line a live JSON-mode server
+# emits must validate (uvmlogcheck), malformed lines and flight dumps
+# must be rejected.
+logcheck:
+	sh scripts/log_check.sh
 
 clean:
 	$(GO) clean ./...

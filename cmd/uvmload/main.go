@@ -29,6 +29,7 @@ import (
 
 	"uvmsim/internal/serve"
 	"uvmsim/internal/serve/client"
+	"uvmsim/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +57,8 @@ func run() int {
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request timeout")
 		retries  = flag.Int("retries", 0, "client retries per request on 429/transport errors (capped backoff honoring Retry-After)")
 	)
+	var tf telemetry.Flags
+	tf.Register()
 	flag.Parse()
 	if *n < 1 || *conc < 1 || *distinct < 1 {
 		fmt.Fprintln(os.Stderr, "uvmload: -n, -c, and -distinct must be >= 1")
@@ -97,6 +100,13 @@ func run() int {
 		return 1
 	}
 
+	// Every request carries a distinct trace ID derived from one root, so
+	// a whole load run is greppable server-side as <root>-cNNN.
+	flight := tf.Flight()
+	lg := tf.Logger("uvmload", flight)
+	rootTrace := telemetry.NewID()
+	lg.Info("load run starting", "trace_id", rootTrace, "requests", *n, "concurrency", *conc)
+
 	samples := make([]sample, *n)
 	var next int
 	var mu sync.Mutex
@@ -114,7 +124,8 @@ func run() int {
 				if i >= len(stream) {
 					return
 				}
-				res, err := c.Sim(ctx, stream[i])
+				rctx := telemetry.WithTraceID(ctx, telemetry.CellTraceID(rootTrace, i))
+				res, err := c.Sim(rctx, stream[i])
 				if err != nil {
 					s := sample{err: err}
 					if res != nil {

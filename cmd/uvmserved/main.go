@@ -38,6 +38,7 @@ import (
 
 	"uvmsim/internal/serve"
 	"uvmsim/internal/sim"
+	"uvmsim/internal/telemetry"
 )
 
 func main() {
@@ -68,7 +69,13 @@ func run() int {
 		capBudget = flag.Duration("cap-sim-budget", 0, "hard cap on any request's simulated-time budget")
 		capEvents = flag.Uint64("cap-max-events", 0, "hard cap on any request's event budget")
 	)
+	var tf telemetry.Flags
+	tf.Register()
 	flag.Parse()
+
+	flight := tf.Flight()
+	lg := tf.Logger("uvmserved", flight)
+	defer telemetry.ArmGovern(flight, tf.FlightDir, lg)()
 
 	srv := serve.New(serve.Config{
 		CacheEntries: *cacheN,
@@ -89,6 +96,9 @@ func run() int {
 		},
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
+		Log:            lg,
+		Flight:         flight,
+		FlightDir:      tf.FlightDir,
 	})
 
 	// A stalled or malicious peer must not be able to pin a connection

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +48,7 @@ import (
 	"uvmsim/internal/obs"
 	"uvmsim/internal/prof"
 	"uvmsim/internal/sweep"
+	"uvmsim/internal/telemetry"
 )
 
 func main() {
@@ -83,6 +85,8 @@ func run() int {
 	)
 	var gf govern.Flags
 	gf.Register()
+	var tf telemetry.Flags
+	tf.Register()
 	flag.Parse()
 
 	if *resume && *journalF == "" {
@@ -141,6 +145,10 @@ func run() int {
 		return fail(err)
 	}
 
+	flight := tf.Flight()
+	lg := tf.Logger("uvmsweep", flight)
+	defer telemetry.ArmGovern(flight, tf.FlightDir, lg)()
+
 	ctx, stop := gf.Context()
 	defer stop()
 
@@ -149,6 +157,7 @@ func run() int {
 			listen: *listen, workers: *workers, workerBin: *workerBin,
 			leaseTTL: *leaseTTL, cellRetries: *cellRetries, linger: *linger,
 			journal: *journalF, resume: *resume, csv: *csvOut,
+			log: lg, flight: flight, flightDir: tf.FlightDir,
 		})
 	}
 
@@ -221,6 +230,9 @@ type distOptions struct {
 	workers, cellRetries       int
 	leaseTTL, linger           time.Duration
 	resume, csv                bool
+	log                        *slog.Logger
+	flight                     *telemetry.Flight
+	flightDir                  string
 }
 
 // runDist runs the sweep as the distributed fabric's coordinator:
@@ -232,6 +244,9 @@ func runDist(ctx context.Context, s *sweep.Spec, o distOptions) int {
 		RetryBudget: o.cellRetries,
 		Journal:     o.journal,
 		Resume:      o.resume,
+		Log:         o.log,
+		Flight:      o.flight,
+		FlightDir:   o.flightDir,
 	})
 	if err != nil {
 		return fail(err)
@@ -261,6 +276,11 @@ func runDist(ctx context.Context, s *sweep.Spec, o distOptions) int {
 	url := "http://" + ln.Addr().String()
 	fmt.Fprintf(os.Stderr, "# coordinator listening on %s (lease-ttl %s, cell-retries %d)\n",
 		url, o.leaseTTL, o.cellRetries)
+	if o.log != nil {
+		o.log.Info("coordinator listening",
+			slog.String("url", url),
+			slog.String(telemetry.KeyTraceID, co.TraceID()))
+	}
 
 	procs, err := spawnWorkers(ctx, o, url)
 	if err != nil {

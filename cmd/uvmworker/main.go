@@ -18,21 +18,23 @@
 //	uvmworker -coordinator http://127.0.0.1:9933
 //	uvmworker -coordinator http://127.0.0.1:9933 -name w2 -serve http://127.0.0.1:8844
 //
-// The -inject-dup and -slow flags are chaos hooks for the dist_check
-// gate: they force a duplicate completion report and widen the held-
-// lease window a kill -9 must land in.
+// The -inject-dup, -inject-fail, and -slow flags are chaos hooks for
+// the dist_check gate: they force a duplicate completion report, a
+// misreported failure (exercising the retry path and the worker's
+// flight-recorder dump), and widen the held-lease window a kill -9
+// must land in.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
 	"uvmsim/internal/dist"
 	"uvmsim/internal/govern"
 	"uvmsim/internal/serve/client"
+	"uvmsim/internal/telemetry"
 )
 
 func main() {
@@ -45,33 +47,45 @@ func run() int {
 		name      = flag.String("name", "", "worker identity for coordinator audit logs (default host PID)")
 		serveURL  = flag.String("serve", "", "optional uvmserved base URL consulted as a shared result cache before simulating")
 		retries   = flag.Int("serve-retries", 2, "client retries against -serve (capped backoff honoring Retry-After)")
-		quiet     = flag.Bool("quiet", false, "suppress per-lease progress lines")
-		injectDup = flag.Bool("inject-dup", false, "chaos hook: re-send the first completion report (dedup exercise)")
-		slow      = flag.Duration("slow", 0, "chaos hook: pause after acquiring each lease before running")
+		quiet      = flag.Bool("quiet", false, "suppress per-lease progress lines")
+		injectDup  = flag.Bool("inject-dup", false, "chaos hook: re-send the first completion report (dedup exercise)")
+		injectFail = flag.Int("inject-fail", 0, "chaos hook: misreport the first N completed cells as failed (retry + flight-dump exercise)")
+		slow       = flag.Duration("slow", 0, "chaos hook: pause after acquiring each lease before running")
 	)
 	var gf govern.Flags
 	gf.Register()
+	var tf telemetry.Flags
+	tf.Register()
 	flag.Parse()
 
 	if *name == "" {
 		*name = fmt.Sprintf("worker-%d", os.Getpid())
 	}
+	flight := tf.Flight()
+	lg := tf.Logger("uvmworker", flight).With("worker", *name)
 	cfg := dist.WorkerConfig{
 		Coordinator:       *coord,
 		Name:              *name,
+		Flight:            flight,
+		FlightDir:         tf.FlightDir,
 		InjectDupComplete: *injectDup,
+		InjectFail:        *injectFail,
 		SlowStart:         *slow,
 	}
 	if !*quiet {
-		cfg.Log = log.New(os.Stderr, "uvmworker["+*name+"]: ", log.LstdFlags|log.Lmsgprefix)
+		cfg.Logger = lg
 	}
 	if *serveURL != "" {
 		sc := client.New(*serveURL, nil).WithRetry(client.RetryPolicy{
 			MaxRetries: *retries,
 			Base:       200 * time.Millisecond,
 		})
-		cfg.Runner = dist.ServeRunner(sc, dist.LocalRunner)
+		cfg.Runner = dist.ServeRunner(sc, dist.LocalRunner, cfg.Logger)
 	}
+
+	// Abnormal run outcomes (budget overruns, recovered panics) feed the
+	// flight ring and trigger dumps.
+	defer telemetry.ArmGovern(flight, tf.FlightDir, lg)()
 
 	ctx, stop := gf.Context()
 	defer stop()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"uvmsim/internal/serve"
 	"uvmsim/internal/stats"
 	"uvmsim/internal/sweep"
+	"uvmsim/internal/telemetry"
 )
 
 // Coordinator metric names, registered in the obs metrics registry so
@@ -51,6 +53,16 @@ type CoordinatorConfig struct {
 	Resume  bool
 	// Now is the clock (default time.Now); tests inject a fake.
 	Now func() time.Time
+	// Log receives structured lease-lifecycle lines (grants,
+	// completions, quarantines); nil logs nothing.
+	Log *slog.Logger
+	// TraceID is the sweep's root telemetry trace; per-cell traces
+	// derive from it. Empty mints a fresh root.
+	TraceID string
+	// Flight is the process flight recorder; when set with FlightDir,
+	// quarantines dump it, and Handler exposes GET /debug/flightrec.
+	Flight    *telemetry.Flight
+	FlightDir string
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -70,6 +82,9 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.TraceID == "" {
+		c.TraceID = telemetry.NewID()
 	}
 	return c
 }
@@ -113,11 +128,20 @@ type Coordinator struct {
 	leases   map[string]*cell
 	leaseSeq int
 	reg      *obs.Registry
+	red      *telemetry.RED
 	jw       *journal.Writer
 	finished bool
 	fatalErr error
 	done     chan struct{}
 }
+
+// traceOf derives a cell's stable telemetry trace from the sweep root.
+func (co *Coordinator) traceOf(cl *cell) string {
+	return telemetry.CellTraceID(co.cfg.TraceID, cl.idx)
+}
+
+// TraceID returns the sweep's root telemetry trace.
+func (co *Coordinator) TraceID() string { return co.cfg.TraceID }
 
 // NewCoordinator enumerates the sweep's cells (validating the spec up
 // front, exactly like the in-process path), replays the resume journal
@@ -134,6 +158,7 @@ func NewCoordinator(spec *sweep.Spec, cfg CoordinatorConfig) (*Coordinator, erro
 		byHash: make(map[string]*cell, len(configs)),
 		leases: make(map[string]*cell),
 		reg:    obs.NewRegistry(),
+		red:    telemetry.NewRED("dist_http"),
 		done:   make(chan struct{}),
 	}
 	for _, name := range []string{
@@ -247,7 +272,10 @@ func (co *Coordinator) expireLocked(now time.Time) {
 }
 
 // requeueLocked returns a cell to the queue after an expiry or a
-// transient failure, quarantining it once the retry budget is spent.
+// transient failure, quarantining it once the retry budget is spent. A
+// quarantine is the fabric's "something is deeply wrong with this
+// cell" verdict, so it also triggers a flight-recorder dump — off the
+// lock, since the dump fsyncs.
 func (co *Coordinator) requeueLocked(cl *cell, now time.Time) {
 	cl.leaseID = ""
 	if cl.attempt >= co.cfg.RetryBudget+1 {
@@ -255,6 +283,21 @@ func (co *Coordinator) requeueLocked(cl *cell, now time.Time) {
 		cl.errMsg = fmt.Sprintf("quarantined after %d attempts: %s", cl.attempt, cl.errMsg)
 		co.reg.Counter(MetricQuarantined).Inc(1)
 		co.journalLocked(co.record(cl, string(govern.StateQuarantined)))
+		if co.cfg.Log != nil {
+			co.cfg.Log.LogAttrs(context.Background(), slog.LevelWarn, "cell quarantined",
+				slog.String(telemetry.KeyTraceID, co.traceOf(cl)),
+				slog.String(telemetry.KeyConfigHash, cl.hash),
+				slog.Int("attempt", cl.attempt),
+				slog.String("err", cl.errMsg))
+		}
+		if co.cfg.Flight != nil && co.cfg.FlightDir != "" {
+			fl, dir, lg := co.cfg.Flight, co.cfg.FlightDir, co.cfg.Log
+			go func() {
+				if path, err := fl.DumpToFile(dir, "quarantine"); err == nil && lg != nil {
+					lg.Warn("flight recorder dumped", slog.String("reason", "quarantine"), slog.String("path", path))
+				}
+			}()
+		}
 		co.checkSettledLocked()
 		return
 	}
@@ -333,11 +376,21 @@ func (co *Coordinator) Acquire(worker string) LeaseResponse {
 		co.reg.Counter(MetricRetries).Inc(1)
 	}
 	co.journalLocked(co.record(pick, StatusLeased))
+	if co.cfg.Log != nil {
+		co.cfg.Log.LogAttrs(context.Background(), slog.LevelInfo, "lease granted",
+			slog.String(telemetry.KeyTraceID, co.traceOf(pick)),
+			slog.String("lease_id", pick.leaseID),
+			slog.String("worker", worker),
+			slog.String(telemetry.KeyConfigHash, pick.hash),
+			slog.Int("attempt", pick.attempt),
+			slog.String("label", pick.label))
+	}
 	spec := pick.spec
 	return LeaseResponse{
 		LeaseID: pick.leaseID, Cell: &spec, Index: pick.idx,
 		Label: pick.label, Hash: pick.hash, Attempt: pick.attempt,
-		TTLMs: co.cfg.LeaseTTL.Milliseconds(),
+		TTLMs:   co.cfg.LeaseTTL.Milliseconds(),
+		TraceID: co.traceOf(pick),
 	}
 }
 
@@ -417,6 +470,18 @@ func (co *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 		delete(co.leases, cl.leaseID)
 		cl.leaseID = ""
 	}
+	logCompletion := func(level slog.Level) {
+		if co.cfg.Log == nil {
+			return
+		}
+		co.cfg.Log.LogAttrs(context.Background(), level, "completion received",
+			slog.String(telemetry.KeyTraceID, co.traceOf(cl)),
+			slog.String("lease_id", req.LeaseID),
+			slog.String("worker", req.Worker),
+			slog.String(telemetry.KeyConfigHash, cl.hash),
+			slog.String("state", req.Status),
+			slog.String("err", req.Err))
+	}
 	switch state {
 	case govern.StateCompleted:
 		cl.state, cl.status, cl.errMsg = cellDone, govern.StateCompleted, ""
@@ -425,15 +490,18 @@ func (co *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 		rec := co.record(cl, string(govern.StateCompleted))
 		rec.Row, rec.Digest = cl.row, journal.RowDigest(cl.row)
 		co.journalLocked(rec)
+		logCompletion(slog.LevelInfo)
 	case govern.StateDeadline, govern.StateLivelock:
 		// Deterministic budget trips are terminal, exactly as in-process.
 		cl.state, cl.status, cl.errMsg = cellSkipped, state, req.Err
 		co.reg.Counter(MetricSkipped).Inc(1)
 		co.journalLocked(co.record(cl, req.Status))
+		logCompletion(slog.LevelInfo)
 	case govern.StateFailed, govern.StatePanicked, govern.StateCancelled:
 		// Transient verdicts consume the retry budget like a lease expiry.
 		cl.errMsg = req.Err
 		co.journalLocked(co.record(cl, req.Status))
+		logCompletion(slog.LevelWarn)
 		co.requeueLocked(cl, now)
 	default:
 		co.reg.Counter(MetricBadReports).Inc(1)
@@ -561,12 +629,47 @@ func (co *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = serve.WritePrometheus(w, co.Samples())
+		samples := append(co.Samples(), co.red.Samples()...)
+		_ = serve.WritePrometheus(w, samples)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	if co.cfg.Flight != nil {
+		mux.Handle("GET /debug/flightrec", co.cfg.Flight.HTTPHandler())
+	}
+	// No access logger on the edge: workers poll /v1/lease continuously,
+	// and the meaningful lifecycle lines (grants, completions,
+	// quarantines) are logged by the methods themselves. RED metrics and
+	// 5xx-triggered flight dumps still cover every endpoint.
+	return telemetry.Middleware(mux, telemetry.MiddlewareOptions{
+		RED:       co.red,
+		Flight:    co.cfg.Flight,
+		FlightDir: co.cfg.FlightDir,
+		Route:     coordRouteLabel,
+	})
+}
+
+// coordRouteLabel maps coordinator endpoints onto stable route labels.
+func coordRouteLabel(r *http.Request) string {
+	switch r.URL.Path {
+	case "/v1/lease":
+		return "v1_lease"
+	case "/v1/renew":
+		return "v1_renew"
+	case "/v1/complete":
+		return "v1_complete"
+	case "/v1/status":
+		return "v1_status"
+	case "/metrics":
+		return "metrics"
+	case "/healthz":
+		return "healthz"
+	case "/debug/flightrec":
+		return "debug_flightrec"
+	default:
+		return "other"
+	}
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {

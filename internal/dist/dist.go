@@ -158,6 +158,11 @@ type LeaseResponse struct {
 	Attempt int `json:"attempt,omitempty"`
 	// TTLMs is the lease deadline; the worker must renew within it.
 	TTLMs int64 `json:"ttl_ms,omitempty"`
+	// TraceID is the cell's telemetry trace, derived from the sweep's
+	// root trace and stable across lease retries: every attempt at this
+	// cell — on any worker — logs under the same ID, and workers forward
+	// it to the serve cache tier so one grep walks the whole path.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // RenewRequest is the heartbeat extending a held lease.
@@ -184,6 +189,9 @@ type CompleteRequest struct {
 	Err    string `json:"err,omitempty"`
 	// Row is the rendered result row for completed cells.
 	Row []string `json:"row,omitempty"`
+	// TraceID echoes the lease grant's trace, closing the loop in the
+	// coordinator's completion log.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion report.

@@ -1,0 +1,243 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"uvmsim/internal/serve"
+	"uvmsim/internal/serve/client"
+	"uvmsim/internal/telemetry"
+)
+
+// syncBuf is a concurrency-safe log sink: the serve tier, coordinator,
+// and worker all log from their own goroutines.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.b.Bytes()...)
+}
+
+// logLines parses a JSONL buffer, validating every line against the
+// shared telemetry schema as it goes.
+func logLines(t *testing.T, who string, raw []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for i, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if err := telemetry.ValidateLine(line); err != nil {
+			t.Fatalf("%s log line %d invalid: %v\n%s", who, i+1, err, line)
+		}
+		m := map[string]any{}
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("%s log line %d: %v", who, i+1, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func str(m map[string]any, k string) string {
+	s, _ := m[k].(string)
+	return s
+}
+
+// tracesFor collects the trace_id of every line with the given msg.
+func tracesFor(lines []map[string]any, msg string) map[string]int {
+	got := map[string]int{}
+	for _, m := range lines {
+		if str(m, "msg") == msg {
+			got[str(m, telemetry.KeyTraceID)]++
+		}
+	}
+	return got
+}
+
+// TestTracePropagationEndToEnd drives the full fleet in-process —
+// coordinator, one worker running cells through a real serve-tier cache,
+// and a chaos shim that 429s the first /v1/sim call — and asserts one
+// trace ID is greppable through every layer's structured logs:
+//
+//	coordinator "lease granted"  →  worker "lease acquired" / "cell
+//	served from cache"  →  serve access log + "cache fill"  →
+//	coordinator "completion received"
+//
+// including across the client retry the injected 429 forces (the retry
+// re-sends the same X-Trace-ID and X-Request-ID).
+func TestTracePropagationEndToEnd(t *testing.T) {
+	var serveBuf, coordBuf, workerBuf syncBuf
+
+	// Real serving tier with a JSON access log.
+	serveLg := telemetry.New(&serveBuf, telemetry.Config{Format: "json", Component: "uvmserved"})
+	srv := serve.New(serve.Config{QueueSlots: 16, RunSlots: 2, Log: serveLg})
+	defer srv.Close()
+
+	// Chaos shim around the serve handler: the first /v1/sim request is
+	// rejected with 429 before it reaches the server, capturing the IDs
+	// it carried so the test can prove the retry reuses them.
+	var mu sync.Mutex
+	var rejTrace, rejReq string
+	inner := srv.Handler()
+	serveSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		inject := rejTrace == "" && r.URL.Path == "/v1/sim"
+		if inject {
+			rejTrace = r.Header.Get(telemetry.HeaderTraceID)
+			rejReq = r.Header.Get(telemetry.HeaderReqID)
+		}
+		mu.Unlock()
+		if inject {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer serveSrv.Close()
+
+	coordLg := telemetry.New(&coordBuf, telemetry.Config{Format: "json", Component: "coordinator"})
+	co, err := NewCoordinator(smallSpec(), CoordinatorConfig{LeaseTTL: 30 * time.Second, Log: coordLg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	coSrv := httptest.NewServer(co.Handler())
+	defer coSrv.Close()
+
+	workerLg := telemetry.New(&workerBuf, telemetry.Config{Format: "json", Component: "uvmworker"})
+	sc := client.New(serveSrv.URL, nil).WithRetry(client.RetryPolicy{
+		MaxRetries: 3,
+		Base:       10 * time.Millisecond,
+	})
+	w := NewWorker(WorkerConfig{
+		Coordinator: coSrv.URL,
+		Name:        "w-trace",
+		Logger:      workerLg,
+		Runner:      ServeRunner(sc, LocalRunner, workerLg),
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	res, err := co.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("worker: %v", werr)
+	}
+	if got := len(res.Table.Rows); got != 6 {
+		t.Fatalf("completed rows = %d, want 6", got)
+	}
+
+	// Quiesce the HTTP surfaces before reading the log sinks.
+	serveSrv.Close()
+	coSrv.Close()
+
+	serveLines := logLines(t, "serve", serveBuf.Bytes())
+	coordLines := logLines(t, "coordinator", coordBuf.Bytes())
+	workerLines := logLines(t, "worker", workerBuf.Bytes())
+
+	// Every cell's trace derives from the coordinator's root.
+	root := co.TraceID()
+	granted := tracesFor(coordLines, "lease granted")
+	if len(granted) != 6 {
+		t.Fatalf("distinct granted traces = %d, want 6: %v", len(granted), granted)
+	}
+	for i := 0; i < 6; i++ {
+		want := telemetry.CellTraceID(root, i)
+		if granted[want] == 0 {
+			t.Errorf("no lease-granted line for trace %s", want)
+		}
+	}
+
+	// Completions close the loop under the same traces.
+	completed := tracesFor(coordLines, "completion received")
+	for tr := range granted {
+		if completed[tr] == 0 {
+			t.Errorf("trace %s granted but never logged a completion", tr)
+		}
+	}
+
+	// The worker's lifecycle lines ride the granted traces.
+	for _, msg := range []string{"lease acquired", "lease finished", "cell served from cache"} {
+		traces := tracesFor(workerLines, msg)
+		if len(traces) == 0 {
+			t.Errorf("worker logged no %q lines", msg)
+		}
+		for tr := range traces {
+			if granted[tr] == 0 {
+				t.Errorf("worker %q line carries unknown trace %q", msg, tr)
+			}
+		}
+	}
+
+	// The serve tier's access log and cache-fill lines carry the same
+	// traces the coordinator granted — end-to-end propagation over HTTP.
+	access := tracesFor(serveLines, "http request")
+	fills := tracesFor(serveLines, "cache fill")
+	if len(fills) == 0 {
+		t.Fatal("serve tier logged no cache-fill lines")
+	}
+	for tr := range fills {
+		if granted[tr] == 0 {
+			t.Errorf("cache-fill trace %q was never granted", tr)
+		}
+	}
+	for tr := range access {
+		if granted[tr] == 0 {
+			t.Errorf("serve access-log trace %q was never granted", tr)
+		}
+	}
+
+	// The injected 429: its retry must have reached the server with the
+	// SAME trace and request ID, landing one access-log line under them.
+	if rejTrace == "" || rejReq == "" {
+		t.Fatal("chaos shim never saw a /v1/sim request with telemetry headers")
+	}
+	if granted[rejTrace] == 0 {
+		t.Errorf("429'd trace %q was never granted", rejTrace)
+	}
+	var retried bool
+	for _, m := range serveLines {
+		if str(m, "msg") == "http request" &&
+			str(m, telemetry.KeyTraceID) == rejTrace &&
+			str(m, telemetry.KeyReqID) == rejReq {
+			retried = true
+			break
+		}
+	}
+	if !retried {
+		t.Errorf("no serve access-log line for the retried request (trace %s, req %s)", rejTrace, rejReq)
+	}
+
+	// Sanity: the schema stamps every line with its component.
+	for who, lines := range map[string][]map[string]any{
+		"uvmserved": serveLines, "coordinator": coordLines, "uvmworker": workerLines,
+	} {
+		for _, m := range lines {
+			if str(m, telemetry.KeyComponent) != who {
+				t.Fatalf("%s line carries component %q: %v", who, str(m, telemetry.KeyComponent), m)
+			}
+		}
+	}
+}

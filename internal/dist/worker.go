@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -14,6 +14,7 @@ import (
 	"uvmsim/internal/govern"
 	"uvmsim/internal/serve"
 	"uvmsim/internal/serve/client"
+	"uvmsim/internal/telemetry"
 )
 
 // Runner executes one cell and returns its govern verdict, the rendered
@@ -55,9 +56,16 @@ func LocalRunner(ctx context.Context, cs CellSpec) (govern.State, []string, stri
 // form cannot carry exactly, server overload, server-side failure —
 // falls back to fallback, so the cache tier is an accelerator, never a
 // correctness dependency.
-func ServeRunner(sc *client.Client, fallback Runner) Runner {
+// lg may be nil; when set, each answered cell logs one "cell served
+// from cache" line under the cell's trace (the trace rides the request
+// to uvmserved, whose own access and cache-fill lines carry it too).
+func ServeRunner(sc *client.Client, fallback Runner, lg *slog.Logger) Runner {
 	return func(ctx context.Context, cs CellSpec) (govern.State, []string, string) {
-		if row, ok := serveLookup(ctx, sc, cs); ok {
+		if row, hash, ok := serveLookup(ctx, sc, cs); ok {
+			if lg != nil {
+				lg.LogAttrs(ctx, slog.LevelInfo, "cell served from cache",
+					slog.String(telemetry.KeyConfigHash, hash))
+			}
 			return govern.StateCompleted, row, ""
 		}
 		return fallback(ctx, cs)
@@ -65,14 +73,15 @@ func ServeRunner(sc *client.Client, fallback Runner) Runner {
 }
 
 // serveLookup maps the cell onto a /v1/sim request when the mapping is
-// exact, and returns the cached row on a completed answer.
-func serveLookup(ctx context.Context, sc *client.Client, cs CellSpec) ([]string, bool) {
+// exact, and returns the cached row (plus the server's content hash)
+// on a completed answer.
+func serveLookup(ctx context.Context, sc *client.Client, cs CellSpec) ([]string, string, bool) {
 	const mib = int64(1) << 20
 	ms := int64(time.Millisecond)
 	if cs.GPUMemoryBytes%mib != 0 || cs.SimDeadlineNs%ms != 0 ||
 		cs.Workload == "" || cs.Prefetch == "" || cs.Replay == "" || cs.Evict == "" ||
 		cs.Batch == 0 || cs.VABlockBytes%1024 != 0 || cs.VABlockBytes == 0 || cs.Footprint == 0 {
-		return nil, false // the wire form cannot express this cell exactly
+		return nil, "", false // the wire form cannot express this cell exactly
 	}
 	res, err := sc.Sim(ctx, serve.SimRequest{
 		Workload:   cs.Workload,
@@ -91,13 +100,13 @@ func serveLookup(ctx context.Context, sc *client.Client, cs CellSpec) ([]string,
 		},
 	})
 	if err != nil || !res.OK() {
-		return nil, false
+		return nil, "", false
 	}
 	var resp serve.SimResponse
 	if res.Decode(&resp) != nil || resp.Status != string(govern.StateCompleted) || len(resp.Row) == 0 {
-		return nil, false
+		return nil, "", false
 	}
-	return resp.Row, true
+	return resp.Row, res.Hash, true
 }
 
 // WorkerConfig configures one stateless worker.
@@ -110,12 +119,24 @@ type WorkerConfig struct {
 	Runner Runner
 	// HTTPClient overrides the transport (default: 30s per-call timeout).
 	HTTPClient *http.Client
-	// Log receives worker progress lines; nil discards them.
-	Log *log.Logger
+	// Logger receives structured worker progress lines (schema:
+	// internal/telemetry); nil discards them. CLIs default to a text
+	// handler so historical greps ("lease ...") keep matching.
+	Logger *slog.Logger
+	// Flight is the worker's flight recorder; with FlightDir set, an
+	// injected failure (and any future failure trigger) dumps it.
+	Flight    *telemetry.Flight
+	FlightDir string
 
 	// InjectDupComplete is a chaos hook: the worker re-sends its first
 	// completion report, exercising the coordinator's dedup path.
 	InjectDupComplete bool
+	// InjectFail is a chaos hook: report the first N successfully
+	// completed cells as failed instead, exercising the coordinator's
+	// retry path and the worker's failure-triggered flight dump. Within
+	// the coordinator's retry budget this perturbs nothing: the cell is
+	// re-granted and the rerun's deterministic row merges identically.
+	InjectFail int
 	// SlowStart is a chaos hook: pause this long after acquiring each
 	// lease before running, widening the window in which a kill -9 lands
 	// on a held lease.
@@ -125,10 +146,11 @@ type WorkerConfig struct {
 // Worker is the stateless lease-loop client: acquire, heartbeat, run,
 // report, repeat until the coordinator says done.
 type Worker struct {
-	cfg     WorkerConfig
-	hc      *http.Client
-	everOK  bool // at least one successful exchange with the coordinator
-	dupSent bool
+	cfg      WorkerConfig
+	hc       *http.Client
+	everOK   bool // at least one successful exchange with the coordinator
+	dupSent  bool
+	failures int // injected failures delivered so far
 }
 
 // NewWorker builds a worker from cfg.
@@ -143,9 +165,11 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	return &Worker{cfg: cfg, hc: hc}
 }
 
-func (w *Worker) logf(format string, args ...interface{}) {
-	if w.cfg.Log != nil {
-		w.cfg.Log.Printf(format, args...)
+// logc emits one structured line under ctx (whose trace ID, when set,
+// lands on the line automatically).
+func (w *Worker) logc(ctx context.Context, level slog.Level, msg string, attrs ...slog.Attr) {
+	if w.cfg.Logger != nil {
+		w.cfg.Logger.LogAttrs(ctx, level, msg, attrs...)
 	}
 }
 
@@ -201,7 +225,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			failures++
 			if failures >= maxCoordinatorFailures {
 				if w.everOK {
-					w.logf("coordinator gone after %d attempts; exiting clean", failures)
+					w.logc(ctx, slog.LevelWarn, "coordinator gone; exiting clean",
+						slog.Int("attempts", failures))
 					return nil
 				}
 				return fmt.Errorf("dist: coordinator unreachable at %s: %w", w.cfg.Coordinator, err)
@@ -215,7 +240,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		w.everOK = true
 		switch {
 		case lr.Done:
-			w.logf("sweep done; exiting")
+			w.logc(ctx, slog.LevelInfo, "sweep done; exiting")
 			return nil
 		case lr.Cell == nil:
 			wait := time.Duration(lr.WaitMs) * time.Millisecond
@@ -231,9 +256,17 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
-// runLease executes one granted cell under its heartbeat.
+// runLease executes one granted cell under its heartbeat. The lease's
+// trace ID is stamped into the context first, so every line the worker
+// (or the serve-tier client underneath it) logs for this cell carries
+// the same trace the coordinator granted.
 func (w *Worker) runLease(ctx context.Context, lr LeaseResponse) {
-	w.logf("lease %s attempt %d: %s", lr.LeaseID, lr.Attempt, lr.Label)
+	ctx = telemetry.WithTraceID(ctx, lr.TraceID)
+	w.logc(ctx, slog.LevelInfo, "lease acquired",
+		slog.String("lease_id", lr.LeaseID),
+		slog.Int("attempt", lr.Attempt),
+		slog.String(telemetry.KeyConfigHash, lr.Hash),
+		slog.String("label", lr.Label))
 	// Verify the wire spec reproduces the coordinator's label: a skew
 	// here would journal results under the wrong identity.
 	if label, err := lr.Cell.Label(); err != nil || label != lr.Label {
@@ -273,7 +306,8 @@ func (w *Worker) runLease(ctx context.Context, lr LeaseResponse) {
 						// The lease was reassigned: stop burning CPU on a row
 						// another worker now owns. (A completed row would still
 						// have been accepted — rows are deterministic.)
-						w.logf("lease %s gone; abandoning run", lr.LeaseID)
+						w.logc(runCtx, slog.LevelWarn, "lease gone; abandoning run",
+							slog.String("lease_id", lr.LeaseID))
 						abandoned = true
 						cancel()
 						return
@@ -297,6 +331,25 @@ func (w *Worker) runLease(ctx context.Context, lr LeaseResponse) {
 		// reporting late.
 		return
 	}
+	if state == govern.StateCompleted && w.failures < w.cfg.InjectFail {
+		// Chaos: misreport the completed run as failed. The coordinator
+		// re-grants the cell and the rerun's deterministic row merges
+		// identically, so within the retry budget nothing downstream
+		// changes — except that the failure path, including the
+		// flight-recorder dump, actually runs.
+		w.failures++
+		state, row, errMsg = govern.StateFailed, nil, "injected failure (chaos)"
+		w.logc(ctx, slog.LevelError, "lease run failed",
+			slog.String("lease_id", lr.LeaseID), slog.String("err", errMsg))
+		if w.cfg.Flight != nil && w.cfg.FlightDir != "" {
+			if path, err := w.cfg.Flight.DumpToFile(w.cfg.FlightDir, "injected_failure"); err == nil {
+				w.logc(ctx, slog.LevelWarn, "flight recorder dumped",
+					slog.String("reason", "injected_failure"), slog.String("path", path))
+			}
+		}
+	}
+	w.logc(ctx, slog.LevelInfo, "lease finished",
+		slog.String("lease_id", lr.LeaseID), slog.String("state", string(state)))
 	w.report(ctx, lr, state, row, errMsg)
 }
 
@@ -306,6 +359,7 @@ func (w *Worker) report(ctx context.Context, lr LeaseResponse, state govern.Stat
 	req := CompleteRequest{
 		LeaseID: lr.LeaseID, Worker: w.cfg.Name, Hash: lr.Hash,
 		Status: string(state), Err: errMsg, Row: row,
+		TraceID: lr.TraceID,
 	}
 	sends := 1
 	if w.cfg.InjectDupComplete && !w.dupSent && state == govern.StateCompleted {
@@ -317,7 +371,8 @@ func (w *Worker) report(ctx context.Context, lr LeaseResponse, state govern.Stat
 			var resp CompleteResponse
 			if _, err := w.post(ctx, "/v1/complete", req, &resp); err == nil {
 				if resp.Duplicate {
-					w.logf("lease %s: completion was a duplicate (harmless)", lr.LeaseID)
+					w.logc(ctx, slog.LevelInfo, "lease completion was a duplicate (harmless)",
+						slog.String("lease_id", lr.LeaseID))
 				}
 				break
 			} else if ctx.Err() != nil {

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"net/http"
+	"sync/atomic"
 
 	"uvmsim/internal/parallel"
 	"uvmsim/internal/sim"
@@ -80,10 +81,39 @@ type RunStatus struct {
 	Err   string `json:"err,omitempty"`
 }
 
+// statusHook, when armed, observes every abnormal terminal
+// classification (anything but completed). The telemetry layer arms it
+// to feed the flight recorder and trigger dumps on budget overruns and
+// recovered invariant panics; the default is nil and costs one atomic
+// load per classification — StatusOf is off every simulation hot path.
+var statusHook atomic.Pointer[func(RunStatus)]
+
+// SetStatusHook installs (or, with nil, clears) the process-wide
+// abnormal-outcome observer. The hook must be goroutine-safe: sweeps
+// classify cell outcomes concurrently.
+func SetStatusHook(hook func(RunStatus)) {
+	if hook == nil {
+		statusHook.Store(nil)
+		return
+	}
+	statusHook.Store(&hook)
+}
+
+// notify delivers st to the armed hook, if any.
+func notify(st RunStatus) RunStatus {
+	if st.State != StateCompleted {
+		if h := statusHook.Load(); h != nil {
+			(*h)(st)
+		}
+	}
+	return st
+}
+
 // StatusOf classifies a run error into a RunStatus. nil is a completed
 // run; engine stop errors map onto cancelled/deadline/livelock; pool
 // panics map to panicked; context cancellation maps to cancelled;
-// everything else is failed.
+// everything else is failed. Abnormal outcomes are reported to the
+// status hook (see SetStatusHook).
 func StatusOf(err error) RunStatus {
 	if err == nil {
 		return RunStatus{State: StateCompleted}
@@ -92,21 +122,21 @@ func StatusOf(err error) RunStatus {
 	if errors.As(err, &stop) {
 		switch stop.Reason {
 		case sim.StopCancelled:
-			return RunStatus{State: StateCancelled, Err: err.Error()}
+			return notify(RunStatus{State: StateCancelled, Err: err.Error()})
 		case sim.StopLivelock:
-			return RunStatus{State: StateLivelock, Err: err.Error()}
+			return notify(RunStatus{State: StateLivelock, Err: err.Error()})
 		default:
-			return RunStatus{State: StateDeadline, Err: err.Error()}
+			return notify(RunStatus{State: StateDeadline, Err: err.Error()})
 		}
 	}
 	var pe *parallel.PanicError
 	if errors.As(err, &pe) {
-		return RunStatus{State: StatePanicked, Err: err.Error()}
+		return notify(RunStatus{State: StatePanicked, Err: err.Error()})
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return RunStatus{State: StateCancelled, Err: err.Error()}
+		return notify(RunStatus{State: StateCancelled, Err: err.Error()})
 	}
-	return RunStatus{State: StateFailed, Err: err.Error()}
+	return notify(RunStatus{State: StateFailed, Err: err.Error()})
 }
 
 // WatchContext returns a sim.Cancel that is Set when ctx is cancelled,

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"uvmsim/internal/serve"
+	"uvmsim/internal/telemetry"
 )
 
 // Result is one service response: the verbatim body plus the transport
@@ -38,6 +39,10 @@ type Result struct {
 	// Retries counts the retry attempts this call consumed (0 when the
 	// first attempt settled, or when no RetryPolicy is configured).
 	Retries int
+	// TraceID/ReqID echo the server's X-Trace-ID and X-Request-ID
+	// response headers — the IDs to grep for in the fleet's logs.
+	TraceID string
+	ReqID   string
 }
 
 // OK reports whether the response carried a 2xx status.
@@ -82,10 +87,19 @@ func New(base string, hc *http.Client) *Client {
 // rejections retry up to MaxRetries times with capped jittered backoff,
 // honoring the server's Retry-After hint; every other outcome returns
 // immediately. With no policy configured this is a single attempt.
+//
+// Telemetry: the context's trace ID (telemetry.WithTraceID) is
+// forwarded on every attempt, and one request ID is minted per do call
+// and held stable across its retries — the server's logs then show one
+// req_id with several access lines, which is exactly what a retry is.
 func (c *Client) do(ctx context.Context, method, path string, payload interface{}) (*Result, error) {
 	var latency time.Duration
+	reqID := telemetry.ReqID(ctx)
+	if reqID == "" {
+		reqID = telemetry.NewID()
+	}
 	for retries := 0; ; retries++ {
-		res, err := c.once(ctx, method, path, payload)
+		res, err := c.once(ctx, method, path, payload, reqID)
 		if res != nil {
 			latency += res.Latency
 			res.Latency = latency
@@ -106,7 +120,7 @@ func (c *Client) do(ctx context.Context, method, path string, payload interface{
 }
 
 // once issues one request and packages the response.
-func (c *Client) once(ctx context.Context, method, path string, payload interface{}) (*Result, error) {
+func (c *Client) once(ctx context.Context, method, path string, payload interface{}, reqID string) (*Result, error) {
 	var body io.Reader
 	if payload != nil {
 		b, err := json.Marshal(payload)
@@ -121,6 +135,12 @@ func (c *Client) once(ctx context.Context, method, path string, payload interfac
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tid := telemetry.TraceID(ctx); tid != "" {
+		req.Header.Set(telemetry.HeaderTraceID, tid)
+	}
+	if reqID != "" {
+		req.Header.Set(telemetry.HeaderReqID, reqID)
 	}
 	start := time.Now()
 	resp, err := c.hc.Do(req)
@@ -138,6 +158,8 @@ func (c *Client) once(ctx context.Context, method, path string, payload interfac
 		Hash:    resp.Header.Get("X-Uvmsim-Hash"),
 		Body:    raw,
 		Latency: time.Since(start),
+		TraceID: resp.Header.Get(telemetry.HeaderTraceID),
+		ReqID:   resp.Header.Get(telemetry.HeaderReqID),
 	}
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
 		res.RetryAfter = time.Duration(secs) * time.Second

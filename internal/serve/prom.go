@@ -8,14 +8,20 @@ import (
 	"strings"
 
 	"uvmsim/internal/obs"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/telemetry"
 )
 
 // Prometheus text exposition (version 0.0.4) for the obs registry.
-// Counters and gauges render as their kind; histograms render as
-// summaries with fixed quantiles, since the registry's log-bucketed
-// histograms expose quantiles, not cumulative buckets. Output is fully
-// deterministic: samples sort by name, every value is an integer
-// (nanoseconds for durations), and a golden test pins the bytes.
+// Counters and gauges render as their kind. Histograms split by clock:
+// simulated-clock histograms render as summaries with fixed quantiles
+// (their log2 bucket edges are a simulator artifact, not a latency
+// SLO), while wall-clock histograms — names carrying
+// telemetry.WallSuffix — render as true cumulative histograms with
+// _bucket{le="..."} series so standard histogram_quantile() queries
+// work on serving latency. Output is fully deterministic: samples sort
+// by name, every value is an integer (nanoseconds for durations), and
+// a golden test pins the bytes.
 
 // promNameRE is the valid Prometheus metric-name grammar.
 var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
@@ -76,6 +82,10 @@ func WritePrometheus(w io.Writer, samples []obs.Sample) error {
 		case obs.KindGauge:
 			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, s.Value)
 		case obs.KindHistogram:
+			if strings.HasSuffix(name, telemetry.WallSuffix) {
+				writeCumulative(&b, name, s)
+				continue
+			}
 			fmt.Fprintf(&b, "# TYPE %s summary\n", name)
 			if s.Hist != nil {
 				for _, q := range summaryQuantiles {
@@ -88,4 +98,29 @@ func WritePrometheus(w io.Writer, samples []obs.Sample) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeCumulative renders one wall-clock histogram as a true
+// Prometheus histogram: cumulative _bucket{le="..."} series over the
+// log2 bucket edges (only edges whose bucket holds observations are
+// emitted, so a 64-bucket layout does not bloat the scrape), a closing
+// le="+Inf" bucket, then _sum and _count.
+func writeCumulative(b *strings.Builder, name string, s obs.Sample) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum uint64
+	if s.Hist != nil {
+		for i := 0; i < stats.NumBuckets; i++ {
+			n := s.Hist.BucketCount(i)
+			if n == 0 {
+				continue
+			}
+			cum += n
+			fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", name, int64(s.Hist.BucketUpper(i)), cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(b, "%s_sum %d\n", name, int64(s.Hist.Sum()))
+	} else {
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Value)
+	}
+	fmt.Fprintf(b, "%s_count %d\n", name, s.Value)
 }

@@ -9,6 +9,7 @@ import (
 
 	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
+	"uvmsim/internal/telemetry"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
@@ -79,6 +80,12 @@ func TestWritePrometheusGolden(t *testing.T) {
 	h := reg.Histogram("sim_batch_ns")
 	for _, d := range []sim.Duration{1000, 2000, 4000, 8000, 16000} {
 		h.Observe(d)
+	}
+	// Wall-clock latency histograms (telemetry.WallSuffix) render as
+	// true cumulative _bucket series instead of summaries.
+	wall := reg.Histogram("uvmserved_http_v1_sim_latency" + telemetry.WallSuffix)
+	for _, d := range []sim.Duration{900, 1100, 1100, 5000} {
+		wall.Observe(d)
 	}
 	samples := append(reg.Samples(),
 		obs.Sample{Name: "uvmserved_cache_hits_total", Kind: obs.KindCounter, Value: 7},

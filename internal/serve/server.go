@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"uvmsim/internal/parallel"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/sweep"
+	"uvmsim/internal/telemetry"
 )
 
 // Config holds the serving knobs. The zero value of any field selects
@@ -51,6 +54,14 @@ type Config struct {
 	// DefaultTimeout applies when a request sets no timeout_ms;
 	// MaxTimeout caps all request timeouts. Zero = none.
 	DefaultTimeout, MaxTimeout time.Duration
+	// Log receives the structured access log and cache-fill lines
+	// (schema: internal/telemetry). Nil logs nothing.
+	Log *slog.Logger
+	// Flight is the process flight recorder; when set, the handler
+	// exposes it at GET /debug/flightrec and dumps it into FlightDir on
+	// 5xx responses.
+	Flight    *telemetry.Flight
+	FlightDir string
 }
 
 // withDefaults fills zero fields.
@@ -88,12 +99,14 @@ func (c Config) withDefaults() Config {
 // Server is the simulation service: validation, admission, execution,
 // caching, and observability behind one http.Handler.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	gate  *Gate
-	jobs  *jobStore
-	met   *metrics
-	mux   *http.ServeMux
+	cfg     Config
+	cache   *Cache
+	gate    *Gate
+	jobs    *jobStore
+	met     *metrics
+	red     *telemetry.RED
+	mux     *http.ServeMux
+	handler http.Handler
 
 	// base is the lifecycle context every simulation runs under; it is
 	// cancelled only on forced shutdown, so request disconnects never
@@ -113,6 +126,7 @@ func New(cfg Config) *Server {
 		gate:  NewGate(cfg.QueueSlots, cfg.RunSlots),
 		jobs:  newJobStore(cfg.MaxJobs),
 		met:   newMetrics(),
+		red:   telemetry.NewRED("uvmserved_http"),
 	}
 	s.base, s.baseCancel = context.WithCancel(context.Background())
 	mux := http.NewServeMux()
@@ -126,12 +140,58 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
+	if cfg.Flight != nil {
+		mux.Handle("GET /debug/flightrec", cfg.Flight.HTTPHandler())
+	}
 	s.mux = mux
+	s.handler = telemetry.Middleware(mux, telemetry.MiddlewareOptions{
+		Logger:    cfg.Log,
+		RED:       s.red,
+		Flight:    cfg.Flight,
+		FlightDir: cfg.FlightDir,
+		Route:     routeLabel,
+	})
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// routeLabel maps a request onto its stable route label for RED
+// metrics and access lines, collapsing path parameters so the metric
+// cardinality is the route table's, not the traffic's.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/sim":
+		return "v1_sim"
+	case p == "/v1/sweep":
+		return "v1_sweep"
+	case p == "/v1/jobs":
+		return "v1_jobs"
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		if strings.HasSuffix(p, "/result") {
+			return "v1_job_result"
+		}
+		return "v1_job_status"
+	case p == "/v1/experiments":
+		return "v1_experiments"
+	case strings.HasPrefix(p, "/v1/exp/"):
+		return "v1_exp"
+	case p == "/metrics":
+		return "metrics"
+	case p == "/healthz":
+		return "healthz"
+	case p == "/debug/flightrec":
+		return "debug_flightrec"
+	case p == "/":
+		return "index"
+	default:
+		return "other"
+	}
+}
+
+// Handler returns the service's HTTP handler: the route mux wrapped in
+// the telemetry edge (trace/request IDs, access log, RED metrics,
+// flight-recorder dump on 5xx).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Cache exposes the result cache for tests and draining checks.
 func (s *Server) Cache() *Cache { return s.cache }
@@ -329,7 +389,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			})
 		})
 	})
-	s.finish(w, hash, body, status, src, err)
+	s.finish(w, r, hash, body, status, src, err)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -350,7 +410,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			})
 		})
 	})
-	s.finish(w, hash, body, status, src, err)
+	s.finish(w, r, hash, body, status, src, err)
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -457,7 +517,7 @@ func (s *Server) handleExp(w http.ResponseWriter, r *http.Request) {
 			return body, st, err
 		})
 	})
-	s.finish(w, hash, body, status, src, err)
+	s.finish(w, r, hash, body, status, src, err)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -478,6 +538,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge(mRunning, uint64(s.gate.Running())),
 		gauge(mJobsLive, uint64(s.jobs.active())),
 	}
+	// Wall-clock RED series (one set per route) ride the same exposition.
+	dynamic = append(dynamic, s.red.Samples()...)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.met.write(w, dynamic); err != nil {
 		s.met.inc(mErrors)
@@ -524,10 +586,19 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) b
 
 // finish maps a Do outcome onto the response: busy → 429 with
 // Retry-After, context errors → 503/504, marshal/internal errors → 500,
-// everything else → the computed body verbatim.
-func (s *Server) finish(w http.ResponseWriter, hash string, body []byte, status int, src Source, err error) {
+// everything else → the computed body verbatim. A cache miss that
+// computed fresh bytes logs one "cache fill" line under the request's
+// trace, tying the fleet's content-addressed cache entries back to the
+// requests that populated them.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, hash string, body []byte, status int, src Source, err error) {
 	switch {
 	case err == nil:
+		if src == SourceMiss && s.cfg.Log != nil {
+			s.cfg.Log.LogAttrs(r.Context(), slog.LevelInfo, "cache fill",
+				slog.String(telemetry.KeyConfigHash, hash),
+				slog.Int("status", status),
+				slog.Int("bytes", len(body)))
+		}
 		s.writeBody(w, status, hash, src, body)
 	case errors.Is(err, ErrBusy):
 		s.reject(w)

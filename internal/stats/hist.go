@@ -56,6 +56,33 @@ func (h *Histogram) Observe(d sim.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// NumBuckets is the number of log2 buckets a Histogram holds.
+const NumBuckets = 64
+
+// BucketCount returns the observation count in bucket b (0 <= b <
+// NumBuckets). Bucket 0 holds non-positive observations; bucket b >= 1
+// holds observations d with 2^(b-1) <= d < 2^b.
+func (h *Histogram) BucketCount(b int) uint64 {
+	if b < 0 || b >= NumBuckets {
+		return 0
+	}
+	return h.buckets[b]
+}
+
+// BucketUpper returns bucket b's exclusive upper edge — the same edge
+// Quantile reports — as a duration: 0 for bucket 0, 2^b otherwise.
+// Exposing edges lets exporters render true cumulative histograms
+// without reaching into the bucket layout.
+func (h *Histogram) BucketUpper(b int) sim.Duration {
+	if b <= 0 {
+		return 0
+	}
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return sim.Duration(uint64(1) << uint(b))
+}
+
 // Sum returns the total of all observations.
 func (h *Histogram) Sum() sim.Duration { return h.sum }
 

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+)
+
+// Flags is the standard telemetry flag set shared by the fleet CLIs
+// (uvmserved, uvmworker, uvmsweep, uvmload).
+type Flags struct {
+	// Format is the log encoding: "text" (default, grep-compatible with
+	// the historical log.Printf output) or "json" (the fleet schema).
+	Format string
+	// Level is the minimum emitted log level (debug/info/warn/error).
+	Level string
+	// FlightDir, when non-empty, enables flight-recorder dumps into
+	// that directory on triggers (5xx, budget overrun, quarantine,
+	// invariant panic). The in-memory ring is always on regardless.
+	FlightDir string
+	// FlightEvents sizes the ring.
+	FlightEvents int
+}
+
+// Register installs the flags on the default CommandLine set.
+func (f *Flags) Register() {
+	flag.StringVar(&f.Format, "log-format", "text", "log encoding: text or json (json carries the fleet telemetry schema)")
+	flag.StringVar(&f.Level, "log-level", "info", "minimum log level: debug, info, warn, error")
+	flag.StringVar(&f.FlightDir, "flight-dir", "", "directory for flight-recorder dumps on failure triggers (empty = no file dumps; the in-memory ring and /debug/flightrec stay on)")
+	flag.IntVar(&f.FlightEvents, "flight-events", DefaultFlightEvents, "flight-recorder ring size in events")
+}
+
+// Flight builds the ring the flags describe.
+func (f *Flags) Flight() *Flight { return NewFlight(f.FlightEvents) }
+
+// Logger builds the component logger on stderr, teeing into flight
+// (which may be nil).
+func (f *Flags) Logger(component string, flight *Flight) *slog.Logger {
+	return New(os.Stderr, Config{
+		Format:    f.Format,
+		Level:     f.Level,
+		Component: component,
+		Flight:    flight,
+	})
+}

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"uvmsim/internal/atomicio"
+)
+
+// The flight recorder is a fixed ring of the most recent telemetry
+// events in this process, always on and cheap enough to leave on: one
+// mutex, no allocation beyond the event's own attrs. When something
+// goes wrong — an invariant panic, a budget overrun, a lease
+// quarantine, a 5xx — the ring is dumped atomically to a timestamped
+// JSON file, so the post-mortem starts with the last N things the
+// process did rather than with an empty log at the default level.
+//
+// The dump is byte-reproducible given a fixed event sequence and clock:
+// events carry monotonically increasing sequence numbers, attrs encode
+// in sorted key order (encoding/json sorts map keys), and the only
+// nondeterminism — wall timestamps — comes from an injectable clock.
+
+// DefaultFlightEvents is the ring size when none is configured.
+const DefaultFlightEvents = 256
+
+// Event is one recorded telemetry event.
+type Event struct {
+	// Seq is the process-lifetime sequence number (1-based); gaps never
+	// occur, so a dump's coverage window is self-describing.
+	Seq uint64 `json:"seq"`
+	// TimeNs is the wall-clock capture time in Unix nanoseconds.
+	TimeNs int64 `json:"time_ns"`
+	// Level is the slog level string (DEBUG/INFO/WARN/ERROR).
+	Level string `json:"level"`
+	Msg   string `json:"msg"`
+	// TraceID/ReqID are the schema IDs when the event's context carried
+	// them.
+	TraceID string `json:"trace_id,omitempty"`
+	ReqID   string `json:"req_id,omitempty"`
+	// Attrs holds the record's remaining attributes, stringified.
+	// encoding/json marshals maps in sorted key order, which keeps
+	// dumps deterministic.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// addAttr folds one slog attr into the event, routing schema IDs to
+// their typed fields.
+func (e *Event) addAttr(a slog.Attr) {
+	switch a.Key {
+	case KeyTraceID:
+		e.TraceID = a.Value.String()
+		return
+	case KeyReqID:
+		e.ReqID = a.Value.String()
+		return
+	}
+	if e.Attrs == nil {
+		e.Attrs = make(map[string]string, 4)
+	}
+	e.Attrs[a.Key] = a.Value.String()
+}
+
+// Dump is the file form of a flight-recorder snapshot.
+type Dump struct {
+	// Reason names the trigger: "invariant_panic", "budget_overrun",
+	// "quarantine", "http_5xx", or a caller-specific tag.
+	Reason string `json:"reason"`
+	// DumpedAtNs is the wall-clock dump time in Unix nanoseconds.
+	DumpedAtNs int64 `json:"dumped_at_ns"`
+	// Dropped counts events that rotated out of the ring before this
+	// dump (total recorded minus ring size, floored at zero).
+	Dropped uint64 `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// Flight is the lock-protected ring. The zero value is not usable; use
+// NewFlight.
+type Flight struct {
+	mu    sync.Mutex
+	ring  []Event
+	seq   uint64 // events ever recorded
+	dumps uint64 // dump files written
+	now   func() time.Time
+}
+
+// NewFlight returns a recorder holding the last size events (size <= 0
+// selects DefaultFlightEvents).
+func NewFlight(size int) *Flight {
+	if size <= 0 {
+		size = DefaultFlightEvents
+	}
+	return &Flight{ring: make([]Event, 0, size), now: time.Now}
+}
+
+// SetClock injects the capture clock (tests; nil restores time.Now).
+func (f *Flight) SetClock(now func() time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	f.now = now
+}
+
+// Record appends one event, stamping its sequence number and time.
+func (f *Flight) Record(ev Event) {
+	f.mu.Lock()
+	f.seq++
+	ev.Seq = f.seq
+	ev.TimeNs = f.now().UnixNano()
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, ev)
+	} else {
+		// Overwrite the oldest slot: the ring is stored in seq order
+		// rotated, with the oldest at index seq % cap.
+		f.ring[(f.seq-1)%uint64(cap(f.ring))] = ev
+	}
+	f.mu.Unlock()
+}
+
+// Snapshot returns the ring's events in sequence order.
+func (f *Flight) Snapshot() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snapshotLocked()
+}
+
+func (f *Flight) snapshotLocked() []Event {
+	out := make([]Event, 0, len(f.ring))
+	if f.seq <= uint64(cap(f.ring)) {
+		out = append(out, f.ring...)
+		return out
+	}
+	start := f.seq % uint64(cap(f.ring))
+	out = append(out, f.ring[start:]...)
+	out = append(out, f.ring[:start]...)
+	return out
+}
+
+// Len returns how many events the ring currently holds.
+func (f *Flight) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ring)
+}
+
+// WriteJSON renders the current snapshot as an indented JSON dump.
+func (f *Flight) WriteJSON(w io.Writer, reason string) error {
+	f.mu.Lock()
+	d := Dump{
+		Reason:     reason,
+		DumpedAtNs: f.now().UnixNano(),
+		Events:     f.snapshotLocked(),
+	}
+	if n := uint64(len(d.Events)); f.seq > n {
+		d.Dropped = f.seq - n
+	}
+	f.mu.Unlock()
+	b, err := json.MarshalIndent(&d, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// DumpToFile writes the snapshot atomically (via internal/atomicio)
+// into dir as flightrec-<unixnano>-<n>.json and returns the path. A
+// crash mid-dump leaves no partial file.
+func (f *Flight) DumpToFile(dir, reason string) (string, error) {
+	f.mu.Lock()
+	f.dumps++
+	name := fmt.Sprintf("flightrec-%d-%d.json", f.now().UnixNano(), f.dumps)
+	f.mu.Unlock()
+	path := filepath.Join(dir, name)
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return f.WriteJSON(w, reason)
+	})
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// HTTPHandler serves the ring read-only as JSON (the /debug/flightrec
+// endpoint).
+func (f *Flight) HTTPHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := f.WriteJSON(w, "http_snapshot"); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// ValidateDump checks that raw parses as a flight dump with strictly
+// increasing sequence numbers — the logcheck gate's definition of "a
+// parseable flight-recorder dump".
+func ValidateDump(raw []byte) (*Dump, error) {
+	var d Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("flight dump: %w", err)
+	}
+	if d.Reason == "" {
+		return nil, fmt.Errorf("flight dump: empty reason")
+	}
+	var last uint64
+	for i, ev := range d.Events {
+		if ev.Seq <= last {
+			return nil, fmt.Errorf("flight dump: event %d seq %d not increasing (prev %d)", i, ev.Seq, last)
+		}
+		if ev.Msg == "" {
+			return nil, fmt.Errorf("flight dump: event %d (seq %d) has empty msg", i, ev.Seq)
+		}
+		last = ev.Seq
+	}
+	return &d, nil
+}

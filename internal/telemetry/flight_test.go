@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"uvmsim/internal/govern"
+	"uvmsim/internal/sim"
+)
+
+// fixedClock steps one nanosecond per call from a fixed origin, making
+// dumps byte-reproducible.
+func fixedClock() func() time.Time {
+	base := time.Unix(1700000000, 0).UTC()
+	n := int64(0)
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n))
+	}
+}
+
+func TestFlightRingRotation(t *testing.T) {
+	f := NewFlight(4)
+	f.SetClock(fixedClock())
+	for i := 0; i < 10; i++ {
+		f.Record(Event{Level: "INFO", Msg: "m", Attrs: map[string]string{"i": string(rune('a' + i))}})
+	}
+	evs := f.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("ring should hold 4 events, got %d", len(evs))
+	}
+	for i, ev := range evs {
+		want := uint64(7 + i) // seqs 7..10 survive
+		if ev.Seq != want {
+			t.Fatalf("event %d: seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestFlightDumpByteReproducible(t *testing.T) {
+	build := func() *Flight {
+		f := NewFlight(4)
+		f.SetClock(fixedClock())
+		for i := 0; i < 6; i++ {
+			f.Record(Event{Level: "INFO", Msg: "step", TraceID: "0123456789abcdef",
+				Attrs: map[string]string{"b": "2", "a": "1"}})
+		}
+		return f
+	}
+	var one, two bytes.Buffer
+	if err := build().WriteJSON(&one, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&two, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatalf("dumps differ:\n%s\n---\n%s", one.String(), two.String())
+	}
+	d, err := ValidateDump(one.Bytes())
+	if err != nil {
+		t.Fatalf("ValidateDump: %v", err)
+	}
+	if d.Reason != "test" || d.Dropped != 2 || len(d.Events) != 4 {
+		t.Fatalf("dump shape: reason=%q dropped=%d events=%d", d.Reason, d.Dropped, len(d.Events))
+	}
+}
+
+func TestFlightDumpToFile(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlight(4)
+	f.SetClock(fixedClock())
+	f.Record(Event{Level: "ERROR", Msg: "boom"})
+	path, err := f.DumpToFile(dir, "quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir || !strings.HasPrefix(filepath.Base(path), "flightrec-") {
+		t.Fatalf("unexpected dump path %q", path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ValidateDump(raw)
+	if err != nil {
+		t.Fatalf("dump file invalid: %v", err)
+	}
+	if d.Reason != "quarantine" || len(d.Events) != 1 || d.Events[0].Msg != "boom" {
+		t.Fatalf("dump contents: %+v", d)
+	}
+	// Second dump gets a distinct file name even under the fixed clock.
+	path2, err := f.DumpToFile(dir, "quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path2 == path {
+		t.Fatalf("dump files collide: %q", path2)
+	}
+}
+
+func TestValidateDumpRejects(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"dumped_at_ns":1,"events":[]}`, // no reason
+		`{"reason":"r","events":[{"seq":2,"msg":"a"},{"seq":2,"msg":"b"}]}`, // seq not increasing
+		`{"reason":"r","events":[{"seq":1,"msg":""}]}`,                      // empty msg
+	}
+	for _, raw := range bad {
+		if _, err := ValidateDump([]byte(raw)); err == nil {
+			t.Errorf("ValidateDump(%s) = nil, want error", raw)
+		}
+	}
+}
+
+func TestArmGovern(t *testing.T) {
+	dir := t.TempDir()
+	fl := NewFlight(8)
+	fl.SetClock(fixedClock())
+	var buf bytes.Buffer
+	lg := New(&buf, Config{Format: "json"})
+	disarm := ArmGovern(fl, dir, lg)
+	defer disarm()
+
+	// Completed: no event, no dump.
+	govern.StatusOf(nil)
+	if fl.Len() != 0 {
+		t.Fatalf("completed run should not record")
+	}
+
+	// Failed: recorded, no dump.
+	govern.StatusOf(context.DeadlineExceeded)
+	if fl.Len() != 1 {
+		t.Fatalf("cancelled run should record one event, ring=%d", fl.Len())
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Fatalf("cancellation must not dump")
+	}
+
+	// Budget overrun: recorded and dumped.
+	govern.StatusOf(&sim.StopError{Reason: sim.StopEventBudget})
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("budget overrun should dump exactly once: %v %d", err, len(ents))
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ValidateDump(raw)
+	if err != nil {
+		t.Fatalf("overrun dump invalid: %v", err)
+	}
+	if d.Reason != "budget_overrun" {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+	if !strings.Contains(buf.String(), "flight recorder dumped") {
+		t.Fatalf("dump should be logged: %s", buf.String())
+	}
+
+	// Disarmed: nothing further reaches the ring.
+	disarm()
+	govern.StatusOf(context.Canceled)
+	if fl.Len() != 2 {
+		t.Fatalf("hook fired after disarm: ring=%d", fl.Len())
+	}
+}

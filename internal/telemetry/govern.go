@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"log/slog"
+
+	"uvmsim/internal/govern"
+)
+
+// ArmGovern installs a govern status hook that records every abnormal
+// run outcome into the flight ring and, for the two outcomes that name
+// a broken assumption rather than an external decision — budget
+// overruns (deadline/livelock) and recovered invariant panics — dumps
+// the ring to dir. Cancellations and ordinary failures are recorded
+// but do not trigger dumps: they are routine under drain and retry.
+//
+// The returned func disarms the hook (tests; process shutdown does not
+// need it).
+func ArmGovern(flight *Flight, dir string, lg *slog.Logger) func() {
+	govern.SetStatusHook(func(st govern.RunStatus) {
+		if flight == nil {
+			return
+		}
+		flight.Record(Event{
+			Level: slog.LevelWarn.String(),
+			Msg:   "run " + string(st.State),
+			Attrs: map[string]string{"state": string(st.State), "err": st.Err},
+		})
+		var reason string
+		switch st.State {
+		case govern.StateDeadline, govern.StateLivelock:
+			reason = "budget_overrun"
+		case govern.StatePanicked:
+			reason = "invariant_panic"
+		default:
+			return
+		}
+		if dir == "" {
+			return
+		}
+		if path, err := flight.DumpToFile(dir, reason); err == nil {
+			if lg != nil {
+				lg.Warn("flight recorder dumped", slog.String("reason", reason), slog.String("path", path))
+			}
+		} else if lg != nil {
+			lg.Error("flight recorder dump failed", slog.String("reason", reason), slog.String("err", err.Error()))
+		}
+	})
+	return func() { govern.SetStatusHook(nil) }
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"regexp"
+	"sync/atomic"
+)
+
+// Trace and request IDs are 16 lowercase hex characters (64 random
+// bits): short enough to read in a log line, long enough that a fleet
+// never collides in practice. A cell-scoped trace derives from its
+// sweep's root trace as "<root>-c<index>", so one grep on the root
+// finds the whole sweep and one grep on the derived ID isolates a cell.
+
+// idRE is the grammar of a bare generated ID.
+var idRE = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+// traceRE is the grammar of any trace ID this package mints: a bare ID
+// or a cell-derived one.
+var traceRE = regexp.MustCompile(`^[0-9a-f]{16}(-c[0-9]+)?$`)
+
+// idFallback feeds deterministic-but-unique IDs if crypto/rand ever
+// fails (it effectively cannot on supported platforms).
+var idFallback atomic.Uint64
+
+// NewID returns a fresh 16-hex-character ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", idFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// CellTraceID derives the trace ID for one sweep cell from the sweep's
+// root trace. The derivation is stable across lease retries: every
+// attempt at the cell logs under the same trace.
+func CellTraceID(root string, index int) string {
+	return fmt.Sprintf("%s-c%03d", root, index)
+}
+
+// ValidID reports whether s is a bare generated ID.
+func ValidID(s string) bool { return idRE.MatchString(s) }
+
+// ValidTraceID reports whether s is a bare or cell-derived trace ID.
+func ValidTraceID(s string) bool { return traceRE.MatchString(s) }

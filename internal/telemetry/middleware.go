@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// MiddlewareOptions configures the serve-edge telemetry middleware.
+// Every field is optional; the zero options still propagate and echo
+// IDs (that contract is what lets downstream hops rely on them).
+type MiddlewareOptions struct {
+	// Logger receives one access line per request.
+	Logger *slog.Logger
+	// RED receives one observation per request.
+	RED *RED
+	// Flight receives a dump trigger on 5xx responses when FlightDir is
+	// set; the access line itself reaches the ring through Logger.
+	Flight    *Flight
+	FlightDir string
+	// Route maps a request to its stable route label for RED metrics
+	// and access lines. Nil uses the URL path verbatim.
+	Route func(r *http.Request) string
+}
+
+// statusWriter observes the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// Middleware wraps h with the telemetry edge: it adopts inbound
+// X-Trace-ID/X-Request-ID headers (generating fresh IDs when absent),
+// echoes both on the response, stamps them into the request context so
+// every handler log line carries them, emits one structured access line
+// per request, feeds the per-route RED metrics, and dumps the flight
+// ring on 5xx responses.
+func Middleware(h http.Handler, opt MiddlewareOptions) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		tid := r.Header.Get(HeaderTraceID)
+		if tid == "" {
+			tid = NewID()
+		}
+		rid := r.Header.Get(HeaderReqID)
+		if rid == "" {
+			rid = NewID()
+		}
+		w.Header().Set(HeaderTraceID, tid)
+		w.Header().Set(HeaderReqID, rid)
+
+		ctx := WithReqID(WithTraceID(r.Context(), tid), rid)
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK // handler wrote nothing
+		}
+		dur := time.Since(start)
+
+		route := r.URL.Path
+		if opt.Route != nil {
+			route = opt.Route(r)
+		}
+		if opt.RED != nil {
+			opt.RED.Observe(route, sw.status, dur)
+		}
+		if opt.Logger != nil {
+			opt.Logger.LogAttrs(ctx, slog.LevelInfo, "http request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int("bytes", sw.bytes),
+				slog.Int64("dur_ms", dur.Milliseconds()),
+			)
+		}
+		if sw.status >= 500 && opt.Flight != nil && opt.FlightDir != "" {
+			if path, err := opt.Flight.DumpToFile(opt.FlightDir, "http_5xx"); err == nil {
+				if opt.Logger != nil {
+					opt.Logger.LogAttrs(ctx, slog.LevelWarn, "flight recorder dumped",
+						slog.String("reason", "http_5xx"), slog.String("path", path))
+				}
+			} else if opt.Logger != nil {
+				opt.Logger.LogAttrs(ctx, slog.LevelError, "flight recorder dump failed",
+					slog.String("reason", "http_5xx"), slog.String("err", err.Error()))
+			}
+		}
+	})
+}

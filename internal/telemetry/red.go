@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"uvmsim/internal/obs"
+	"uvmsim/internal/sim"
+)
+
+// RED holds per-endpoint rate/errors/duration metrics in an
+// obs.Registry, so the wall-clock serving metrics ride the exact same
+// snapshot/exposition machinery as the simulated-clock ones. The
+// registry has no label support — deliberately, it keeps the sim hot
+// path lock-free — so the route is encoded in the metric name:
+//
+//	<prefix>_<route>_requests_total   counter: every response
+//	<prefix>_<route>_errors_total     counter: 5xx responses
+//	<prefix>_<route>_latency_wall_ns  histogram: wall-clock latency
+//
+// The latency histogram carries the WallSuffix, which the Prometheus
+// writer renders as a true cumulative _bucket{le=...} histogram.
+type RED struct {
+	prefix string
+
+	mu     sync.Mutex
+	reg    *obs.Registry
+	routes map[string]*redRoute
+}
+
+type redRoute struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.HistogramMetric
+}
+
+// NewRED returns an empty RED set whose metric names start with prefix
+// (e.g. "uvmserved_http").
+func NewRED(prefix string) *RED {
+	return &RED{prefix: prefix, reg: obs.NewRegistry(), routes: make(map[string]*redRoute)}
+}
+
+// route returns (registering on first use) the handles for one route.
+func (r *RED) route(name string) *redRoute {
+	if rt, ok := r.routes[name]; ok {
+		return rt
+	}
+	base := r.prefix + "_" + sanitizeRoute(name)
+	rt := &redRoute{
+		requests: r.reg.Counter(base + "_requests_total"),
+		errors:   r.reg.Counter(base + "_errors_total"),
+		latency:  r.reg.Histogram(base + "_latency" + WallSuffix),
+	}
+	r.routes[name] = rt
+	return rt
+}
+
+// Observe records one served response: its route, HTTP status, and
+// wall-clock latency.
+func (r *RED) Observe(route string, status int, d time.Duration) {
+	r.mu.Lock()
+	rt := r.route(route)
+	rt.requests.Inc(1)
+	if status >= 500 {
+		rt.errors.Inc(1)
+	}
+	rt.latency.Observe(sim.Duration(d.Nanoseconds()))
+	r.mu.Unlock()
+}
+
+// Samples snapshots every registered route's metrics, name-sorted.
+func (r *RED) Samples() []obs.Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reg.Samples()
+}
+
+// sanitizeRoute coerces a route label into metric-name-safe snake case.
+func sanitizeRoute(route string) string {
+	if route == "" {
+		return "other"
+	}
+	var b strings.Builder
+	for i, r := range route {
+		switch {
+		case r >= 'a' && r <= 'z' || r == '_':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// String summarizes the set for debugging.
+func (r *RED) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("telemetry.RED{prefix: %s, routes: %d}", r.prefix, len(r.routes))
+}

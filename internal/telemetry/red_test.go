@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"uvmsim/internal/obs"
+)
+
+func TestREDObserve(t *testing.T) {
+	red := NewRED("test_http")
+	red.Observe("v1_sim", 200, 5*time.Millisecond)
+	red.Observe("v1_sim", 200, 7*time.Millisecond)
+	red.Observe("v1_sim", 500, time.Millisecond)
+	red.Observe("metrics", 200, time.Microsecond)
+
+	byName := map[string]obs.Sample{}
+	for _, s := range red.Samples() {
+		byName[s.Name] = s
+	}
+	if got := byName["test_http_v1_sim_requests_total"].Value; got != 3 {
+		t.Fatalf("requests_total = %d", got)
+	}
+	if got := byName["test_http_v1_sim_errors_total"].Value; got != 1 {
+		t.Fatalf("errors_total = %d", got)
+	}
+	lat, ok := byName["test_http_v1_sim_latency"+WallSuffix]
+	if !ok || lat.Hist == nil {
+		t.Fatalf("latency histogram missing: %v", byName)
+	}
+	if lat.Value != 3 {
+		t.Fatalf("latency count = %d", lat.Value)
+	}
+	if got := byName["test_http_metrics_requests_total"].Value; got != 1 {
+		t.Fatalf("second route requests_total = %d", got)
+	}
+	if _, ok := byName["test_http_metrics_errors_total"]; !ok {
+		t.Fatalf("errors counter should exist at zero for every route")
+	}
+}
+
+func TestSanitizeRoute(t *testing.T) {
+	cases := map[string]string{
+		"v1_sim":       "v1_sim",
+		"/v1/jobs":     "_v1_jobs",
+		"V1-Sim":       "v1_sim",
+		"":             "other",
+		"9lives":       "_9lives",
+		"jobs.result":  "jobs_result",
+		"UPPER_lower1": "upper_lower1",
+	}
+	for in, want := range cases {
+		if got := sanitizeRoute(in); got != want {
+			t.Errorf("sanitizeRoute(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	red := NewRED("mw")
+	fl := NewFlight(8)
+	fl.SetClock(fixedClock())
+	dir := t.TempDir()
+	var seenTrace, seenReq string
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenTrace = TraceID(r.Context())
+		seenReq = ReqID(r.Context())
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok"))
+	}), MiddlewareOptions{
+		RED: red, Flight: fl, FlightDir: dir,
+		Route: func(*http.Request) string { return "root" },
+	})
+
+	// No inbound IDs: middleware mints both and echoes them.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if !ValidID(rr.Header().Get(HeaderTraceID)) || !ValidID(rr.Header().Get(HeaderReqID)) {
+		t.Fatalf("missing echoed IDs: %v", rr.Header())
+	}
+	if seenTrace != rr.Header().Get(HeaderTraceID) || seenReq != rr.Header().Get(HeaderReqID) {
+		t.Fatalf("handler context IDs differ from echoed headers")
+	}
+
+	// Inbound IDs are adopted, not replaced.
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(HeaderTraceID, "0123456789abcdef-c002")
+	req.Header.Set(HeaderReqID, "fedcba9876543210")
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Header().Get(HeaderTraceID) != "0123456789abcdef-c002" || seenTrace != "0123456789abcdef-c002" {
+		t.Fatalf("inbound trace not adopted: hdr=%q ctx=%q", rr.Header().Get(HeaderTraceID), seenTrace)
+	}
+	if rr.Header().Get(HeaderReqID) != "fedcba9876543210" {
+		t.Fatalf("inbound req id not adopted")
+	}
+
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Fatalf("2xx must not dump the flight ring")
+	}
+
+	// A 5xx dumps the ring.
+	boom := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}), MiddlewareOptions{RED: red, Flight: fl, FlightDir: dir,
+		Route: func(*http.Request) string { return "boom" }})
+	fl.Record(Event{Level: "INFO", Msg: "before the crash"})
+	rr = httptest.NewRecorder()
+	boom.ServeHTTP(rr, httptest.NewRequest("GET", "/boom", nil))
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("5xx should dump once: %v %d", err, len(ents))
+	}
+	raw, _ := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	d, err := ValidateDump(raw)
+	if err != nil {
+		t.Fatalf("5xx dump invalid: %v", err)
+	}
+	if d.Reason != "http_5xx" {
+		t.Fatalf("dump reason = %q", d.Reason)
+	}
+
+	byName := map[string]obs.Sample{}
+	for _, s := range red.Samples() {
+		byName[s.Name] = s
+	}
+	if byName["mw_root_requests_total"].Value != 2 {
+		t.Fatalf("root requests = %d", byName["mw_root_requests_total"].Value)
+	}
+	if byName["mw_boom_errors_total"].Value != 1 {
+		t.Fatalf("boom errors = %d", byName["mw_boom_errors_total"].Value)
+	}
+}
+
+func TestFlightHTTPHandler(t *testing.T) {
+	fl := NewFlight(4)
+	fl.SetClock(fixedClock())
+	fl.Record(Event{Level: "INFO", Msg: "hello"})
+	rr := httptest.NewRecorder()
+	fl.HTTPHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flightrec", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	d, err := ValidateDump(rr.Body.Bytes())
+	if err != nil {
+		t.Fatalf("endpoint body invalid: %v", err)
+	}
+	if d.Reason != "http_snapshot" || len(d.Events) != 1 {
+		t.Fatalf("snapshot shape: %+v", d)
+	}
+}

@@ -1,0 +1,208 @@
+// Package telemetry is the wall-clock companion to the simulated-clock
+// observability layer in internal/obs. Where obs answers "where did the
+// simulated nanoseconds go inside one run", telemetry answers "where
+// did the wall-clock milliseconds go across the fleet": structured
+// JSON/text logging with one shared schema, trace/request IDs that
+// propagate from the serve edge through lease grants, worker runs, and
+// cache fills, per-endpoint RED metrics, and an always-on flight
+// recorder that keeps the last moments of a process for post-mortems.
+//
+// The schema is four well-known keys every component stamps the same
+// way, so one grep (or jq filter) reconstructs a request's full path:
+//
+//	trace_id    follows one logical request across processes
+//	req_id      one HTTP exchange (stable across client retries)
+//	component   which process/subsystem emitted the line
+//	confighash  the content-address of the simulation cell involved
+//
+// Loggers are log/slog loggers; the package's handler pulls trace and
+// request IDs out of the context automatically, so call sites pass ctx
+// and never thread IDs by hand. Every record is also teed into the
+// flight recorder (regardless of the emit level), which is what makes
+// the recorder "always on": the ring sees debug-level events even when
+// the log output is filtered to info.
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Shared schema keys. Every component logs these under exactly these
+// names; scripts and the logcheck validator depend on them.
+const (
+	KeyTraceID    = "trace_id"
+	KeyReqID      = "req_id"
+	KeyComponent  = "component"
+	KeyConfigHash = "confighash"
+)
+
+// HTTP headers carrying the IDs between processes.
+const (
+	HeaderTraceID = "X-Trace-ID"
+	HeaderReqID   = "X-Request-ID"
+)
+
+// WallSuffix marks a metrics-registry histogram as wall-clock latency
+// (integer nanoseconds on the host clock). The Prometheus exposition
+// renders these as true cumulative histograms (_bucket{le=...}) while
+// simulated-clock histograms stay summaries — the two clocks must never
+// be confused in one series.
+const WallSuffix = "_wall_ns"
+
+// ctxKey is the private context-key namespace.
+type ctxKey int
+
+const (
+	ctxTraceID ctxKey = iota
+	ctxReqID
+)
+
+// WithTraceID returns ctx carrying the trace ID. Empty id is a no-op.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxTraceID, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "".
+func TraceID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ctxTraceID).(string)
+	return id
+}
+
+// WithReqID returns ctx carrying the request ID. Empty id is a no-op.
+func WithReqID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxReqID, id)
+}
+
+// ReqID returns the request ID carried by ctx, or "".
+func ReqID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(ctxReqID).(string)
+	return id
+}
+
+// Handler is the schema-enforcing slog.Handler: it appends trace_id and
+// req_id from the record's context, and tees every record into the
+// flight recorder before the level filter — the ring is always on even
+// when the emitted log is not.
+type Handler struct {
+	inner  slog.Handler
+	flight *Flight
+	// attrs accumulates WithAttrs so flight events carry the same
+	// context (component, worker name) the emitted lines do.
+	attrs []slog.Attr
+}
+
+// NewHandler wraps inner. flight may be nil (no ring).
+func NewHandler(inner slog.Handler, flight *Flight) *Handler {
+	return &Handler{inner: inner, flight: flight}
+}
+
+// Enabled reports whether a record at this level should reach Handle.
+// With a flight recorder attached, everything does: the ring captures
+// below-threshold records that the inner handler then drops.
+func (h *Handler) Enabled(ctx context.Context, level slog.Level) bool {
+	if h.flight != nil {
+		return true
+	}
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle tees the record into the flight ring, then emits it through
+// the inner handler when its level passes.
+func (h *Handler) Handle(ctx context.Context, r slog.Record) error {
+	tid, rid := TraceID(ctx), ReqID(ctx)
+	if h.flight != nil {
+		ev := Event{Level: r.Level.String(), Msg: r.Message, TraceID: tid, ReqID: rid}
+		for _, a := range h.attrs {
+			ev.addAttr(a)
+		}
+		r.Attrs(func(a slog.Attr) bool {
+			ev.addAttr(a)
+			return true
+		})
+		h.flight.Record(ev)
+	}
+	if !h.inner.Enabled(ctx, r.Level) {
+		return nil
+	}
+	if tid != "" {
+		r.AddAttrs(slog.String(KeyTraceID, tid))
+	}
+	if rid != "" {
+		r.AddAttrs(slog.String(KeyReqID, rid))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs returns a handler whose records carry attrs.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	merged = append(merged, h.attrs...)
+	merged = append(merged, attrs...)
+	return &Handler{inner: h.inner.WithAttrs(attrs), flight: h.flight, attrs: merged}
+}
+
+// WithGroup returns a handler grouping subsequent attrs. Flight events
+// flatten groups (the ring is a post-mortem aid, not a parser target).
+func (h *Handler) WithGroup(name string) slog.Handler {
+	return &Handler{inner: h.inner.WithGroup(name), flight: h.flight, attrs: h.attrs}
+}
+
+// Config describes one component's logger.
+type Config struct {
+	// Format selects the output encoding: "json" or "text" (default).
+	// Text keeps historical script greps working; json is the fleet
+	// format the jq recipes and the logcheck validator target.
+	Format string
+	// Level is the minimum emitted level: debug, info (default), warn,
+	// error. The flight ring records below the level regardless.
+	Level string
+	// Component stamps every line (schema key "component").
+	Component string
+	// Flight, when set, receives every record.
+	Flight *Flight
+}
+
+// ParseLevel maps a level name to its slog level (default info).
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// New builds the component logger writing to w according to cfg.
+func New(w io.Writer, cfg Config) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: ParseLevel(cfg.Level)}
+	var inner slog.Handler
+	if strings.EqualFold(cfg.Format, "json") {
+		inner = slog.NewJSONHandler(w, opts)
+	} else {
+		inner = slog.NewTextHandler(w, opts)
+	}
+	lg := slog.New(NewHandler(inner, cfg.Flight))
+	if cfg.Component != "" {
+		lg = lg.With(slog.String(KeyComponent, cfg.Component))
+	}
+	return lg
+}

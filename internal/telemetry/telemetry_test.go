@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestContextIDs(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" || ReqID(ctx) != "" {
+		t.Fatalf("empty context should carry no IDs")
+	}
+	ctx = WithTraceID(ctx, "deadbeefdeadbeef")
+	ctx = WithReqID(ctx, "cafebabecafebabe")
+	if got := TraceID(ctx); got != "deadbeefdeadbeef" {
+		t.Fatalf("TraceID = %q", got)
+	}
+	if got := ReqID(ctx); got != "cafebabecafebabe" {
+		t.Fatalf("ReqID = %q", got)
+	}
+	if TraceID(nil) != "" || ReqID(nil) != "" { //nolint:staticcheck // nil-safety contract
+		t.Fatalf("nil context should carry no IDs")
+	}
+	// Empty IDs are no-ops, not overwrites.
+	if got := TraceID(WithTraceID(ctx, "")); got != "deadbeefdeadbeef" {
+		t.Fatalf("empty WithTraceID overwrote: %q", got)
+	}
+}
+
+func TestNewID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		id := NewID()
+		if !ValidID(id) {
+			t.Fatalf("NewID produced invalid ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewID collision on %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestCellTraceID(t *testing.T) {
+	root := "0123456789abcdef"
+	got := CellTraceID(root, 7)
+	if got != "0123456789abcdef-c007" {
+		t.Fatalf("CellTraceID = %q", got)
+	}
+	if !ValidTraceID(got) {
+		t.Fatalf("cell trace %q should validate", got)
+	}
+	if ValidID(got) {
+		t.Fatalf("cell trace %q is not a bare ID", got)
+	}
+	if !ValidTraceID(CellTraceID(root, 1234)) {
+		t.Fatalf("wide cell index should still validate")
+	}
+	for _, bad := range []string{"", "xyz", "0123456789abcde", "0123456789abcdef-c", "0123456789abcdef-d1"} {
+		if ValidTraceID(bad) {
+			t.Fatalf("ValidTraceID(%q) should be false", bad)
+		}
+	}
+}
+
+func TestHandlerStampsContextIDs(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, Config{Format: "json", Component: "testcomp"})
+	ctx := WithReqID(WithTraceID(context.Background(), "deadbeefdeadbeef"), "cafebabecafebabe")
+	lg.InfoContext(ctx, "hello", slog.String("k", "v"))
+
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if m[KeyTraceID] != "deadbeefdeadbeef" {
+		t.Fatalf("trace_id missing: %v", m)
+	}
+	if m[KeyReqID] != "cafebabecafebabe" {
+		t.Fatalf("req_id missing: %v", m)
+	}
+	if m[KeyComponent] != "testcomp" {
+		t.Fatalf("component missing: %v", m)
+	}
+	if m["k"] != "v" {
+		t.Fatalf("attr missing: %v", m)
+	}
+	if err := ValidateLine(buf.Bytes()); err != nil {
+		t.Fatalf("emitted line fails its own validator: %v", err)
+	}
+}
+
+func TestHandlerTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, Config{Format: "text", Component: "c"})
+	lg.InfoContext(WithTraceID(context.Background(), "deadbeefdeadbeef"), "lease granted")
+	out := buf.String()
+	if !strings.Contains(out, "lease granted") || !strings.Contains(out, "trace_id=deadbeefdeadbeef") {
+		t.Fatalf("text output missing fields: %q", out)
+	}
+	if json.Valid(buf.Bytes()) {
+		t.Fatalf("text format should not be JSON")
+	}
+}
+
+func TestHandlerTeesBelowLevelIntoFlight(t *testing.T) {
+	var buf bytes.Buffer
+	fl := NewFlight(8)
+	lg := New(&buf, Config{Format: "json", Level: "warn", Flight: fl})
+	lg.Debug("invisible in output", slog.String("x", "1"))
+	lg.Warn("visible")
+
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("want exactly the warn line emitted, got %d lines: %s", got, buf.String())
+	}
+	evs := fl.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("flight should hold both records, got %d", len(evs))
+	}
+	if evs[0].Msg != "invisible in output" || evs[0].Attrs["x"] != "1" {
+		t.Fatalf("flight missed the debug record: %+v", evs[0])
+	}
+}
+
+func TestHandlerWithAttrsReachFlight(t *testing.T) {
+	fl := NewFlight(8)
+	lg := New(new(bytes.Buffer), Config{Format: "json", Component: "worker-1", Flight: fl})
+	lg = lg.With(slog.String(KeyConfigHash, "abc123"))
+	lg.InfoContext(WithTraceID(context.Background(), "deadbeefdeadbeef"), "cache fill")
+	evs := fl.Snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("flight events = %d", len(evs))
+	}
+	ev := evs[0]
+	if ev.TraceID != "deadbeefdeadbeef" {
+		t.Fatalf("flight event lost trace: %+v", ev)
+	}
+	if ev.Attrs[KeyComponent] != "worker-1" || ev.Attrs[KeyConfigHash] != "abc123" {
+		t.Fatalf("flight event lost With attrs: %+v", ev)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "warn": slog.LevelWarn,
+		"warning": slog.LevelWarn, "error": slog.LevelError, "": slog.LevelInfo,
+		" DEBUG ": slog.LevelDebug, "bogus": slog.LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestValidateLine(t *testing.T) {
+	good := []string{
+		`{"time":"2026-01-01T00:00:00Z","level":"INFO","msg":"ok"}`,
+		`{"time":"t","level":"WARN","msg":"m","trace_id":"0123456789abcdef"}`,
+		`{"time":"t","level":"ERROR","msg":"m","trace_id":"0123456789abcdef-c003","req_id":"fedcba9876543210"}`,
+	}
+	for _, line := range good {
+		if err := ValidateLine([]byte(line)); err != nil {
+			t.Errorf("ValidateLine(%s) = %v, want nil", line, err)
+		}
+	}
+	bad := []string{
+		`not json`,
+		`{"level":"INFO","msg":"no time"}`,
+		`{"time":"t","msg":"no level"}`,
+		`{"time":"t","level":"INFO"}`,
+		`{"time":"t","level":"TRACE","msg":"bad level"}`,
+		`{"time":"t","level":"INFO","msg":"m","trace_id":"nope"}`,
+		`{"time":"t","level":"INFO","msg":"m","req_id":"0123456789abcdef-c001"}`,
+		`{"time":"","level":"INFO","msg":"empty time"}`,
+	}
+	for _, line := range bad {
+		if err := ValidateLine([]byte(line)); err == nil {
+			t.Errorf("ValidateLine(%s) = nil, want error", line)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateLine checks one JSON log line against the fleet schema: it
+// must parse as an object, carry non-empty "time", "level" and "msg"
+// keys, the level must be a known slog level, and when trace_id /
+// req_id are present they must satisfy the ID grammar. This is the
+// contract `make logcheck` enforces over every structured log a check
+// script captures.
+func ValidateLine(raw []byte) error {
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("log line: %w", err)
+	}
+	for _, key := range []string{"time", "level", "msg"} {
+		v, ok := m[key]
+		if !ok {
+			return fmt.Errorf("log line: missing %q", key)
+		}
+		s, ok := v.(string)
+		if !ok || s == "" {
+			return fmt.Errorf("log line: %q must be a non-empty string", key)
+		}
+	}
+	switch m["level"] {
+	case "DEBUG", "INFO", "WARN", "ERROR":
+	default:
+		return fmt.Errorf("log line: unknown level %v", m["level"])
+	}
+	if v, ok := m[KeyTraceID]; ok {
+		s, _ := v.(string)
+		if !ValidTraceID(s) {
+			return fmt.Errorf("log line: malformed %s %q", KeyTraceID, s)
+		}
+	}
+	if v, ok := m[KeyReqID]; ok {
+		s, _ := v.(string)
+		if !ValidID(s) {
+			return fmt.Errorf("log line: malformed %s %q", KeyReqID, s)
+		}
+	}
+	return nil
+}
+
+// LineTraceID returns the trace_id a JSON log line carries, or "" when
+// the line does not parse or has none.
+func LineTraceID(raw []byte) string {
+	var m struct {
+		TraceID string `json:"trace_id"`
+	}
+	if json.Unmarshal(raw, &m) != nil {
+		return ""
+	}
+	return m.TraceID
+}

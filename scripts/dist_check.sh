@@ -4,7 +4,11 @@
 # while it provably holds a lease, inject a duplicate completion from
 # another, and require the merged output to be byte-identical to a
 # serial -jobs 1 run with the coordinator exiting 0. A second leg
-# exercises the self-spawning path (-workers N) end to end.
+# exercises the self-spawning path (-workers N) end to end. A third leg
+# runs the full telemetry fleet — coordinator, serve-backed worker with
+# an injected failure, shared uvmserved cache — all logging JSON, and
+# requires one trace ID greppable through every layer plus a parseable
+# flight-recorder dump from the induced failure.
 #
 # Everything runs race-instrumented: the lease/heartbeat/dedup paths are
 # exactly where a data race would hide.
@@ -13,10 +17,13 @@ set -eu
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"
       [ -n "${cpid:-}" ] && kill "$cpid" 2>/dev/null || true
+      [ -n "${spid:-}" ] && kill "$spid" 2>/dev/null || true
       [ -n "${wpids:-}" ] && kill $wpids 2>/dev/null || true' EXIT
 
 go build -race -o "$tmp/uvmsweep" ./cmd/uvmsweep
 go build -race -o "$tmp/uvmworker" ./cmd/uvmworker
+go build -race -o "$tmp/uvmserved" ./cmd/uvmserved
+go build -o "$tmp/uvmlogcheck" ./cmd/uvmlogcheck
 
 # The fig3 shape: footprint sweep crossed with prefetch and replay
 # policies (24 cells), the same sweep the resume gate uses.
@@ -137,4 +144,119 @@ if grep -q "DATA RACE" "$tmp/spawn.log"; then
     exit 1
 fi
 echo "dist-check: -workers 2 spawn mode byte-identical to serial run"
+
+# --- telemetry leg: one trace through every layer, flight dump --------
+# The same 6-cell sweep through a JSON-logging coordinator and one
+# worker that (a) consults a shared uvmserved cache, so the trace must
+# survive the HTTP hop, and (b) misreports its first completed cell as
+# failed, so the retry path runs and the worker dumps its flight
+# recorder. Output must still be byte-identical (the rerun's
+# deterministic row merges cleanly) with nothing quarantined.
+SADDR=127.0.0.1:19485
+SURL="http://$SADDR"
+ADDR3=127.0.0.1:19486
+mkdir -p "$tmp/flight"
+
+"$tmp/uvmserved" -addr "$SADDR" -log-format json >"$tmp/served3.log" 2>&1 &
+spid=$!
+for i in $(seq 1 100); do
+    grep -q "listening on" "$tmp/served3.log" 2>/dev/null && break
+    if [ "$i" = 100 ]; then
+        echo "dist-check: uvmserved never came up" >&2
+        cat "$tmp/served3.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$tmp/uvmsweep" $SMALL -listen "$ADDR3" -lease-ttl 5s -cell-retries 3 \
+    -log-format json >"$tmp/dist3.csv" 2>"$tmp/coord3.log" &
+cpid=$!
+for i in $(seq 1 100); do
+    grep -q "coordinator listening" "$tmp/coord3.log" 2>/dev/null && break
+    if [ "$i" = 100 ]; then
+        echo "dist-check: telemetry-leg coordinator never came up" >&2
+        cat "$tmp/coord3.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$tmp/uvmworker" -coordinator "http://$ADDR3" -name traced -serve "$SURL" \
+    -inject-fail 1 -flight-dir "$tmp/flight" -log-format json >"$tmp/w4.log" 2>&1 &
+wpids=$!
+
+wait "$cpid" && c3s=0 || c3s=$?
+cpid=
+wait $wpids && w4s=0 || w4s=$?
+wpids=
+if [ "$c3s" -ne 0 ] || [ "$w4s" -ne 0 ]; then
+    echo "dist-check: telemetry leg exited coordinator=$c3s worker=$w4s, want 0/0" >&2
+    cat "$tmp/coord3.log" "$tmp/w4.log" >&2
+    exit 1
+fi
+kill -TERM "$spid" && wait "$spid" || true
+spid=
+
+if ! diff "$tmp/small-serial.csv" "$tmp/dist3.csv"; then
+    echo "dist-check: telemetry-leg output differs from serial run" >&2
+    exit 1
+fi
+
+# Every structured line any layer wrote must satisfy the fleet schema.
+grep -h '^{' "$tmp/coord3.log" "$tmp/w4.log" "$tmp/served3.log" >"$tmp/fleet.jsonl" || true
+if [ ! -s "$tmp/fleet.jsonl" ]; then
+    echo "dist-check: telemetry leg produced no structured logs" >&2
+    exit 1
+fi
+"$tmp/uvmlogcheck" -q "$tmp/fleet.jsonl"
+
+# One trace, four layers: the first granted cell's trace must appear on
+# the coordinator's grant and completion lines, the worker's lease
+# lines, and the serve tier's access-log and cache-fill lines.
+trace3=$(grep '"msg":"lease granted"' "$tmp/coord3.log" | head -1 | sed -n 's/.*"trace_id":"\([^"]*\)".*/\1/p')
+if [ -z "$trace3" ]; then
+    echo "dist-check: no lease-granted trace in coordinator log" >&2
+    cat "$tmp/coord3.log" >&2
+    exit 1
+fi
+for probe in \
+    "coord3.log:completion received" \
+    "w4.log:lease acquired" \
+    "served3.log:http request" \
+    "served3.log:cache fill"; do
+    f=${probe%%:*}; msg=${probe#*:}
+    if ! grep "\"trace_id\":\"$trace3\"" "$tmp/$f" | grep -q "\"msg\":\"$msg\""; then
+        echo "dist-check: trace $trace3 missing from $f (\"$msg\")" >&2
+        exit 1
+    fi
+done
+echo "dist-check: trace $trace3 greppable through coordinator, worker, and serve tier"
+
+# The injected failure must have exercised the retry path...
+summary3=$(grep "# dist:" "$tmp/coord3.log" || true)
+retries3=$(echo "$summary3" | sed -n 's/.*retries=\([0-9]*\).*/\1/p')
+quarantined3=$(echo "$summary3" | sed -n 's/.*quarantined=\([0-9]*\).*/\1/p')
+if [ "${retries3:-0}" -lt 1 ] || [ "${quarantined3:-1}" -ne 0 ]; then
+    echo "dist-check: injected failure not absorbed (retries=$retries3 quarantined=$quarantined3)" >&2
+    exit 1
+fi
+if ! grep -q '"msg":"lease run failed"' "$tmp/w4.log"; then
+    echo "dist-check: worker never logged the injected failure" >&2
+    exit 1
+fi
+# ...and dumped a parseable flight recording.
+set -- "$tmp/flight"/flightrec-*.json
+if [ ! -f "$1" ]; then
+    echo "dist-check: no flight-recorder dump after injected failure" >&2
+    exit 1
+fi
+"$tmp/uvmlogcheck" -flight "$@"
+echo "dist-check: injected failure retried cleanly, flight dump parseable"
+
+if grep -q "DATA RACE" "$tmp/coord3.log" "$tmp/w4.log" "$tmp/served3.log"; then
+    echo "dist-check: race detector fired in telemetry leg:" >&2
+    grep -A20 "DATA RACE" "$tmp"/*.log >&2
+    exit 1
+fi
 echo "dist-check: all ok"

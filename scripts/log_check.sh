@@ -1,0 +1,103 @@
+#!/bin/sh
+# Telemetry-schema gate: uvmlogcheck must accept everything the fleet
+# actually emits and reject malformed lines/dumps. Runs a real
+# race-instrumented uvmserved in JSON mode, validates every structured
+# line it logs (all carrying trace IDs on request paths), then probes
+# uvmlogcheck's negative space with hand-built bad lines and dumps.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT
+
+go build -race -o "$tmp/uvmserved" ./cmd/uvmserved
+go build -o "$tmp/uvmload" ./cmd/uvmload
+go build -o "$tmp/uvmlogcheck" ./cmd/uvmlogcheck
+
+ADDR=127.0.0.1:18845
+URL="http://$ADDR"
+
+# --- live JSON logs from a real server --------------------------------
+"$tmp/uvmserved" -addr "$ADDR" -log-format json >"$tmp/served.log" 2>&1 &
+pid=$!
+for i in $(seq 1 100); do
+    grep -q "listening on" "$tmp/served.log" 2>/dev/null && break
+    if [ "$i" = 100 ]; then
+        echo "log-check: server never came up" >&2
+        cat "$tmp/served.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# A small load run stamps every request with a derived trace ID.
+"$tmp/uvmload" -url "$URL" -n 20 -c 4 -distinct 4 -log-format json >/dev/null 2>"$tmp/load.log"
+
+kill -TERM "$pid"; wait "$pid" || { echo "log-check: server drain failed" >&2; exit 1; }
+pid=
+
+# The server mixes legacy stderr lines with structured ones; the
+# structured subset is the schema's jurisdiction.
+grep '^{' "$tmp/served.log" >"$tmp/served.jsonl" || true
+grep '^{' "$tmp/load.log" >"$tmp/load.jsonl" || true
+if [ ! -s "$tmp/served.jsonl" ]; then
+    echo "log-check: server emitted no structured lines" >&2
+    cat "$tmp/served.log" >&2
+    exit 1
+fi
+"$tmp/uvmlogcheck" "$tmp/served.jsonl" "$tmp/load.jsonl"
+
+# Request-path lines (access log, cache fills) must be fully attributed.
+grep '"msg":"http request"' "$tmp/served.jsonl" >"$tmp/access.jsonl"
+"$tmp/uvmlogcheck" -q -require-trace "$tmp/access.jsonl"
+n=$(wc -l <"$tmp/access.jsonl")
+echo "log-check: $n access-log lines, all schema-valid with trace IDs"
+
+# --- negative space: malformed lines must be rejected ------------------
+bad() {
+    printf '%s\n' "$1" >"$tmp/bad.jsonl"
+    if "$tmp/uvmlogcheck" -q "$tmp/bad.jsonl" 2>/dev/null; then
+        echo "log-check: uvmlogcheck accepted a malformed line: $1" >&2
+        exit 1
+    fi
+}
+bad 'not json at all'
+bad '{"time":"2026-01-01T00:00:00Z","level":"INFO"}'
+bad '{"time":"2026-01-01T00:00:00Z","level":"LOUD","msg":"x"}'
+bad '{"time":"2026-01-01T00:00:00Z","level":"INFO","msg":"x","trace_id":"nope"}'
+echo "log-check: malformed lines rejected"
+
+# --- flight dumps: valid accepted, invalid rejected --------------------
+cat >"$tmp/good-dump.json" <<'EOF'
+{
+  "reason": "invariant_panic",
+  "dumped_at_ns": 1700000000000000000,
+  "dropped": 0,
+  "events": [
+    {"seq": 1, "time_ns": 1, "level": "INFO", "msg": "first"},
+    {"seq": 2, "time_ns": 2, "level": "ERROR", "msg": "second"}
+  ]
+}
+EOF
+"$tmp/uvmlogcheck" -flight "$tmp/good-dump.json"
+
+cat >"$tmp/bad-dump.json" <<'EOF'
+{
+  "reason": "invariant_panic",
+  "events": [
+    {"seq": 2, "time_ns": 1, "level": "INFO", "msg": "first"},
+    {"seq": 1, "time_ns": 2, "level": "ERROR", "msg": "second"}
+  ]
+}
+EOF
+if "$tmp/uvmlogcheck" -q -flight "$tmp/bad-dump.json" 2>/dev/null; then
+    echo "log-check: uvmlogcheck accepted a dump with non-increasing seq" >&2
+    exit 1
+fi
+echo "log-check: flight-dump validation ok"
+
+if grep -q "DATA RACE" "$tmp/served.log"; then
+    echo "log-check: race detector fired in the server:" >&2
+    cat "$tmp/served.log" >&2
+    exit 1
+fi
+echo "log-check: all ok"

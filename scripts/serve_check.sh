@@ -2,7 +2,9 @@
 # End-to-end smoke for the serving layer: start uvmserved, submit a
 # fig3 cell, prove the cached re-submission is byte-identical (and
 # observably a hit), force 429 backpressure under a deliberately tiny
-# queue with uvmload, and SIGTERM-drain the server expecting exit 0.
+# queue with uvmload, verify the structured telemetry (trace IDs echoed
+# on the wire and greppable in the JSON logs), and SIGTERM-drain the
+# server expecting exit 0.
 set -eu
 
 tmp=$(mktemp -d)
@@ -12,13 +14,15 @@ trap 'rm -rf "$tmp"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT
 # data-race hunt over the cache/admission/metrics paths.
 go build -race -o "$tmp/uvmserved" ./cmd/uvmserved
 go build -o "$tmp/uvmload" ./cmd/uvmload
+go build -o "$tmp/uvmlogcheck" ./cmd/uvmlogcheck
 
 ADDR=127.0.0.1:18844
 URL="http://$ADDR"
 
 # curl is not guaranteed in minimal CI images; a tiny Go fetcher keeps
 # this script dependency-free. It prints the status code on line 1, the
-# X-Uvmsim-Cache header on line 2, then the body.
+# X-Uvmsim-Cache header on line 2, the echoed X-Trace-ID on line 3, the
+# echoed X-Request-ID on line 4, then the body.
 cat >"$tmp/fetch.go" <<'EOF'
 package main
 
@@ -50,6 +54,8 @@ func main() {
 	b, _ := io.ReadAll(resp.Body)
 	fmt.Println(resp.StatusCode)
 	fmt.Println(resp.Header.Get("X-Uvmsim-Cache"))
+	fmt.Println(resp.Header.Get("X-Trace-ID"))
+	fmt.Println(resp.Header.Get("X-Request-ID"))
 	os.Stdout.Write(b)
 }
 EOF
@@ -57,7 +63,8 @@ go build -o "$tmp/fetch" "$tmp/fetch.go"
 fetch() { "$tmp/fetch" "$@"; }
 
 # --- start the server (tiny queue so overload is reachable) -----------
-"$tmp/uvmserved" -addr "$ADDR" -queue 2 -runs 1 -drain-grace 30s >"$tmp/served.log" 2>&1 &
+# JSON logs so the telemetry leg below can assert the schema.
+"$tmp/uvmserved" -addr "$ADDR" -queue 2 -runs 1 -drain-grace 30s -log-format json >"$tmp/served.log" 2>&1 &
 pid=$!
 
 for i in $(seq 1 100); do
@@ -85,7 +92,13 @@ t1=$(date +%s%N 2>/dev/null || date +%s)
 status=$(head -1 "$tmp/cold.out"); src=$(sed -n 2p "$tmp/cold.out")
 if [ "$status" != "200" ] || [ "$src" != "miss" ]; then
     echo "serve-check: cold fig3 = status $status source '$src', want 200 miss" >&2
-    sed -n '3,8p' "$tmp/cold.out" >&2
+    sed -n '5,10p' "$tmp/cold.out" >&2
+    exit 1
+fi
+# The server mints and echoes the request's telemetry IDs.
+trace=$(sed -n 3p "$tmp/cold.out"); rid=$(sed -n 4p "$tmp/cold.out")
+if [ -z "$trace" ] || [ -z "$rid" ]; then
+    echo "serve-check: cold response missing X-Trace-ID/X-Request-ID (got '$trace'/'$rid')" >&2
     exit 1
 fi
 
@@ -100,8 +113,8 @@ if [ "$status" != "200" ] || [ "$src" != "hit" ]; then
 fi
 
 # The cache contract: hit and miss bodies are byte-identical.
-sed -n '3,$p' "$tmp/cold.out" >"$tmp/cold.body"
-sed -n '3,$p' "$tmp/warm.out" >"$tmp/warm.body"
+sed -n '5,$p' "$tmp/cold.out" >"$tmp/cold.body"
+sed -n '5,$p' "$tmp/warm.out" >"$tmp/warm.body"
 if ! cmp -s "$tmp/cold.body" "$tmp/warm.body"; then
     echo "serve-check: cached fig3 body differs from cold body" >&2
     diff "$tmp/cold.body" "$tmp/warm.body" >&2 || true
@@ -152,6 +165,18 @@ if [ "${rejected:-0}" != "$busy" ]; then
 fi
 echo "serve-check: backpressure ok ($busy rejections, metrics agree)"
 
+# Per-endpoint RED metrics, with the wall-clock latency histogram
+# rendered as a cumulative Prometheus histogram (_bucket{le=...}).
+if ! grep -q '^uvmserved_http_v1_sim_requests_total ' "$tmp/metrics.out"; then
+    echo "serve-check: RED request counter missing from /metrics" >&2
+    exit 1
+fi
+if ! grep -q '_latency_wall_ns_bucket{le="' "$tmp/metrics.out"; then
+    echo "serve-check: wall-clock latency histogram has no cumulative buckets" >&2
+    exit 1
+fi
+echo "serve-check: RED metrics exported with cumulative wall-clock buckets"
+
 # --- SIGTERM drain must exit 0 ----------------------------------------
 kill -TERM "$pid"
 wait "$pid" && status=0 || status=$?
@@ -167,4 +192,28 @@ if grep -q "DATA RACE" "$tmp/served.log"; then
     exit 1
 fi
 echo "serve-check: SIGTERM drain exited 0, no data races"
+
+# --- structured telemetry: schema-valid logs, greppable traces --------
+# After the drain every log line is flushed. The structured subset must
+# validate against the fleet schema, and the cold request's trace must
+# land on both its access-log line and its cache-fill line.
+grep '^{' "$tmp/served.log" >"$tmp/served.jsonl" || true
+if [ ! -s "$tmp/served.jsonl" ]; then
+    echo "serve-check: server emitted no structured log lines" >&2
+    exit 1
+fi
+"$tmp/uvmlogcheck" -q "$tmp/served.jsonl"
+if ! grep "\"trace_id\":\"$trace\"" "$tmp/served.jsonl" | grep -q '"msg":"http request"'; then
+    echo "serve-check: no access-log line for trace $trace" >&2
+    exit 1
+fi
+if ! grep "\"trace_id\":\"$trace\"" "$tmp/served.jsonl" | grep -q '"msg":"cache fill"'; then
+    echo "serve-check: no cache-fill line for trace $trace" >&2
+    exit 1
+fi
+if ! grep "\"trace_id\":\"$trace\"" "$tmp/served.jsonl" | grep -q "\"req_id\":\"$rid\""; then
+    echo "serve-check: trace $trace logged without its request ID $rid" >&2
+    exit 1
+fi
+echo "serve-check: telemetry ok (trace $trace greppable from wire to cache fill)"
 echo "serve-check: all ok"
