@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet test race bench benchall bench_baseline benchcheck allocguard chaos resumecheck servecheck distcheck logcheck clean
+.PHONY: check build vet test race bench benchall bench_baseline benchcheck allocguard chaos resumecheck servecheck distcheck logcheck fleetchaos clean
 
 # The full verification gate: compile everything, vet, run the test
 # suite under the race detector, hold the observability layer and hot
 # paths to their zero-alloc contracts, gate benchmark regressions
 # against the committed baseline, smoke the serving layer end-to-end,
-# kill-and-recover the distributed sweep fabric, and validate the
-# fleet's structured telemetry against its schema.
-check: build vet race allocguard benchcheck servecheck distcheck logcheck
+# kill-and-recover the distributed sweep fabric, chaos-test the
+# replicated cache tier, and validate the fleet's structured telemetry
+# against its schema.
+check: build vet race allocguard benchcheck servecheck distcheck fleetchaos logcheck
 
 build:
 	$(GO) build ./...
@@ -89,6 +90,13 @@ servecheck:
 # validates the flight dump an injected failure produces.
 distcheck:
 	sh scripts/dist_check.sh
+
+# Cache-tier chaos gate: 3 uvmserved nodes behind netchaos proxies,
+# partition one and kill -9 another mid-sweep, require the merged table
+# byte-identical to a serial run, nothing quarantined, breaker-open
+# visible in /metrics and the flight dump.
+fleetchaos:
+	sh scripts/fleet_chaos_check.sh
 
 # Telemetry-schema gate: every structured line a live JSON-mode server
 # emits must validate (uvmlogcheck), malformed lines and flight dumps

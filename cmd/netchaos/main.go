@@ -1,0 +1,63 @@
+// Command netchaos runs a deterministic fault-injecting reverse proxy
+// in front of one HTTP upstream (internal/netchaos). Chaos gates put
+// one in front of each uvmserved node and flip faults on mid-sweep:
+//
+//	netchaos -listen 127.0.0.1:8951 -target http://127.0.0.1:8851 \
+//	    -rules 'latency:0.5=50ms,error500:0.1'
+//
+// Rules are kind[:prob][=value] clauses (latency, blackhole, reset,
+// error500, truncate), comma-separated, and live-replaceable via
+// POST /__netchaos/rules (body: a rule string, or "none" to clear).
+// The same -seed replays the same fault schedule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"uvmsim/internal/netchaos"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen = flag.String("listen", "127.0.0.1:0", "address to listen on")
+		target = flag.String("target", "", "upstream base URL to proxy (required)")
+		seed   = flag.Int64("seed", 1, "PRNG seed for the fault schedule")
+		rules  = flag.String("rules", "", "initial fault rules (kind[:prob][=value], comma-separated)")
+	)
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "netchaos: -target is required")
+		return 2
+	}
+	p, err := netchaos.New(*target, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netchaos: %v\n", err)
+		return 2
+	}
+	rs, err := netchaos.ParseRules(*rules)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netchaos: %v\n", err)
+		return 2
+	}
+	p.SetRules(rs)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netchaos: %v\n", err)
+		return 1
+	}
+	// Scripts wait on this line (and read the port from it under :0).
+	fmt.Fprintf(os.Stderr, "netchaos: listening on %s -> %s\n", ln.Addr(), *target)
+	if err := http.Serve(ln, p); err != nil {
+		fmt.Fprintf(os.Stderr, "netchaos: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -11,12 +11,19 @@
 //
 //	POST /v1/sim            one cell        POST /v1/sweep   cross product
 //	POST /v1/jobs           async sweep     GET  /v1/jobs/{id}[/result]
-//	GET  /v1/experiments    list papers     POST /v1/exp/{id}
-//	GET  /metrics           Prometheus      GET  /healthz
+//	POST /v1/cachefill      write-through   GET  /v1/experiments
+//	POST /v1/exp/{id}       paper figure    GET  /metrics    Prometheus
+//	GET  /healthz           readiness       GET  /livez      liveness
 //
-// SIGTERM/SIGINT drains gracefully: /healthz flips to 503, in-flight
-// runs finish (up to -drain-grace), async jobs settle, and the process
-// exits 0. A second signal forces immediate cancellation.
+// As a cache-tier node (internal/cachetier), /v1/cachefill accepts
+// write-through fills of completed rows from a sweep coordinator, and
+// the readiness/liveness split lets the tier's health prober stop
+// routing to a draining node that a supervisor should leave alive.
+//
+// SIGTERM/SIGINT drains gracefully: /healthz flips to 503 (readiness;
+// /livez stays 200), in-flight runs finish (up to -drain-grace), async
+// jobs settle, and the process exits 0. A second signal forces
+// immediate cancellation.
 //
 // Usage:
 //

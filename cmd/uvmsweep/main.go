@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"uvmsim/internal/atomicio"
+	"uvmsim/internal/cachetier"
 	"uvmsim/internal/dist"
 	"uvmsim/internal/govern"
 	"uvmsim/internal/obs"
@@ -82,6 +83,7 @@ func run() int {
 		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "coordinator mode: lease deadline between worker heartbeats")
 		cellRetries = flag.Int("cell-retries", 3, "coordinator mode: lease re-grants per cell (expiry or failure) before quarantine")
 		linger      = flag.Duration("linger", 2*time.Second, "coordinator mode: how long to keep answering done to workers after the sweep settles")
+		cacheTier   = flag.String("cache-tier", "", "coordinator mode: comma-separated uvmserved node URLs; completed rows are write-through filled to their owning node")
 	)
 	var gf govern.Flags
 	gf.Register()
@@ -157,7 +159,8 @@ func run() int {
 			listen: *listen, workers: *workers, workerBin: *workerBin,
 			leaseTTL: *leaseTTL, cellRetries: *cellRetries, linger: *linger,
 			journal: *journalF, resume: *resume, csv: *csvOut,
-			log: lg, flight: flight, flightDir: tf.FlightDir,
+			cacheTier: *cacheTier,
+			log:       lg, flight: flight, flightDir: tf.FlightDir,
 		})
 	}
 
@@ -230,6 +233,7 @@ type distOptions struct {
 	workers, cellRetries       int
 	leaseTTL, linger           time.Duration
 	resume, csv                bool
+	cacheTier                  string
 	log                        *slog.Logger
 	flight                     *telemetry.Flight
 	flightDir                  string
@@ -239,7 +243,7 @@ type distOptions struct {
 // serve leases to workers, wait for every cell to settle, then print
 // the merged table — byte-identical to the in-process path.
 func runDist(ctx context.Context, s *sweep.Spec, o distOptions) int {
-	co, err := dist.NewCoordinator(s, dist.CoordinatorConfig{
+	cfg := dist.CoordinatorConfig{
 		LeaseTTL:    o.leaseTTL,
 		RetryBudget: o.cellRetries,
 		Journal:     o.journal,
@@ -247,7 +251,26 @@ func runDist(ctx context.Context, s *sweep.Spec, o distOptions) int {
 		Log:         o.log,
 		Flight:      o.flight,
 		FlightDir:   o.flightDir,
-	})
+	}
+	var tier *cachetier.Tier
+	if o.cacheTier != "" {
+		tier = cachetier.New(cachetier.Config{
+			Nodes:     strings.Split(o.cacheTier, ","),
+			Logger:    o.log,
+			Flight:    o.flight,
+			FlightDir: o.flightDir,
+		})
+		// Completed rows write through to their owning node, and the
+		// tier's breaker/fill counters ride the coordinator's /metrics.
+		cfg.CacheFill = tier.Fill
+		cfg.ExtraMetrics = tier.Samples
+		// The prober needs its own cancellation: the signal context only
+		// cancels on SIGINT/SIGTERM, and a normal exit must not wait on it.
+		pctx, pcancel := context.WithCancel(ctx)
+		tier.StartProber(pctx)
+		defer func() { pcancel(); tier.StopProber() }()
+	}
+	co, err := dist.NewCoordinator(s, cfg)
 	if err != nil {
 		return fail(err)
 	}

@@ -8,15 +8,19 @@
 // lease was reassigned delivers a harmless duplicate (rows are
 // deterministic, so the coordinator deduplicates by confighash).
 //
-// With -serve, the worker consults a uvmserved result cache before
-// simulating, so identical cells across the fleet are answered from the
-// shared content-addressed tier. The cache is an accelerator only: any
-// miss or server trouble falls back to the local engine.
+// With -serve, the worker consults a replicated uvmserved cache tier
+// before simulating: cells route to their owning node by consistent
+// hash, each node sits behind a circuit breaker fed by active health
+// probes and passive failures, and reads fail over to the next ring
+// node when the owner is dark. The tier is an accelerator only: any
+// miss, partition, or full-tier outage falls back to the local engine,
+// and determinism keeps the output byte-identical either way.
 //
 // Usage:
 //
 //	uvmworker -coordinator http://127.0.0.1:9933
-//	uvmworker -coordinator http://127.0.0.1:9933 -name w2 -serve http://127.0.0.1:8844
+//	uvmworker -coordinator http://127.0.0.1:9933 -name w2 \
+//	    -serve http://127.0.0.1:8844,http://127.0.0.1:8845,http://127.0.0.1:8846
 //
 // The -inject-dup, -inject-fail, and -slow flags are chaos hooks for
 // the dist_check gate: they force a duplicate completion report, a
@@ -26,14 +30,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"uvmsim/internal/cachetier"
 	"uvmsim/internal/dist"
 	"uvmsim/internal/govern"
-	"uvmsim/internal/serve/client"
 	"uvmsim/internal/telemetry"
 )
 
@@ -43,10 +49,13 @@ func main() {
 
 func run() int {
 	var (
-		coord     = flag.String("coordinator", "http://127.0.0.1:9933", "coordinator base URL")
-		name      = flag.String("name", "", "worker identity for coordinator audit logs (default host PID)")
-		serveURL  = flag.String("serve", "", "optional uvmserved base URL consulted as a shared result cache before simulating")
-		retries   = flag.Int("serve-retries", 2, "client retries against -serve (capped backoff honoring Retry-After)")
+		coord      = flag.String("coordinator", "http://127.0.0.1:9933", "coordinator base URL")
+		name       = flag.String("name", "", "worker identity for coordinator audit logs (default host PID)")
+		serveURLs  = flag.String("serve", "", "comma-separated uvmserved node URLs forming the shared cache tier consulted before simulating")
+		brkFails   = flag.Int("breaker-failures", cachetier.DefaultFailureThreshold, "consecutive failures that open a cache node's circuit breaker")
+		brkOpen    = flag.Duration("breaker-open", cachetier.DefaultOpenTimeout, "cool-off before an open breaker admits a half-open trial")
+		probeEvery = flag.Duration("probe-interval", time.Second, "active /healthz probe interval per cache node (negative disables)")
+		tierWait   = flag.Duration("tier-timeout", 0, "per-node cache-tier read timeout (0 = tier default); a node slower than this counts as failed")
 		quiet      = flag.Bool("quiet", false, "suppress per-lease progress lines")
 		injectDup  = flag.Bool("inject-dup", false, "chaos hook: re-send the first completion report (dedup exercise)")
 		injectFail = flag.Int("inject-fail", 0, "chaos hook: misreport the first N completed cells as failed (retry + flight-dump exercise)")
@@ -75,12 +84,19 @@ func run() int {
 	if !*quiet {
 		cfg.Logger = lg
 	}
-	if *serveURL != "" {
-		sc := client.New(*serveURL, nil).WithRetry(client.RetryPolicy{
-			MaxRetries: *retries,
-			Base:       200 * time.Millisecond,
+	var tier *cachetier.Tier
+	if *serveURLs != "" {
+		tier = cachetier.New(cachetier.Config{
+			Nodes:            strings.Split(*serveURLs, ","),
+			FailureThreshold: *brkFails,
+			OpenTimeout:      *brkOpen,
+			ProbeInterval:    *probeEvery,
+			LookupTimeout:    *tierWait,
+			Logger:           lg,
+			Flight:           flight,
+			FlightDir:        tf.FlightDir,
 		})
-		cfg.Runner = dist.ServeRunner(sc, dist.LocalRunner, cfg.Logger)
+		cfg.Runner = tier.Runner(dist.LocalRunner)
 	}
 
 	// Abnormal run outcomes (budget overruns, recovered panics) feed the
@@ -89,6 +105,13 @@ func run() int {
 
 	ctx, stop := gf.Context()
 	defer stop()
+	if tier != nil {
+		// The prober needs its own cancellation: the signal context only
+		// cancels on SIGINT/SIGTERM, and a normal exit must not wait on it.
+		pctx, pcancel := context.WithCancel(ctx)
+		tier.StartProber(pctx)
+		defer func() { pcancel(); tier.StopProber() }()
+	}
 	if err := dist.NewWorker(cfg).Run(ctx); err != nil {
 		st := govern.StatusOf(err)
 		fmt.Fprintf(os.Stderr, "uvmworker: %s: %v\n", st.State, err)

@@ -1,0 +1,159 @@
+package cachetier
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the circuit breaker's three states.
+type BreakerState int
+
+// The breaker lifecycle: Closed (traffic flows, consecutive failures
+// counted) -> Open (all traffic skipped until OpenTimeout elapses) ->
+// HalfOpen (exactly one trial request allowed) -> Closed on trial
+// success, back to Open on trial failure.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state for logs and metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Transition records one state change, returned from the mutating
+// methods so the caller can log it under the request's context (the
+// breaker itself holds no logger — transitions are the caller's
+// telemetry).
+type Transition struct {
+	From, To BreakerState
+}
+
+// Breaker is one node's circuit breaker. All methods are
+// goroutine-safe; the clock is injectable so the state machine is
+// testable without sleeping.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	consec    int  // consecutive failures while closed
+	trial     bool // half-open trial in flight
+	openedAt  time.Time
+	threshold int
+	timeout   time.Duration
+	now       func() time.Time
+}
+
+// Breaker defaults: open after DefaultFailureThreshold consecutive
+// failures, try a half-open probe after DefaultOpenTimeout.
+const (
+	DefaultFailureThreshold = 3
+	DefaultOpenTimeout      = 3 * time.Second
+)
+
+// NewBreaker returns a closed breaker. threshold <= 0 selects
+// DefaultFailureThreshold; timeout <= 0 selects DefaultOpenTimeout; a
+// nil clock selects time.Now.
+func NewBreaker(threshold int, timeout time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultFailureThreshold
+	}
+	if timeout <= 0 {
+		timeout = DefaultOpenTimeout
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, timeout: timeout, now: now}
+}
+
+// State returns the current state (Open flips to HalfOpen only via
+// Allow, so a quiescent open breaker reads Open even past its timeout).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a request may proceed. While open it answers
+// false until OpenTimeout has elapsed, then transitions to half-open
+// and admits exactly one trial; further requests are refused until that
+// trial settles via Success or Failure.
+func (b *Breaker) Allow() (bool, *Transition) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.timeout {
+			return false, nil
+		}
+		b.state = BreakerHalfOpen
+		b.trial = true
+		return true, &Transition{From: BreakerOpen, To: BreakerHalfOpen}
+	default: // half-open
+		if b.trial {
+			return false, nil
+		}
+		b.trial = true
+		return true, nil
+	}
+}
+
+// Success reports a request that succeeded: it resets the failure count
+// while closed and closes the breaker from half-open. A late success
+// landing while open is ignored — the open window is a deliberate
+// cool-off, not a race to reopen.
+func (b *Breaker) Success() *Transition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consec = 0
+		return nil
+	case BreakerHalfOpen:
+		b.state = BreakerClosed
+		b.consec = 0
+		b.trial = false
+		return &Transition{From: BreakerHalfOpen, To: BreakerClosed}
+	default:
+		return nil
+	}
+}
+
+// Failure reports a request that failed: it trips the breaker open
+// after threshold consecutive failures while closed, and reopens it
+// immediately from half-open (the trial failed). Failures landing
+// while already open are ignored.
+func (b *Breaker) Failure() *Transition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consec++
+		if b.consec < b.threshold {
+			return nil
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		return &Transition{From: BreakerClosed, To: BreakerOpen}
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trial = false
+		return &Transition{From: BreakerHalfOpen, To: BreakerOpen}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,139 @@
+package cachetier
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// tickClock is an injectable breaker clock.
+type tickClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTickClock() *tickClock { return &tickClock{now: time.Unix(5000, 0)} }
+
+func (c *tickClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *tickClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// The full lifecycle under an injected clock: closed → open at the
+// failure threshold → half-open after the timeout → closed on trial
+// success.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newTickClock()
+	b := NewBreaker(3, time.Second, clk.Now)
+
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	// Two failures stay closed; the third trips.
+	if tr := b.Failure(); tr != nil {
+		t.Fatalf("failure 1 transitioned: %+v", tr)
+	}
+	if tr := b.Failure(); tr != nil {
+		t.Fatalf("failure 2 transitioned: %+v", tr)
+	}
+	tr := b.Failure()
+	if tr == nil || tr.From != BreakerClosed || tr.To != BreakerOpen {
+		t.Fatalf("failure 3 transition = %+v, want closed->open", tr)
+	}
+
+	// Open fails fast until the timeout elapses.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("Allow admitted a request while open")
+	}
+	clk.Advance(999 * time.Millisecond)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("Allow admitted a request before the open timeout")
+	}
+	clk.Advance(2 * time.Millisecond)
+
+	// The first Allow past the timeout is the half-open trial; a second
+	// concurrent request is refused while the trial is in flight.
+	ok, tr2 := b.Allow()
+	if !ok || tr2 == nil || tr2.From != BreakerOpen || tr2.To != BreakerHalfOpen {
+		t.Fatalf("Allow after timeout = (%v, %+v), want trial + open->half-open", ok, tr2)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("Allow admitted a second request during the half-open trial")
+	}
+
+	// Trial success closes.
+	tr3 := b.Success()
+	if tr3 == nil || tr3.From != BreakerHalfOpen || tr3.To != BreakerClosed {
+		t.Fatalf("trial success transition = %+v, want half-open->closed", tr3)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after trial success = %v, want closed", got)
+	}
+	// The failure count was reset: two failures do not re-trip.
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 2 post-recovery failures = %v, want closed", got)
+	}
+}
+
+// A failed half-open trial reopens immediately, and the reopened window
+// honors the timeout again.
+func TestBreakerTrialFailureReopens(t *testing.T) {
+	clk := newTickClock()
+	b := NewBreaker(1, time.Second, clk.Now)
+	b.Failure() // threshold 1: open
+	clk.Advance(time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("half-open trial refused")
+	}
+	tr := b.Failure()
+	if tr == nil || tr.From != BreakerHalfOpen || tr.To != BreakerOpen {
+		t.Fatalf("trial failure transition = %+v, want half-open->open", tr)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("Allow admitted a request immediately after a failed trial")
+	}
+	clk.Advance(time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("second half-open trial refused after the reopened window")
+	}
+}
+
+// Late outcomes landing while open are ignored: the open window is a
+// deliberate cool-off.
+func TestBreakerIgnoresLateOutcomesWhileOpen(t *testing.T) {
+	clk := newTickClock()
+	b := NewBreaker(1, time.Minute, clk.Now)
+	b.Failure()
+	if tr := b.Success(); tr != nil {
+		t.Fatalf("late success transitioned: %+v", tr)
+	}
+	if tr := b.Failure(); tr != nil {
+		t.Fatalf("late failure transitioned: %+v", tr)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+}
+
+// Success while closed resets the consecutive-failure count, so
+// interleaved failures never accumulate to the threshold.
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := NewBreaker(3, time.Second, newTickClock().Now)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success()
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (failures never consecutive)", got)
+	}
+}

@@ -1,0 +1,113 @@
+// Package cachetier promotes the single uvmserved accelerator into a
+// resilient replicated cache tier: a multi-endpoint client that routes
+// each cell to its owning node by consistent-hashing the cell's
+// confighash key, health-checks every node, wraps each node in a
+// circuit breaker, fails over reads to the next ring node when the
+// owner is dark, and write-through-fills completed results to the
+// owner. The tier is an accelerator, never a correctness dependency:
+// when every node is unreachable the caller degrades to local
+// simulation, and because the simulator is deterministic (DESIGN.md
+// §7) the sweep output stays byte-identical under any outage.
+package cachetier
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per endpoint. More replicas
+// smooth the key distribution; 64 keeps the ring small while bounding
+// per-node load skew to a few percent at fleet sizes this tier targets.
+const DefaultReplicas = 64
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node int // index into the node list
+}
+
+// Ring is an immutable consistent-hash ring over a fixed node list.
+// Ownership depends only on the node URLs, never on their order or on
+// which other nodes exist: removing a node moves only the keys it
+// owned, which is what keeps a node death from cold-starting the whole
+// tier.
+type Ring struct {
+	points []ringPoint
+	nodes  int
+}
+
+// NewRing builds a ring over n nodes identified by the given names
+// (base URLs), with replicas virtual nodes each (<= 0 selects
+// DefaultReplicas).
+func NewRing(names []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{nodes: len(names)}
+	r.points = make([]ringPoint, 0, len(names)*replicas)
+	for i, name := range names {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(name, v), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		return p.node < q.node // total order even on the (unlikely) collision
+	})
+	return r
+}
+
+// pointHash places one virtual node on the circle.
+func pointHash(name string, replica int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", name, replica)
+	return h.Sum64()
+}
+
+// keyHash places a routing key (a confighash string) on the circle.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the node index owning key, or -1 on an empty ring.
+func (r *Ring) Owner(key string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	return r.points[r.search(keyHash(key))].node
+}
+
+// Preference returns every distinct node in ring-walk order starting at
+// key's owner: the owner first, then each successive failover
+// candidate. The slice is freshly allocated.
+func (r *Ring) Preference(key string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]int, 0, r.nodes)
+	seen := make([]bool, r.nodes)
+	start := r.search(keyHash(key))
+	for i := 0; i < len(r.points) && len(out) < r.nodes; i++ {
+		n := r.points[(start+i)%len(r.points)].node
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// search finds the first point at or clockwise-after h (wrapping).
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}

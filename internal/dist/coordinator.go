@@ -31,6 +31,8 @@ const (
 	MetricQuarantined   = "dist_quarantined_total"
 	MetricDuplicates    = "dist_duplicate_completions_total"
 	MetricBadReports    = "dist_bad_reports_total"
+	MetricCacheFills    = "dist_cachefills_total"
+	MetricFillErrors    = "dist_cachefill_errors_total"
 )
 
 // CoordinatorConfig tunes the lease fabric. Zero values select the
@@ -63,6 +65,15 @@ type CoordinatorConfig struct {
 	// quarantines dump it, and Handler exposes GET /debug/flightrec.
 	Flight    *telemetry.Flight
 	FlightDir string
+	// CacheFill, when set, is called once per freshly completed cell with
+	// the cell's rendered row — the write-through hook the cache tier
+	// (internal/cachetier) plugs in. Fills run asynchronously under the
+	// cell's telemetry trace and are strictly best-effort: an error is
+	// counted, never retried, and never affects the sweep.
+	CacheFill func(ctx context.Context, cs CellSpec, row []string) error
+	// ExtraMetrics, when set, contributes additional samples to the
+	// /metrics exposition (e.g. the cache tier's breaker counters).
+	ExtraMetrics func() []obs.Sample
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -133,6 +144,8 @@ type Coordinator struct {
 	finished bool
 	fatalErr error
 	done     chan struct{}
+
+	fillWG sync.WaitGroup // in-flight write-through cache fills
 }
 
 // traceOf derives a cell's stable telemetry trace from the sweep root.
@@ -164,6 +177,7 @@ func NewCoordinator(spec *sweep.Spec, cfg CoordinatorConfig) (*Coordinator, erro
 	for _, name := range []string{
 		MetricLeasesGranted, MetricLeasesExpired, MetricRenewals, MetricRetries,
 		MetricCompleted, MetricSkipped, MetricQuarantined, MetricDuplicates, MetricBadReports,
+		MetricCacheFills, MetricFillErrors,
 	} {
 		co.reg.Counter(name)
 	}
@@ -491,6 +505,7 @@ func (co *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 		rec.Row, rec.Digest = cl.row, journal.RowDigest(cl.row)
 		co.journalLocked(rec)
 		logCompletion(slog.LevelInfo)
+		co.dispatchFillLocked(cl)
 	case govern.StateDeadline, govern.StateLivelock:
 		// Deterministic budget trips are terminal, exactly as in-process.
 		cl.state, cl.status, cl.errMsg = cellSkipped, state, req.Err
@@ -509,6 +524,30 @@ func (co *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	}
 	co.checkSettledLocked()
 	return CompleteResponse{}, nil
+}
+
+// dispatchFillLocked hands a freshly completed cell to the CacheFill
+// hook on its own goroutine: the completion path must never wait on a
+// network write to a cache node. Caller holds co.mu; the goroutine
+// re-takes it only to bump counters.
+func (co *Coordinator) dispatchFillLocked(cl *cell) {
+	if co.cfg.CacheFill == nil {
+		return
+	}
+	spec, row, trace := cl.spec, cl.row, co.traceOf(cl)
+	co.fillWG.Add(1)
+	go func() {
+		defer co.fillWG.Done()
+		ctx := telemetry.WithTraceID(context.Background(), trace)
+		err := co.cfg.CacheFill(ctx, spec, row)
+		co.mu.Lock()
+		if err != nil {
+			co.reg.Counter(MetricFillErrors).Inc(1)
+		} else {
+			co.reg.Counter(MetricCacheFills).Inc(1)
+		}
+		co.mu.Unlock()
+	}()
 }
 
 // Progress returns the live census.
@@ -548,6 +587,9 @@ func (co *Coordinator) Wait(ctx context.Context) (*sweep.Result, error) {
 		runErr = ctx.Err()
 		co.Stop()
 	}
+	// Let in-flight write-through fills land before tearing anything
+	// down; they are bounded by the tier's FillTimeout.
+	co.fillWG.Wait()
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.fatalErr != nil {
@@ -580,9 +622,10 @@ func (co *Coordinator) Summary() string {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	get := func(name string) uint64 { return co.reg.Counter(name).Get() }
-	return fmt.Sprintf("granted=%d renewals=%d expired=%d retries=%d completed=%d skipped=%d quarantined=%d duplicates=%d bad_reports=%d",
+	return fmt.Sprintf("granted=%d renewals=%d expired=%d retries=%d completed=%d skipped=%d quarantined=%d duplicates=%d bad_reports=%d cachefills=%d fill_errors=%d",
 		get(MetricLeasesGranted), get(MetricRenewals), get(MetricLeasesExpired), get(MetricRetries),
-		get(MetricCompleted), get(MetricSkipped), get(MetricQuarantined), get(MetricDuplicates), get(MetricBadReports))
+		get(MetricCompleted), get(MetricSkipped), get(MetricQuarantined), get(MetricDuplicates), get(MetricBadReports),
+		get(MetricCacheFills), get(MetricFillErrors))
 }
 
 // ---- HTTP surface ----
@@ -630,6 +673,9 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		samples := append(co.Samples(), co.red.Samples()...)
+		if co.cfg.ExtraMetrics != nil {
+			samples = append(samples, co.cfg.ExtraMetrics()...)
+		}
 		_ = serve.WritePrometheus(w, samples)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"uvmsim/internal/driver"
+	"uvmsim/internal/serve"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/sweep"
 )
@@ -112,6 +113,36 @@ func (cs CellSpec) Spec() *sweep.Spec {
 			LivelockWindow: cs.LivelockWindow,
 		},
 	}
+}
+
+// SimRequest maps the cell onto the serve tier's single-cell wire form.
+// ok is false when the wire form cannot express the cell exactly
+// (fractional MiB/ms, zero knobs the server would re-default) — such a
+// cell must be simulated locally, never approximated through the tier.
+func (cs CellSpec) SimRequest() (serve.SimRequest, bool) {
+	const mib = int64(1) << 20
+	ms := int64(time.Millisecond)
+	if cs.GPUMemoryBytes%mib != 0 || cs.SimDeadlineNs%ms != 0 ||
+		cs.Workload == "" || cs.Prefetch == "" || cs.Replay == "" || cs.Evict == "" ||
+		cs.Batch == 0 || cs.VABlockBytes%1024 != 0 || cs.VABlockBytes == 0 || cs.Footprint == 0 {
+		return serve.SimRequest{}, false
+	}
+	return serve.SimRequest{
+		Workload:   cs.Workload,
+		GPUMemMiB:  cs.GPUMemoryBytes / mib,
+		Seed:       cs.Seed,
+		Footprint:  cs.Footprint,
+		Prefetch:   cs.Prefetch,
+		Replay:     cs.Replay,
+		Evict:      cs.Evict,
+		Batch:      cs.Batch,
+		VABlockKiB: cs.VABlockBytes >> 10,
+		Budget: serve.BudgetRequest{
+			SimBudgetMs:    cs.SimDeadlineNs / ms,
+			MaxEvents:      cs.MaxEvents,
+			LivelockEvents: cs.LivelockWindow,
+		},
+	}, true
 }
 
 // Label recomputes the cell's replay recipe. Workers verify it against

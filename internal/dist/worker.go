@@ -76,29 +76,11 @@ func ServeRunner(sc *client.Client, fallback Runner, lg *slog.Logger) Runner {
 // exact, and returns the cached row (plus the server's content hash)
 // on a completed answer.
 func serveLookup(ctx context.Context, sc *client.Client, cs CellSpec) ([]string, string, bool) {
-	const mib = int64(1) << 20
-	ms := int64(time.Millisecond)
-	if cs.GPUMemoryBytes%mib != 0 || cs.SimDeadlineNs%ms != 0 ||
-		cs.Workload == "" || cs.Prefetch == "" || cs.Replay == "" || cs.Evict == "" ||
-		cs.Batch == 0 || cs.VABlockBytes%1024 != 0 || cs.VABlockBytes == 0 || cs.Footprint == 0 {
+	req, ok := cs.SimRequest()
+	if !ok {
 		return nil, "", false // the wire form cannot express this cell exactly
 	}
-	res, err := sc.Sim(ctx, serve.SimRequest{
-		Workload:   cs.Workload,
-		GPUMemMiB:  cs.GPUMemoryBytes / mib,
-		Seed:       cs.Seed,
-		Footprint:  cs.Footprint,
-		Prefetch:   cs.Prefetch,
-		Replay:     cs.Replay,
-		Evict:      cs.Evict,
-		Batch:      cs.Batch,
-		VABlockKiB: cs.VABlockBytes >> 10,
-		Budget: serve.BudgetRequest{
-			SimBudgetMs:    cs.SimDeadlineNs / ms,
-			MaxEvents:      cs.MaxEvents,
-			LivelockEvents: cs.LivelockWindow,
-		},
-	})
+	res, err := sc.Sim(ctx, req)
 	if err != nil || !res.OK() {
 		return nil, "", false
 	}

@@ -1,0 +1,377 @@
+// Package netchaos is a deterministic fault-injecting HTTP reverse
+// proxy for exercising the fleet's failure handling: it sits between a
+// client and one upstream and injects added latency, blackholes
+// (partition), TCP connection resets, synthesized 5xx responses, and
+// truncated bodies, each under an independent probability drawn from a
+// seeded PRNG — the same seed replays the same fault schedule, which is
+// what lets a chaos gate assert exact outcomes instead of flaky ones.
+//
+// Faults are configured as a rule string, comma-separated:
+//
+//	kind[:prob][=value]
+//
+// where kind is one of latency, blackhole, reset, error500, truncate;
+// prob defaults to 1.0; and value is a duration (latency only). For
+// example "latency:0.5=100ms,error500:0.1" delays half of all requests
+// by 100ms and answers a synthetic 500 for one in ten. Latency rules
+// compose with whatever else fires; of the terminal kinds, the first
+// matching rule in written order decides the request's fate.
+//
+// The proxy is live-reconfigurable through an admin endpoint exempt
+// from fault injection: GET /__netchaos/rules reports the active rules
+// and per-kind applied counts, POST /__netchaos/rules with a rule
+// string (or "none") replaces them — how a drill partitions a node
+// mid-sweep without restarting anything.
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault kinds.
+const (
+	KindLatency   = "latency"   // sleep value before proceeding
+	KindBlackhole = "blackhole" // never answer (partition); hold until the client gives up
+	KindReset     = "reset"     // abort the TCP connection (RST, not FIN)
+	KindError500  = "error500"  // synthesize a 500 without touching the upstream
+	KindTruncate  = "truncate"  // forward, then cut the body short mid-stream
+)
+
+// Rule is one parsed fault clause.
+type Rule struct {
+	Kind  string        `json:"kind"`
+	Prob  float64       `json:"prob"`
+	Value time.Duration `json:"value,omitempty"` // latency only
+}
+
+// String renders the rule back into the grammar.
+func (r Rule) String() string {
+	s := r.Kind
+	if r.Prob != 1 {
+		s += ":" + strconv.FormatFloat(r.Prob, 'g', -1, 64)
+	}
+	if r.Value != 0 {
+		s += "=" + r.Value.String()
+	}
+	return s
+}
+
+// ParseRules parses a comma-separated rule string. Empty and "none"
+// parse to no rules (a clean passthrough proxy).
+func ParseRules(s string) ([]Rule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return nil, nil
+	}
+	var out []Rule
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		r := Rule{Prob: 1}
+		head := clause
+		if i := strings.IndexByte(clause, '='); i >= 0 {
+			head = clause[:i]
+			v, err := time.ParseDuration(clause[i+1:])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("netchaos: bad value in %q", clause)
+			}
+			r.Value = v
+		}
+		if i := strings.IndexByte(head, ':'); i >= 0 {
+			p, err := strconv.ParseFloat(head[i+1:], 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("netchaos: bad probability in %q", clause)
+			}
+			r.Prob = p
+			head = head[:i]
+		}
+		r.Kind = head
+		switch r.Kind {
+		case KindLatency:
+			if r.Value <= 0 {
+				return nil, fmt.Errorf("netchaos: latency rule %q needs =duration", clause)
+			}
+		case KindBlackhole, KindReset, KindError500, KindTruncate:
+			if r.Value != 0 {
+				return nil, fmt.Errorf("netchaos: rule %q takes no value", clause)
+			}
+		default:
+			return nil, fmt.Errorf("netchaos: unknown fault kind %q", r.Kind)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatRules renders rules back into the grammar ("none" when empty).
+func FormatRules(rules []Rule) string {
+	if len(rules) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Proxy is one fault-injecting reverse proxy in front of one upstream.
+// It is an http.Handler; all methods are goroutine-safe.
+type Proxy struct {
+	target *url.URL
+	rt     http.RoundTripper
+
+	// done releases blackholed handlers on Close. A client that gave up
+	// on a request with an unread body is invisible to the server (it
+	// cannot background-read the connection), so without this the
+	// handlers — and any test server waiting on them — would hang
+	// forever.
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []Rule
+	counts map[string]uint64
+}
+
+// New returns a proxy forwarding to target, drawing fault decisions
+// from a PRNG seeded with seed.
+func New(target string, seed int64) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("netchaos: bad target: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("netchaos: target %q needs scheme and host", target)
+	}
+	return &Proxy{
+		target: u,
+		// A private transport: the shared default would pool connections
+		// across proxies and leak them past resets.
+		rt:     &http.Transport{MaxIdleConnsPerHost: 4, IdleConnTimeout: 10 * time.Second},
+		done:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[string]uint64),
+	}, nil
+}
+
+// Close releases any handlers parked in a blackhole. The proxy must not
+// serve new requests afterwards.
+func (p *Proxy) Close() {
+	p.closeOnce.Do(func() { close(p.done) })
+}
+
+// SetRules replaces the active rule set.
+func (p *Proxy) SetRules(rules []Rule) {
+	p.mu.Lock()
+	p.rules = append([]Rule(nil), rules...)
+	p.mu.Unlock()
+}
+
+// Rules snapshots the active rule set.
+func (p *Proxy) Rules() []Rule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Rule(nil), p.rules...)
+}
+
+// Counts snapshots how many times each fault kind has been applied.
+func (p *Proxy) Counts() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.counts))
+	for k, v := range p.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// decide rolls the dice for one request: the total injected delay plus
+// the terminal fate ("" = forward cleanly). One lock hold keeps the
+// PRNG sequence deterministic even under concurrent requests — the
+// schedule depends on arrival order only, never on interleaving.
+func (p *Proxy) decide() (delay time.Duration, fate string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.rules {
+		if p.rng.Float64() >= r.Prob {
+			continue
+		}
+		if r.Kind == KindLatency {
+			delay += r.Value
+			p.counts[KindLatency]++
+			continue
+		}
+		if fate == "" {
+			fate = r.Kind
+			p.counts[r.Kind]++
+		}
+	}
+	return delay, fate
+}
+
+// ServeHTTP applies the fault schedule to one request.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/__netchaos/") {
+		p.admin(w, r) // the control plane is never fault-injected
+		return
+	}
+	delay, fate := p.decide()
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-r.Context().Done():
+			t.Stop()
+			panic(http.ErrAbortHandler)
+		case <-p.done:
+			t.Stop()
+			panic(http.ErrAbortHandler)
+		case <-t.C:
+		}
+	}
+	switch fate {
+	case KindBlackhole:
+		// A partition answers nothing, ever: hold until the client stops
+		// waiting (or the proxy shuts down), then drop the connection
+		// without a response.
+		select {
+		case <-r.Context().Done():
+		case <-p.done:
+		}
+		panic(http.ErrAbortHandler)
+	case KindReset:
+		p.reset(w)
+	case KindError500:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":"netchaos: injected failure"}`+"\n")
+	case KindTruncate:
+		p.forward(w, r, true)
+	default:
+		p.forward(w, r, false)
+	}
+}
+
+// reset aborts the client connection at the TCP layer: linger 0 turns
+// the close into an RST, which clients observe as "connection reset by
+// peer" rather than a clean EOF.
+func (p *Proxy) reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic(http.ErrAbortHandler)
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// forward relays the request upstream. With truncate set, the response
+// advertises its full Content-Length but carries only half the body
+// before the connection is aborted — the corrupt-payload case a client
+// must treat as a failed node, not a short answer.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, truncate bool) {
+	out := r.Clone(r.Context())
+	out.URL.Scheme = p.target.Scheme
+	out.URL.Host = p.target.Host
+	out.Host = p.target.Host
+	out.RequestURI = ""
+	out.Close = false
+	resp, err := p.rt.RoundTrip(out)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		io.WriteString(w, `{"error":"netchaos: upstream unreachable"}`+"\n")
+		return
+	}
+	defer resp.Body.Close()
+	if !truncate {
+		copyHeader(w.Header(), resp.Header)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	copyHeader(w.Header(), resp.Header)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body[:len(body)/2])
+	// Abort with the advertised length unmet: the client's body read
+	// fails with an unexpected EOF instead of quietly succeeding short.
+	panic(http.ErrAbortHandler)
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// admin serves the fault control plane. GET /__netchaos/rules reports
+// the active rules and applied counts; POST replaces the rules with the
+// request body's rule string ("none" clears).
+func (p *Proxy) admin(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/__netchaos/rules" {
+		http.NotFound(w, r)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			http.Error(w, "netchaos: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		rules, err := ParseRules(string(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.SetRules(rules)
+	default:
+		http.Error(w, "netchaos: GET or POST", http.StatusMethodNotAllowed)
+		return
+	}
+	p.mu.Lock()
+	rules := FormatRules(p.rules)
+	kinds := make([]string, 0, len(p.counts))
+	for k := range p.counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"target\":%q,\"rules\":%q,\"counts\":{", p.target.String(), rules)
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%d", k, p.counts[k])
+	}
+	b.WriteString("}}\n")
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, b.String())
+}

@@ -1,0 +1,231 @@
+package netchaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRules(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string // FormatRules round trip
+	}{
+		{"", "none"},
+		{"none", "none"},
+		{"blackhole", "blackhole"},
+		{"latency=100ms", "latency=100ms"},
+		{"latency:0.5=100ms", "latency:0.5=100ms"},
+		{"error500:0.1", "error500:0.1"},
+		{"latency:0.5=100ms,error500:0.1", "latency:0.5=100ms,error500:0.1"},
+		{" reset , truncate ", "reset,truncate"},
+	} {
+		rules, err := ParseRules(tc.in)
+		if err != nil {
+			t.Errorf("ParseRules(%q): %v", tc.in, err)
+			continue
+		}
+		if got := FormatRules(rules); got != tc.want {
+			t.Errorf("ParseRules(%q) round-trips to %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	for _, in := range []string{
+		"latency",           // needs a duration
+		"latency=-5ms",      // negative duration
+		"blackhole=100ms",   // value on a valueless kind
+		"error500:1.5",      // probability out of range
+		"error500:x",        // unparsable probability
+		"gremlin",           // unknown kind
+		"latency:0.5=bogus", // unparsable duration
+	} {
+		if _, err := ParseRules(in); err == nil {
+			t.Errorf("ParseRules(%q) accepted, want error", in)
+		}
+	}
+}
+
+// upstream returns a trivial healthy origin.
+func upstream(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Origin", "yes")
+		io.WriteString(w, "payload-payload-payload\n")
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func proxyFor(t *testing.T, target, rules string, seed int64) string {
+	t.Helper()
+	p, err := New(target, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ParseRules(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetRules(rs)
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	t.Cleanup(p.Close) // LIFO: release blackholed handlers before ts.Close waits on them
+	return ts.URL
+}
+
+// A ruleless proxy is a clean passthrough: status, headers, and body
+// arrive intact.
+func TestProxyPassthrough(t *testing.T) {
+	purl := proxyFor(t, upstream(t), "", 1)
+	resp, err := http.Get(purl + "/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || resp.Header.Get("X-Origin") != "yes" || !strings.Contains(string(body), "payload") {
+		t.Fatalf("passthrough mangled response: %d %q", resp.StatusCode, body)
+	}
+}
+
+// error500 at probability 1 answers every request with a synthetic 500
+// without touching the upstream.
+func TestProxyError500(t *testing.T) {
+	purl := proxyFor(t, upstream(t), "error500", 1)
+	resp, err := http.Get(purl + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Origin") == "yes" {
+		t.Fatal("injected 500 reached the upstream")
+	}
+}
+
+// A truncated body fails the client's read instead of quietly
+// succeeding short.
+func TestProxyTruncate(t *testing.T) {
+	purl := proxyFor(t, upstream(t), "truncate", 1)
+	resp, err := http.Get(purl + "/x")
+	if err != nil {
+		// Some transports surface the abort at response time; that is an
+		// acceptable failure mode too.
+		return
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("truncated body read succeeded")
+	}
+}
+
+// A blackholed request never answers: the client's own deadline is the
+// only way out.
+func TestProxyBlackhole(t *testing.T) {
+	purl := proxyFor(t, upstream(t), "blackhole", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, purl+"/x", nil)
+	start := time.Now()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("blackholed request answered")
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("blackholed request failed after %s, want it to hold until the deadline", d)
+	}
+}
+
+// A reset aborts the TCP connection; the client observes a transport
+// error, not an HTTP response.
+func TestProxyReset(t *testing.T) {
+	purl := proxyFor(t, upstream(t), "reset", 1)
+	if _, err := http.Get(purl + "/x"); err == nil {
+		t.Fatal("reset connection produced a response")
+	}
+}
+
+// The same seed replays the same fault schedule; a different seed
+// diverges. This is what makes chaos gates assert exact outcomes.
+func TestProxyDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		p, err := New("http://127.0.0.1:1", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, _ := ParseRules("error500:0.5")
+		p.SetRules(rs)
+		out := make([]bool, 64)
+		for i := range out {
+			_, fate := p.decide()
+			out[i] = fate == KindError500
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d under the same seed", i)
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("schedules identical under different seeds (PRNG not wired)")
+	}
+}
+
+// The admin endpoint reconfigures rules live and reports counts, and is
+// itself exempt from fault injection.
+func TestProxyAdmin(t *testing.T) {
+	purl := proxyFor(t, upstream(t), "error500", 1)
+	// Admin works even though every data request is faulted.
+	resp, err := http.Get(purl + "/__netchaos/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "error500") {
+		t.Fatalf("admin GET = %d %q", resp.StatusCode, body)
+	}
+	// Swap to passthrough: data traffic heals immediately.
+	resp, err = http.Post(purl+"/__netchaos/rules", "text/plain", strings.NewReader("none"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("admin POST = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(purl + "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-heal request = %d, want 200", resp.StatusCode)
+	}
+	// Bad rule strings are rejected without changing anything.
+	resp, err = http.Post(purl+"/__netchaos/rules", "text/plain", strings.NewReader("gremlin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad rule POST = %d, want 400", resp.StatusCode)
+	}
+}

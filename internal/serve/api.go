@@ -236,6 +236,26 @@ type SimResponse struct {
 	Row     []string `json:"row,omitempty"`
 }
 
+// CacheFillRequest write-throughs one completed single-cell result into
+// the server's cache: the cell's request form plus the rendered row a
+// worker already computed. The server re-derives the cache key and
+// label from Sim itself — the caller cannot choose what key it fills —
+// and Label, when set, must match the server's recomputation, so a
+// protocol or version skew is rejected instead of cached.
+type CacheFillRequest struct {
+	Sim   SimRequest `json:"sim"`
+	Label string     `json:"label,omitempty"`
+	Row   []string   `json:"row"`
+}
+
+// CacheFillResponse acknowledges a write-through fill. Stored is false
+// when the key was already cached (or storage is disabled) — a
+// harmless no-op, not an error.
+type CacheFillResponse struct {
+	Hash   string `json:"hash"`
+	Stored bool   `json:"stored"`
+}
+
 // CellFailure describes one cell that did not complete.
 type CellFailure struct {
 	Label string `json:"label"`

@@ -152,6 +152,24 @@ func (c *Cache) insertLocked(key string, body []byte, status int) {
 	}
 }
 
+// Put inserts exact response bytes for key if it is not already cached,
+// reporting whether it stored them. This is the write-through fill
+// path: determinism makes a fill indistinguishable from the miss that
+// would otherwise populate the key, so "already present" is a no-op,
+// never a conflict.
+func (c *Cache) Put(key string, body []byte, status int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity == 0 {
+		return false
+	}
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	c.insertLocked(key, body, status)
+	return true
+}
+
 // Get returns the cached body for key without counting a hit or
 // refreshing recency — the async job result path, which must not let
 // polling distort eviction order.

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/sweep"
+)
+
+// A write-through fill is byte-identical to a server-side run: fill
+// node B with the row node A computed, and B's cache hit serves the
+// exact bytes A's miss produced.
+func TestCacheFillThenHitByteIdentical(t *testing.T) {
+	_, tsA := testServer(t, Config{})
+	_, tsB := testServer(t, Config{})
+	req := smallSim(1)
+
+	status, _, missBody := postJSON(t, tsA.URL+"/v1/sim", req)
+	if status != http.StatusOK {
+		t.Fatalf("miss on A = %d, body %s", status, missBody)
+	}
+	var ran SimResponse
+	if err := json.Unmarshal(missBody, &ran); err != nil {
+		t.Fatal(err)
+	}
+
+	status, _, fillBody := postJSON(t, tsB.URL+"/v1/cachefill", CacheFillRequest{
+		Sim: req, Label: ran.Label, Row: ran.Row,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("fill on B = %d, body %s", status, fillBody)
+	}
+	var fr CacheFillResponse
+	if err := json.Unmarshal(fillBody, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Stored || fr.Hash != ran.Hash {
+		t.Fatalf("fill response = %+v, want stored under hash %s", fr, ran.Hash)
+	}
+
+	status, hdr, hitBody := postJSON(t, tsB.URL+"/v1/sim", req)
+	if status != http.StatusOK {
+		t.Fatalf("post-fill sim on B = %d, body %s", status, hitBody)
+	}
+	if got := hdr.Get("X-Uvmsim-Cache"); got != string(SourceHit) {
+		t.Fatalf("post-fill cache header = %q, want hit (B simulated instead of serving the fill)", got)
+	}
+	if string(hitBody) != string(missBody) {
+		t.Fatalf("filled hit differs from A's run:\nA:  %s\nB:  %s", missBody, hitBody)
+	}
+}
+
+// Filling the same key twice is idempotent: the second fill reports
+// stored=false and the cached bytes are unchanged.
+func TestCacheFillIdempotent(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	row := make([]string, len(sweep.Headers()))
+	for i := range row {
+		row[i] = "0"
+	}
+	fill := CacheFillRequest{Sim: smallSim(1), Row: row}
+	status, _, body := postJSON(t, ts.URL+"/v1/cachefill", fill)
+	if status != http.StatusOK {
+		t.Fatalf("first fill = %d, body %s", status, body)
+	}
+	var first CacheFillResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !first.Stored {
+		t.Fatalf("first fill not stored: %+v", first)
+	}
+	status, _, body = postJSON(t, ts.URL+"/v1/cachefill", fill)
+	if status != http.StatusOK {
+		t.Fatalf("second fill = %d, body %s", status, body)
+	}
+	var second CacheFillResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Stored {
+		t.Fatal("second fill overwrote an existing entry")
+	}
+}
+
+// A fill whose label does not match the server's own recomputation is
+// version skew, rejected before it can poison the cache.
+func TestCacheFillLabelSkewRejected(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	row := make([]string, len(sweep.Headers()))
+	for i := range row {
+		row[i] = "0"
+	}
+	status, _, body := postJSON(t, ts.URL+"/v1/cachefill", CacheFillRequest{
+		Sim: smallSim(1), Label: "not-the-real-label", Row: row,
+	})
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "label skew") {
+		t.Fatalf("skewed fill = %d %s, want 400 label skew", status, body)
+	}
+	// The poisoned row must not have been cached: a sim of the same cell
+	// is a miss, not a hit serving the bogus fill.
+	status, hdr, _ := postJSON(t, ts.URL+"/v1/sim", smallSim(1))
+	if status != http.StatusOK || hdr.Get("X-Uvmsim-Cache") != string(SourceMiss) {
+		t.Fatalf("post-skew sim = %d source %q, want a clean miss", status, hdr.Get("X-Uvmsim-Cache"))
+	}
+}
+
+// A row with the wrong column count cannot be a rendered sweep row;
+// reject it instead of caching a malformed table fragment.
+func TestCacheFillBadRowRejected(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, row := range [][]string{nil, {"just-one-column"}} {
+		status, _, body := postJSON(t, ts.URL+"/v1/cachefill", CacheFillRequest{
+			Sim: smallSim(1), Row: row,
+		})
+		if status != http.StatusBadRequest {
+			t.Fatalf("fill with %d-column row = %d %s, want 400", len(row), status, body)
+		}
+	}
+	// An invalid cell spec is rejected the same way.
+	bad := smallSim(1)
+	bad.Workload = "no-such-workload"
+	row := make([]string, len(sweep.Headers()))
+	for i := range row {
+		row[i] = "0"
+	}
+	status, _, body := postJSON(t, ts.URL+"/v1/cachefill", CacheFillRequest{Sim: bad, Row: row})
+	if status != http.StatusBadRequest {
+		t.Fatalf("fill with bad spec = %d %s, want 400", status, body)
+	}
+}
+
+// Liveness and readiness split during a drain: /healthz flips to 503 so
+// the tier stops routing here, /livez stays 200 so a supervisor leaves
+// the draining process alone.
+func TestLivezStaysAliveDuringDrain(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz before drain = %d", got)
+	}
+	if got := get("/livez"); got != http.StatusOK {
+		t.Fatalf("livez before drain = %d", got)
+	}
+	s.BeginDrain()
+	if got := get("/healthz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain = %d, want 503", got)
+	}
+	if got := get("/livez"); got != http.StatusOK {
+		t.Fatalf("livez during drain = %d, want 200 (process is alive, just not ready)", got)
+	}
+}

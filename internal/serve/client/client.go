@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"strings"
 	"time"
 
@@ -113,7 +112,15 @@ func (c *Client) do(ctx context.Context, method, path string, payload interface{
 		if res != nil {
 			hint = res.RetryAfter
 		}
-		if serr := c.retry.sleep(ctx, c.retry.wait(retries+1, hint)); serr != nil {
+		wait := c.retry.wait(retries+1, hint)
+		if dl, ok := ctx.Deadline(); ok && c.retry.clock().Add(wait).After(dl) {
+			// The deadline cannot fit this backoff sleep: the retry would
+			// only ever observe context.DeadlineExceeded, so surface the
+			// last real outcome now instead of burning the remaining budget
+			// asleep.
+			return res, err
+		}
+		if serr := c.retry.sleep(ctx, wait); serr != nil {
 			return res, err // cancelled mid-backoff: surface the last outcome
 		}
 	}
@@ -161,15 +168,19 @@ func (c *Client) once(ctx context.Context, method, path string, payload interfac
 		TraceID: resp.Header.Get(telemetry.HeaderTraceID),
 		ReqID:   resp.Header.Get(telemetry.HeaderReqID),
 	}
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
-		res.RetryAfter = time.Duration(secs) * time.Second
-	}
+	res.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now)
 	return res, nil
 }
 
 // Sim runs one single-cell simulation.
 func (c *Client) Sim(ctx context.Context, req serve.SimRequest) (*Result, error) {
 	return c.do(ctx, http.MethodPost, "/v1/sim", req)
+}
+
+// CacheFill write-throughs one completed cell's result into the
+// server's content-addressed cache without running a simulation.
+func (c *Client) CacheFill(ctx context.Context, req serve.CacheFillRequest) (*Result, error) {
+	return c.do(ctx, http.MethodPost, "/v1/cachefill", req)
 }
 
 // Sweep runs a synchronous parameter sweep.

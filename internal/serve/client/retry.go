@@ -3,6 +3,9 @@ package client
 import (
 	"context"
 	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -32,9 +35,10 @@ type RetryPolicy struct {
 	// (default 0.25; negative disables jitter).
 	Jitter float64
 
-	// sleep and randFloat are test seams.
+	// sleep, randFloat, and now are test seams.
 	sleep     func(ctx context.Context, d time.Duration) error
 	randFloat func() float64
+	now       func() time.Time
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -58,7 +62,19 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.randFloat == nil {
 		p.randFloat = rand.Float64 // the global source is goroutine-safe
 	}
+	if p.now == nil {
+		p.now = time.Now
+	}
 	return p
+}
+
+// clock reads the policy's clock, tolerating the zero policy (which
+// never went through withDefaults).
+func (p RetryPolicy) clock() time.Time {
+	if p.now != nil {
+		return p.now()
+	}
+	return time.Now()
 }
 
 // backoff is the capped exponential pause before retry n (1-based).
@@ -95,6 +111,30 @@ func (p RetryPolicy) wait(n int, retryAfter time.Duration) time.Duration {
 func (c *Client) WithRetry(p RetryPolicy) *Client {
 	c.retry = p.withDefaults()
 	return c
+}
+
+// parseRetryAfter reads a Retry-After header leniently: integer seconds
+// and HTTP-dates parse; anything malformed, negative, or in the past
+// yields 0, which wait() treats as "no hint" — the client falls back to
+// its own capped backoff instead of failing or stalling on a server
+// that emits garbage under stress.
+func parseRetryAfter(h string, now func() time.Time) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now()); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

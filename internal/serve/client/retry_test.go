@@ -174,3 +174,121 @@ func TestClientRetryCancelledMidBackoff(t *testing.T) {
 		t.Fatalf("cancelled retry = status %d retries %d, want the first 429", res.Status, res.Retries)
 	}
 }
+
+func TestParseRetryAfter(t *testing.T) {
+	now := func() time.Time { return time.Date(2024, 1, 1, 12, 0, 0, 0, time.UTC) }
+	for _, tc := range []struct {
+		h    string
+		want time.Duration
+	}{
+		{"", 0},
+		{"7", 7 * time.Second},
+		{" 7 ", 7 * time.Second},
+		{"0", 0},
+		{"-3", 0}, // negative: no hint
+		{"Mon, 01 Jan 2024 12:00:30 GMT", 30 * time.Second}, // HTTP-date in the future
+		{"Mon, 01 Jan 2024 11:59:00 GMT", 0},                // HTTP-date in the past
+		{"soon", 0},                                         // garbage
+		{"1.5", 0},                                          // fractional seconds are not in the grammar
+	} {
+		if got := parseRetryAfter(tc.h, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %s, want %s", tc.h, got, tc.want)
+		}
+	}
+}
+
+// A malformed Retry-After never breaks the retry loop: the client falls
+// back to its own capped backoff as if no hint was sent.
+func TestClientRetryMalformedRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "garbage, not a time")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	var waits []time.Duration
+	c := New(ts.URL, nil).WithRetry(RetryPolicy{MaxRetries: 3, Base: 50 * time.Millisecond, Jitter: -1})
+	c.retry.sleep = func(ctx context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return nil
+	}
+	res, err := c.do(context.Background(), http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Retries != 1 {
+		t.Fatalf("result = status %d retries %d, want 200 after 1 retry", res.Status, res.Retries)
+	}
+	if len(waits) != 1 || waits[0] != 50*time.Millisecond {
+		t.Fatalf("waits = %v, want one base backoff (hint ignored)", waits)
+	}
+}
+
+// When the context deadline cannot fit the next backoff sleep, the
+// client returns the last outcome immediately instead of sleeping out
+// the remaining budget just to fail.
+func TestClientRetryStopsWhenDeadlineCannotFitBackoff(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	slept := false
+	c := New(ts.URL, nil).WithRetry(RetryPolicy{MaxRetries: 10, Jitter: -1})
+	c.retry.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = true
+		return nil
+	}
+	// A 1s deadline cannot fit the server's 30s Retry-After.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	res, err := c.do(ctx, http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Busy() || res.Retries != 0 {
+		t.Fatalf("result = status %d retries %d, want the first 429 surfaced", res.Status, res.Retries)
+	}
+	if slept {
+		t.Fatal("client slept into a deadline it could never beat")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1", got)
+	}
+}
+
+// A deadline with room for the backoff still retries: the early-exit
+// only fires when the sleep provably cannot complete.
+func TestClientRetryContinuesWhenDeadlineFits(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil).WithRetry(RetryPolicy{MaxRetries: 3, Base: time.Millisecond, Jitter: -1})
+	c.retry.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := c.do(ctx, http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Retries != 1 {
+		t.Fatalf("result = status %d retries %d, want 200 after 1 retry", res.Status, res.Retries)
+	}
+}

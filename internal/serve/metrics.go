@@ -11,19 +11,21 @@ import (
 // suffix convention; gauges are instantaneous levels sampled at render
 // time.
 const (
-	mRequests  = "uvmserved_requests_total"
-	mRejected  = "uvmserved_rejected_total"
-	mErrors    = "uvmserved_errors_total"
-	mJobs      = "uvmserved_jobs_total"
-	mCells     = "uvmserved_cells_total"
-	mHits      = "uvmserved_cache_hits_total"
-	mMisses    = "uvmserved_cache_misses_total"
-	mCoalesced = "uvmserved_cache_coalesced_total"
-	mEvicted   = "uvmserved_cache_evictions_total"
-	mEntries   = "uvmserved_cache_entries"
-	mDepth     = "uvmserved_queue_depth"
-	mRunning   = "uvmserved_running"
-	mJobsLive  = "uvmserved_jobs_active"
+	mRequests     = "uvmserved_requests_total"
+	mRejected     = "uvmserved_rejected_total"
+	mFills        = "uvmserved_cachefill_total"
+	mFillRejected = "uvmserved_cachefill_rejected_total"
+	mErrors       = "uvmserved_errors_total"
+	mJobs         = "uvmserved_jobs_total"
+	mCells        = "uvmserved_cells_total"
+	mHits         = "uvmserved_cache_hits_total"
+	mMisses       = "uvmserved_cache_misses_total"
+	mCoalesced    = "uvmserved_cache_coalesced_total"
+	mEvicted      = "uvmserved_cache_evictions_total"
+	mEntries      = "uvmserved_cache_entries"
+	mDepth        = "uvmserved_queue_depth"
+	mRunning      = "uvmserved_running"
+	mJobsLive     = "uvmserved_jobs_active"
 )
 
 // simPrefix namespaces absorbed per-run simulator metrics so they can
@@ -43,7 +45,7 @@ func newMetrics() *metrics {
 	m := &metrics{reg: obs.NewRegistry()}
 	// Pre-register the request counters so /metrics exposes a complete,
 	// stable schema from the first scrape, before any traffic.
-	for _, name := range []string{mRequests, mRejected, mErrors, mJobs, mCells} {
+	for _, name := range []string{mRequests, mRejected, mErrors, mJobs, mCells, mFills, mFillRejected} {
 		m.reg.Counter(name)
 	}
 	return m

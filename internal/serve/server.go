@@ -131,6 +131,7 @@ func New(cfg Config) *Server {
 	s.base, s.baseCancel = context.WithCancel(context.Background())
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	mux.HandleFunc("POST /v1/cachefill", s.handleCacheFill)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
@@ -139,6 +140,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/exp/{id}", s.handleExp)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	if cfg.Flight != nil {
 		mux.Handle("GET /debug/flightrec", cfg.Flight.HTTPHandler())
@@ -162,6 +164,8 @@ func routeLabel(r *http.Request) string {
 	switch {
 	case p == "/v1/sim":
 		return "v1_sim"
+	case p == "/v1/cachefill":
+		return "v1_cachefill"
 	case p == "/v1/sweep":
 		return "v1_sweep"
 	case p == "/v1/jobs":
@@ -179,6 +183,8 @@ func routeLabel(r *http.Request) string {
 		return "metrics"
 	case p == "/healthz":
 		return "healthz"
+	case p == "/livez":
+		return "livez"
 	case p == "/debug/flightrec":
 		return "debug_flightrec"
 	case p == "/":
@@ -392,6 +398,64 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	s.finish(w, r, hash, body, status, src, err)
 }
 
+// handleCacheFill accepts a write-through fill from a sweep
+// coordinator: a completed cell's rendered row, inserted into the
+// content-addressed cache as the exact bytes a local run of the same
+// cell would produce (§7 determinism makes them interchangeable). The
+// key and label are recomputed from the request's own cell spec — a
+// caller can never choose which key it fills — and a Label mismatch
+// means protocol or version skew, rejected instead of cached.
+func (s *Server) handleCacheFill(w http.ResponseWriter, r *http.Request) {
+	var req CacheFillRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.met.inc(mRequests)
+	if len(req.Row) == 0 || len(req.Row) != len(sweep.Headers()) {
+		s.met.inc(mFillRejected)
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("cachefill: row has %d columns, want %d", len(req.Row), len(sweep.Headers())))
+		return
+	}
+	_, spec, _, hash, err := s.prepare("sim", req.Sim.sweepRequest())
+	if err != nil {
+		s.met.inc(mFillRejected)
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	label := ""
+	if configs, cerr := spec.Configs(); cerr == nil && len(configs) == 1 {
+		label = configs[0].Label(spec)
+	}
+	if req.Label != "" && req.Label != label {
+		s.met.inc(mFillRejected)
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("cachefill: label skew: request %q, server computed %q", req.Label, label))
+		return
+	}
+	body, err := marshalBody(&SimResponse{
+		Hash:    hash,
+		Label:   label,
+		Status:  string(govern.StateCompleted),
+		Headers: sweep.Headers(),
+		Row:     req.Row,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	stored := s.cache.Put(hash, body, http.StatusOK)
+	if stored {
+		s.met.inc(mFills)
+		if s.cfg.Log != nil {
+			s.cfg.Log.LogAttrs(r.Context(), slog.LevelInfo, "cache fill (write-through)",
+				slog.String(telemetry.KeyConfigHash, hash),
+				slog.Int("bytes", len(body)))
+		}
+	}
+	s.writeJSON(w, http.StatusOK, CacheFillResponse{Hash: hash, Stored: stored})
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if !s.decode(w, r, &req) {
@@ -554,14 +618,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleLivez is pure liveness: 200 for as long as the process answers
+// HTTP at all, drain or not. Readiness (/healthz) tells load balancers
+// to stop routing here; liveness tells supervisors not to kill a
+// process that is merely draining.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"service": "uvmserved",
 		"endpoints": []string{
-			"POST /v1/sim", "POST /v1/sweep", "POST /v1/jobs",
+			"POST /v1/sim", "POST /v1/cachefill", "POST /v1/sweep", "POST /v1/jobs",
 			"GET /v1/jobs/{id}", "GET /v1/jobs/{id}/result",
 			"GET /v1/experiments", "POST /v1/exp/{id}",
-			"GET /metrics", "GET /healthz",
+			"GET /metrics", "GET /healthz", "GET /livez",
 		},
 	})
 }

@@ -75,7 +75,7 @@ type Dump struct {
 	DumpedAtNs int64 `json:"dumped_at_ns"`
 	// Dropped counts events that rotated out of the ring before this
 	// dump (total recorded minus ring size, floored at zero).
-	Dropped uint64 `json:"dropped"`
+	Dropped uint64  `json:"dropped"`
 	Events  []Event `json:"events"`
 }
 

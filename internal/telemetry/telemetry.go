@@ -37,6 +37,9 @@ const (
 	KeyReqID      = "req_id"
 	KeyComponent  = "component"
 	KeyConfigHash = "confighash"
+	// KeyNode names a cache-tier endpoint (its base URL) in routing,
+	// failover, and breaker-transition lines.
+	KeyNode = "node"
 )
 
 // HTTP headers carrying the IDs between processes.

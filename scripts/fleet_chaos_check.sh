@@ -1,0 +1,217 @@
+#!/bin/sh
+# Cache-tier chaos gate: run a distributed sweep whose coordinator and
+# workers share a 3-node uvmserved cache tier, with every node fronted
+# by a netchaos fault-injecting proxy. Mid-sweep, partition one node
+# (blackhole via the proxy's admin endpoint) and kill -9 another
+# uvmserved outright. The sweep must still settle with its merged table
+# byte-identical to a serial -jobs 1 run, nothing quarantined, the
+# breaker-open events visible on the coordinator's /metrics page and in
+# the structured logs, and a parseable flight-recorder dump from the
+# moment a node was declared dark.
+#
+# Coordinator and workers run race-instrumented: the tier's breaker and
+# failover paths are shared-state hot spots.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"
+      [ -n "${cpid:-}" ] && kill "$cpid" 2>/dev/null || true
+      [ -n "${spids:-}" ] && kill $spids 2>/dev/null || true
+      [ -n "${ppids:-}" ] && kill $ppids 2>/dev/null || true
+      [ -n "${wpids:-}" ] && kill $wpids 2>/dev/null || true' EXIT
+
+go build -race -o "$tmp/uvmsweep" ./cmd/uvmsweep
+go build -race -o "$tmp/uvmworker" ./cmd/uvmworker
+go build -race -o "$tmp/uvmserved" ./cmd/uvmserved
+go build -o "$tmp/netchaos" ./cmd/netchaos
+go build -o "$tmp/uvmlogcheck" ./cmd/uvmlogcheck
+
+# The dist_check sweep shape: 24 cells, enough traffic to trip breakers
+# while the chaos lands mid-flight.
+SWEEP="-workload random -footprints 0.5,0.75,1.0,1.25 -prefetch none,density,adaptive -replay batch,batchflush -csv"
+
+CADDR=127.0.0.1:19540
+CURL="http://$CADDR"
+S1=127.0.0.1:19541; S2=127.0.0.1:19542; S3=127.0.0.1:19543
+P1=127.0.0.1:19551; P2=127.0.0.1:19552; P3=127.0.0.1:19553
+TIER="http://$P1,http://$P2,http://$P3"
+mkdir -p "$tmp/flight"
+
+# --- serial reference -------------------------------------------------
+"$tmp/uvmsweep" $SWEEP -jobs 1 >"$tmp/serial.csv" 2>/dev/null
+
+# --- 3 cache nodes, each behind a netchaos proxy ----------------------
+spids=""
+i=1
+for addr in $S1 $S2 $S3; do
+    "$tmp/uvmserved" -addr "$addr" -log-format json >"$tmp/served$i.log" 2>&1 &
+    spids="$spids $!"
+    i=$((i + 1))
+done
+s2pid=$(echo $spids | awk '{print $2}')
+ppids=""
+i=1
+for pair in "$P1=$S1" "$P2=$S2" "$P3=$S3"; do
+    "$tmp/netchaos" -listen "${pair%%=*}" -target "http://${pair#*=}" -seed "$i" \
+        >"$tmp/chaos$i.log" 2>&1 &
+    ppids="$ppids $!"
+    i=$((i + 1))
+done
+for log in served1 served2 served3; do
+    for n in $(seq 1 100); do
+        grep -q "listening on" "$tmp/$log.log" 2>/dev/null && break
+        if [ "$n" = 100 ]; then
+            echo "fleet-chaos: $log never came up" >&2
+            cat "$tmp/$log.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+done
+for n in $(seq 1 100); do
+    curl -fsS "http://$P1/__netchaos/rules" >/dev/null 2>&1 &&
+        curl -fsS "http://$P2/__netchaos/rules" >/dev/null 2>&1 &&
+        curl -fsS "http://$P3/__netchaos/rules" >/dev/null 2>&1 && break
+    if [ "$n" = 100 ]; then
+        echo "fleet-chaos: netchaos proxies never came up" >&2
+        cat "$tmp"/chaos*.log >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "fleet-chaos: 3 cache nodes up behind netchaos proxies"
+
+# --- coordinator (write-through fills) + 2 tier-reading workers -------
+"$tmp/uvmsweep" $SWEEP -listen "$CADDR" -cache-tier "$TIER" \
+    -lease-ttl 5s -cell-retries 3 -log-format json -flight-dir "$tmp/flight" \
+    >"$tmp/dist.csv" 2>"$tmp/coord.log" &
+cpid=$!
+for n in $(seq 1 100); do
+    grep -q "coordinator listening" "$tmp/coord.log" 2>/dev/null && break
+    if [ "$n" = 100 ]; then
+        echo "fleet-chaos: coordinator never came up" >&2
+        cat "$tmp/coord.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+wpids=""
+for w in w1 w2; do
+    "$tmp/uvmworker" -coordinator "$CURL" -name "$w" -serve "$TIER" \
+        -tier-timeout 2s -log-format json -flight-dir "$tmp/flight" \
+        >"$tmp/$w.log" 2>&1 &
+    wpids="$wpids $!"
+done
+
+# Let the fleet do some healthy work first: the partition must land
+# mid-sweep, not before it starts.
+for n in $(seq 1 200); do
+    grep -q '"msg":"lease acquired"' "$tmp/w1.log" 2>/dev/null &&
+        grep -q '"msg":"lease acquired"' "$tmp/w2.log" 2>/dev/null && break
+    if [ "$n" = 200 ]; then
+        echo "fleet-chaos: workers never acquired a lease" >&2
+        cat "$tmp/w1.log" "$tmp/w2.log" "$tmp/coord.log" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+
+# --- inject the chaos: partition one node, kill -9 another ------------
+curl -fsS -X POST -d "blackhole" "http://$P1/__netchaos/rules" >/dev/null
+kill -9 "$s2pid" 2>/dev/null || true
+echo "fleet-chaos: node 1 partitioned (blackhole), node 2 killed -9 mid-sweep"
+
+# The coordinator's /metrics page must show the tier declaring a node
+# dark while the sweep is still running.
+breaker_seen=0
+for n in $(seq 1 300); do
+    if ! kill -0 "$cpid" 2>/dev/null; then
+        break
+    fi
+    opens=$(curl -fsS "$CURL/metrics" 2>/dev/null |
+        sed -n 's/^cachetier_breaker_open_total \([0-9]*\)$/\1/p')
+    if [ "${opens:-0}" -ge 1 ]; then
+        breaker_seen=1
+        echo "fleet-chaos: breaker open visible on coordinator /metrics (cachetier_breaker_open_total=$opens)"
+        break
+    fi
+    sleep 0.2
+done
+if [ "$breaker_seen" -ne 1 ]; then
+    echo "fleet-chaos: cachetier_breaker_open_total never reached 1 on /metrics while the sweep ran" >&2
+    cat "$tmp/coord.log" >&2
+    exit 1
+fi
+
+# --- the sweep must still settle cleanly ------------------------------
+wait "$cpid" && status=0 || status=$?
+cpid=
+if [ "$status" -ne 0 ]; then
+    echo "fleet-chaos: coordinator exited $status, want 0" >&2
+    cat "$tmp/coord.log" >&2
+    exit 1
+fi
+wstatus=0
+for pid in $wpids; do
+    wait "$pid" || wstatus=$?
+done
+wpids=
+if [ "$wstatus" -ne 0 ]; then
+    echo "fleet-chaos: a worker exited $wstatus, want 0" >&2
+    cat "$tmp/w1.log" "$tmp/w2.log" >&2
+    exit 1
+fi
+
+if ! diff "$tmp/serial.csv" "$tmp/dist.csv"; then
+    echo "fleet-chaos: merged output differs from serial run under partition + kill" >&2
+    exit 1
+fi
+echo "fleet-chaos: merged table byte-identical to serial -jobs 1 run"
+
+summary=$(grep "# dist:" "$tmp/coord.log" || true)
+echo "fleet-chaos: $summary"
+quarantined=$(echo "$summary" | sed -n 's/.*quarantined=\([0-9]*\).*/\1/p')
+if [ "${quarantined:-1}" -ne 0 ]; then
+    echo "fleet-chaos: cells were quarantined under tier chaos (quarantined=$quarantined)" >&2
+    exit 1
+fi
+
+# The breaker transitions must be in the structured logs...
+if ! grep -hq '"msg":"breaker open"' "$tmp/w1.log" "$tmp/w2.log" "$tmp/coord.log"; then
+    echo "fleet-chaos: no breaker-open transition logged anywhere" >&2
+    exit 1
+fi
+# ...every structured line must satisfy the fleet schema...
+grep -h '^{' "$tmp/coord.log" "$tmp/w1.log" "$tmp/w2.log" "$tmp"/served*.log >"$tmp/fleet.jsonl" || true
+if [ ! -s "$tmp/fleet.jsonl" ]; then
+    echo "fleet-chaos: no structured logs produced" >&2
+    exit 1
+fi
+"$tmp/uvmlogcheck" -q "$tmp/fleet.jsonl"
+# ...and declaring a node dark must have dumped a parseable flight
+# recording.
+set -- "$tmp/flight"/flightrec-*.json
+if [ ! -f "$1" ]; then
+    echo "fleet-chaos: no flight-recorder dump from the breaker opening" >&2
+    exit 1
+fi
+"$tmp/uvmlogcheck" -flight "$@"
+if ! grep -lq '"reason": *"breaker_open"' "$tmp/flight"/flightrec-*.json; then
+    echo "fleet-chaos: no flight dump carries reason breaker_open" >&2
+    exit 1
+fi
+echo "fleet-chaos: breaker transitions logged, flight dump parseable"
+
+if grep -q "DATA RACE" "$tmp/coord.log" "$tmp/w1.log" "$tmp/w2.log" "$tmp"/served*.log; then
+    echo "fleet-chaos: race detector fired:" >&2
+    grep -A20 "DATA RACE" "$tmp"/*.log >&2
+    exit 1
+fi
+
+# Surviving servers drain cleanly.
+kill -TERM $(echo $spids | awk '{print $1, $3}') 2>/dev/null || true
+spids=
+kill $ppids 2>/dev/null || true
+ppids=
+echo "fleet-chaos: all ok"
