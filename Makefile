@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race bench benchall bench_baseline benchcheck allocguard chaos resumecheck servecheck distcheck logcheck fleetchaos clean
+.PHONY: check build vet test race bench benchall bench_baseline benchcheck allocguard chaos resumecheck servecheck distcheck logcheck fleetchaos multigpucheck clean
 
 # The full verification gate: compile everything, vet, run the test
 # suite under the race detector, hold the observability layer and hot
 # paths to their zero-alloc contracts, gate benchmark regressions
 # against the committed baseline, smoke the serving layer end-to-end,
 # kill-and-recover the distributed sweep fabric, chaos-test the
-# replicated cache tier, and validate the fleet's structured telemetry
-# against its schema.
-check: build vet race allocguard benchcheck servecheck distcheck fleetchaos logcheck
+# replicated cache tier, validate the fleet's structured telemetry
+# against its schema, and hold the multi-GPU model to its determinism
+# and K=1-compatibility pins.
+check: build vet race allocguard benchcheck servecheck distcheck fleetchaos logcheck multigpucheck
 
 build:
 	$(GO) build ./...
@@ -65,6 +66,7 @@ allocguard:
 	$(GO) test ./internal/tree -run TestPlanSteadyStateAllocFree -count=1
 	$(GO) test ./internal/mem -run TestBitmapWordPrimitivesAllocFree -count=1
 	$(GO) test ./internal/evict -run TestLRUChurnAllocFree -count=1
+	$(GO) test ./internal/multigpu -run 'TestClassifySteadyStateAllocFree|TestRemoteAccessSteadyStateAllocFree|TestFabricStreamSteadyStateAllocFree' -count=1
 	$(GO) test ./internal/core -bench BenchmarkDriverService -benchtime 2x -benchmem -run=^$$
 
 # Seeded fault-injection campaign across workloads and replay policies;
@@ -103,6 +105,13 @@ fleetchaos:
 # must be rejected.
 logcheck:
 	sh scripts/log_check.sh
+
+# Multi-GPU gate: the pinned K=1 and K=4 goldens must hold under -race,
+# a K=4 policy sweep through the real uvmsweep binary must be
+# byte-identical at -jobs 1/4/8, and an explicit -gpus 1 run must
+# collapse to the implicit single-GPU default.
+multigpucheck:
+	sh scripts/multigpu_check.sh
 
 clean:
 	$(GO) clean ./...

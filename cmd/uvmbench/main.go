@@ -22,6 +22,7 @@ import (
 	"uvmsim/internal/atomicio"
 	"uvmsim/internal/exp"
 	"uvmsim/internal/govern"
+	"uvmsim/internal/multigpu"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/prof"
 	"uvmsim/internal/stats"
@@ -39,6 +40,8 @@ func run() int {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		quick      = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		jobs       = flag.Int("jobs", 0, "worker goroutines per experiment (0 = all CPUs, 1 = serial); output is identical at every value")
+		gpus       = flag.Int("gpus", 1, "run every cell on this many GPUs (1 = the paper's single-GPU testbed)")
+		migration  = flag.String("migration", "first-touch", "multi-GPU migration policy (first-touch, access-counter); ignored at 1 GPU")
 		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut    = flag.Bool("json", false, "emit JSON instead of aligned text")
 		outDir     = flag.String("out", "", "write one file per table into this directory instead of stdout")
@@ -68,7 +71,13 @@ func run() int {
 	}
 	defer stopProf()
 
-	sc := exp.Scale{GPUMemoryBytes: *gpuMB << 20, Seed: *seed, Quick: *quick, Jobs: *jobs, Budget: gf.Budget()}
+	mpol, err := multigpu.ParsePolicy(*migration)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uvmbench:", err)
+		return govern.ExitUsage
+	}
+	sc := exp.Scale{GPUMemoryBytes: *gpuMB << 20, Seed: *seed, Quick: *quick, Jobs: *jobs,
+		Budget: gf.Budget(), GPUs: *gpus, Migration: mpol}
 	if *traceOut != "" || *metricsOut != "" {
 		sc.Obs = obs.NewCollector()
 		sc.Lifecycle = true

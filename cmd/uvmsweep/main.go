@@ -67,6 +67,8 @@ func run() int {
 		evictPol   = flag.String("evict", "lru", "comma-separated eviction policies")
 		batch      = flag.String("batch", "256", "comma-separated fault batch sizes")
 		vablock    = flag.String("vablock", "2048", "comma-separated VABlock sizes in KiB")
+		gpus       = flag.String("gpus", "1", "comma-separated GPU counts (multi-GPU cells add gpus=/migration= to their labels)")
+		migration  = flag.String("migration", "first-touch", "comma-separated multi-GPU migration policies (first-touch, access-counter); ignored at 1 GPU")
 		jobs       = flag.Int("jobs", 0, "worker goroutines fanning configs out (0 = all CPUs, 1 = serial)")
 		csvOut     = flag.Bool("csv", false, "emit CSV")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON with one process per sweep cell (load in Perfetto)")
@@ -117,6 +119,10 @@ func run() int {
 	for i, vb := range vablocks {
 		vbBytes[i] = int64(vb) << 10
 	}
+	gpuCounts, err := parseInts(*gpus)
+	if err != nil {
+		return fail(err)
+	}
 
 	s := &sweep.Spec{
 		Workload:       *workload,
@@ -128,6 +134,8 @@ func run() int {
 		Evict:          splitList(*evictPol),
 		Batch:          batches,
 		VABlock:        vbBytes,
+		GPUs:           gpuCounts,
+		Migration:      splitList(*migration),
 		Jobs:           *jobs,
 		Budget:         gf.Budget(),
 		Retries:        *retries,

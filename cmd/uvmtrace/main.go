@@ -27,6 +27,7 @@ import (
 	"uvmsim/internal/core"
 	"uvmsim/internal/driver"
 	"uvmsim/internal/govern"
+	"uvmsim/internal/multigpu"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/prof"
 	"uvmsim/internal/sim"
@@ -46,6 +47,8 @@ func run() int {
 		prefetch   = flag.String("prefetch", "none", "prefetch policy")
 		policiesF  = flag.String("policies", "block,batch,batchflush,once", "comma-separated replay policies, one traced run each")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+		gpus       = flag.Int("gpus", 1, "device count; each GPU gets its own track lane in the exported trace")
+		migration  = flag.String("migration", "first-touch", "multi-GPU migration policy (first-touch, access-counter); ignored at 1 GPU")
 		traceOut   = flag.String("o", "", "write the combined Chrome trace-event JSON to this file")
 		spanCSV    = flag.String("span-csv", "", "write every span as flat CSV to this file")
 		metricsOut = flag.String("metrics", "", "write every run's metrics registry as CSV to this file")
@@ -70,6 +73,10 @@ func run() int {
 		}
 		policies = append(policies, p)
 	}
+	mpol, err := multigpu.ParsePolicy(*migration)
+	if err != nil {
+		return fail(err)
+	}
 
 	ctx, stop := gf.Context()
 	defer stop()
@@ -80,7 +87,7 @@ func run() int {
 		if err := ctx.Err(); err != nil {
 			return failGoverned(err)
 		}
-		if err := traceOne(collector, gov, *workload, *gpuMB<<20, *footprint, *prefetch, pol, *seed); err != nil {
+		if err := traceOne(collector, gov, *workload, *gpuMB<<20, *footprint, *prefetch, pol, *seed, *gpus, mpol); err != nil {
 			return failGoverned(err)
 		}
 	}
@@ -116,14 +123,21 @@ type governance struct {
 // traceOne runs the workload once under pol with full instrumentation,
 // prints the timeline and latency summary, and verifies the span stream
 // against the driver's phase breakdown.
-func traceOne(collector *obs.Collector, gov governance, workload string, gpuBytes int64, footprint float64, prefetch string, pol driver.ReplayPolicy, seed uint64) error {
+func traceOne(collector *obs.Collector, gov governance, workload string, gpuBytes int64, footprint float64, prefetch string, pol driver.ReplayPolicy, seed uint64, gpus int, mpol multigpu.Policy) error {
 	label := fmt.Sprintf("workload=%s policy=%s footprint=%g seed=%d", workload, pol, footprint, seed)
+	if gpus > 1 {
+		label += fmt.Sprintf(" gpus=%d migration=%s", gpus, mpol)
+	}
 	cfg := core.DefaultConfig(gpuBytes)
 	cfg.Seed = seed
 	cfg.PrefetchPolicy = prefetch
 	cfg.Driver.Policy = pol
 	cfg.Cancel = gov.cancel
 	cfg.Budget = gov.budget
+	if gpus > 1 {
+		cfg.GPUs = gpus
+		cfg.Migration = mpol
+	}
 	cfg.Obs = obs.Options{Collector: collector, Label: label, Lifecycle: true}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
@@ -144,9 +158,24 @@ func traceOne(collector *obs.Collector, gov governance, workload string, gpuByte
 		return err
 	}
 
-	spans := sys.ObsCell().Sink.Spans()
+	// One capture cell per device: the Chrome trace export gives each
+	// device its own process lane, and remote-map spans land on the
+	// device that issued the remote access. The reconciliation below runs
+	// against the union, since RunResult.Breakdown sums every device.
+	cells := sys.ObsCells()
+	var spans []obs.Span
+	for _, c := range cells {
+		spans = append(spans, c.Sink.Spans()...)
+	}
 	fmt.Printf("%s\n  total=%v faults=%d spans=%d\n", label, res.TotalTime, res.Faults, len(spans))
-	printTimeline(spans)
+	if len(cells) > 1 {
+		for d, c := range cells {
+			fmt.Printf("  [gpu%d lane]\n", d)
+			printTimeline(c.Sink.Spans())
+		}
+	} else {
+		printTimeline(spans)
+	}
 	if err := reconcile(spans, res.Breakdown); err != nil {
 		return fmt.Errorf("%s: %w", label, err)
 	}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"uvmsim/internal/driver"
+	"uvmsim/internal/multigpu"
 	"uvmsim/internal/serve"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/sweep"
@@ -66,6 +67,11 @@ type CellSpec struct {
 	Evict          string  `json:"evict"`
 	Batch          int     `json:"batch"`
 	VABlockBytes   int64   `json:"vablock_bytes"`
+	// Gpus and Migration are set only on multi-GPU cells (zero-value
+	// elision): a K=1 cell serializes exactly as it did before the axes
+	// existed, so mixed-version fleets agree on every single-GPU label.
+	Gpus      int    `json:"gpus,omitempty"`
+	Migration string `json:"migration,omitempty"`
 	// Deterministic per-cell budgets (see sim.Budget); part of the spec
 	// because a budget trip is a property of the cell, not the worker.
 	SimDeadlineNs  int64  `json:"sim_deadline_ns,omitempty"`
@@ -75,7 +81,7 @@ type CellSpec struct {
 
 // cellSpecOf flattens one resolved cell of a sweep into its wire form.
 func cellSpecOf(s *sweep.Spec, c sweep.Config) CellSpec {
-	return CellSpec{
+	cs := CellSpec{
 		Workload:       s.Workload,
 		GPUMemoryBytes: s.GPUMemoryBytes,
 		Seed:           s.Seed,
@@ -89,6 +95,11 @@ func cellSpecOf(s *sweep.Spec, c sweep.Config) CellSpec {
 		MaxEvents:      s.Budget.MaxEvents,
 		LivelockWindow: s.Budget.LivelockWindow,
 	}
+	if c.GPUs > 1 {
+		cs.Gpus = c.GPUs
+		cs.Migration = c.Migration.String()
+	}
+	return cs
 }
 
 // Spec lifts the cell back into a singleton sweep spec, the worker-side
@@ -96,7 +107,7 @@ func cellSpecOf(s *sweep.Spec, c sweep.Config) CellSpec {
 // validation, governance, and row-rendering path the single-process
 // sweep runs, which is what makes distributed rows byte-identical.
 func (cs CellSpec) Spec() *sweep.Spec {
-	return &sweep.Spec{
+	sp := &sweep.Spec{
 		Workload:       cs.Workload,
 		GPUMemoryBytes: cs.GPUMemoryBytes,
 		Seed:           cs.Seed,
@@ -113,6 +124,11 @@ func (cs CellSpec) Spec() *sweep.Spec {
 			LivelockWindow: cs.LivelockWindow,
 		},
 	}
+	if cs.Gpus > 1 {
+		sp.GPUs = []int{cs.Gpus}
+		sp.Migration = []string{cs.Migration}
+	}
+	return sp
 }
 
 // SimRequest maps the cell onto the serve tier's single-cell wire form.
@@ -127,7 +143,7 @@ func (cs CellSpec) SimRequest() (serve.SimRequest, bool) {
 		cs.Batch == 0 || cs.VABlockBytes%1024 != 0 || cs.VABlockBytes == 0 || cs.Footprint == 0 {
 		return serve.SimRequest{}, false
 	}
-	return serve.SimRequest{
+	req := serve.SimRequest{
 		Workload:   cs.Workload,
 		GPUMemMiB:  cs.GPUMemoryBytes / mib,
 		Seed:       cs.Seed,
@@ -142,7 +158,13 @@ func (cs CellSpec) SimRequest() (serve.SimRequest, bool) {
 			MaxEvents:      cs.MaxEvents,
 			LivelockEvents: cs.LivelockWindow,
 		},
-	}, true
+	}
+	if cs.Gpus > 1 {
+		g := cs.Gpus
+		req.Gpus = &g
+		req.Migration = cs.Migration
+	}
+	return req, true
 }
 
 // Label recomputes the cell's replay recipe. Workers verify it against
@@ -157,6 +179,14 @@ func (cs CellSpec) Label() (string, error) {
 	c := sweep.Config{
 		Footprint: cs.Footprint, Prefetch: cs.Prefetch, Replay: pol,
 		Evict: cs.Evict, Batch: cs.Batch, VABlock: cs.VABlockBytes,
+	}
+	if cs.Gpus > 1 {
+		mpol, err := multigpu.ParsePolicy(cs.Migration)
+		if err != nil {
+			return "", err
+		}
+		c.GPUs = cs.Gpus
+		c.Migration = mpol
 	}
 	return c.Label(s), nil
 }

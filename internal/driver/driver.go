@@ -53,6 +53,7 @@ type Driver struct {
 	inj       FaultInjector   // optional; nil-safe
 	tr        *obs.Tracer     // optional span tracing; nil-safe
 	life      *obs.Lifecycle  // optional per-fault tracking; nil-safe
+	res       Residency       // optional multi-GPU residency map; nil at K=1
 
 	// Batch envelope state for span tracing: one SpanBatch covers first
 	// entry fetched to the moment the next fetch (or pass end) begins.
@@ -98,6 +99,9 @@ type Deps struct {
 	Inject   FaultInjector   // optional
 	Obs      *obs.Tracer     // optional span tracing
 	Life     *obs.Lifecycle  // optional fault-lifecycle tracking
+	// Residency is the shared multi-GPU residency map; nil for the
+	// single-GPU model.
+	Residency Residency
 }
 
 // New validates and assembles a driver.
@@ -109,7 +113,7 @@ func New(cfg Config, d Deps) (*Driver, error) {
 		d.Link == nil || d.Evict == nil || d.Prefetch == nil || d.Replayer == nil {
 		return nil, fmt.Errorf("driver: missing dependency in %+v", d)
 	}
-	return &Driver{
+	drv := &Driver{
 		eng:      d.Engine,
 		cfg:      cfg,
 		space:    d.Space,
@@ -124,10 +128,16 @@ func New(cfg Config, d Deps) (*Driver, error) {
 		inj:      d.Inject,
 		tr:       d.Obs,
 		life:     d.Life,
+		res:      d.Residency,
 		idle:     true,
 		acc:      make([]faultbuf.Entry, 0, cfg.BatchSize),
 		binIndex: make(map[mem.VABlockID]int),
-	}, nil
+	}
+	if drv.res != nil {
+		// Registered lazily so single-GPU metric snapshots are unchanged.
+		drv.m.remoteMaps = drv.m.reg.Counter("remote_map_services")
+	}
+	return drv, nil
 }
 
 // Breakdown returns the accumulated per-phase time.
@@ -405,6 +415,14 @@ func (d *Driver) serviceBlock(bins []*bin, i int) {
 	}
 	b := bins[i]
 	block := d.space.Block(b.block)
+	if d.res != nil && !block.Allocated {
+		// Multi-GPU: a block a peer owns (or that this device already
+		// remote-mapped) services as a remote mapping, not a migration.
+		if block.Remote || d.res.Classify(b.block) == OwnPeer {
+			d.serviceRemote(bins, i)
+			return
+		}
+	}
 	if !block.Allocated {
 		d.ensureAlloc(bins, i)
 		return
@@ -418,11 +436,20 @@ func (d *Driver) serviceBlock(bins []*bin, i int) {
 // under memory pressure and restarting (the paper's lock-drop restart).
 func (d *Driver) ensureAlloc(bins []*bin, i int) {
 	block := d.space.Block(bins[i].block)
+	if d.res != nil && (block.Remote || d.res.Classify(bins[i].block) == OwnPeer) {
+		// A peer claimed the block while this device waited out an
+		// eviction retry; service it as a remote mapping instead.
+		d.serviceRemote(bins, i)
+		return
+	}
 	cost, err := d.alloc.Alloc()
 	if err == nil {
 		block.Allocated = true
 		d.policy.Insert(block)
 		block.Touches++
+		if d.res != nil {
+			d.res.Claimed(block)
+		}
 		d.chargeSpan(obs.SpanPMAAlloc, cost, 1)
 		d.eng.After(cost, func() { d.migrate(bins, i) })
 		return
@@ -469,6 +496,9 @@ func (d *Driver) evictBlock(victim *mem.VABlock) (sim.Duration, int) {
 	victim.Dirty.Reset()
 	victim.Allocated = false
 	victim.Evictions++
+	if d.res != nil {
+		d.res.Released(victim)
+	}
 	d.rec.Record(now, trace.KindEvict, d.space.Geometry().FirstPage(victim.ID), victim.ID, victim.Range)
 
 	total := cpu
@@ -576,19 +606,25 @@ func (d *Driver) mapBlock(bins []*bin, i int, res tree.Result) {
 	cost := sim.Duration(mapOps(res.Fetch, b.demanded))*d.cfg.MapPerOp + d.cfg.MembarPerBlock
 	d.chargeSpan(obs.SpanMap, cost, int64(res.Fetch.Count()))
 
-	res.Fetch.ForEachSet(func(idx int) {
-		block.Resident.Set(idx)
-		kind := trace.KindPrefetch
-		if b.demanded.Get(idx) {
-			kind = trace.KindFault
+	if d.res == nil || block.Allocated {
+		// Multi-GPU: an access-counter migration can strip this block's
+		// backing between migrate and mapBlock; installing residency bits
+		// on the unbacked view would corrupt the residency map, so the
+		// update is skipped and the replayed warps re-fault remotely.
+		res.Fetch.ForEachSet(func(idx int) {
+			block.Resident.Set(idx)
+			kind := trace.KindPrefetch
+			if b.demanded.Get(idx) {
+				kind = trace.KindFault
+			}
+			d.rec.Record(now, kind, first+mem.PageID(idx), b.block, block.Range)
+		})
+		if block.ReadDup {
+			// Read-duplication keeps the host copy valid: the migrated pages
+			// are clean duplicates (eviction will release them without
+			// write-back as long as the GPU does not mutate them).
+			d.m.readdupPages.Inc(uint64(res.Fetch.Count()))
 		}
-		d.rec.Record(now, kind, first+mem.PageID(idx), b.block, block.Range)
-	})
-	if block.ReadDup {
-		// Read-duplication keeps the host copy valid: the migrated pages
-		// are clean duplicates (eviction will release them without
-		// write-back as long as the GPU does not mutate them).
-		d.m.readdupPages.Inc(uint64(res.Fetch.Count()))
 	}
 	d.servicedSinceReplay++
 	d.eng.After(cost, func() { d.afterMap(bins, i, res) })

@@ -42,6 +42,11 @@ type metrics struct {
 	replays        *obs.Counter
 	forcedReplays  *obs.Counter
 
+	// remoteMaps counts multi-GPU remote-mapping services. It is
+	// registered by New only when a residency map is wired, so
+	// single-GPU metric snapshots carry no new names.
+	remoteMaps *obs.Counter
+
 	// batchFaults distributes fault count per batch (the paper's batch
 	// occupancy); batchNs distributes wall time per batch.
 	batchFaults *obs.HistogramMetric

@@ -15,6 +15,7 @@ import (
 	"uvmsim/internal/core"
 	"uvmsim/internal/govern"
 	"uvmsim/internal/gpusim"
+	"uvmsim/internal/multigpu"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/parallel"
 	"uvmsim/internal/sim"
@@ -43,6 +44,11 @@ type Scale struct {
 	// Budget bounds every cell's engine in simulated time, event count,
 	// and forward progress; the zero value imposes no bounds.
 	Budget sim.Budget
+	// GPUs runs every cell on this many devices (0 and 1 both mean the
+	// classic single-GPU testbed); Migration picks the multi-GPU page
+	// placement policy, meaningful only when GPUs > 1.
+	GPUs      int
+	Migration multigpu.Policy
 
 	// ctx and cancel carry RunContext's cancellation into each cell's
 	// pool dequeue check and engine polling respectively.
@@ -125,6 +131,10 @@ func (sc Scale) sysConfig() core.Config {
 	cfg.Seed = sc.Seed
 	cfg.Cancel = sc.cancel
 	cfg.Budget = sc.Budget
+	if sc.GPUs > 1 {
+		cfg.GPUs = sc.GPUs
+		cfg.Migration = sc.Migration
+	}
 	return cfg
 }
 

@@ -183,6 +183,11 @@ type GPU struct {
 	// remoteLink, when set, charges remote-mapped accesses for
 	// interconnect bandwidth (pipelined, contending with DMA traffic).
 	remoteLink *xfer.Link
+	// remoteHook, when set, routes remote accesses through the multi-GPU
+	// fabric instead of remoteLink: the hook resolves the owning device,
+	// charges the peer channel, and feeds access-counter migration. It
+	// returns the wait the warp observes beyond the access itself.
+	remoteHook func(a Access, b *mem.VABlock) sim.Duration
 
 	kernel      *Kernel
 	doneCb      func(sim.Time)
@@ -233,6 +238,11 @@ func (g *GPU) SetHandler(h Handler) { g.handler = h }
 // SetRemoteLink routes remote-mapped access traffic over the given link
 // so it contends with migration DMA for bandwidth.
 func (g *GPU) SetRemoteLink(l *xfer.Link) { g.remoteLink = l }
+
+// SetRemoteHook installs the multi-GPU remote-access router. When set it
+// takes precedence over the remote link; single-GPU systems leave it nil
+// and keep the byte-identical legacy path.
+func (g *GPU) SetRemoteHook(h func(a Access, b *mem.VABlock) sim.Duration) { g.remoteHook = h }
 
 // SetTracer installs (or, with nil, removes) span tracing of GPU-side
 // events: warp stall windows and µTLB coalesce points.
@@ -399,7 +409,11 @@ func (g *GPU) noteAccess(a Access) sim.Duration {
 		// tracking on the GPU side (writes land in host memory).
 		g.stats.RemoteAccesses++
 		extra = g.jitter(g.cfg.RemoteAccess)
-		if g.remoteLink != nil {
+		if g.remoteHook != nil {
+			if wait := g.remoteHook(a, b); wait > extra {
+				extra = wait
+			}
+		} else if g.remoteLink != nil {
 			dir := xfer.HostToDevice
 			if a.Write {
 				dir = xfer.DeviceToHost

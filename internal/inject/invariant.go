@@ -91,6 +91,12 @@ func (v *Invariants) Attach() { v.eng.SetObserver(v.onEvent) }
 // Detach removes the hook.
 func (v *Invariants) Detach() { v.eng.SetObserver(nil) }
 
+// Observe runs one per-event check without owning the engine's single
+// observer slot. Multi-GPU systems compose one checker per device plus
+// the cross-device checker behind a single composite observer and call
+// Observe on each; single-GPU systems keep using Attach.
+func (v *Invariants) Observe(now sim.Time) { v.onEvent(now) }
+
 // Checks returns how many per-event checks have run.
 func (v *Invariants) Checks() uint64 { return v.checks }
 

@@ -157,6 +157,11 @@ func (s *AddressSpace) AllocMode(size int64, label string, mode AccessMode) (*Ra
 // exists (GPU fast-path gate).
 func (s *AddressSpace) Special() bool { return s.special }
 
+// MarkSpecial forces the special flag on. Multi-GPU systems set it up
+// front: peer-owned blocks gain remote mappings dynamically (outside
+// AllocMode), and the GPU's fast access path must not skip them.
+func (s *AddressSpace) MarkSpecial() { s.special = true }
+
 // Ranges returns the allocated ranges in allocation order.
 func (s *AddressSpace) Ranges() []*Range { return s.ranges }
 

@@ -1,0 +1,56 @@
+package multigpu
+
+import (
+	"testing"
+
+	"uvmsim/internal/mem"
+)
+
+// The residency-map hot path — ownership classification and remote
+// access service — sits on every K>1 GPU memory access, so it must not
+// allocate in steady state (`make allocguard` pins this).
+
+func TestClassifySteadyStateAllocFree(t *testing.T) {
+	h := newHarness(t, 2, 4, Config{})
+	id := mem.VABlockID(0)
+	h.claim(t, 0, id)
+	owner := h.m.DriverHook(0)
+	peer := h.m.DriverHook(1)
+	if n := testing.AllocsPerRun(200, func() {
+		owner.Classify(id)
+		peer.Classify(id)
+		h.m.Owner(id)
+	}); n != 0 {
+		t.Errorf("residency classification allocates %v times per cycle, want 0", n)
+	}
+}
+
+func TestRemoteAccessSteadyStateAllocFree(t *testing.T) {
+	// Access-counter policy with an unreachable threshold: the counter
+	// array is warmed by the first access, then every later access is the
+	// pure hot path (counter bump + fabric stream + span-free accounting).
+	h := newHarness(t, 2, 4, Config{Policy: AccessCounter, Threshold: 1 << 30})
+	id := mem.VABlockID(0)
+	h.claim(t, 0, id)
+	pb := h.devs[1].Space.Block(id)
+	h.m.DriverHook(1).RemoteMap(pb)
+	page := h.devs[1].Space.Geometry().FirstPage(id)
+	h.m.RemoteAccess(1, page, false, pb) // warm the counter slot
+	if n := testing.AllocsPerRun(200, func() {
+		h.m.RemoteAccess(1, page, false, pb)
+		h.m.RemoteAccess(1, page, true, pb)
+	}); n != 0 {
+		t.Errorf("remote access allocates %v times per cycle, want 0", n)
+	}
+}
+
+func TestFabricStreamSteadyStateAllocFree(t *testing.T) {
+	h := newHarness(t, 4, 4, Config{})
+	fab := h.m.Fabric()
+	if n := testing.AllocsPerRun(200, func() {
+		fab.Stream(0, 1, mem.PageSize)
+		fab.Stream(2, 3, mem.PageSize)
+	}); n != 0 {
+		t.Errorf("fabric stream allocates %v times per cycle, want 0", n)
+	}
+}

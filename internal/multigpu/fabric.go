@@ -1,0 +1,114 @@
+package multigpu
+
+import (
+	"uvmsim/internal/obs"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/xfer"
+)
+
+// Fabric is the interconnect topology: one directed channel per ordered
+// device pair, each with independent bandwidth/latency and its own
+// contention horizon, alongside each device's existing host link. Remote
+// accesses stream over the channel alone; bulk migrations additionally
+// occupy the DMA engines on both endpoints, so a P2P migration and a
+// host fetch on the same device visibly serialize.
+type Fabric struct {
+	eng  *sim.Engine
+	cfg  xfer.LinkConfig
+	devs []*Device
+
+	// free[src][dst] is the channel horizon for the src→dst direction.
+	free [][]sim.Time
+	// busy and bytes mirror xfer.Link's per-direction accounting.
+	busy  [][]sim.Duration
+	bytes [][]int64
+}
+
+func newFabric(eng *sim.Engine, cfg xfer.LinkConfig, devs []*Device) *Fabric {
+	k := len(devs)
+	f := &Fabric{
+		eng:   eng,
+		cfg:   cfg,
+		devs:  devs,
+		free:  make([][]sim.Time, k),
+		busy:  make([][]sim.Duration, k),
+		bytes: make([][]int64, k),
+	}
+	for i := range f.free {
+		f.free[i] = make([]sim.Time, k)
+		f.busy[i] = make([]sim.Duration, k)
+		f.bytes[i] = make([]int64, k)
+	}
+	return f
+}
+
+// Stream charges one remote access of size bytes over the src→dst
+// channel (owner to accessor) and returns the wait the accessor
+// observes beyond its nominal access latency. Like the host link's
+// EnqueueStream, remote loads pipeline cache lines rather than issuing
+// DMA descriptors: they contend on the channel only, not on either
+// device's DMA engines.
+func (f *Fabric) Stream(src, dst int, bytes int64) sim.Duration {
+	now := f.eng.Now()
+	start := now
+	if h := f.free[src][dst]; h > start {
+		start = h
+	}
+	wire := sim.Duration(float64(bytes) / f.cfg.BandwidthBytesPerSec * 1e9)
+	end := start.Add(f.cfg.TransactionLatency + wire)
+	f.free[src][dst] = end
+	f.busy[src][dst] += end.Sub(start)
+	f.bytes[src][dst] += bytes
+	return end.Sub(now)
+}
+
+// Transfer moves a bulk migration of size bytes from src to dst: the
+// src→dst channel carries the bytes while src's device-to-host and
+// dst's host-to-device DMA engines are held for the duration (the copy
+// engines pump the transfer even though no host memory is touched).
+// A SpanDMAP2P span lands on both devices' DMA tracks. Returns the
+// completion time.
+func (f *Fabric) Transfer(src, dst int, bytes int64) sim.Time {
+	now := f.eng.Now()
+	start := now
+	if h := f.free[src][dst]; h > start {
+		start = h
+	}
+	if h := f.devs[src].Link.FreeAt(xfer.DeviceToHost); h > start {
+		start = h
+	}
+	if h := f.devs[dst].Link.FreeAt(xfer.HostToDevice); h > start {
+		start = h
+	}
+	wire := sim.Duration(float64(bytes) / f.cfg.BandwidthBytesPerSec * 1e9)
+	end := start.Add(f.cfg.TransactionLatency + wire)
+	f.free[src][dst] = end
+	f.busy[src][dst] += end.Sub(start)
+	f.bytes[src][dst] += bytes
+	f.devs[src].Link.Hold(xfer.DeviceToHost, start, end)
+	f.devs[dst].Link.Hold(xfer.HostToDevice, start, end)
+	if t := f.devs[src].Tracer; t != nil {
+		t.Emit(obs.SpanDMAP2P, start, end, 0, bytes)
+	}
+	if t := f.devs[dst].Tracer; t != nil {
+		t.Emit(obs.SpanDMAP2P, start, end, 0, bytes)
+	}
+	return end
+}
+
+// BytesMoved returns the cumulative bytes carried on the src→dst channel.
+func (f *Fabric) BytesMoved(src, dst int) int64 { return f.bytes[src][dst] }
+
+// TotalBytes returns the cumulative bytes carried on every channel.
+func (f *Fabric) TotalBytes() int64 {
+	var n int64
+	for _, row := range f.bytes {
+		for _, b := range row {
+			n += b
+		}
+	}
+	return n
+}
+
+// BusyTime returns the cumulative busy time of the src→dst channel.
+func (f *Fabric) BusyTime(src, dst int) sim.Duration { return f.busy[src][dst] }

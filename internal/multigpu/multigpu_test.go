@@ -1,0 +1,339 @@
+package multigpu
+
+import (
+	"strings"
+	"testing"
+
+	"uvmsim/internal/driver"
+	"uvmsim/internal/evict"
+	"uvmsim/internal/inject"
+	"uvmsim/internal/mem"
+	"uvmsim/internal/pma"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/xfer"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		err  bool
+	}{
+		{"", FirstTouch, false},
+		{"first-touch", FirstTouch, false},
+		{"access-counter", AccessCounter, false},
+		{"bogus", 0, true},
+		{"FIRST-TOUCH", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParsePolicy(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if FirstTouch.String() != "first-touch" || AccessCounter.String() != "access-counter" {
+		t.Errorf("policy names: %v %v", FirstTouch, AccessCounter)
+	}
+}
+
+// harness builds K devices over one engine with identical address-space
+// layouts and one managed range of blocks VABlocks.
+type harness struct {
+	eng  *sim.Engine
+	m    *Manager
+	devs []*Device
+}
+
+func newHarness(t *testing.T, K, blocks int, cfg Config) *harness {
+	t.Helper()
+	eng := sim.NewEngine()
+	geom, err := mem.NewGeometry(mem.DefaultVABlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := make([]*Device, K)
+	for d := 0; d < K; d++ {
+		rng := sim.NewRNG(uint64(1 + d))
+		space := mem.NewAddressSpace(geom)
+		space.MarkSpecial()
+		if _, err := space.Alloc(int64(blocks)*mem.DefaultVABlockSize, "data"); err != nil {
+			t.Fatal(err)
+		}
+		pcfg := pma.DefaultConfig(int64(blocks) * mem.DefaultVABlockSize)
+		pcfg.RMJitterFrac = 0
+		pm, err := pma.New(pcfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		link, err := xfer.NewLink(eng, xfer.DefaultPCIe3x16())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := evict.New("lru", rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[d] = &Device{ID: d, Space: space, PMA: pm, Evict: ev, Link: link}
+	}
+	m, err := NewManager(eng, cfg, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{eng: eng, m: m, devs: devs}
+}
+
+// claim allocates backing for block id on device d through the driver
+// hook, the way ensureAlloc does.
+func (h *harness) claim(t *testing.T, d int, id mem.VABlockID) *mem.VABlock {
+	t.Helper()
+	blk := h.devs[d].Space.Block(id)
+	if _, err := h.devs[d].PMA.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	blk.Allocated = true
+	blk.Resident.SetRange(0, blk.Resident.Len())
+	h.devs[d].Evict.Insert(blk)
+	h.m.DriverHook(d).Claimed(blk)
+	return blk
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	h := newHarness(t, 2, 4, Config{})
+	if _, err := NewManager(h.eng, Config{}, h.devs[:1]); err == nil {
+		t.Error("single device accepted")
+	}
+	if _, err := NewManager(h.eng, Config{Policy: Policy(7)}, h.devs); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	swapped := []*Device{h.devs[1], h.devs[0]}
+	if _, err := NewManager(h.eng, Config{}, swapped); err == nil {
+		t.Error("misordered device IDs accepted")
+	}
+}
+
+func TestOwnershipLifecycle(t *testing.T) {
+	h := newHarness(t, 2, 4, Config{})
+	id := h.devs[0].Space.Ranges()[0].StartPage
+	_ = id
+	blkID := mem.VABlockID(0)
+
+	if got := h.m.DriverHook(1).Classify(blkID); got != driver.OwnHost {
+		t.Errorf("unowned block classified %v, want OwnHost", got)
+	}
+	own := h.claim(t, 0, blkID)
+	if got := h.m.DriverHook(0).Classify(blkID); got != driver.OwnSelf {
+		t.Errorf("owner classified %v, want OwnSelf", got)
+	}
+	if got := h.m.DriverHook(1).Classify(blkID); got != driver.OwnPeer {
+		t.Errorf("peer classified %v, want OwnPeer", got)
+	}
+
+	peer := h.devs[1].Space.Block(blkID)
+	pages := h.m.DriverHook(1).RemoteMap(peer)
+	if pages != h.devs[1].Space.ValidPagesIn(blkID) {
+		t.Errorf("RemoteMap mapped %d pages", pages)
+	}
+	if !peer.Remote || peer.Resident.Count() != pages {
+		t.Error("remote mapping not installed in peer view")
+	}
+
+	// Owner evicts: ownership returns to host and the peer mapping dies.
+	h.m.DriverHook(0).Released(own)
+	if h.m.Owner(blkID) != -1 {
+		t.Errorf("owner = %d after release, want -1", h.m.Owner(blkID))
+	}
+	if peer.Remote || peer.Resident.Count() != 0 {
+		t.Error("peer mapping survived owner eviction")
+	}
+	if h.m.Registry().Counter("p2p_invalidations").Get() != 1 {
+		t.Error("invalidation not counted")
+	}
+}
+
+func TestClaimForeignOwnerPanics(t *testing.T) {
+	h := newHarness(t, 2, 4, Config{})
+	h.claim(t, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("claiming a peer-owned block did not panic")
+		}
+	}()
+	blk := h.devs[1].Space.Block(0)
+	h.m.DriverHook(1).Claimed(blk)
+}
+
+func TestAccessCounterMigration(t *testing.T) {
+	h := newHarness(t, 2, 4, Config{Policy: AccessCounter, Threshold: 3})
+	own := h.claim(t, 0, 0)
+	own.Dirty.Set(1)
+	peer := h.devs[1].Space.Block(0)
+	h.m.DriverHook(1).RemoteMap(peer)
+
+	geom := h.devs[1].Space.Geometry()
+	page := geom.FirstPage(0)
+	for i := 0; i < 3; i++ {
+		if wait := h.m.RemoteAccess(1, page, false, peer); wait <= 0 {
+			t.Errorf("remote access %d waited %v, want > 0", i, wait)
+		}
+	}
+	h.eng.Run() // drains the scheduled tryMigrate
+
+	if h.m.Owner(0) != 1 {
+		t.Fatalf("owner = %d after threshold remote accesses, want 1", h.m.Owner(0))
+	}
+	if peer.Remote || !peer.Allocated {
+		t.Error("destination view not flipped to local backing")
+	}
+	if peer.Resident.Count() == 0 || !peer.Dirty.Get(1) {
+		t.Error("residency/dirty state not carried by the migration")
+	}
+	if own.Allocated || own.Resident.Count() != 0 {
+		t.Error("source view kept backing after migration")
+	}
+	if h.devs[0].PMA.UsedChunks() != 0 || h.devs[1].PMA.UsedChunks() != 1 {
+		t.Errorf("chunks: src=%d dst=%d", h.devs[0].PMA.UsedChunks(), h.devs[1].PMA.UsedChunks())
+	}
+	if h.m.Registry().Counter("p2p_migrations").Get() != 1 {
+		t.Error("migration not counted")
+	}
+	// The transfer must have occupied both DMA engines: a host fetch on
+	// either device scheduled now serializes behind it.
+	if h.devs[0].Link.FreeAt(xfer.DeviceToHost) <= h.eng.Now().Add(-sim.Duration(1)) &&
+		h.devs[0].Link.BusyTime(xfer.DeviceToHost) == 0 {
+		t.Error("source D2H engine never held")
+	}
+	if h.devs[1].Link.BusyTime(xfer.HostToDevice) == 0 {
+		t.Error("destination H2D engine never held")
+	}
+}
+
+func TestFirstTouchNeverMigrates(t *testing.T) {
+	h := newHarness(t, 2, 4, Config{Policy: FirstTouch})
+	h.claim(t, 0, 0)
+	peer := h.devs[1].Space.Block(0)
+	h.m.DriverHook(1).RemoteMap(peer)
+	page := h.devs[1].Space.Geometry().FirstPage(0)
+	for i := 0; i < 100; i++ {
+		h.m.RemoteAccess(1, page, false, peer)
+	}
+	h.eng.Run()
+	if h.m.Owner(0) != 0 {
+		t.Errorf("first-touch moved ownership to %d", h.m.Owner(0))
+	}
+	if got := h.m.Registry().Counter("p2p_remote_accesses").Get(); got != 100 {
+		t.Errorf("remote accesses = %d, want 100", got)
+	}
+}
+
+func TestMigrationAbortsUnderPressure(t *testing.T) {
+	// Destination framebuffer of exactly one chunk, already full: the
+	// migration must abort, count it, and reset the trigger counter.
+	eng := sim.NewEngine()
+	geom, _ := mem.NewGeometry(mem.DefaultVABlockSize)
+	devs := make([]*Device, 2)
+	for d := 0; d < 2; d++ {
+		rng := sim.NewRNG(uint64(1 + d))
+		space := mem.NewAddressSpace(geom)
+		space.MarkSpecial()
+		if _, err := space.Alloc(4*mem.DefaultVABlockSize, "data"); err != nil {
+			t.Fatal(err)
+		}
+		pcfg := pma.DefaultConfig(mem.DefaultVABlockSize) // one chunk
+		pcfg.RMJitterFrac = 0
+		pm, err := pma.New(pcfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		link, _ := xfer.NewLink(eng, xfer.DefaultPCIe3x16())
+		ev, _ := evict.New("lru", rng)
+		devs[d] = &Device{ID: d, Space: space, PMA: pm, Evict: ev, Link: link}
+	}
+	m, err := NewManager(eng, Config{Policy: AccessCounter, Threshold: 1}, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 1's only chunk holds block 1; block 0 lives on device 0.
+	blk1 := devs[1].Space.Block(1)
+	devs[1].PMA.Alloc()
+	blk1.Allocated = true
+	m.DriverHook(1).Claimed(blk1)
+	blk0 := devs[0].Space.Block(0)
+	devs[0].PMA.Alloc()
+	blk0.Allocated = true
+	blk0.Resident.SetRange(0, blk0.Resident.Len())
+	m.DriverHook(0).Claimed(blk0)
+
+	peer := devs[1].Space.Block(0)
+	m.DriverHook(1).RemoteMap(peer)
+	m.RemoteAccess(1, geom.FirstPage(0), false, peer)
+	eng.Run()
+
+	if m.Owner(0) != 0 {
+		t.Errorf("migration succeeded into a full device (owner=%d)", m.Owner(0))
+	}
+	if got := m.Registry().Counter("p2p_migrations_aborted").Get(); got != 1 {
+		t.Errorf("aborted migrations = %d, want 1", got)
+	}
+}
+
+func TestRemoteWriteDirtiesOwnerCopy(t *testing.T) {
+	h := newHarness(t, 2, 4, Config{})
+	own := h.claim(t, 0, 0)
+	own.Dirty.Reset()
+	peer := h.devs[1].Space.Block(0)
+	h.m.DriverHook(1).RemoteMap(peer)
+	page := h.devs[1].Space.Geometry().FirstPage(0) + 3
+	h.m.RemoteAccess(1, page, true, peer)
+	if !own.Dirty.Get(3) {
+		t.Error("remote write did not dirty the owner's copy")
+	}
+}
+
+func TestInvariantsCatchCorruption(t *testing.T) {
+	h := newHarness(t, 2, 4, Config{})
+	h.claim(t, 0, 0)
+	inv := NewInvariants(h.m, 1)
+	inv.Final(0) // clean state passes
+
+	// Corrupt: mark the block allocated in the peer's view too.
+	h.devs[1].Space.Block(0).Allocated = true
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("corrupted residency state not caught")
+		}
+		v, ok := r.(*inject.Violation)
+		if !ok || !strings.Contains(v.Msg, "residency map says owner") {
+			t.Errorf("unexpected violation: %v", r)
+		}
+	}()
+	inv.Final(0)
+}
+
+func TestFabricChannelContention(t *testing.T) {
+	h := newHarness(t, 3, 4, Config{})
+	f := h.m.Fabric()
+	// Two streams on the same ordered pair serialize; the reverse
+	// direction and other pairs are independent.
+	w1 := f.Stream(0, 1, mem.PageSize)
+	w2 := f.Stream(0, 1, mem.PageSize)
+	if w2 <= w1 {
+		t.Errorf("second stream on 0->1 waited %v, first %v; want queueing", w2, w1)
+	}
+	if w := f.Stream(1, 0, mem.PageSize); w != w1 {
+		t.Errorf("reverse channel waited %v, want independent %v", w, w1)
+	}
+	if w := f.Stream(2, 1, mem.PageSize); w != w1 {
+		t.Errorf("unrelated pair waited %v, want %v", w, w1)
+	}
+	if f.BytesMoved(0, 1) != 2*mem.PageSize {
+		t.Errorf("bytes(0->1) = %d", f.BytesMoved(0, 1))
+	}
+	if f.TotalBytes() != 4*mem.PageSize {
+		t.Errorf("total = %d", f.TotalBytes())
+	}
+}

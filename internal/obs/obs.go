@@ -76,13 +76,21 @@ const (
 	// explanation.
 	SpanCancel
 
+	// SpanRemoteMap is a multi-GPU fault service that installs remote
+	// mappings over a peer link instead of migrating pages. Arg is pages
+	// mapped. Emitted only by K>1 systems.
+	SpanRemoteMap
+	// SpanDMAP2P is a peer-to-peer migration transfer on the interconnect
+	// fabric; Arg is bytes moved. Emitted only by K>1 systems.
+	SpanDMAP2P
+
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"batch", "poll", "fetch", "sort", "pma_alloc", "migrate", "map",
 	"flush", "replay", "evict", "dma_h2d", "dma_d2h", "dma_failed",
-	"warp_stall", "utlb_coalesce", "cancel",
+	"warp_stall", "utlb_coalesce", "cancel", "remote_map", "dma_p2p",
 }
 
 // String returns the snake_case kind name used by exporters.
@@ -112,6 +120,8 @@ var kindPhases = [numKinds]stats.Phase{
 	SpanStall:     -1,
 	SpanCoalesce:  -1,
 	SpanCancel:    -1,
+	SpanRemoteMap: stats.PhaseMap,
+	SpanDMAP2P:    -1,
 }
 
 // PhaseOf returns the stats.Phase a span kind's duration is charged to,
@@ -151,7 +161,7 @@ func (t Track) String() string {
 // TrackOf returns the track a span kind renders on.
 func TrackOf(k Kind) Track {
 	switch k {
-	case SpanDMAH2D, SpanDMAD2H, SpanDMAFailed:
+	case SpanDMAH2D, SpanDMAD2H, SpanDMAFailed, SpanDMAP2P:
 		return TrackDMA
 	case SpanStall, SpanCoalesce:
 		return TrackGPU

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"uvmsim/internal/confighash"
+	"uvmsim/internal/multigpu"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
 	"uvmsim/internal/sweep"
@@ -64,16 +65,22 @@ func (b BudgetRequest) budget(def, cap sim.Budget) sim.Budget {
 // take the same defaults the uvmsweep CLI uses; Seed 0 is a real seed,
 // not a default.
 type SimRequest struct {
-	Workload   string        `json:"workload"`
-	GPUMemMiB  int64         `json:"gpu_mem_mib,omitempty"`
-	Seed       uint64        `json:"seed,omitempty"`
-	Footprint  float64       `json:"footprint,omitempty"`
-	Prefetch   string        `json:"prefetch,omitempty"`
-	Replay     string        `json:"replay,omitempty"`
-	Evict      string        `json:"evict,omitempty"`
-	Batch      int           `json:"batch,omitempty"`
-	VABlockKiB int64         `json:"vablock_kib,omitempty"`
-	Budget     BudgetRequest `json:"budget,omitempty"`
+	Workload   string  `json:"workload"`
+	GPUMemMiB  int64   `json:"gpu_mem_mib,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Footprint  float64 `json:"footprint,omitempty"`
+	Prefetch   string  `json:"prefetch,omitempty"`
+	Replay     string  `json:"replay,omitempty"`
+	Evict      string  `json:"evict,omitempty"`
+	Batch      int     `json:"batch,omitempty"`
+	VABlockKiB int64   `json:"vablock_kib,omitempty"`
+	// Gpus is the device count. A pointer distinguishes "absent" (one
+	// GPU) from an explicit 0, which is rejected with 400 — a cell spec
+	// that names a device count must name a legal one. Migration selects
+	// the multi-GPU placement policy; it is meaningful only when Gpus > 1.
+	Gpus      *int          `json:"gpus,omitempty"`
+	Migration string        `json:"migration,omitempty"`
+	Budget    BudgetRequest `json:"budget,omitempty"`
 	// TimeoutMs bounds the request on the host clock. It is not part of
 	// the cache key: a timed-out run is cancelled and never cached.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -82,7 +89,7 @@ type SimRequest struct {
 // sweepRequest lifts the single cell into a singleton sweep so both
 // endpoints share one validation, execution, and caching path.
 func (r SimRequest) sweepRequest() SweepRequest {
-	return SweepRequest{
+	sr := SweepRequest{
 		Workload:   r.Workload,
 		GPUMemMiB:  r.GPUMemMiB,
 		Seed:       r.Seed,
@@ -95,23 +102,37 @@ func (r SimRequest) sweepRequest() SweepRequest {
 		Budget:     r.Budget,
 		TimeoutMs:  r.TimeoutMs,
 	}
+	if r.Gpus != nil {
+		// Forwarded even when illegal (<1): sweep validation turns it
+		// into the 400 the cell-spec contract promises.
+		sr.Gpus = []int{*r.Gpus}
+	}
+	if r.Migration != "" {
+		sr.Migration = []string{r.Migration}
+	}
+	return sr
 }
 
 // SweepRequest asks for a full parameter sweep: the cross product of
 // every list, exactly as uvmsweep expands it. Empty lists take the CLI
 // defaults.
 type SweepRequest struct {
-	Workload   string        `json:"workload"`
-	GPUMemMiB  int64         `json:"gpu_mem_mib,omitempty"`
-	Seed       uint64        `json:"seed,omitempty"`
-	Footprints []float64     `json:"footprints,omitempty"`
-	Prefetch   []string      `json:"prefetch,omitempty"`
-	Replay     []string      `json:"replay,omitempty"`
-	Evict      []string      `json:"evict,omitempty"`
-	Batch      []int         `json:"batch,omitempty"`
-	VABlockKiB []int64       `json:"vablock_kib,omitempty"`
-	Budget     BudgetRequest `json:"budget,omitempty"`
-	TimeoutMs  int64         `json:"timeout_ms,omitempty"`
+	Workload   string    `json:"workload"`
+	GPUMemMiB  int64     `json:"gpu_mem_mib,omitempty"`
+	Seed       uint64    `json:"seed,omitempty"`
+	Footprints []float64 `json:"footprints,omitempty"`
+	Prefetch   []string  `json:"prefetch,omitempty"`
+	Replay     []string  `json:"replay,omitempty"`
+	Evict      []string  `json:"evict,omitempty"`
+	Batch      []int     `json:"batch,omitempty"`
+	VABlockKiB []int64   `json:"vablock_kib,omitempty"`
+	// Gpus lists device counts (empty means single-GPU); Migration lists
+	// placement policy names. Entries are validated, never defaulted: an
+	// explicit 0 or unknown policy is a 400, not a silent substitution.
+	Gpus      []int         `json:"gpus,omitempty"`
+	Migration []string      `json:"migration,omitempty"`
+	Budget    BudgetRequest `json:"budget,omitempty"`
+	TimeoutMs int64         `json:"timeout_ms,omitempty"`
 }
 
 // Request defaults, matching the uvmsweep CLI flag defaults.
@@ -188,7 +209,54 @@ func (r SweepRequest) withDefaults() SweepRequest {
 		}
 		r.VABlockKiB = vb
 	}
+	// Canonicalize the multi-GPU axes. A request whose every device count
+	// is 1 is the single-GPU request — migration collapses at K=1, so the
+	// axes are cleared and the fingerprint (and cache identity) matches
+	// every pre-multi-GPU request byte-for-byte. Illegal entries (0,
+	// negative, over the maximum) are deliberately left in place for
+	// validation to reject. A genuinely multi-GPU request with no policy
+	// list pins the first-touch default so spelling it out hashes the same.
+	if r.multiGPU() {
+		if len(r.Migration) == 0 {
+			r.Migration = []string{"first-touch"}
+		}
+	} else if legalSingleGPU(r.Gpus) && legalPolicies(r.Migration) {
+		r.Gpus = nil
+		r.Migration = nil
+	}
 	return r
+}
+
+// multiGPU reports whether any requested device count exceeds one.
+func (r SweepRequest) multiGPU() bool {
+	for _, g := range r.Gpus {
+		if g > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// legalSingleGPU reports whether gpus contains only the value 1 (or is
+// empty) — the only shape safe to canonicalize away.
+func legalSingleGPU(gpus []int) bool {
+	for _, g := range gpus {
+		if g != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// legalPolicies reports whether every migration name parses; unknown
+// names must survive canonicalization so validation can 400 them.
+func legalPolicies(names []string) bool {
+	for _, n := range names {
+		if _, err := multigpu.ParsePolicy(n); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // spec converts the defaulted request into a validated sweep spec under
@@ -208,6 +276,8 @@ func (r SweepRequest) spec(def, cap sim.Budget) *sweep.Spec {
 		Evict:          r.Evict,
 		Batch:          r.Batch,
 		VABlock:        vb,
+		GPUs:           r.Gpus,
+		Migration:      r.Migration,
 		Budget:         r.Budget.budget(def, cap),
 	}
 }
@@ -220,9 +290,17 @@ func (r SweepRequest) spec(def, cap sim.Budget) *sweep.Spec {
 // The shape prefix keeps a singleton sweep from colliding with the
 // single-cell endpoint, whose response shape differs.
 func (r SweepRequest) fingerprint(shape string, eff sim.Budget) string {
-	return fmt.Sprintf("serve/v1/%s workload=%s gpumem=%d seed=%d fp=%v pf=%v rp=%v ev=%v batch=%v vb=%v budget=%d/%d/%d",
+	fp := fmt.Sprintf("serve/v1/%s workload=%s gpumem=%d seed=%d fp=%v pf=%v rp=%v ev=%v batch=%v vb=%v budget=%d/%d/%d",
 		shape, r.Workload, r.GPUMemMiB, r.Seed, r.Footprints, r.Prefetch, r.Replay, r.Evict, r.Batch, r.VABlockKiB,
 		int64(eff.SimDeadline), eff.MaxEvents, eff.LivelockWindow)
+	// Zero-value elision, same as sweep labels: withDefaults clears the
+	// multi-GPU axes on effectively single-GPU requests, so the suffix
+	// appears only when a response can actually depend on them and every
+	// pre-multi-GPU cache key survives unchanged.
+	if len(r.Gpus) > 0 {
+		fp += fmt.Sprintf(" gpus=%v migration=%v", r.Gpus, r.Migration)
+	}
+	return fp
 }
 
 // SimResponse is the single-cell result. Bodies are cached verbatim:

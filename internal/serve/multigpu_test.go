@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/sim"
+	"uvmsim/internal/sweep"
+)
+
+// intp builds the explicit-device-count pointer SimRequest.Gpus wants.
+func intp(v int) *int { return &v }
+
+// TestSimMultiGPUAccepted runs a K=2 cell end to end and checks the
+// label carries the multi-GPU suffix.
+func TestSimMultiGPUAccepted(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	req := smallSim(1)
+	req.Gpus = intp(2)
+	req.Migration = "access-counter"
+	status, _, body := postJSON(t, ts.URL+"/v1/sim", req)
+	if status != http.StatusOK {
+		t.Fatalf("K=2 sim status = %d, body %s", status, body)
+	}
+	var resp SimResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Label, "gpus=2 migration=access-counter") {
+		t.Errorf("K=2 label missing multi-GPU suffix: %q", resp.Label)
+	}
+	if len(resp.Row) != len(sweep.Headers()) {
+		t.Errorf("K=2 row has %d columns, want %d", len(resp.Row), len(sweep.Headers()))
+	}
+}
+
+// TestSimMultiGPURejections pins the typed 400 contract for cell specs
+// that name an illegal device count or an unknown policy.
+func TestSimMultiGPURejections(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		name string
+		mut  func(r *SimRequest)
+		want string
+	}{
+		{"zero gpus", func(r *SimRequest) { r.Gpus = intp(0) }, "GPU count 0"},
+		{"negative gpus", func(r *SimRequest) { r.Gpus = intp(-3) }, "GPU count -3"},
+		{"huge gpus", func(r *SimRequest) { r.Gpus = intp(1000) }, "exceeds"},
+		{"unknown policy", func(r *SimRequest) { r.Gpus = intp(2); r.Migration = "teleport" }, "teleport"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := smallSim(1)
+			tc.mut(&req)
+			status, _, body := postJSON(t, ts.URL+"/v1/sim", req)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400; body %s", status, body)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("400 body is not the typed error envelope: %s", body)
+			}
+			if !strings.Contains(er.Error, tc.want) {
+				t.Errorf("error %q does not mention %q", er.Error, tc.want)
+			}
+		})
+	}
+}
+
+// TestSweepMultiGPURejections covers the list-shaped axes on the sweep
+// endpoint.
+func TestSweepMultiGPURejections(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	status, _, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Workload: "regular", GPUMemMiB: 16, Gpus: []int{2, 0},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("gpus=[2,0] status = %d, body %s", status, body)
+	}
+	status, _, body = postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Workload: "regular", GPUMemMiB: 16, Gpus: []int{2}, Migration: []string{"warp-drive"},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown sweep policy status = %d, body %s", status, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Fatalf("sweep 400 body is not the typed error envelope: %s", body)
+	}
+}
+
+// TestSingleGPUFingerprintUnchanged pins cache-identity elision: asking
+// for gpus=1 explicitly (with any legal policy) must hash to exactly the
+// fingerprint the request had before the multi-GPU axes existed, so
+// pre-existing cache entries and cross-fleet fills keep matching.
+func TestSingleGPUFingerprintUnchanged(t *testing.T) {
+	var none sim.Budget
+	base := SweepRequest{Workload: "regular", GPUMemMiB: 16}.withDefaults()
+	explicit := SweepRequest{Workload: "regular", GPUMemMiB: 16,
+		Gpus: []int{1}, Migration: []string{"access-counter"}}.withDefaults()
+	bfp := base.fingerprint("sweep", none)
+	efp := explicit.fingerprint("sweep", none)
+	if bfp != efp {
+		t.Errorf("explicit gpus=1 changed the fingerprint:\n%s\nvs\n%s", bfp, efp)
+	}
+	if strings.Contains(bfp, "gpus=") {
+		t.Errorf("single-GPU fingerprint mentions gpus: %s", bfp)
+	}
+	multi := SweepRequest{Workload: "regular", GPUMemMiB: 16, Gpus: []int{2}}.withDefaults()
+	mfp := multi.fingerprint("sweep", none)
+	if !strings.Contains(mfp, "gpus=[2] migration=[first-touch]") {
+		t.Errorf("K=2 fingerprint missing canonical multi-GPU suffix: %s", mfp)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"uvmsim/internal/core"
 	"uvmsim/internal/driver"
+	"uvmsim/internal/multigpu"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
@@ -44,6 +45,12 @@ type Spec struct {
 	// Batch lists fault batch sizes; VABlock lists granularities in bytes.
 	Batch   []int
 	VABlock []int64
+	// GPUs lists device counts (empty means [1]); Migration lists
+	// multi-GPU page-placement policy names (empty means first-touch).
+	// Cells with one GPU ignore the migration axis — the cross product
+	// collapses so a K=1 cell appears exactly once.
+	GPUs      []int
+	Migration []string
 	// Jobs bounds the worker pool: 1 is strictly serial, <= 0 NumCPU.
 	Jobs int
 	// Obs, when non-nil, collects per-cell spans and metrics. Each cell
@@ -90,13 +97,24 @@ type Config struct {
 	Evict     string
 	Batch     int
 	VABlock   int64
+	// GPUs is the device count (0 and 1 both mean single-GPU);
+	// Migration is the multi-GPU placement policy, meaningful only when
+	// GPUs > 1.
+	GPUs      int
+	Migration multigpu.Policy
 }
 
 // Label renders the cell as a replay recipe: every knob plus the seed,
-// enough to rerun exactly this configuration with -jobs 1.
+// enough to rerun exactly this configuration with -jobs 1. Single-GPU
+// cells render exactly the pre-multi-GPU label (zero-value elision), so
+// every historical label and confighash is preserved.
 func (c Config) Label(s *Spec) string {
-	return fmt.Sprintf("workload=%s footprint=%g prefetch=%s replay=%s evict=%s batch=%d vablock=%dKiB seed=%d",
+	base := fmt.Sprintf("workload=%s footprint=%g prefetch=%s replay=%s evict=%s batch=%d vablock=%dKiB seed=%d",
 		s.Workload, c.Footprint, c.Prefetch, c.Replay, c.Evict, c.Batch, c.VABlock>>10, s.Seed)
+	if c.GPUs > 1 {
+		base += fmt.Sprintf(" gpus=%d migration=%s", c.GPUs, c.Migration)
+	}
+	return base
 }
 
 // Validate resolves every name and bound in the spec up front. Nothing
@@ -148,18 +166,44 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: VABlock size %d must be positive", vb)
 		}
 	}
+	for _, g := range s.GPUs {
+		if g < 1 {
+			return fmt.Errorf("sweep: GPU count %d must be at least 1", g)
+		}
+		if g > multigpu.MaxDevices {
+			return fmt.Errorf("sweep: GPU count %d exceeds the supported maximum %d", g, multigpu.MaxDevices)
+		}
+	}
+	for _, mi := range s.Migration {
+		if _, err := multigpu.ParsePolicy(mi); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Configs expands the cross product in deterministic declaration order:
-// footprint outermost, then prefetch, replay, evict, batch, VABlock —
-// the same nesting the serial CLI always printed.
+// footprint outermost, then prefetch, replay, evict, batch, VABlock,
+// GPUs, migration — the same nesting the serial CLI always printed, with
+// the multi-GPU axes innermost. Empty GPUs/Migration lists default to
+// single-GPU first-touch, and single-GPU cells collapse the migration
+// axis (the policy is meaningless at K=1, and collapsing keeps labels —
+// and therefore confighashes — unique).
 func (s *Spec) Configs() ([]Config, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	gpus := s.GPUs
+	if len(gpus) == 0 {
+		gpus = []int{1}
+	}
+	migration := s.Migration
+	if len(migration) == 0 {
+		migration = []string{multigpu.FirstTouch.String()}
+	}
 	out := make([]Config, 0,
-		len(s.Footprints)*len(s.Prefetch)*len(s.Replay)*len(s.Evict)*len(s.Batch)*len(s.VABlock))
+		len(s.Footprints)*len(s.Prefetch)*len(s.Replay)*len(s.Evict)*
+			len(s.Batch)*len(s.VABlock)*len(gpus)*len(migration))
 	for _, fp := range s.Footprints {
 		for _, pf := range s.Prefetch {
 			for _, rp := range s.Replay {
@@ -170,10 +214,25 @@ func (s *Spec) Configs() ([]Config, error) {
 				for _, ev := range s.Evict {
 					for _, bs := range s.Batch {
 						for _, vb := range s.VABlock {
-							out = append(out, Config{
-								Footprint: fp, Prefetch: pf, Replay: pol,
-								Evict: ev, Batch: bs, VABlock: vb,
-							})
+							for _, g := range gpus {
+								for mi, mname := range migration {
+									if g <= 1 && mi > 0 {
+										continue // migration axis collapses at K=1
+									}
+									mpol, err := multigpu.ParsePolicy(mname)
+									if err != nil {
+										return nil, err
+									}
+									if g <= 1 {
+										mpol = multigpu.FirstTouch
+									}
+									out = append(out, Config{
+										Footprint: fp, Prefetch: pf, Replay: pol,
+										Evict: ev, Batch: bs, VABlock: vb,
+										GPUs: g, Migration: mpol,
+									})
+								}
+							}
 						}
 					}
 				}
@@ -204,6 +263,10 @@ var runConfig = func(s *Spec, c Config) ([]interface{}, error) {
 	cfg.Driver.Policy = c.Replay
 	cfg.Driver.BatchSize = c.Batch
 	cfg.VABlockSize = c.VABlock
+	if c.GPUs > 1 {
+		cfg.GPUs = c.GPUs
+		cfg.Migration = c.Migration
+	}
 	cfg.Obs = obs.Options{Collector: s.Obs, Label: c.Label(s), Lifecycle: s.Lifecycle}
 	cfg.Cancel = s.cancel
 	cfg.Budget = s.Budget

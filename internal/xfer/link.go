@@ -46,6 +46,15 @@ func DefaultPCIe3x16() LinkConfig {
 	}
 }
 
+// DefaultNVLink2 returns an NVLink-2.0-class peer link: one x2 brick
+// sustains roughly 25 GB/s per direction with sub-microsecond setup.
+func DefaultNVLink2() LinkConfig {
+	return LinkConfig{
+		BandwidthBytesPerSec: 25e9,
+		TransactionLatency:   700 * sim.Nanosecond,
+	}
+}
+
 // FaultHook decides whether one DMA attempt fails transiently. attempt
 // counts retries of the same transfer, starting at 0. It is consulted
 // only by Attempt; plain Enqueue never fails.
@@ -175,6 +184,24 @@ func (l *Link) EnqueueStream(dir Direction, bytes int64) sim.Time {
 	l.busy[dir] += d
 	l.tr.Emit(spanKind(dir), start, end, 0, bytes)
 	return end
+}
+
+// FreeAt returns the earliest time dir's DMA engine is idle: the horizon
+// an external scheduler (the multi-GPU fabric) must serialize behind.
+func (l *Link) FreeAt(dir Direction) sim.Time { return l.free[dir] }
+
+// Hold occupies dir's DMA engine for [start, end) on behalf of an
+// externally scheduled transfer (a peer-to-peer migration that borrows
+// this device's engine). Bytes move on the peer channel, not this link,
+// so only the busy horizon advances — which is exactly what makes a P2P
+// migration and a host fetch on the same device visibly serialize.
+func (l *Link) Hold(dir Direction, start, end sim.Time) {
+	if end > l.free[dir] {
+		l.free[dir] = end
+	}
+	if end > start {
+		l.busy[dir] += end.Sub(start)
+	}
 }
 
 // BytesMoved returns the cumulative bytes transferred in dir.

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Multi-GPU determinism gate.
+#
+# Leg 1 (K=1 compatibility): the committed pinning tests prove the
+# single-GPU degenerate case is byte-identical to the pre-multi-GPU
+# simulator — same labels, same confighashes, same table/trace goldens —
+# and that the K=4 goldens reproduce at -jobs 1/4/8. Run under -race:
+# the shared residency map is exactly where a cross-device data race
+# would hide.
+#
+# Leg 2 (K=4 CLI determinism): a first-touch x access-counter sweep on
+# four devices through the real uvmsweep binary must emit byte-identical
+# CSV at -jobs 1, 4, and 8, and an explicit "-gpus 1 -migration
+# access-counter" run must collapse to the same bytes as the implicit
+# single-GPU default (migration policy is meaningless at K=1 and must
+# not leak into labels or results).
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# --- leg 1: pinned goldens under the race detector --------------------
+go test -race ./internal/sweep -count=1 -run \
+    'TestSingleGPULabelAndHashPinned|TestMultiGPULabelFormat|TestPinnedSweepArtifacts|TestPinnedMultiGPUSweepArtifacts|TestMultiGPUPolicySweepDiverges'
+echo "multigpu-check: pinned K=1 and K=4 goldens hold under -race"
+
+# --- leg 2: CLI determinism across -jobs ------------------------------
+go build -o "$tmp/uvmsweep" ./cmd/uvmsweep
+
+SWEEP="-workload random -footprints 0.5,1.2 -gpus 4 -migration first-touch,access-counter -csv"
+"$tmp/uvmsweep" $SWEEP -jobs 1 >"$tmp/j1.csv"
+"$tmp/uvmsweep" $SWEEP -jobs 4 >"$tmp/j4.csv"
+"$tmp/uvmsweep" $SWEEP -jobs 8 >"$tmp/j8.csv"
+if ! diff "$tmp/j1.csv" "$tmp/j4.csv" || ! diff "$tmp/j1.csv" "$tmp/j8.csv"; then
+    echo "multigpu-check: K=4 sweep output differs across -jobs" >&2
+    exit 1
+fi
+rows=$(wc -l <"$tmp/j1.csv")
+if [ "$rows" -ne 5 ]; then
+    echo "multigpu-check: K=4 sweep emitted $rows lines, want 5 (header + 2 footprints x 2 policies)" >&2
+    exit 1
+fi
+echo "multigpu-check: K=4 sweep byte-identical at -jobs 1/4/8"
+
+# --- leg 2b: explicit K=1 collapses to the implicit default -----------
+"$tmp/uvmsweep" -workload random -footprints 0.5 -csv >"$tmp/base.csv"
+"$tmp/uvmsweep" -workload random -footprints 0.5 -gpus 1 -migration access-counter -csv >"$tmp/one.csv"
+if ! diff "$tmp/base.csv" "$tmp/one.csv"; then
+    echo "multigpu-check: explicit -gpus 1 output differs from the implicit single-GPU default" >&2
+    exit 1
+fi
+if grep -q "gpus=" "$tmp/base.csv"; then
+    echo "multigpu-check: single-GPU labels leak a gpus= token" >&2
+    exit 1
+fi
+echo "multigpu-check: K=1 degenerate case collapses cleanly"
+echo "multigpu-check: all ok"
